@@ -1,0 +1,99 @@
+//===- BenchCommon.h - Shared benchmark harness helpers ---------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table printing and measurement helpers shared by the per-figure
+/// benchmark binaries. All results are *simulated* cycles on the FAB-32
+/// machine; following the paper's DECstation 5000/200 we also render
+/// cycles as milliseconds at 25 MHz so the series are directly comparable
+/// with the figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_BENCH_BENCHCOMMON_H
+#define FAB_BENCH_BENCHCOMMON_H
+
+#include "core/Fabius.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace fab {
+namespace bench {
+
+constexpr double CyclesPerMs = 25000.0; // 25 MHz, as the paper's machine
+
+/// One plotted curve: (x, cycles) points.
+struct Series {
+  std::string Name;
+  std::vector<std::pair<double, uint64_t>> Points;
+
+  void add(double X, uint64_t Cycles) { Points.push_back({X, Cycles}); }
+};
+
+/// Prints a paper-style figure: header, one row per x value, one column
+/// per series, in milliseconds at 25 MHz. When the FAB_BENCH_CSV
+/// environment variable names a directory, the series are also written
+/// there as `<title>.csv` for plotting.
+inline void printFigure(const std::string &Title, const std::string &XLabel,
+                        const std::vector<Series> &AllSeries) {
+  std::printf("\n== %s ==\n", Title.c_str());
+  std::printf("%12s", XLabel.c_str());
+  for (const Series &S : AllSeries)
+    std::printf("  %20s", S.Name.c_str());
+  std::printf("   (ms at 25 MHz)\n");
+  size_t Rows = AllSeries.empty() ? 0 : AllSeries[0].Points.size();
+  for (size_t R = 0; R < Rows; ++R) {
+    std::printf("%12.0f", AllSeries[0].Points[R].first);
+    for (const Series &S : AllSeries)
+      std::printf("  %20.3f",
+                  static_cast<double>(S.Points[R].second) / CyclesPerMs);
+    std::printf("\n");
+  }
+
+  if (const char *Dir = std::getenv("FAB_BENCH_CSV")) {
+    std::string Name;
+    for (char C : Title)
+      Name += std::isalnum(static_cast<unsigned char>(C)) ? C : '_';
+    std::string Path = std::string(Dir) + "/" + Name + ".csv";
+    if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+      std::fprintf(F, "%s", XLabel.c_str());
+      for (const Series &S : AllSeries)
+        std::fprintf(F, ",%s", S.Name.c_str());
+      std::fprintf(F, "\n");
+      for (size_t R = 0; R < Rows; ++R) {
+        std::fprintf(F, "%g", AllSeries[0].Points[R].first);
+        for (const Series &S : AllSeries)
+          std::fprintf(F, ",%.6f",
+                       static_cast<double>(S.Points[R].second) / CyclesPerMs);
+        std::fprintf(F, "\n");
+      }
+      std::fclose(F);
+      std::printf("(csv written to %s)\n", Path.c_str());
+    }
+  }
+}
+
+/// Ratio helper for speedup lines.
+inline double ratio(uint64_t A, uint64_t B) {
+  return B ? static_cast<double>(A) / static_cast<double>(B) : 0.0;
+}
+
+/// Measures the simulated cycles consumed by \p Fn on machine \p M.
+template <typename Callable>
+uint64_t measureCycles(Machine &M, Callable &&Fn) {
+  VmStats Before = M.stats();
+  Fn();
+  return (M.stats() - Before).Cycles;
+}
+
+} // namespace bench
+} // namespace fab
+
+#endif // FAB_BENCH_BENCHCOMMON_H

@@ -1,0 +1,83 @@
+//===- bench_host_micro.cpp - Host-side microbenchmarks -------------------===//
+//
+// Google-benchmark measurements of the *host* cost of this reproduction:
+// simulator dispatch rate, compilation pipeline throughput, and
+// specialization throughput. These are infrastructure numbers (how fast
+// the reproduction itself runs), not paper results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fabius.h"
+#include "workloads/Inputs.h"
+#include "workloads/MlPrograms.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace fab;
+using namespace fab::workloads;
+
+namespace {
+
+void BM_VmDispatch(benchmark::State &State) {
+  Compilation C = compileOrDie(
+      "fun loop (i, n, acc) = if i = n then acc else loop (i + 1, n, acc + i)",
+      FabiusOptions::plain());
+  Machine M(C.Unit);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    VmStats Before = M.stats();
+    benchmark::DoNotOptimize(M.callInt("loop", {0, 100000, 0}));
+    Instrs += (M.stats() - Before).Executed;
+  }
+  State.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmDispatch);
+
+void BM_CompilePipelinePlain(benchmark::State &State) {
+  for (auto _ : State) {
+    Compilation C = compileOrDie(MatmulSrc, FabiusOptions::plain());
+    benchmark::DoNotOptimize(C.Unit.Code.data());
+  }
+}
+BENCHMARK(BM_CompilePipelinePlain);
+
+void BM_CompilePipelineDeferred(benchmark::State &State) {
+  FabiusOptions Opts;
+  Opts.Backend = deferredOptionsFor(MatmulSrc);
+  for (auto _ : State) {
+    Compilation C = compileOrDie(MatmulSrc, Opts);
+    benchmark::DoNotOptimize(C.Unit.Code.data());
+  }
+}
+BENCHMARK(BM_CompilePipelineDeferred);
+
+void BM_SpecializeDotprod(benchmark::State &State) {
+  FabiusOptions Opts;
+  Opts.Backend = deferredOptionsFor(MatmulSrc);
+  Compilation C = compileOrDie(MatmulSrc, Opts);
+  auto M = std::make_unique<Machine>(C.Unit);
+  Rng R(1);
+  std::vector<int32_t> Row(64);
+  for (auto &V : Row)
+    V = static_cast<int32_t>(R.below(1000));
+  uint64_t Specs = 0;
+  for (auto _ : State) {
+    // Fresh vector per iteration: a new early key, so a new specialization.
+    uint32_t V = M->heap().vector(Row);
+    benchmark::DoNotOptimize(M->specialize("dotloop", {V, 0, 64}));
+    if (++Specs > 1800) { // stay below the memo capacity
+      State.PauseTiming();
+      M = std::make_unique<Machine>(C.Unit);
+      Specs = 0;
+      State.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_SpecializeDotprod);
+
+} // namespace
+
+BENCHMARK_MAIN();

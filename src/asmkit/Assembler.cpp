@@ -1,0 +1,184 @@
+//===- Assembler.cpp - One-pass FAB-32 assembler --------------------------===//
+
+#include "asmkit/Assembler.h"
+
+#include <cassert>
+
+using namespace fab;
+
+Assembler::Assembler(uint32_t BaseAddr) : Base(BaseAddr) {
+  assert((BaseAddr & 3) == 0 && "code base must be word aligned");
+}
+
+Label Assembler::newLabel() {
+  Label L;
+  L.Id = static_cast<uint32_t>(LabelAddrs.size());
+  LabelAddrs.push_back(-1);
+  return L;
+}
+
+Label Assembler::here() {
+  Label L = newLabel();
+  bind(L);
+  return L;
+}
+
+void Assembler::bind(Label L) {
+  assert(L.isValid() && L.Id < LabelAddrs.size() && "invalid label");
+  assert(LabelAddrs[L.Id] == -1 && "label bound twice");
+  LabelAddrs[L.Id] = currentAddr();
+}
+
+uint32_t Assembler::addrOf(Label L) const {
+  assert(L.isValid() && L.Id < LabelAddrs.size() && "invalid label");
+  assert(LabelAddrs[L.Id] != -1 && "label not bound");
+  return static_cast<uint32_t>(LabelAddrs[L.Id]);
+}
+
+void Assembler::addiu(Reg Rt, Reg Rs, int32_t Imm) {
+  assert(fitsImm16(Imm) && "addiu immediate out of range; use li");
+  word(encodeI(Opcode::Addiu, Rt, Rs, Imm));
+}
+
+void Assembler::slti(Reg Rt, Reg Rs, int32_t Imm) {
+  assert(fitsImm16(Imm) && "slti immediate out of range");
+  word(encodeI(Opcode::Slti, Rt, Rs, Imm));
+}
+
+void Assembler::sltiu(Reg Rt, Reg Rs, int32_t Imm) {
+  assert(fitsImm16(Imm) && "sltiu immediate out of range");
+  word(encodeI(Opcode::Sltiu, Rt, Rs, Imm));
+}
+
+void Assembler::andi(Reg Rt, Reg Rs, uint32_t Imm) {
+  assert(fitsUImm16(Imm) && "andi immediate out of range");
+  word(encodeI(Opcode::Andi, Rt, Rs, static_cast<int32_t>(Imm)));
+}
+
+void Assembler::ori(Reg Rt, Reg Rs, uint32_t Imm) {
+  assert(fitsUImm16(Imm) && "ori immediate out of range");
+  word(encodeI(Opcode::Ori, Rt, Rs, static_cast<int32_t>(Imm)));
+}
+
+void Assembler::xori(Reg Rt, Reg Rs, uint32_t Imm) {
+  assert(fitsUImm16(Imm) && "xori immediate out of range");
+  word(encodeI(Opcode::Xori, Rt, Rs, static_cast<int32_t>(Imm)));
+}
+
+void Assembler::lui(Reg Rt, uint32_t Imm) {
+  assert(fitsUImm16(Imm) && "lui immediate out of range");
+  word(encodeI(Opcode::Lui, Rt, Zero, static_cast<int32_t>(Imm)));
+}
+
+void Assembler::lw(Reg Rt, int32_t Off, Reg Rs) {
+  assert(fitsImm16(Off) && "lw offset out of range");
+  word(encodeI(Opcode::Lw, Rt, Rs, Off));
+}
+
+void Assembler::sw(Reg Rt, int32_t Off, Reg Rs) {
+  assert(fitsImm16(Off) && "sw offset out of range");
+  word(encodeI(Opcode::Sw, Rt, Rs, Off));
+}
+
+void Assembler::beq(Reg Rs, Reg Rt, Label L) {
+  Fixups.push_back(
+      {FixKind::Branch16, static_cast<uint32_t>(Words.size()), L.Id});
+  word(encodeI(Opcode::Beq, Rt, Rs, 0));
+}
+
+void Assembler::bne(Reg Rs, Reg Rt, Label L) {
+  Fixups.push_back(
+      {FixKind::Branch16, static_cast<uint32_t>(Words.size()), L.Id});
+  word(encodeI(Opcode::Bne, Rt, Rs, 0));
+}
+
+void Assembler::j(Label L) {
+  Fixups.push_back(
+      {FixKind::Jump26, static_cast<uint32_t>(Words.size()), L.Id});
+  word(encodeJ(Opcode::J, 0));
+}
+
+void Assembler::jal(Label L) {
+  Fixups.push_back(
+      {FixKind::Jump26, static_cast<uint32_t>(Words.size()), L.Id});
+  word(encodeJ(Opcode::Jal, 0));
+}
+
+void Assembler::li(Reg Rd, int32_t Value) {
+  if (fitsImm16(Value)) {
+    addiu(Rd, Zero, Value);
+    return;
+  }
+  uint32_t U = static_cast<uint32_t>(Value);
+  if ((U & 0xFFFF0000u) == 0) {
+    ori(Rd, Zero, U);
+    return;
+  }
+  lui(Rd, U >> 16);
+  if (U & 0xFFFF)
+    ori(Rd, Rd, U & 0xFFFF);
+}
+
+void Assembler::la(Reg Rd, Label L) {
+  Fixups.push_back({FixKind::Hi16, static_cast<uint32_t>(Words.size()), L.Id});
+  lui(Rd, 0);
+  Fixups.push_back({FixKind::Lo16, static_cast<uint32_t>(Words.size()), L.Id});
+  ori(Rd, Rd, 0);
+}
+
+void Assembler::blt(Reg Rs, Reg Rt, Label L) {
+  slt(At, Rs, Rt);
+  bne(At, Zero, L);
+}
+
+void Assembler::bge(Reg Rs, Reg Rt, Label L) {
+  slt(At, Rs, Rt);
+  beq(At, Zero, L);
+}
+
+void Assembler::bltu(Reg Rs, Reg Rt, Label L) {
+  sltu(At, Rs, Rt);
+  bne(At, Zero, L);
+}
+
+void Assembler::bgeu(Reg Rs, Reg Rt, Label L) {
+  sltu(At, Rs, Rt);
+  beq(At, Zero, L);
+}
+
+void Assembler::alignTo(uint32_t Bytes) {
+  assert(Bytes && (Bytes & (Bytes - 1)) == 0 && "alignment must be power of 2");
+  while (currentAddr() & (Bytes - 1))
+    nop();
+}
+
+void Assembler::finalize() {
+  assert(!Finalized && "finalize called twice");
+  Finalized = true;
+  for (const Fixup &F : Fixups) {
+    assert(LabelAddrs[F.LabelId] != -1 && "unbound label at finalize");
+    uint32_t Target = static_cast<uint32_t>(LabelAddrs[F.LabelId]);
+    uint32_t InstAddr = Base + F.WordIndex * 4;
+    uint32_t &W = Words[F.WordIndex];
+    switch (F.Kind) {
+    case FixKind::Branch16: {
+      int32_t Delta =
+          (static_cast<int32_t>(Target) - static_cast<int32_t>(InstAddr + 4)) >>
+          2;
+      assert(fitsImm16(Delta) && "branch out of range");
+      W = (W & 0xFFFF0000u) | (static_cast<uint32_t>(Delta) & 0xFFFF);
+      break;
+    }
+    case FixKind::Jump26:
+      assert(Target < (1u << 28) && "jump target out of segment");
+      W = (W & 0xFC000000u) | (Target >> 2);
+      break;
+    case FixKind::Hi16:
+      W = (W & 0xFFFF0000u) | (Target >> 16);
+      break;
+    case FixKind::Lo16:
+      W = (W & 0xFFFF0000u) | (Target & 0xFFFF);
+      break;
+    }
+  }
+}

@@ -1,0 +1,179 @@
+//===- Assembler.h - One-pass FAB-32 assembler ------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A programmatic assembler for FAB-32 with labels, forward-reference
+/// fixups, and the usual pseudo-instructions (li, la, move, blt, ...).
+/// It is used by the FABIUS backend to produce static code (including the
+/// generating extensions) and by the hand-written baseline routines that
+/// stand in for the paper's gcc -O2 C programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_ASMKIT_ASSEMBLER_H
+#define FAB_ASMKIT_ASSEMBLER_H
+
+#include "isa/Isa.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fab {
+
+/// An opaque label handle issued by Assembler::newLabel().
+struct Label {
+  uint32_t Id = ~0u;
+  bool isValid() const { return Id != ~0u; }
+};
+
+/// One-pass assembler emitting into a contiguous word buffer based at a
+/// fixed address. Forward references are recorded as fixups and patched by
+/// finalize().
+class Assembler {
+public:
+  explicit Assembler(uint32_t BaseAddr);
+
+  uint32_t baseAddr() const { return Base; }
+  uint32_t currentAddr() const {
+    return Base + static_cast<uint32_t>(Words.size()) * 4;
+  }
+  size_t sizeWords() const { return Words.size(); }
+
+  // -- Labels ---------------------------------------------------------------
+
+  Label newLabel();
+  /// Creates a label already bound to the current address.
+  Label here();
+  void bind(Label L);
+  /// Address of a bound label. Asserts if unbound before finalize().
+  uint32_t addrOf(Label L) const;
+
+  // -- R-type ---------------------------------------------------------------
+
+  void addu(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::Addu, Rd, Rs, Rt)); }
+  void subu(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::Subu, Rd, Rs, Rt)); }
+  void and_(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::And, Rd, Rs, Rt)); }
+  void or_(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::Or, Rd, Rs, Rt)); }
+  void xor_(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::Xor, Rd, Rs, Rt)); }
+  void nor(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::Nor, Rd, Rs, Rt)); }
+  void slt(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::Slt, Rd, Rs, Rt)); }
+  void sltu(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::Sltu, Rd, Rs, Rt)); }
+  void mul(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::Mul, Rd, Rs, Rt)); }
+  void divq(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::Divq, Rd, Rs, Rt)); }
+  void rem(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::Rem, Rd, Rs, Rt)); }
+  void sll(Reg Rd, Reg Rt, unsigned Shamt) {
+    word(encodeR(Funct::Sll, Rd, Zero, Rt, Shamt));
+  }
+  void srl(Reg Rd, Reg Rt, unsigned Shamt) {
+    word(encodeR(Funct::Srl, Rd, Zero, Rt, Shamt));
+  }
+  void sra(Reg Rd, Reg Rt, unsigned Shamt) {
+    word(encodeR(Funct::Sra, Rd, Zero, Rt, Shamt));
+  }
+  void sllv(Reg Rd, Reg Rt, Reg Rs) { word(encodeR(Funct::Sllv, Rd, Rs, Rt)); }
+  void srlv(Reg Rd, Reg Rt, Reg Rs) { word(encodeR(Funct::Srlv, Rd, Rs, Rt)); }
+  void srav(Reg Rd, Reg Rt, Reg Rs) { word(encodeR(Funct::Srav, Rd, Rs, Rt)); }
+  void jr(Reg Rs) { word(encodeR(Funct::Jr, Zero, Rs, Zero)); }
+  void jalr(Reg Rs, Reg Rd = Ra) { word(encodeR(Funct::Jalr, Rd, Rs, Zero)); }
+
+  void fadd(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::FAdd, Rd, Rs, Rt)); }
+  void fsub(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::FSub, Rd, Rs, Rt)); }
+  void fmul(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::FMul, Rd, Rs, Rt)); }
+  void fdiv(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::FDiv, Rd, Rs, Rt)); }
+  void flt(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::FLt, Rd, Rs, Rt)); }
+  void fle(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::FLe, Rd, Rs, Rt)); }
+  void feq(Reg Rd, Reg Rs, Reg Rt) { word(encodeR(Funct::FEq, Rd, Rs, Rt)); }
+  void cvtsw(Reg Rd, Reg Rs) { word(encodeR(Funct::CvtSW, Rd, Rs, Zero)); }
+  void cvtws(Reg Rd, Reg Rs) { word(encodeR(Funct::CvtWS, Rd, Rs, Zero)); }
+
+  // -- I-type ---------------------------------------------------------------
+
+  void addiu(Reg Rt, Reg Rs, int32_t Imm);
+  void slti(Reg Rt, Reg Rs, int32_t Imm);
+  void sltiu(Reg Rt, Reg Rs, int32_t Imm);
+  void andi(Reg Rt, Reg Rs, uint32_t Imm);
+  void ori(Reg Rt, Reg Rs, uint32_t Imm);
+  void xori(Reg Rt, Reg Rs, uint32_t Imm);
+  void lui(Reg Rt, uint32_t Imm);
+  void lw(Reg Rt, int32_t Off, Reg Rs);
+  void sw(Reg Rt, int32_t Off, Reg Rs);
+
+  // -- Control flow ---------------------------------------------------------
+
+  void beq(Reg Rs, Reg Rt, Label L);
+  void bne(Reg Rs, Reg Rt, Label L);
+  void j(Label L);
+  void jal(Label L);
+  void jAbs(uint32_t Addr) { word(encodeJ(Opcode::J, Addr)); }
+  void jalAbs(uint32_t Addr) { word(encodeJ(Opcode::Jal, Addr)); }
+
+  // -- Ext ------------------------------------------------------------------
+
+  void halt() { word(encodeExt(ExtFn::Halt)); }
+  void flush(Reg AddrReg, Reg LenReg) {
+    word(encodeExt(ExtFn::Flush, AddrReg, LenReg));
+  }
+  void putint(Reg Rs) { word(encodeExt(ExtFn::PutInt, Rs)); }
+  void putch(Reg Rs) { word(encodeExt(ExtFn::PutCh, Rs)); }
+  void trap(TrapCode Code) {
+    word(encodeExt(ExtFn::Trap, Zero, Zero, static_cast<unsigned>(Code)));
+  }
+
+  // -- Pseudo-instructions --------------------------------------------------
+
+  /// Loads a 32-bit constant (1 or 2 instructions).
+  void li(Reg Rd, int32_t Value);
+  /// Loads the (possibly forward) address of a label; always 2 instructions
+  /// (lui+ori) so the fixup size is fixed.
+  void la(Reg Rd, Label L);
+  void move(Reg Rd, Reg Rs) { or_(Rd, Rs, Zero); }
+  void nop() { word(0); }
+  /// not(Rd) = bitwise complement.
+  void not_(Reg Rd, Reg Rs) { nor(Rd, Rs, Zero); }
+  /// Branch pseudos expanding to slt/sltu + beq/bne via $at.
+  void blt(Reg Rs, Reg Rt, Label L);
+  void bge(Reg Rs, Reg Rt, Label L);
+  void bgt(Reg Rs, Reg Rt, Label L) { blt(Rt, Rs, L); }
+  void ble(Reg Rs, Reg Rt, Label L) { bge(Rt, Rs, L); }
+  void bltu(Reg Rs, Reg Rt, Label L);
+  void bgeu(Reg Rs, Reg Rt, Label L);
+  void beqz(Reg Rs, Label L) { beq(Rs, Zero, L); }
+  void bnez(Reg Rs, Label L) { bne(Rs, Zero, L); }
+
+  /// Pads with nops until the current address is a multiple of \p Bytes.
+  void alignTo(uint32_t Bytes);
+
+  /// Emits a raw data word (constants pools, tables).
+  void data(uint32_t Value) { word(Value); }
+
+  // -- Finalization ---------------------------------------------------------
+
+  /// Patches all fixups. Asserts that every referenced label is bound and
+  /// every branch is in range. May be called once.
+  void finalize();
+  const std::vector<uint32_t> &code() const { return Words; }
+
+private:
+  enum class FixKind { Branch16, Jump26, Hi16, Lo16 };
+  struct Fixup {
+    FixKind Kind;
+    uint32_t WordIndex;
+    uint32_t LabelId;
+  };
+
+  void word(uint32_t W) { Words.push_back(W); }
+
+  uint32_t Base;
+  std::vector<uint32_t> Words;
+  std::vector<int64_t> LabelAddrs; ///< -1 while unbound
+  std::vector<Fixup> Fixups;
+  bool Finalized = false;
+};
+
+} // namespace fab
+
+#endif // FAB_ASMKIT_ASSEMBLER_H

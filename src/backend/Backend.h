@@ -1,0 +1,130 @@
+//===- Backend.h - FABIUS code generation -----------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a typed, staging-annotated ML program to FAB-32 code in one of
+/// two modes:
+///
+/// * **Plain** — ordinary compilation. Curried parameter groups are
+///   concatenated, every function becomes one FAB-32 routine. This is the
+///   paper's "without RTCG" configuration.
+///
+/// * **Deferred** — the paper's contribution. Each staged function `f`
+///   becomes:
+///     - `f$gen`, a *generating extension*: a memoized run-time code
+///       generator that takes the early arguments, executes the early
+///       computations, and emits FAB-32 encodings for the late
+///       computations directly into the dynamic code segment (no run-time
+///       intermediate representation of any kind);
+///     - `f`, a wrapper taking all arguments that calls `f$gen` and then
+///       the returned specialized code (the paper's "two calls").
+///   Unstaged functions compile exactly as in Plain mode.
+///
+/// Generator mechanics reproduced from the paper: one-pass emission with
+/// backpatched holes for late conditionals; run-time instruction selection
+/// (16-bit immediate vs. register forms); memoization keyed on pointer/word
+/// equality of early arguments with in-progress entries supporting cyclic
+/// specialization; run-time inlining of self tail calls (contiguous loop
+/// unrolling); I-cache line alignment of each specialization and a flush
+/// before the generator returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_BACKEND_BACKEND_H
+#define FAB_BACKEND_BACKEND_H
+
+#include "ml/Ast.h"
+#include "runtime/Layout.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fab {
+
+/// Compilation mode: see file comment.
+enum class CompileMode { Plain, Deferred };
+
+/// Backend options. The booleans are the design choices evaluated by the
+/// ablation benchmarks; defaults reproduce the paper's system.
+struct BackendOptions {
+  CompileMode Mode = CompileMode::Deferred;
+
+  /// Staged functions whose *self tail calls* go through the memo table
+  /// (emitting a jump to the memoized specialization) instead of being
+  /// unrolled inline by the generator. Needed when the early arguments
+  /// cycle (e.g. a regular-expression matcher over a cyclic NFA); the
+  /// paper controls this with a heuristic and programmer hints.
+  std::set<std::string> MemoizedSelfCalls;
+
+  /// Run-time instruction selection (paper section 3.3): pick short
+  /// immediate forms when early values fit 16 bits. Off = always use the
+  /// general 2-instruction form.
+  bool RuntimeInstructionSelection = true;
+
+  /// Run-time strength reduction (paper section 3.3): for the pattern
+  /// `late + early * late` the generator tests the early factor at
+  /// specialization time and, when it is zero, emits a single move
+  /// instead of the subscript/multiply/add — "eliminating the
+  /// multiplication, addition, and subscripting of v2 whenever
+  /// (v1 sub i) is zero". Works for int and real accumulations.
+  bool RuntimeStrengthReduction = true;
+
+  /// Memoize specializations (paper section 3.5). Off = every generator
+  /// call regenerates code (ablation only; cyclic programs will diverge).
+  bool Memoization = true;
+
+  /// Coalesce code-pointer increments over straight-line emission runs
+  /// (paper section 3.2 footnote). Off = one addiu per emitted word.
+  bool CoalesceCpUpdates = true;
+
+  /// Align each specialization to an I-cache line (paper section 3.4).
+  bool AlignSpecializations = true;
+
+  /// Thread jumps-to-jumps when patching emitted tail jumps: if the jump
+  /// target's first instruction is itself a `j`, patch through to its
+  /// destination. The paper notes its one-pass generator "has failed to
+  /// eliminate two jumps whose targets are jumps" (section 4.2); this
+  /// extension removes them at a few generator instructions per patch.
+  /// Off by default for fidelity to the paper.
+  bool ThreadJumps = false;
+
+  /// I-cache line size used for alignment; must match the VM's model.
+  uint32_t IcacheLineBytes = 16;
+};
+
+/// Result of compiling a program: a static code image plus the symbol and
+/// memo-table maps needed to run and instrument it.
+struct CompiledUnit {
+  std::vector<uint32_t> Code;
+  uint32_t CodeBase = layout::StaticCodeBase;
+
+  /// Entry point per function. In Deferred mode a staged function's entry
+  /// is its wrapper (all arguments, two-call sequence).
+  std::map<std::string, uint32_t> FnAddr;
+  /// Deferred mode: generator entry per staged function (early args only;
+  /// returns the specialized code address).
+  std::map<std::string, uint32_t> GenAddr;
+  /// Deferred mode: memo table address per staged function.
+  std::map<std::string, uint32_t> MemoAddr;
+  /// Number of early keys per staged function's memo entries.
+  std::map<std::string, uint32_t> MemoKeys;
+
+  uint32_t fnAddr(const std::string &Name) const;
+  uint32_t genAddr(const std::string &Name) const;
+};
+
+/// Compiles \p P (typecheck + staging must have succeeded). Backend limits
+/// (register pools, argument counts) are reported through \p Diags.
+/// \returns true on success and fills \p Out.
+bool compileProgram(const ml::Program &P, const BackendOptions &Opts,
+                    CompiledUnit &Out, DiagnosticEngine &Diags);
+
+} // namespace fab
+
+#endif // FAB_BACKEND_BACKEND_H

@@ -1,0 +1,263 @@
+//===- CodegenInternal.h - Backend internals --------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private interfaces shared by the plain and deferred code generators.
+/// Not installed; include only from backend .cpp files.
+///
+/// Register conventions:
+///
+/// *Generator (and all plain) code*: named locals live in frame slots;
+/// expression temporaries come from a LIFO pool {t0..t7, v1}; $at, $t8,
+/// $t9 are scratch for pseudo-instructions and instruction-encoding
+/// construction.
+///
+/// *Generated (dynamic) code*: late parameters arrive in $a0..$a3. In a
+/// leaf specialization they stay there and named late locals are assigned
+/// from the tail of the late temp pool. In a non-leaf specialization
+/// (one that performs emitted calls), parameters and named locals live in
+/// callee-saved $s0..$s7 (saved by an emitted prologue) and temporaries
+/// that are live across an emitted call are pushed around it. $at is the
+/// dedicated scratch register of emitted code (bounds checks, parallel
+/// moves, lazy-call targets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_BACKEND_CODEGENINTERNAL_H
+#define FAB_BACKEND_CODEGENINTERNAL_H
+
+#include "asmkit/Assembler.h"
+#include "backend/Backend.h"
+#include "ml/Ast.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace fab {
+namespace backend_detail {
+
+/// Module-wide compilation state shared by all function compilers.
+struct ModuleContext {
+  const ml::Program &Prog;
+  const BackendOptions &Opts;
+  DiagnosticEngine &Diags;
+  Assembler Asm{layout::StaticCodeBase};
+
+  std::map<const ml::FunDef *, Label> FnLabels;  ///< plain entry / wrapper
+  std::map<const ml::FunDef *, Label> GenLabels; ///< deferred: generator
+  std::map<const ml::FunDef *, uint32_t> MemoAddrs;
+  Label MkVecLabel;
+
+  uint32_t DataBump = layout::StaticDataBase;
+
+  ModuleContext(const ml::Program &P, const BackendOptions &O,
+                DiagnosticEngine &D)
+      : Prog(P), Opts(O), Diags(D) {}
+
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.error(Loc, std::move(Msg));
+  }
+
+  /// Allocates \p Words zero-initialized words in the static data region.
+  uint32_t allocData(uint32_t Words);
+};
+
+/// Emits the in-VM runtime routines (currently __mkvec) and records their
+/// labels in \p M.
+void emitRuntimeRoutines(ModuleContext &M);
+
+/// Pool of early/plain expression temporaries, in allocation order.
+inline constexpr Reg TempOrder[9] = {T0, T1, T2, T3, T4, T5, T6, T7, V1};
+/// Pool of late (generated-code) temporaries.
+inline constexpr uint8_t LatePool[11] = {T0, T1, T2, T3, T4,
+                                         T5, T6, T7, T8, T9, V1};
+/// Generator frame slots available for backpatch holes.
+inline constexpr unsigned MaxGenSlots = 48;
+
+/// A value in *generated* code: a register number fixed at compile time.
+struct LateReg {
+  uint8_t R = 0;
+  bool FromPool = false; ///< pool temporary (releasable) vs. named register
+};
+
+/// Compiles one function. Mode determines what is produced:
+///  * PlainFn: ordinary code (curried groups concatenated).
+///  * Wrapper: deferred-mode staged entry (calls generator, then code).
+///  * Generator: the generating extension for a staged function.
+class FnCompiler {
+public:
+  enum class Mode { PlainFn, Wrapper, Generator };
+
+  FnCompiler(ModuleContext &M, const ml::FunDef &F, Mode M_);
+
+  void compile();
+
+private:
+  using Expr = ml::Expr;
+  using FunDef = ml::FunDef;
+
+  // ====================== shared machinery ================================
+
+  /// Pre-pass: computes generator leafness, late local register
+  /// assignment, and whether inlined self tail calls occur under late
+  /// conditionals (which forces the recursive body-procedure strategy;
+  /// otherwise the generator loops, as in the paper, at no per-iteration
+  /// frame cost).
+  void scanBody(const Expr &E, bool IsTail, bool UnderLateCond);
+
+  void emitPrologue();
+  void emitEpilogue();
+  uint32_t slotOffset(uint32_t Slot) const;
+
+  // Early/plain temporaries (registers of the *running* function).
+  // Free-list allocation: any release order is fine.
+  Reg allocTemp(SourceLoc Loc);
+  void releaseTemp(Reg R);
+  void spillTempsForCall();
+  void reloadTempsAfterCall();
+
+  // Plain expression evaluation; result in a pool temp.
+  Reg evalPlain(const Expr &E);
+  /// Tail-position evaluation in plain code: direct self tail calls become
+  /// jumps (the paper's ML compiler performs tail-call optimization, and
+  /// the benchmark drivers rely on bounded stack usage).
+  void evalPlainTail(const Expr &E);
+  unsigned tempNeed(const Expr &E) const;
+  Reg evalPlainCall(const Expr &E);
+  void evalArgsToStage(const Expr &E, size_t First, size_t Count);
+  void loadStagedArgsIntoRegs(size_t Count, uint32_t StackBase);
+  Reg emitPlainVSub(const Expr &E);
+  Reg emitPlainBinary(const Expr &E);
+  void emitPlainCase(const Expr &E, Reg Result);
+
+  // ====================== deferred machinery ==============================
+
+  // Emission of generated-code words (runs inside the generator).
+  void emitWordConst(uint32_t Word);
+  /// Builds a word at generator run time: \p ConstPart OR'd with a field
+  /// computed from \p FieldReg via (value >> Shr) << Shl masked to
+  /// \p MaskBits bits. Used for immediates, jump targets.
+  void emitWordDynamic(uint32_t ConstPart, Reg FieldReg, unsigned MaskBits,
+                       unsigned Shr = 0);
+  void flushCp();
+
+  // Late value plumbing.
+  LateReg allocLate(SourceLoc Loc);
+  void releaseLate(LateReg R);
+  LateReg lateSlotReg(uint32_t Slot, SourceLoc Loc);
+  void bindLateSlot(uint32_t Slot, LateReg Value);
+
+  /// Emits code that loads the generator-time value in \p EarlyVal into
+  /// late register \p Target (run-time constant propagation with optional
+  /// run-time instruction selection).
+  void emitResidualize(uint8_t TargetReg, Reg EarlyVal);
+
+  /// Generator-side conditional on whether the value in \p Val fits a
+  /// 16-bit signed immediate: emits both emission paths and a run-time
+  /// branch selecting between them (run-time instruction selection). With
+  /// RTIS disabled only the general path is emitted.
+  void genIfFits16(Reg Val, const std::function<void()> &Small,
+                   const std::function<void()> &Big);
+
+  /// Late expression evaluation: emits generated code computing E, returns
+  /// the late register holding it.
+  LateReg evalLate(const Expr &E);
+  LateReg evalLateVSub(const Expr &E);
+  LateReg evalLateBinary(const Expr &E);
+  LateReg evalLateCase(const Expr &E);
+  LateReg evalLateCall(const Expr &E);
+  /// Shared emitted-call machinery. If \p StagedCallee is non-null the
+  /// call is the lazy two-step sequence (generator then code); otherwise
+  /// \p Target names ordinary static code.
+  LateReg emitLateCallCommon(const Expr &E, const FunDef *StagedCallee,
+                             Label Target, size_t FirstArg, size_t NumArgs);
+  LateReg lateUnopDest(LateReg R);
+  LateReg lateBinopDest(LateReg &L, LateReg &R);
+  void emitMoveLate(uint8_t Dst, uint8_t Src);
+
+  /// Tail-position generation: every path ends in emitted return or an
+  /// emitted/generator-level tail transfer.
+  void genTail(const Expr &E);
+  void emitLateReturn(LateReg Value);
+  void emitGeneratedPrologue();
+  void emitRestoreFrame();
+
+  /// One entry of an emitted parallel move into argument registers.
+  struct MoveItem {
+    uint8_t Dst;
+    bool IsEarly;
+    uint8_t SrcReg; ///< late source register (if !IsEarly)
+    Reg EarlyReg;   ///< generator register holding the early value
+  };
+  void emitParallelMove(std::vector<MoveItem> Moves);
+
+  // Generator-side hole management (one-pass backpatching).
+  uint32_t allocGenSlot();
+  void freeGenSlot(uint32_t Off);
+  /// Saves the current $cp into a generator frame slot and skips one word.
+  uint32_t reserveHole();
+  /// Patches a branch hole: ConstPart is the branch encoding with zero
+  /// offset; the offset to the current $cp is computed at run time.
+  void patchBranchHole(uint32_t HoleSlot, uint32_t ConstPart);
+  /// Patches a jump hole targeting the current $cp.
+  void patchJumpHoleToCp(uint32_t HoleSlot);
+  /// Patches a jump hole targeting the address in \p AddrReg.
+  void patchJumpHoleToReg(uint32_t HoleSlot, Reg AddrReg);
+
+  void emitMemoPrologue();
+  void emitGeneratorFinish();
+  void emitCodeSpaceGuard();
+
+  // ====================== wrappers / helpers ==============================
+
+  void compilePlainBody();
+  void compileWrapper();
+  void compileGenerator();
+
+  bool isStagedCallee(const Expr &E) const;
+  bool isInlinableSelfTail(const Expr &E, bool IsTail) const;
+
+  ModuleContext &M;
+  Assembler &A;
+  const ml::FunDef &F;
+  Mode FMode;
+
+  // Frame layout (byte offsets from $fp after prologue).
+  uint32_t SpillOff = 0;
+  uint32_t GenTmpOff = 0;
+  uint32_t NumGenSlots = 0;
+  uint32_t LocalOff = 0;
+  uint32_t RaOff = 0;
+  uint32_t FrameSize = 0;
+  uint32_t Cp0Slot = 0; ///< generator frame slot holding the spec start
+
+  // Early temp pool (free list).
+  static constexpr unsigned NumTemps = 9;
+  bool TempUsed[NumTemps] = {false};
+
+  // Generator state.
+  bool GenNonLeaf = false;
+  bool HasInlinedSelfTail = false;
+  bool NeedsBodyRecursion = false;
+  Label BodyStart;
+  std::map<uint32_t, uint8_t> LateSlotReg; ///< slot -> fixed late register
+  unsigned NumLateParams = 0;
+  unsigned NumLateSRegs = 0; ///< non-leaf: s-registers used (params+locals)
+  unsigned LateTempLimit = 0;
+  bool LateUsed[11] = {false};
+  uint32_t PendingCp = 0;
+  std::vector<bool> GenSlotUsed;
+  Label GenRetLabel;
+  Label PlainBodyStart;
+  Label PlainEpilogue;
+};
+
+} // namespace backend_detail
+} // namespace fab
+
+#endif // FAB_BACKEND_CODEGENINTERNAL_H

@@ -1,0 +1,396 @@
+//===- Baselines.cpp - Hand-written baseline routines ----------------------===//
+
+#include "baselines/Baselines.h"
+
+#include "runtime/Layout.h"
+
+#include <cassert>
+
+using namespace fab;
+using namespace fab::baselines;
+
+//===----------------------------------------------------------------------===//
+// Conventional dense multiply (gcc -O2 shape: pointer-walking inner loop)
+//===----------------------------------------------------------------------===//
+
+Label fab::baselines::emitConvMatmul(Assembler &A) {
+  Label Entry = A.here();
+  Label ILoop = A.newLabel(), IDone = A.newLabel();
+  Label JLoop = A.newLabel(), JDone = A.newLabel();
+  Label KLoop = A.newLabel(), KDone = A.newLabel();
+
+  // t7 = row stride in bytes; t0 = i; t3 = &A[i][0]; t6 = &C[i][j].
+  A.sll(T7, A3, 2);
+  A.move(T0, Zero);
+  A.move(T3, A0);
+  A.move(T6, A2);
+  A.bind(ILoop);
+  A.beq(T0, A3, IDone);
+  A.move(T1, Zero); // j
+  A.bind(JLoop);
+  A.beq(T1, A3, JDone);
+  A.move(T5, Zero); // sum
+  A.move(T8, T3);   // aPtr walks the row
+  A.sll(T9, T1, 2);
+  A.addu(T4, A1, T9); // bPtr = &B[0][j], strides by a full row
+  A.move(T2, Zero);   // k
+  A.bind(KLoop);
+  A.beq(T2, A3, KDone);
+  A.lw(T9, 0, T8);
+  A.lw(At, 0, T4);
+  A.mul(T9, T9, At);
+  A.addu(T5, T5, T9);
+  A.addiu(T8, T8, 4);
+  A.addu(T4, T4, T7);
+  A.addiu(T2, T2, 1);
+  A.j(KLoop);
+  A.bind(KDone);
+  A.sw(T5, 0, T6);
+  A.addiu(T6, T6, 4);
+  A.addiu(T1, T1, 1);
+  A.j(JLoop);
+  A.bind(JDone);
+  A.addu(T3, T3, T7);
+  A.addiu(T0, T0, 1);
+  A.j(ILoop);
+  A.bind(IDone);
+  A.jr(Ra);
+  return Entry;
+}
+
+//===----------------------------------------------------------------------===//
+// Special-purpose sparse multiply over indirection vectors
+//===----------------------------------------------------------------------===//
+
+Label fab::baselines::emitSparseMatmul(Assembler &A) {
+  Label Entry = A.here();
+  Label ILoop = A.newLabel(), IDone = A.newLabel();
+  Label KLoop = A.newLabel(), KDone = A.newLabel();
+  Label JLoop = A.newLabel(), JDone = A.newLabel();
+
+  A.sll(T7, A3, 2); // row stride bytes
+  A.move(T0, Zero); // i
+  A.move(T6, A2);   // &C[i][0]
+  A.bind(ILoop);
+  A.beq(T0, A3, IDone);
+  A.sll(T9, T0, 2);
+  A.addu(T9, A0, T9);
+  A.lw(T1, 0, T9); // row pointer
+  A.lw(T2, 0, T1); // nnz
+  A.addiu(T1, T1, 4);
+  A.bind(KLoop);
+  A.beqz(T2, KDone);
+  A.lw(T3, 0, T1); // col
+  A.lw(T4, 4, T1); // val
+  A.addiu(T1, T1, 8);
+  A.mul(T9, T3, T7);
+  A.addu(T9, A1, T9); // bPtr = &B[col][0]
+  A.move(T5, T6);     // cPtr
+  A.addu(T8, T9, T7); // bEnd
+  A.bind(JLoop);
+  A.beq(T9, T8, JDone);
+  A.lw(At, 0, T9);
+  A.mul(At, At, T4);
+  A.lw(V1, 0, T5);
+  A.addu(V1, V1, At);
+  A.sw(V1, 0, T5);
+  A.addiu(T9, T9, 4);
+  A.addiu(T5, T5, 4);
+  A.j(JLoop);
+  A.bind(JDone);
+  A.addiu(T2, T2, -1);
+  A.j(KLoop);
+  A.bind(KDone);
+  A.addu(T6, T6, T7);
+  A.addiu(T0, T0, 1);
+  A.j(ILoop);
+  A.bind(IDone);
+  A.jr(Ra);
+  return Entry;
+}
+
+//===----------------------------------------------------------------------===//
+// BPF interpreter with jump-table dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Jump tables of label addresses that must be filled into simulator
+/// memory after finalize() (the assembler has no data fixups). Reset by
+/// BaselineSuite before assembling.
+std::vector<std::pair<uint32_t, std::vector<fab::Label>>> PendingTables;
+} // namespace
+
+Label fab::baselines::emitBpfInterpreter(Assembler &A) {
+  // Register plan: t0 = filter length (words), t1 = filter base,
+  // t2 = packet length, t3 = packet base, t4 = A, t5 = X, t6 = pc,
+  // t7 = jump table base, t8 = instr word, t9 = k.
+  Label Entry = A.here();
+  Label Loop = A.newLabel(), Err = A.newLabel();
+  constexpr unsigned NumOps = 19;
+  Label Handlers[NumOps];
+  for (unsigned I = 0; I < NumOps; ++I)
+    Handlers[I] = A.newLabel();
+  Label Table = A.newLabel();
+
+  A.lw(T0, 0, A0);
+  A.addiu(T1, A0, 4);
+  A.lw(T2, 0, A1);
+  A.addiu(T3, A1, 4);
+  A.move(T4, Zero);
+  A.move(T5, Zero);
+  A.move(T6, Zero);
+  A.la(T7, Table);
+  // Scratch memory (16 words) on the stack, zeroed as the C interpreter
+  // would memset it.
+  A.addiu(Sp, Sp, -64);
+  {
+    Label ZLoop = A.newLabel(), ZDone = A.newLabel();
+    A.move(At, Sp);
+    A.addiu(V1, Sp, 64);
+    A.bind(ZLoop);
+    A.beq(At, V1, ZDone);
+    A.sw(Zero, 0, At);
+    A.addiu(At, At, 4);
+    A.j(ZLoop);
+    A.bind(ZDone);
+  }
+
+  A.bind(Loop);
+  A.sltu(At, T6, T0);
+  A.beqz(At, Err);
+  A.sll(At, T6, 2);
+  A.addu(At, T1, At);
+  A.lw(T8, 0, At);
+  A.lw(T9, 4, At);
+  A.addiu(T6, T6, 2);
+  A.srl(V1, T8, 16);
+  A.sltiu(At, V1, NumOps);
+  A.beqz(At, Err);
+  A.sll(V1, V1, 2);
+  A.addu(V1, T7, V1);
+  A.lw(V1, 0, V1);
+  A.jr(V1);
+
+  // LdK
+  A.bind(Handlers[0]);
+  A.move(T4, T9);
+  A.j(Loop);
+  // LdAbs
+  A.bind(Handlers[1]);
+  A.sltu(At, T9, T2);
+  A.beqz(At, Err);
+  A.sll(At, T9, 2);
+  A.addu(At, T3, At);
+  A.lw(T4, 0, At);
+  A.j(Loop);
+  // LdInd
+  A.bind(Handlers[2]);
+  A.addu(At, T5, T9);
+  A.sltu(V1, At, T2);
+  A.beqz(V1, Err);
+  A.sll(At, At, 2);
+  A.addu(At, T3, At);
+  A.lw(T4, 0, At);
+  A.j(Loop);
+  // LdxK
+  A.bind(Handlers[3]);
+  A.move(T5, T9);
+  A.j(Loop);
+  // Tax
+  A.bind(Handlers[4]);
+  A.move(T5, T4);
+  A.j(Loop);
+  // Txa
+  A.bind(Handlers[5]);
+  A.move(T4, T5);
+  A.j(Loop);
+  // AddK
+  A.bind(Handlers[6]);
+  A.addu(T4, T4, T9);
+  A.j(Loop);
+  // SubK
+  A.bind(Handlers[7]);
+  A.subu(T4, T4, T9);
+  A.j(Loop);
+  // AndK
+  A.bind(Handlers[8]);
+  A.and_(T4, T4, T9);
+  A.j(Loop);
+  // OrK
+  A.bind(Handlers[9]);
+  A.or_(T4, T4, T9);
+  A.j(Loop);
+  // LshK
+  A.bind(Handlers[10]);
+  A.sllv(T4, T4, T9);
+  A.j(Loop);
+  // RshK
+  A.bind(Handlers[11]);
+  A.srlv(T4, T4, T9);
+  A.j(Loop);
+
+  // Shared branch resolution: At = 1 means taken. pc += 2 * (jt or jf).
+  Label Branch = A.newLabel(), TakeJf = A.newLabel();
+  A.bind(Branch);
+  A.beqz(At, TakeJf);
+  A.srl(At, T8, 8);
+  A.andi(At, At, 255);
+  A.sll(At, At, 1);
+  A.addu(T6, T6, At);
+  A.j(Loop);
+  A.bind(TakeJf);
+  A.andi(At, T8, 255);
+  A.sll(At, At, 1);
+  A.addu(T6, T6, At);
+  A.j(Loop);
+
+  // JeqK
+  A.bind(Handlers[12]);
+  A.xor_(At, T4, T9);
+  A.sltiu(At, At, 1);
+  A.j(Branch);
+  // JgtK
+  A.bind(Handlers[13]);
+  A.slt(At, T9, T4);
+  A.j(Branch);
+  // JsetK
+  A.bind(Handlers[14]);
+  A.and_(At, T4, T9);
+  A.sltu(At, Zero, At);
+  A.j(Branch);
+  // RetK
+  A.bind(Handlers[15]);
+  A.move(V0, T9);
+  A.addiu(Sp, Sp, 64);
+  A.jr(Ra);
+  // RetA
+  A.bind(Handlers[16]);
+  A.move(V0, T4);
+  A.addiu(Sp, Sp, 64);
+  A.jr(Ra);
+  // StM
+  A.bind(Handlers[17]);
+  A.sll(At, T9, 2);
+  A.addu(At, Sp, At);
+  A.sw(T4, 0, At);
+  A.j(Loop);
+  // LdM
+  A.bind(Handlers[18]);
+  A.sll(At, T9, 2);
+  A.addu(At, Sp, At);
+  A.lw(T4, 0, At);
+  A.j(Loop);
+
+  A.bind(Err);
+  A.li(V0, -1);
+  A.addiu(Sp, Sp, 64);
+  A.jr(Ra);
+
+  // The dispatch table: placeholder data words, filled with the finalized
+  // handler addresses by BaselineSuite after assembly.
+  A.bind(Table);
+  for (unsigned I = 0; I < NumOps; ++I)
+    A.data(0);
+  PendingTables.push_back({A.addrOf(Table), {}});
+  for (unsigned I = 0; I < NumOps; ++I)
+    PendingTables.back().second.push_back(Handlers[I]);
+  return Entry;
+}
+
+//===----------------------------------------------------------------------===//
+// BaselineSuite
+//===----------------------------------------------------------------------===//
+
+BaselineSuite::BaselineSuite(VmOptions Opts)
+    : Sim(Opts), Cursor(layout::HeapBase) {
+  PendingTables.clear();
+  Assembler A(layout::StaticCodeBase);
+  ConvAddr = A.currentAddr();
+  emitConvMatmul(A);
+  SparseAddr = A.currentAddr();
+  emitSparseMatmul(A);
+  BpfAddr = A.currentAddr();
+  emitBpfInterpreter(A);
+  A.finalize();
+  Sim.writeBlock(A.baseAddr(), A.code().data(), A.code().size());
+  // Patch the jump tables with finalized handler addresses.
+  for (const auto &[TableAddr, Labels] : PendingTables)
+    for (size_t I = 0; I < Labels.size(); ++I)
+      Sim.store32(TableAddr + static_cast<uint32_t>(4 * I),
+                  A.addrOf(Labels[I]));
+  Sim.setCodeRegions(layout::StaticCodeBase, layout::StaticCodeEnd,
+                     layout::DynCodeBase, layout::DynCodeEnd);
+  Sim.setReg(Sp, layout::StackTop);
+}
+
+uint32_t BaselineSuite::array(const std::vector<int32_t> &Values) {
+  uint32_t Addr = Cursor;
+  for (size_t I = 0; I < Values.size(); ++I)
+    Sim.store32(Addr + static_cast<uint32_t>(4 * I),
+                static_cast<uint32_t>(Values[I]));
+  Cursor += static_cast<uint32_t>(4 * Values.size());
+  return Addr;
+}
+
+uint32_t BaselineSuite::zeros(uint32_t Words) {
+  uint32_t Addr = Cursor;
+  for (uint32_t I = 0; I < Words; ++I)
+    Sim.store32(Addr + 4 * I, 0);
+  Cursor += 4 * Words;
+  return Addr;
+}
+
+uint32_t BaselineSuite::sparseRows(const std::vector<int32_t> &A, uint32_t N) {
+  assert(A.size() == static_cast<size_t>(N) * N && "flat matrix size");
+  std::vector<int32_t> RowPtrs;
+  std::vector<uint32_t> RowAddrs;
+  for (uint32_t I = 0; I < N; ++I) {
+    std::vector<int32_t> Row;
+    Row.push_back(0);
+    int32_t Nnz = 0;
+    for (uint32_t J = 0; J < N; ++J) {
+      int32_t V = A[I * N + J];
+      if (V != 0) {
+        Row.push_back(static_cast<int32_t>(J));
+        Row.push_back(V);
+        ++Nnz;
+      }
+    }
+    Row[0] = Nnz;
+    RowAddrs.push_back(array(Row));
+  }
+  for (uint32_t Addr : RowAddrs)
+    RowPtrs.push_back(static_cast<int32_t>(Addr));
+  return array(RowPtrs);
+}
+
+uint32_t BaselineSuite::mlVector(const std::vector<int32_t> &Values) {
+  std::vector<int32_t> WithLen;
+  WithLen.push_back(static_cast<int32_t>(Values.size()));
+  WithLen.insert(WithLen.end(), Values.begin(), Values.end());
+  return array(WithLen);
+}
+
+ExecResult BaselineSuite::runConvMatmul(uint32_t A, uint32_t B, uint32_t C,
+                                        uint32_t N) {
+  return Sim.call(ConvAddr, {A, B, C, N});
+}
+
+ExecResult BaselineSuite::runSparseMatmul(uint32_t Rows, uint32_t B,
+                                          uint32_t C, uint32_t N) {
+  return Sim.call(SparseAddr, {Rows, B, C, N});
+}
+
+int32_t BaselineSuite::runBpf(uint32_t Filter, uint32_t Packet) {
+  ExecResult R = Sim.call(BpfAddr, {Filter, Packet});
+  assert(R.ok() && "baseline interpreter faulted");
+  return static_cast<int32_t>(R.V0);
+}
+
+std::vector<int32_t> BaselineSuite::readArray(uint32_t Addr,
+                                              uint32_t Count) const {
+  std::vector<int32_t> Out(Count);
+  for (uint32_t I = 0; I < Count; ++I)
+    Out[I] = static_cast<int32_t>(Sim.load32(Addr + 4 * I));
+  return Out;
+}

@@ -1,0 +1,89 @@
+//===- Baselines.h - Hand-written baseline routines -------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FAB-32 assembly standing in for the paper's C baselines compiled with
+/// gcc -O2 (see DESIGN.md substitutions):
+///
+///  * conventional dense matrix multiply — row-major triple loop over
+///    statically allocated flat arrays, no bounds checks (Figure 2's
+///    "Conventional C");
+///  * special-purpose sparse matrix multiply over indirection vectors:
+///    each row is [nnz, (col, val)...], the multiply streams B rows into C
+///    rows per nonzero (Figure 2's "Special-purpose C");
+///  * the BPF packet-filter interpreter with a jump-table dispatch
+///    (Figure 4's kernel interpreter, after bpf_filter()).
+///
+/// All three run on the same simulator as the FABIUS output so relative
+/// costs are directly comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_BASELINES_BASELINES_H
+#define FAB_BASELINES_BASELINES_H
+
+#include "asmkit/Assembler.h"
+#include "vm/Vm.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fab {
+namespace baselines {
+
+/// Emits the conventional dense multiply.
+/// Args: a0 = A (flat n*n ints), a1 = B, a2 = C, a3 = n. No result.
+Label emitConvMatmul(Assembler &A);
+
+/// Emits the indirection-vector sparse multiply.
+/// Args: a0 = row-pointer array (n words, each the address of a row
+/// [nnz, col0, val0, ...]), a1 = B (flat, dense), a2 = C (flat,
+/// zero-initialized), a3 = n.
+Label emitSparseMatmul(Assembler &A);
+
+/// Emits the BPF interpreter.
+/// Args: a0 = filter (ML int vector: [len, words...]),
+///       a1 = packet (ML int vector). Result: v0 (accept value or -1).
+Label emitBpfInterpreter(Assembler &A);
+
+/// A simulator preloaded with all baseline routines, plus host helpers
+/// for laying out matrices.
+class BaselineSuite {
+public:
+  explicit BaselineSuite(VmOptions Opts = VmOptions());
+
+  Vm &vm() { return Sim; }
+
+  /// Copies a flat array into simulator memory at the allocation cursor;
+  /// returns its address.
+  uint32_t array(const std::vector<int32_t> &Values);
+  /// Reserves zeroed words; returns the address.
+  uint32_t zeros(uint32_t Words);
+
+  /// Builds the indirection-vector representation of flat matrix \p A.
+  uint32_t sparseRows(const std::vector<int32_t> &A, uint32_t N);
+
+  /// Builds an ML-style vector ([len, words...]); for the interpreter.
+  uint32_t mlVector(const std::vector<int32_t> &Values);
+
+  ExecResult runConvMatmul(uint32_t A, uint32_t B, uint32_t C, uint32_t N);
+  ExecResult runSparseMatmul(uint32_t Rows, uint32_t B, uint32_t C,
+                             uint32_t N);
+  /// Returns the filter result for one packet.
+  int32_t runBpf(uint32_t Filter, uint32_t Packet);
+
+  std::vector<int32_t> readArray(uint32_t Addr, uint32_t Count) const;
+
+private:
+  Vm Sim;
+  uint32_t ConvAddr = 0, SparseAddr = 0, BpfAddr = 0;
+  uint32_t Cursor;
+};
+
+} // namespace baselines
+} // namespace fab
+
+#endif // FAB_BASELINES_BASELINES_H

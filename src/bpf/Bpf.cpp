@@ -1,0 +1,362 @@
+//===- Bpf.cpp - BSD packet filter substrate --------------------------------===//
+
+#include "bpf/Bpf.h"
+
+#include "support/StringUtil.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace fab;
+using namespace fab::bpf;
+
+//===----------------------------------------------------------------------===//
+// Builder / printer / validator
+//===----------------------------------------------------------------------===//
+
+Builder &Builder::insn(Op O, int32_t K, unsigned Jt, unsigned Jf) {
+  assert(Jt < 256 && Jf < 256 && "branch offsets are 8 bits");
+  P.Words.push_back(static_cast<int32_t>(
+      (static_cast<uint32_t>(O) << 16) | (Jt << 8) | Jf));
+  P.Words.push_back(K);
+  return *this;
+}
+
+static const char *opName(Op O) {
+  switch (O) {
+  case Op::LdK:
+    return "ld";
+  case Op::LdAbs:
+    return "ldabs";
+  case Op::LdInd:
+    return "ldind";
+  case Op::LdxK:
+    return "ldx";
+  case Op::Tax:
+    return "tax";
+  case Op::Txa:
+    return "txa";
+  case Op::AddK:
+    return "add";
+  case Op::SubK:
+    return "sub";
+  case Op::AndK:
+    return "and";
+  case Op::OrK:
+    return "or";
+  case Op::LshK:
+    return "lsh";
+  case Op::RshK:
+    return "rsh";
+  case Op::JeqK:
+    return "jeq";
+  case Op::JgtK:
+    return "jgt";
+  case Op::JsetK:
+    return "jset";
+  case Op::RetK:
+    return "ret";
+  case Op::RetA:
+    return "reta";
+  case Op::StM:
+    return "st";
+  case Op::LdM:
+    return "ldm";
+  }
+  return "?";
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I + 1 < Words.size(); I += 2) {
+    uint32_t W = static_cast<uint32_t>(Words[I]);
+    Op O = static_cast<Op>(W >> 16);
+    unsigned Jt = (W >> 8) & 0xFF, Jf = W & 0xFF;
+    OS << I / 2 << ": " << opName(O) << ' ' << Words[I + 1];
+    if (O == Op::JeqK || O == Op::JgtK || O == Op::JsetK)
+      OS << ", +" << Jt << ", +" << Jf;
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+std::string fab::bpf::validate(const Program &P) {
+  size_t N = P.numInsns();
+  if (P.Words.size() % 2 != 0)
+    return "program length is not a whole number of instructions";
+  if (N == 0)
+    return "empty program";
+  for (size_t I = 0; I < N; ++I) {
+    uint32_t W = static_cast<uint32_t>(P.Words[2 * I]);
+    uint32_t OpNum = W >> 16;
+    if (OpNum > static_cast<uint32_t>(Op::LdM))
+      return formatf("instruction %zu: unknown opcode %u", I, OpNum);
+    Op O = static_cast<Op>(OpNum);
+    if (O == Op::StM || O == Op::LdM) {
+      int32_t K = P.Words[2 * I + 1];
+      if (K < 0 || static_cast<uint32_t>(K) >= ScratchWords)
+        return formatf("instruction %zu: scratch index out of range", I);
+    }
+    if (O == Op::JeqK || O == Op::JgtK || O == Op::JsetK) {
+      unsigned Jt = (W >> 8) & 0xFF, Jf = W & 0xFF;
+      if (I + 1 + Jt >= N || I + 1 + Jf >= N)
+        return formatf("instruction %zu: branch target out of range", I);
+    } else if (O != Op::RetK && O != Op::RetA && I + 1 >= N) {
+      return formatf("instruction %zu: falls off the end", I);
+    }
+  }
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Reference interpreter
+//===----------------------------------------------------------------------===//
+
+int32_t fab::bpf::interpret(const Program &P,
+                            const std::vector<int32_t> &Packet) {
+  size_t N = P.numInsns();
+  uint32_t A = 0, X = 0;
+  uint32_t Mem[ScratchWords] = {0};
+  size_t Pc = 0;
+  while (true) {
+    if (Pc >= N)
+      return IndexError;
+    uint32_t W = static_cast<uint32_t>(P.Words[2 * Pc]);
+    int32_t K = P.Words[2 * Pc + 1];
+    Op O = static_cast<Op>(W >> 16);
+    unsigned Jt = (W >> 8) & 0xFF, Jf = W & 0xFF;
+    size_t Next = Pc + 1;
+    switch (O) {
+    case Op::LdK:
+      A = static_cast<uint32_t>(K);
+      break;
+    case Op::LdAbs:
+      if (K < 0 || static_cast<size_t>(K) >= Packet.size())
+        return IndexError;
+      A = static_cast<uint32_t>(Packet[static_cast<size_t>(K)]);
+      break;
+    case Op::LdInd: {
+      int64_t Idx = static_cast<int64_t>(X) + K;
+      if (Idx < 0 || static_cast<size_t>(Idx) >= Packet.size())
+        return IndexError;
+      A = static_cast<uint32_t>(Packet[static_cast<size_t>(Idx)]);
+      break;
+    }
+    case Op::LdxK:
+      X = static_cast<uint32_t>(K);
+      break;
+    case Op::Tax:
+      X = A;
+      break;
+    case Op::Txa:
+      A = X;
+      break;
+    case Op::AddK:
+      A += static_cast<uint32_t>(K);
+      break;
+    case Op::SubK:
+      A -= static_cast<uint32_t>(K);
+      break;
+    case Op::AndK:
+      A &= static_cast<uint32_t>(K);
+      break;
+    case Op::OrK:
+      A |= static_cast<uint32_t>(K);
+      break;
+    case Op::LshK:
+      A <<= (static_cast<uint32_t>(K) & 31);
+      break;
+    case Op::RshK:
+      A >>= (static_cast<uint32_t>(K) & 31);
+      break;
+    case Op::JeqK:
+      Next += (A == static_cast<uint32_t>(K)) ? Jt : Jf;
+      break;
+    case Op::JgtK:
+      Next += (static_cast<int32_t>(A) > K) ? Jt : Jf;
+      break;
+    case Op::JsetK:
+      Next += ((A & static_cast<uint32_t>(K)) != 0) ? Jt : Jf;
+      break;
+    case Op::RetK:
+      return K;
+    case Op::RetA:
+      return static_cast<int32_t>(A);
+    case Op::StM:
+      if (K < 0 || static_cast<uint32_t>(K) >= ScratchWords)
+        return IndexError;
+      Mem[K] = A;
+      break;
+    case Op::LdM:
+      if (K < 0 || static_cast<uint32_t>(K) >= ScratchWords)
+        return IndexError;
+      A = Mem[K];
+      break;
+    }
+    Pc = Next;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Synthetic traces
+//===----------------------------------------------------------------------===//
+
+std::vector<int32_t> fab::bpf::makePacket(Rng &R, const TraceOptions &Opts) {
+  std::vector<int32_t> P;
+  auto Rand31 = [&R] { return static_cast<int32_t>(R.next() & 0x7FFFFFFF); };
+  for (int I = 0; I < 4; ++I)
+    P.push_back(Rand31()); // MACs
+
+  bool IsIp = R.unitFloat() < Opts.IpFraction;
+  int32_t Etypes[] = {0x0806, 0x86DD, 0x8847}; // ARP, IPv6, MPLS
+  int32_t EType = IsIp ? pkt::EthIp
+                       : Etypes[R.below(3)];
+  P.push_back((EType << 16) | static_cast<int32_t>(R.below(0x10000)));
+
+  unsigned Payload =
+      Opts.MinPayloadWords +
+      static_cast<unsigned>(
+          R.below(Opts.MaxPayloadWords - Opts.MinPayloadWords + 1));
+
+  if (!IsIp) {
+    for (unsigned I = 0; I < Payload + 12; ++I)
+      P.push_back(Rand31());
+    return P;
+  }
+
+  bool IsTcp = R.unitFloat() < Opts.TcpFraction;
+  bool IsFrag = R.unitFloat() < Opts.FragmentFraction;
+  int32_t Ihl = 5 + static_cast<int32_t>(R.below(11)); // 5..15 words
+  int32_t Proto = IsTcp ? pkt::ProtoTcp : (R.chance(1, 2) ? 17 : 1);
+  int32_t FragOff = IsFrag ? static_cast<int32_t>(1 + R.below(0x1FFE)) : 0;
+
+  P.push_back((Ihl << 24) | static_cast<int32_t>(R.below(0x10000))); // w5
+  P.push_back((Proto << 16) | FragOff);                              // w6
+  for (int32_t I = 2; I < Ihl; ++I)
+    P.push_back(Rand31()); // rest of IP header
+
+  // Transport header at word 5 + ihl.
+  int32_t SrcPort = static_cast<int32_t>(1024 + R.below(60000));
+  bool IsTelnet = IsTcp && R.unitFloat() < Opts.TelnetFraction;
+  int32_t DstPort =
+      IsTelnet ? pkt::PortTelnet : static_cast<int32_t>(1024 + R.below(60000));
+  P.push_back((SrcPort << 16) | DstPort);
+  for (unsigned I = 0; I < Payload; ++I)
+    P.push_back(Rand31());
+  return P;
+}
+
+std::vector<std::vector<int32_t>>
+fab::bpf::makeTrace(size_t Count, uint64_t Seed, const TraceOptions &Opts) {
+  Rng R(Seed);
+  std::vector<std::vector<int32_t>> Trace;
+  Trace.reserve(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Trace.push_back(makePacket(R, Opts));
+  return Trace;
+}
+
+//===----------------------------------------------------------------------===//
+// Canned filters
+//===----------------------------------------------------------------------===//
+
+Program fab::bpf::ethIpFilter() {
+  // LD 4; RSH 16; JEQ 0x800, accept, reject (paper section 4.2).
+  return Builder()
+      .ldAbs(pkt::EtherTypeWord)
+      .rshK(16)
+      .jeqK(pkt::EthIp, 0, 1)
+      .retK(1)
+      .retK(0)
+      .build();
+}
+
+Program fab::bpf::telnetFilter() {
+  // Accept non-fragmentary TCP/IP packets whose TCP destination port is
+  // telnet (23). Must parse the variable-length IP header (ihl).
+  //
+  //  0: ldabs 4          ethertype word
+  //  1: rsh 16
+  //  2: jeq 0x800, +0, +8   -> reject unless IP
+  //  3: ldabs 6          proto | frag
+  //  4: jset 0x1FFF, +6, +0 -> reject fragments
+  //  5: rsh 16
+  //  6: and 0xFF
+  //  7: jeq 6, +0, +4       -> reject unless TCP
+  //  8: ldabs 5          ihl in the top byte
+  //  9: rsh 24
+  // 10: tax                X = ihl
+  // 11: ldind 5            A = pkt[X + 5] = TCP ports word
+  // 12: and 0xFFFF         dst port
+  // 13: jeq 23, +0, +1
+  // 14: ret 1
+  // 15: ret 0
+  return Builder()
+      .ldAbs(pkt::EtherTypeWord)
+      .rshK(16)
+      .jeqK(pkt::EthIp, 0, 8)
+      .ldAbs(6)
+      .jsetK(0x1FFF, 6, 0)
+      .rshK(16)
+      .andK(0xFF)
+      .jeqK(pkt::ProtoTcp, 0, 4)
+      .ldAbs(pkt::IpHeadWord)
+      .rshK(24)
+      .tax()
+      .ldInd(5)
+      .andK(0xFFFF)
+      .jeqK(pkt::PortTelnet, 0, 1)
+      .retK(1)
+      .retK(0)
+      .build();
+}
+
+Program fab::bpf::randomFilter(Rng &R, unsigned MaxInsns) {
+  // Straight-line arithmetic over packet words with random forward
+  // branches; the final two instructions return so every path terminates.
+  Builder B;
+  unsigned Body = 1 + static_cast<unsigned>(R.below(MaxInsns));
+  for (unsigned I = 0; I < Body; ++I) {
+    unsigned Remaining = Body - I; // instructions after this one + 2 rets
+    switch (R.below(9)) {
+    case 0:
+      B.ld(static_cast<int32_t>(R.below(1000)));
+      break;
+    case 1:
+      B.ldAbs(static_cast<int32_t>(R.below(8)));
+      break;
+    case 2:
+      B.addK(static_cast<int32_t>(R.below(100)));
+      break;
+    case 3:
+      B.andK(static_cast<int32_t>(R.below(0xFFFF)));
+      break;
+    case 4:
+      B.rshK(static_cast<int32_t>(R.below(16)));
+      break;
+    case 5:
+      B.lshK(static_cast<int32_t>(R.below(4)));
+      break;
+    case 6: {
+      unsigned Jt = static_cast<unsigned>(R.below(Remaining + 1));
+      unsigned Jf = static_cast<unsigned>(R.below(Remaining + 1));
+      B.jeqK(static_cast<int32_t>(R.below(256)), Jt, Jf);
+      break;
+    }
+    case 7:
+      if (R.chance(1, 2))
+        B.stM(static_cast<int32_t>(R.below(ScratchWords)));
+      else
+        B.ldM(static_cast<int32_t>(R.below(ScratchWords)));
+      break;
+    default: {
+      unsigned Jt = static_cast<unsigned>(R.below(Remaining + 1));
+      B.jgtK(static_cast<int32_t>(R.below(256)), Jt, 0);
+      break;
+    }
+    }
+  }
+  B.retA();
+  B.retK(0);
+  return B.build();
+}

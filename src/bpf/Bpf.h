@@ -1,0 +1,174 @@
+//===- Bpf.h - BSD packet filter substrate ----------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The BSD packet filter language of the paper's section 4.2 (after
+/// McCanne & Jacobson): a RISC-like accumulator machine with an
+/// accumulator A, an index register X, forward-only branches, and packet
+/// access confined to the packet data. Instructions are encoded as pairs
+/// of 32-bit words; the first holds a 16-bit opcode and two 8-bit branch
+/// offsets, the second an immediate.
+///
+/// This module provides the program representation and builder/validator,
+/// a host-side reference interpreter (the oracle for property tests),
+/// the canned filters from the paper (ETH_IP; non-fragment TCP to the
+/// telnet port), and a deterministic synthetic packet-trace generator
+/// substituting for the paper's CMU network traces (see DESIGN.md).
+///
+/// Packets are word-addressed here (an `int vector` on the ML side): the
+/// paper's "LD 4 ; Accum. gets 5th pkt word" loads word index 4. The
+/// scratch memory of full BPF is omitted (no benchmark filter uses it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_BPF_BPF_H
+#define FAB_BPF_BPF_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fab {
+namespace bpf {
+
+/// Opcodes (stored in the high 16 bits of the first instruction word).
+enum class Op : uint16_t {
+  LdK = 0,   ///< A = k
+  LdAbs = 1, ///< A = pkt[k]      (word index; out of range rejects)
+  LdInd = 2, ///< A = pkt[X + k]
+  LdxK = 3,  ///< X = k
+  Tax = 4,   ///< X = A
+  Txa = 5,   ///< A = X
+  AddK = 6,  ///< A += k
+  SubK = 7,  ///< A -= k
+  AndK = 8,  ///< A &= k
+  OrK = 9,   ///< A |= k
+  LshK = 10, ///< A <<= k
+  RshK = 11, ///< A >>= k (logical)
+  JeqK = 12, ///< if A == k skip jt insns else skip jf
+  JgtK = 13, ///< if A > k (unsigned-as-signed here: values are small)
+  JsetK = 14,///< if A & k
+  RetK = 15, ///< return k
+  RetA = 16, ///< return A
+  StM = 17,  ///< mem[k] = A   (scratch memory, k in [0, ScratchWords))
+  LdM = 18,  ///< A = mem[k]
+};
+
+/// Size of the scratch memory (full BPF has 16 cells).
+constexpr uint32_t ScratchWords = 16;
+
+/// Result of running a filter on a packet that indexes out of range.
+constexpr int32_t IndexError = -1;
+
+/// A BPF program: flat pairs of words, exactly as the ML interpreter and
+/// the baseline interpreter consume them.
+struct Program {
+  std::vector<int32_t> Words;
+
+  size_t numInsns() const { return Words.size() / 2; }
+  std::string disassemble() const;
+};
+
+/// Incremental program builder. Branch offsets count *instructions* from
+/// the next instruction, forward only (BPF's safety discipline).
+class Builder {
+public:
+  Builder &insn(Op O, int32_t K = 0, unsigned Jt = 0, unsigned Jf = 0);
+  Builder &ld(int32_t K) { return insn(Op::LdK, K); }
+  Builder &ldAbs(int32_t K) { return insn(Op::LdAbs, K); }
+  Builder &ldInd(int32_t K) { return insn(Op::LdInd, K); }
+  Builder &ldxK(int32_t K) { return insn(Op::LdxK, K); }
+  Builder &tax() { return insn(Op::Tax); }
+  Builder &txa() { return insn(Op::Txa); }
+  Builder &addK(int32_t K) { return insn(Op::AddK, K); }
+  Builder &andK(int32_t K) { return insn(Op::AndK, K); }
+  Builder &rshK(int32_t K) { return insn(Op::RshK, K); }
+  Builder &lshK(int32_t K) { return insn(Op::LshK, K); }
+  Builder &jeqK(int32_t K, unsigned Jt, unsigned Jf) {
+    return insn(Op::JeqK, K, Jt, Jf);
+  }
+  Builder &jgtK(int32_t K, unsigned Jt, unsigned Jf) {
+    return insn(Op::JgtK, K, Jt, Jf);
+  }
+  Builder &jsetK(int32_t K, unsigned Jt, unsigned Jf) {
+    return insn(Op::JsetK, K, Jt, Jf);
+  }
+  Builder &retK(int32_t K) { return insn(Op::RetK, K); }
+  Builder &retA() { return insn(Op::RetA); }
+  Builder &stM(int32_t K) { return insn(Op::StM, K); }
+  Builder &ldM(int32_t K) { return insn(Op::LdM, K); }
+
+  Program build() const { return P; }
+
+private:
+  Program P;
+};
+
+/// Checks the BPF safety rules: known opcodes, in-range forward branch
+/// targets, every path ends in RET. Returns a diagnostic or "" if valid.
+std::string validate(const Program &P);
+
+/// Reference interpreter (host-side oracle).
+int32_t interpret(const Program &P, const std::vector<int32_t> &Packet);
+
+//===----------------------------------------------------------------------===//
+// Synthetic packets
+//===----------------------------------------------------------------------===//
+
+/// Synthetic packet layout (word-addressed):
+///   w0..w3  : MAC addresses (random)
+///   w4      : ethertype << 16 | random                (0x0800 = IP)
+///   w5      : IP: ihl << 24 | total-length junk       (ihl in words, 5..15)
+///   w6      : IP: proto << 16 | fragment-offset(13b)  (6 = TCP)
+///   w5+ihl  : TCP: src port << 16 | dst port          (23 = telnet)
+/// followed by payload words.
+namespace pkt {
+constexpr int32_t EtherTypeWord = 4;
+constexpr int32_t EthIp = 0x0800;
+constexpr int32_t IpHeadWord = 5;
+constexpr int32_t ProtoTcp = 6;
+constexpr int32_t PortTelnet = 23;
+} // namespace pkt
+
+/// Knobs for the synthetic trace mix. Defaults approximate a busy campus
+/// network segment: mostly IP, mostly TCP, a few telnet flows.
+struct TraceOptions {
+  double IpFraction = 0.85;
+  double TcpFraction = 0.75;     ///< of IP packets
+  double TelnetFraction = 0.08;  ///< of TCP packets
+  double FragmentFraction = 0.04;///< of IP packets
+  unsigned MinPayloadWords = 4;
+  unsigned MaxPayloadWords = 64;
+};
+
+/// Generates one synthetic packet.
+std::vector<int32_t> makePacket(Rng &R, const TraceOptions &Opts);
+
+/// Generates a whole trace deterministically from \p Seed.
+std::vector<std::vector<int32_t>> makeTrace(size_t Count, uint64_t Seed,
+                                            const TraceOptions &Opts = {});
+
+//===----------------------------------------------------------------------===//
+// Canned filters (the paper's two examples)
+//===----------------------------------------------------------------------===//
+
+/// "Is this an IP packet?" — the paper's section 4.2 example.
+Program ethIpFilter();
+
+/// "Non-fragmentary TCP/IP packet destined for the telnet port" — the
+/// filter measured in Figure 4. Parses the variable-length IP header.
+Program telnetFilter();
+
+/// Random valid filter programs for property testing: straight-line loads
+/// and ALU ops with forward branches, always terminated by returns.
+Program randomFilter(Rng &R, unsigned MaxInsns);
+
+} // namespace bpf
+} // namespace fab
+
+#endif // FAB_BPF_BPF_H

@@ -1,0 +1,133 @@
+//===- Fabius.cpp - Public FABIUS API --------------------------------------===//
+
+#include "core/Fabius.h"
+
+#include "ml/Parser.h"
+#include "ml/TypeCheck.h"
+#include "staging/Staging.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace fab;
+
+std::optional<Compilation> fab::compile(const std::string &Source,
+                                        const FabiusOptions &Opts,
+                                        DiagnosticEngine &Diags) {
+  Compilation C;
+  C.Types = std::make_shared<ml::TypeContext>();
+  C.Ast = std::shared_ptr<ml::Program>(ml::parse(Source, Diags));
+  if (Diags.hasErrors())
+    return std::nullopt;
+  if (!ml::typecheck(*C.Ast, *C.Types, Diags))
+    return std::nullopt;
+  if (!analyzeStaging(*C.Ast, Diags))
+    return std::nullopt;
+  if (!compileProgram(*C.Ast, Opts.Backend, C.Unit, Diags))
+    return std::nullopt;
+  return C;
+}
+
+Compilation fab::compileOrDie(const std::string &Source,
+                              const FabiusOptions &Opts) {
+  DiagnosticEngine Diags;
+  auto C = compile(Source, Opts, Diags);
+  if (!C) {
+    std::fprintf(stderr, "FABIUS compilation failed:\n%s", Diags.str().c_str());
+    std::abort();
+  }
+  return std::move(*C);
+}
+
+Machine::Machine(const CompiledUnit &U, VmOptions VmOpts)
+    : Unit(U), Sim(VmOpts), Heap(Sim) {
+  Sim.writeBlock(U.CodeBase, U.Code.data(), U.Code.size());
+  Sim.setCodeRegions(layout::StaticCodeBase, layout::StaticCodeEnd,
+                     layout::DynCodeBase, layout::DynCodeEnd);
+  Sim.setReg(Sp, layout::StackTop);
+  Sim.setReg(Hp, layout::HeapBase);
+  Sim.setReg(Cp, layout::DynCodeBase);
+  Sim.setReg(Gp, layout::StaticDataBase);
+}
+
+void Machine::syncHeapPointer() {
+  if (Sim.reg(Hp) < Heap.heapTop())
+    Sim.setReg(Hp, Heap.heapTop());
+}
+
+void Machine::resetCodeSpace() {
+  // Clear the memo tables (count, last-hit pointer, and every slot's
+  // cached-address word so hashing sees empty slots again).
+  for (const auto &[Name, Addr] : Unit.MemoAddr) {
+    uint32_t Keys = Unit.MemoKeys.at(Name);
+    Sim.store32(Addr, 0);     // count
+    Sim.store32(Addr + 4, 0); // last-hit entry
+    uint32_t EntryWords = Keys + 1;
+    for (uint32_t I = 0; I < layout::MemoCapacity; ++I)
+      Sim.store32(Addr + 8 + (I * EntryWords + Keys) * 4, 0);
+  }
+  Sim.setReg(Cp, layout::DynCodeBase);
+}
+
+ExecResult Machine::call(const std::string &Name,
+                         const std::vector<uint32_t> &Args) {
+  syncHeapPointer();
+  uint32_t Entry = Unit.fnAddr(Name);
+  if (Args.size() <= 4)
+    return Sim.call(Entry, Args);
+  // Spill extra arguments to the stack per the calling convention.
+  uint32_t ExtraWords = static_cast<uint32_t>(Args.size()) - 4;
+  uint32_t Sp0 = Sim.reg(Sp);
+  uint32_t NewSp = Sp0 - 4 * ExtraWords;
+  for (uint32_t I = 0; I < ExtraWords; ++I)
+    Sim.store32(NewSp + 4 * I, Args[4 + I]);
+  Sim.setReg(Sp, NewSp);
+  std::vector<uint32_t> RegArgs(Args.begin(), Args.begin() + 4);
+  ExecResult R = Sim.call(Entry, RegArgs);
+  Sim.setReg(Sp, Sp0);
+  return R;
+}
+
+int32_t Machine::callInt(const std::string &Name,
+                         const std::vector<uint32_t> &Args) {
+  ExecResult R = call(Name, Args);
+  if (!R.ok()) {
+    std::fprintf(stderr, "FABIUS call to %s failed: %s\n", Name.c_str(),
+                 R.describe().c_str());
+    std::abort();
+  }
+  return static_cast<int32_t>(R.V0);
+}
+
+float Machine::callFloat(const std::string &Name,
+                         const std::vector<uint32_t> &Args) {
+  return std::bit_cast<float>(static_cast<uint32_t>(callInt(Name, Args)));
+}
+
+uint32_t Machine::specialize(const std::string &Name,
+                             const std::vector<uint32_t> &EarlyArgs) {
+  syncHeapPointer();
+  ExecResult R = Sim.call(Unit.genAddr(Name), EarlyArgs);
+  if (!R.ok()) {
+    std::fprintf(stderr, "FABIUS specialization of %s failed: %s\n",
+                 Name.c_str(), R.describe().c_str());
+    std::abort();
+  }
+  return R.V0;
+}
+
+ExecResult Machine::callAt(uint32_t Addr, const std::vector<uint32_t> &Args) {
+  syncHeapPointer();
+  return Sim.call(Addr, Args);
+}
+
+int32_t Machine::callAtInt(uint32_t Addr, const std::vector<uint32_t> &Args) {
+  ExecResult R = callAt(Addr, Args);
+  if (!R.ok()) {
+    std::fprintf(stderr, "FABIUS call at 0x%08x failed: %s\n", Addr,
+                 R.describe().c_str());
+    std::abort();
+  }
+  return static_cast<int32_t>(R.V0);
+}

@@ -1,0 +1,134 @@
+//===- Fabius.h - Public FABIUS API -----------------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public facade. Typical use:
+///
+/// \code
+///   fab::FabiusOptions Opts;                 // deferred compilation
+///   auto C = fab::compile(MlSource, Opts);   // parse/typecheck/stage/codegen
+///   fab::Machine M(C->Unit);
+///   uint32_t V = M.heap().vector({1, 2, 3});
+///   int32_t Dot = M.callInt("dotprod", {V, W});     // wrapper: gen + run
+///   uint32_t Spec = M.specialize("loop", {V, 0, 3}); // explicit staging
+///   int32_t R = M.callAtInt(Spec, {W, 0});
+/// \endcode
+///
+/// All code runs on the deterministic FAB-32 simulator; Machine exposes its
+/// statistics so benchmarks can report simulated cycles, instructions
+/// executed per instruction generated, break-even points, etc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_CORE_FABIUS_H
+#define FAB_CORE_FABIUS_H
+
+#include "backend/Backend.h"
+#include "ml/Ast.h"
+#include "runtime/HeapImage.h"
+#include "vm/Vm.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace fab {
+
+/// End-to-end compiler options.
+struct FabiusOptions {
+  BackendOptions Backend;
+  /// When false, currying is collapsed and the program compiles to
+  /// ordinary code (the paper's "without RTCG" configuration).
+  bool runtimeCodegen() const {
+    return Backend.Mode == CompileMode::Deferred;
+  }
+  static FabiusOptions plain() {
+    FabiusOptions O;
+    O.Backend.Mode = CompileMode::Plain;
+    return O;
+  }
+  static FabiusOptions deferred() {
+    FabiusOptions O;
+    O.Backend.Mode = CompileMode::Deferred;
+    return O;
+  }
+};
+
+/// A successfully compiled program. Owns the AST and types (the compiled
+/// unit does not reference them at run time, but diagnostics and tools do).
+struct Compilation {
+  std::shared_ptr<ml::TypeContext> Types;
+  std::shared_ptr<ml::Program> Ast;
+  CompiledUnit Unit;
+};
+
+/// Compiles ML source through the full pipeline. On failure returns
+/// std::nullopt and fills \p Diags.
+std::optional<Compilation> compile(const std::string &Source,
+                                   const FabiusOptions &Opts,
+                                   DiagnosticEngine &Diags);
+
+/// Convenience: compiles or aborts with the diagnostics printed (tests and
+/// benchmarks).
+Compilation compileOrDie(const std::string &Source,
+                         const FabiusOptions &Opts);
+
+/// A loaded program instance: simulator + heap + symbol table.
+class Machine {
+public:
+  explicit Machine(const CompiledUnit &Unit, VmOptions VmOpts = VmOptions());
+
+  Vm &vm() { return Sim; }
+  HeapImage &heap() { return Heap; }
+
+  /// Calls a function by name (in Deferred mode, a staged function's entry
+  /// is its wrapper).
+  ExecResult call(const std::string &Name, const std::vector<uint32_t> &Args);
+  int32_t callInt(const std::string &Name, const std::vector<uint32_t> &Args);
+  /// Calls a real-valued function; aborts on trap.
+  float callFloat(const std::string &Name, const std::vector<uint32_t> &Args);
+
+  /// Runs the generating extension of staged function \p Name on the early
+  /// arguments; returns the address of the specialized code. Aborts if the
+  /// generator traps.
+  uint32_t specialize(const std::string &Name,
+                      const std::vector<uint32_t> &EarlyArgs);
+
+  /// Calls previously specialized code.
+  ExecResult callAt(uint32_t Addr, const std::vector<uint32_t> &Args);
+  int32_t callAtInt(uint32_t Addr, const std::vector<uint32_t> &Args);
+
+  const VmStats &stats() const { return Sim.stats(); }
+
+  /// Dynamic-code words emitted so far (== instructions generated).
+  uint64_t instructionsGenerated() const {
+    return Sim.stats().DynWordsWritten;
+  }
+
+  /// Reclaims the dynamic code segment: resets the code pointer, clears
+  /// every memo table, and invalidates the freed I-cache range in one
+  /// operation (the paper's section 3.4 code-space reuse discipline:
+  /// "when code is garbage collected the freed space can be invalidated
+  /// in a single operation"). Previously returned specialization
+  /// addresses become invalid.
+  void resetCodeSpace();
+
+  /// Bytes of dynamic code currently in use.
+  uint32_t codeSpaceUsed() const {
+    return Sim.reg(Cp) - layout::DynCodeBase;
+  }
+
+private:
+  void syncHeapPointer();
+
+  const CompiledUnit &Unit;
+  Vm Sim;
+  HeapImage Heap;
+};
+
+} // namespace fab
+
+#endif // FAB_CORE_FABIUS_H

@@ -1,0 +1,239 @@
+//===- Isa.cpp - FAB-32 encode/decode/disassemble -------------------------===//
+
+#include "isa/Isa.h"
+
+#include "support/StringUtil.h"
+
+#include <cassert>
+
+using namespace fab;
+
+uint32_t fab::encodeR(Funct Fn, Reg Rd, Reg Rs, Reg Rt, unsigned Shamt) {
+  assert(Shamt < 32 && "shift amount out of range");
+  return (static_cast<uint32_t>(Opcode::Special) << enc::opShift) |
+         (static_cast<uint32_t>(Rs) << enc::rsShift) |
+         (static_cast<uint32_t>(Rt) << enc::rtShift) |
+         (static_cast<uint32_t>(Rd) << enc::rdShift) |
+         (Shamt << enc::shamtShift) | static_cast<uint32_t>(Fn);
+}
+
+uint32_t fab::encodeI(Opcode Op, Reg Rt, Reg Rs, int32_t Imm) {
+  assert(Op != Opcode::Special && Op != Opcode::Ext && Op != Opcode::J &&
+         Op != Opcode::Jal && "not an I-type opcode");
+  return (static_cast<uint32_t>(Op) << enc::opShift) |
+         (static_cast<uint32_t>(Rs) << enc::rsShift) |
+         (static_cast<uint32_t>(Rt) << enc::rtShift) |
+         (static_cast<uint32_t>(Imm) & 0xFFFF);
+}
+
+uint32_t fab::encodeJ(Opcode Op, uint32_t ByteAddr) {
+  assert((Op == Opcode::J || Op == Opcode::Jal) && "not a J-type opcode");
+  assert((ByteAddr & 3) == 0 && "jump target must be word aligned");
+  assert(ByteAddr < (1u << 28) && "jump target outside J-reachable segment");
+  return (static_cast<uint32_t>(Op) << enc::opShift) | (ByteAddr >> 2);
+}
+
+uint32_t fab::encodeExt(ExtFn Fn, Reg Rs, Reg Rt, unsigned Shamt) {
+  assert(Shamt < 32 && "shamt out of range");
+  return (static_cast<uint32_t>(Opcode::Ext) << enc::opShift) |
+         (static_cast<uint32_t>(Rs) << enc::rsShift) |
+         (static_cast<uint32_t>(Rt) << enc::rtShift) |
+         (Shamt << enc::shamtShift) | static_cast<uint32_t>(Fn);
+}
+
+static bool isValidFunct(uint32_t Fn) {
+  if (Fn <= static_cast<uint32_t>(Funct::Rem))
+    return true;
+  return Fn >= static_cast<uint32_t>(Funct::FAdd) &&
+         Fn <= static_cast<uint32_t>(Funct::CvtWS);
+}
+
+static bool isValidExt(uint32_t Fn) {
+  return Fn <= static_cast<uint32_t>(ExtFn::Trap);
+}
+
+bool fab::decode(uint32_t Word, Inst &Out) {
+  uint32_t Op = enc::opField(Word);
+  Out.Rs = static_cast<uint8_t>(enc::rsField(Word));
+  Out.Rt = static_cast<uint8_t>(enc::rtField(Word));
+  Out.Rd = static_cast<uint8_t>(enc::rdField(Word));
+  Out.Shamt = static_cast<uint8_t>(enc::shamtField(Word));
+  Out.Imm = static_cast<int16_t>(enc::immField(Word));
+  Out.Target = enc::targetField(Word);
+
+  switch (static_cast<Opcode>(Op)) {
+  case Opcode::Special:
+    if (!isValidFunct(enc::functField(Word)))
+      return false;
+    Out.Op = Opcode::Special;
+    Out.Fn = static_cast<Funct>(enc::functField(Word));
+    return true;
+  case Opcode::Ext:
+    if (!isValidExt(enc::functField(Word)))
+      return false;
+    Out.Op = Opcode::Ext;
+    Out.Ext = static_cast<ExtFn>(enc::functField(Word));
+    return true;
+  case Opcode::J:
+  case Opcode::Jal:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Addiu:
+  case Opcode::Slti:
+  case Opcode::Sltiu:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Lui:
+  case Opcode::Lw:
+  case Opcode::Sw:
+    Out.Op = static_cast<Opcode>(Op);
+    return true;
+  }
+  return false;
+}
+
+const char *fab::regName(unsigned RegNo) {
+  static const char *const Names[32] = {
+      "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+      "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+      "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+      "$t8",   "$t9", "$cp", "$hp", "$gp", "$sp", "$fp", "$ra"};
+  assert(RegNo < 32 && "register number out of range");
+  return Names[RegNo];
+}
+
+static const char *functName(Funct Fn) {
+  switch (Fn) {
+  case Funct::Sll:
+    return "sll";
+  case Funct::Srl:
+    return "srl";
+  case Funct::Sra:
+    return "sra";
+  case Funct::Sllv:
+    return "sllv";
+  case Funct::Srlv:
+    return "srlv";
+  case Funct::Srav:
+    return "srav";
+  case Funct::Jr:
+    return "jr";
+  case Funct::Jalr:
+    return "jalr";
+  case Funct::Addu:
+    return "addu";
+  case Funct::Subu:
+    return "subu";
+  case Funct::And:
+    return "and";
+  case Funct::Or:
+    return "or";
+  case Funct::Xor:
+    return "xor";
+  case Funct::Nor:
+    return "nor";
+  case Funct::Slt:
+    return "slt";
+  case Funct::Sltu:
+    return "sltu";
+  case Funct::Mul:
+    return "mul";
+  case Funct::Divq:
+    return "divq";
+  case Funct::Rem:
+    return "rem";
+  case Funct::FAdd:
+    return "fadd";
+  case Funct::FSub:
+    return "fsub";
+  case Funct::FMul:
+    return "fmul";
+  case Funct::FDiv:
+    return "fdiv";
+  case Funct::FLt:
+    return "flt";
+  case Funct::FLe:
+    return "fle";
+  case Funct::FEq:
+    return "feq";
+  case Funct::CvtSW:
+    return "cvt.s.w";
+  case Funct::CvtWS:
+    return "cvt.w.s";
+  }
+  return "?";
+}
+
+std::string fab::disassemble(uint32_t Word, uint32_t Pc) {
+  Inst I;
+  if (!decode(Word, I))
+    return formatf(".word %s", hex32(Word).c_str());
+
+  switch (I.Op) {
+  case Opcode::Special:
+    switch (I.Fn) {
+    case Funct::Sll:
+      if (Word == 0)
+        return "nop";
+      [[fallthrough]];
+    case Funct::Srl:
+    case Funct::Sra:
+      return formatf("%s %s, %s, %u", functName(I.Fn), regName(I.Rd),
+                     regName(I.Rt), I.Shamt);
+    case Funct::Jr:
+      return formatf("jr %s", regName(I.Rs));
+    case Funct::Jalr:
+      return formatf("jalr %s, %s", regName(I.Rd), regName(I.Rs));
+    default:
+      return formatf("%s %s, %s, %s", functName(I.Fn), regName(I.Rd),
+                     regName(I.Rs), regName(I.Rt));
+    }
+  case Opcode::Ext:
+    switch (I.Ext) {
+    case ExtFn::Halt:
+      return "halt";
+    case ExtFn::Flush:
+      return formatf("flush %s, %s", regName(I.Rs), regName(I.Rt));
+    case ExtFn::PutInt:
+      return formatf("putint %s", regName(I.Rs));
+    case ExtFn::PutCh:
+      return formatf("putch %s", regName(I.Rs));
+    case ExtFn::Trap:
+      return formatf("trap %u", I.Shamt);
+    }
+    return "?ext";
+  case Opcode::J:
+    return formatf("j %s", hex32(I.Target << 2).c_str());
+  case Opcode::Jal:
+    return formatf("jal %s", hex32(I.Target << 2).c_str());
+  case Opcode::Beq:
+    return formatf("beq %s, %s, %s", regName(I.Rs), regName(I.Rt),
+                   hex32(Pc + 4 + (static_cast<int32_t>(I.Imm) << 2)).c_str());
+  case Opcode::Bne:
+    return formatf("bne %s, %s, %s", regName(I.Rs), regName(I.Rt),
+                   hex32(Pc + 4 + (static_cast<int32_t>(I.Imm) << 2)).c_str());
+  case Opcode::Addiu:
+    return formatf("addiu %s, %s, %d", regName(I.Rt), regName(I.Rs), I.Imm);
+  case Opcode::Slti:
+    return formatf("slti %s, %s, %d", regName(I.Rt), regName(I.Rs), I.Imm);
+  case Opcode::Sltiu:
+    return formatf("sltiu %s, %s, %d", regName(I.Rt), regName(I.Rs), I.Imm);
+  case Opcode::Andi:
+    return formatf("andi %s, %s, %u", regName(I.Rt), regName(I.Rs),
+                   static_cast<uint16_t>(I.Imm));
+  case Opcode::Ori:
+    return formatf("ori %s, %s, %u", regName(I.Rt), regName(I.Rs),
+                   static_cast<uint16_t>(I.Imm));
+  case Opcode::Xori:
+    return formatf("xori %s, %s, %u", regName(I.Rt), regName(I.Rs),
+                   static_cast<uint16_t>(I.Imm));
+  case Opcode::Lui:
+    return formatf("lui %s, %u", regName(I.Rt), static_cast<uint16_t>(I.Imm));
+  case Opcode::Lw:
+    return formatf("lw %s, %d(%s)", regName(I.Rt), I.Imm, regName(I.Rs));
+  case Opcode::Sw:
+    return formatf("sw %s, %d(%s)", regName(I.Rt), I.Imm, regName(I.Rs));
+  }
+  return "?";
+}

@@ -1,0 +1,203 @@
+//===- Isa.h - The FAB-32 instruction set -----------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FAB-32 is a MIPS-flavoured 32-bit RISC ISA standing in for the paper's
+/// DECstation 5000/200 MIPS target. Encodings use the classic MIPS field
+/// layout (op/rs/rt/rd/shamt/funct) with our own opcode numbering; there
+/// are no branch delay slots (the paper elides them as well). Reals are
+/// IEEE-754 single-precision bit patterns held in the general registers,
+/// operated on by the F* ALU instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_ISA_ISA_H
+#define FAB_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace fab {
+
+/// General-purpose register numbers. $zero is hardwired to 0. $cp is the
+/// dedicated dynamic code pointer and $hp the heap bump pointer, per the
+/// FABIUS runtime conventions (paper section 3.2).
+enum Reg : uint8_t {
+  Zero = 0, ///< hardwired zero
+  At = 1,   ///< assembler temporary (pseudo-instruction expansion)
+  V0 = 2,   ///< result
+  V1 = 3,   ///< secondary result
+  A0 = 4,   ///< argument 0
+  A1 = 5,
+  A2 = 6,
+  A3 = 7,
+  T0 = 8, ///< caller-saved temporaries
+  T1 = 9,
+  T2 = 10,
+  T3 = 11,
+  T4 = 12,
+  T5 = 13,
+  T6 = 14,
+  T7 = 15,
+  S0 = 16, ///< callee-saved
+  S1 = 17,
+  S2 = 18,
+  S3 = 19,
+  S4 = 20,
+  S5 = 21,
+  S6 = 22,
+  S7 = 23,
+  T8 = 24, ///< emission scratch (holds encodings being built)
+  T9 = 25,
+  Cp = 26, ///< dynamic code segment pointer
+  Hp = 27, ///< heap bump pointer
+  Gp = 28, ///< global data pointer (memo tables)
+  Sp = 29, ///< stack pointer
+  Fp = 30, ///< frame pointer
+  Ra = 31, ///< return address
+};
+
+/// Primary opcode field (bits 31..26).
+enum class Opcode : uint8_t {
+  Special = 0x00, ///< R-type; operation selected by funct field
+  Ext = 0x01,     ///< host/system operations; selected by funct field
+  J = 0x02,
+  Jal = 0x03,
+  Beq = 0x04,
+  Bne = 0x05,
+  Addiu = 0x08,
+  Slti = 0x0A,
+  Sltiu = 0x0B,
+  Andi = 0x0C,
+  Ori = 0x0D,
+  Xori = 0x0E,
+  Lui = 0x0F,
+  Lw = 0x23,
+  Sw = 0x2B,
+};
+
+/// Funct field values for Opcode::Special (R-type ALU and jumps).
+enum class Funct : uint8_t {
+  Sll = 0x00, ///< rd = rt << shamt
+  Srl = 0x01,
+  Sra = 0x02,
+  Sllv = 0x03, ///< rd = rt << (rs & 31)
+  Srlv = 0x04,
+  Srav = 0x05,
+  Jr = 0x06,
+  Jalr = 0x07, ///< rd = link; jump rs
+  Addu = 0x08,
+  Subu = 0x09,
+  And = 0x0A,
+  Or = 0x0B,
+  Xor = 0x0C,
+  Nor = 0x0D,
+  Slt = 0x0E,
+  Sltu = 0x0F,
+  Mul = 0x10,  ///< rd = rs * rt (low 32 bits; no hi/lo registers)
+  Divq = 0x11, ///< rd = rs / rt (signed quotient; traps on rt == 0)
+  Rem = 0x12,  ///< rd = rs mod rt (sign follows dividend; traps on rt == 0)
+  FAdd = 0x18, ///< single-precision float ops on GPR bit patterns
+  FSub = 0x19,
+  FMul = 0x1A,
+  FDiv = 0x1B,
+  FLt = 0x1C,  ///< rd = (float)rs < (float)rt ? 1 : 0
+  FLe = 0x1D,
+  FEq = 0x1E,
+  CvtSW = 0x1F, ///< int -> float
+  CvtWS = 0x20, ///< float -> int (truncate)
+};
+
+/// Funct field values for Opcode::Ext (simulator services).
+enum class ExtFn : uint8_t {
+  Halt = 0x00,   ///< stop the machine; $v0 is the exit value
+  Flush = 0x01,  ///< invalidate I-cache for [rs, rs + rt) bytes
+  PutInt = 0x02, ///< print rs as a signed integer (debug output)
+  PutCh = 0x03,  ///< print rs as a character (debug output)
+  Trap = 0x04,   ///< abort with trap code = shamt (bounds failure etc.)
+};
+
+/// Trap codes carried in the shamt field of Ext/Trap.
+enum class TrapCode : uint8_t {
+  Bounds = 1,    ///< vector subscript out of range
+  MatchFail = 2, ///< no case arm matched
+  MemoFull = 3,  ///< specialization memo table overflow
+  DivZero = 4,   ///< integer division by zero
+  Unreachable = 5,
+  CodeSpace = 6, ///< dynamic code segment exhausted (over-specialization)
+};
+
+/// A decoded FAB-32 instruction. Fields not used by a format are zero.
+struct Inst {
+  Opcode Op = Opcode::Special;
+  Funct Fn = Funct::Sll;
+  ExtFn Ext = ExtFn::Halt;
+  uint8_t Rs = 0;
+  uint8_t Rt = 0;
+  uint8_t Rd = 0;
+  uint8_t Shamt = 0;
+  int16_t Imm = 0;      ///< I-type immediate (sign interpretation per op)
+  uint32_t Target = 0;  ///< J-type 26-bit word target
+};
+
+/// Field extraction/insertion helpers shared by the encoder, decoder and
+/// the deferred backend (which builds encodings at specialization time).
+namespace enc {
+constexpr uint32_t opShift = 26;
+constexpr uint32_t rsShift = 21;
+constexpr uint32_t rtShift = 16;
+constexpr uint32_t rdShift = 11;
+constexpr uint32_t shamtShift = 6;
+
+constexpr uint32_t opField(uint32_t Word) { return Word >> opShift; }
+constexpr uint32_t rsField(uint32_t Word) { return (Word >> rsShift) & 31; }
+constexpr uint32_t rtField(uint32_t Word) { return (Word >> rtShift) & 31; }
+constexpr uint32_t rdField(uint32_t Word) { return (Word >> rdShift) & 31; }
+constexpr uint32_t shamtField(uint32_t Word) {
+  return (Word >> shamtShift) & 31;
+}
+constexpr uint32_t functField(uint32_t Word) { return Word & 63; }
+constexpr uint32_t immField(uint32_t Word) { return Word & 0xFFFF; }
+constexpr uint32_t targetField(uint32_t Word) { return Word & 0x03FFFFFF; }
+} // namespace enc
+
+/// Encodes an R-type (Special) instruction.
+uint32_t encodeR(Funct Fn, Reg Rd, Reg Rs, Reg Rt, unsigned Shamt = 0);
+
+/// Encodes an I-type instruction. \p Imm is truncated to 16 bits; the
+/// caller is responsible for range checking (the assembler expands
+/// out-of-range immediates via $at).
+uint32_t encodeI(Opcode Op, Reg Rt, Reg Rs, int32_t Imm);
+
+/// Encodes a J-type instruction from a byte address. The address must be
+/// word-aligned and within the low 256 MiB segment.
+uint32_t encodeJ(Opcode Op, uint32_t ByteAddr);
+
+/// Encodes an Ext (system) instruction.
+uint32_t encodeExt(ExtFn Fn, Reg Rs = Zero, Reg Rt = Zero, unsigned Shamt = 0);
+
+/// Decodes \p Word. Returns false for an undefined opcode/funct pair.
+bool decode(uint32_t Word, Inst &Out);
+
+/// Disassembles a single instruction word at \p Pc (Pc is needed to render
+/// branch/jump targets as absolute addresses).
+std::string disassemble(uint32_t Word, uint32_t Pc);
+
+/// Canonical register name ("$a0", "$cp", ...).
+const char *regName(unsigned RegNo);
+
+/// True if a signed 32-bit value fits in the 16-bit signed immediate field.
+constexpr bool fitsImm16(int32_t Value) {
+  return Value >= -32768 && Value <= 32767;
+}
+
+/// True if a value fits in the 16-bit zero-extended immediate field
+/// (Andi/Ori/Xori).
+constexpr bool fitsUImm16(uint32_t Value) { return Value <= 0xFFFF; }
+
+} // namespace fab
+
+#endif // FAB_ISA_ISA_H

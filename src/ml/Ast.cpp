@@ -1,0 +1,66 @@
+//===- Ast.cpp - AST/type support methods ---------------------------------===//
+
+#include "ml/Ast.h"
+
+using namespace fab;
+using namespace fab::ml;
+
+std::string Type::str() const {
+  const Type *T = this;
+  while (T->K == Kind::Var && T->Link)
+    T = T->Link;
+  switch (T->K) {
+  case Kind::Int:
+    return "int";
+  case Kind::Real:
+    return "real";
+  case Kind::Bool:
+    return "bool";
+  case Kind::Unit:
+    return "unit";
+  case Kind::Vector:
+    return T->Elem->str() + " vector";
+  case Kind::Data:
+    return T->Data->Name;
+  case Kind::Var:
+    return "'t" + std::to_string(T->VarId);
+  }
+  return "?";
+}
+
+Type *TypeContext::vectorTy(Type *Elem) {
+  for (auto &T : Owned)
+    if (T->K == Type::Kind::Vector && T->Elem == Elem)
+      return T.get();
+  Owned.push_back(std::make_unique<Type>(Type::Kind::Vector));
+  Owned.back()->Elem = Elem;
+  return Owned.back().get();
+}
+
+Type *TypeContext::dataTy(DataDef *D) {
+  for (auto &T : Owned)
+    if (T->K == Type::Kind::Data && T->Data == D)
+      return T.get();
+  Owned.push_back(std::make_unique<Type>(Type::Kind::Data));
+  Owned.back()->Data = D;
+  return Owned.back().get();
+}
+
+Type *TypeContext::freshVar() {
+  Owned.push_back(std::make_unique<Type>(Type::Kind::Var));
+  Owned.back()->VarId = NextVar++;
+  return Owned.back().get();
+}
+
+Type *TypeContext::resolve(Type *T) {
+  while (T->K == Type::Kind::Var && T->Link)
+    T = T->Link;
+  return T;
+}
+
+FunDef *Program::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}

@@ -1,0 +1,274 @@
+//===- Ast.h - ML subset abstract syntax ------------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST and type representation for the FABIUS source language: a pure,
+/// first-order, monomorphic ML subset with integers, reals, booleans,
+/// vectors, and user-defined datatypes. Currying in a `fun` declaration
+/// expresses staging (paper section 3.1): a function with two parameter
+/// groups is compiled into a run-time code generator whose first group is
+/// early and whose second group is late.
+///
+/// Two impure driver builtins (`mkvec`, `vset`) are provided so benchmark
+/// drivers can build result vectors; measured inner loops stay pure (see
+/// DESIGN.md substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_ML_AST_H
+#define FAB_ML_AST_H
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fab {
+namespace ml {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+struct DataDef;
+
+/// A monomorphic type. Type variables exist only during inference; a
+/// program that leaves a variable unconstrained is rejected.
+struct Type {
+  enum class Kind { Int, Real, Bool, Unit, Vector, Data, Var };
+
+  Kind K;
+  Type *Elem = nullptr;      ///< Vector element type
+  DataDef *Data = nullptr;   ///< Datatype definition
+  Type *Link = nullptr;      ///< union-find forwarding for Var
+  uint32_t VarId = 0;
+
+  explicit Type(Kind K) : K(K) {}
+
+  bool isNumeric() const { return K == Kind::Int || K == Kind::Real; }
+  /// True if values of this type are heap pointers (vectors, datatypes).
+  bool isPointer() const { return K == Kind::Vector || K == Kind::Data; }
+
+  std::string str() const;
+};
+
+/// Owns and interns types for one compilation.
+class TypeContext {
+public:
+  Type *intTy() { return &IntT; }
+  Type *realTy() { return &RealT; }
+  Type *boolTy() { return &BoolT; }
+  Type *unitTy() { return &UnitT; }
+  Type *vectorTy(Type *Elem);
+  Type *dataTy(DataDef *D);
+  Type *freshVar();
+
+  /// Resolves union-find links to the representative type.
+  static Type *resolve(Type *T);
+
+private:
+  Type IntT{Type::Kind::Int};
+  Type RealT{Type::Kind::Real};
+  Type BoolT{Type::Kind::Bool};
+  Type UnitT{Type::Kind::Unit};
+  std::vector<std::unique_ptr<Type>> Owned;
+  uint32_t NextVar = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binding time of an expression, computed by the staging analysis.
+/// Early expressions execute inside the run-time code generator; late
+/// expressions are emitted into dynamically generated code.
+enum class Stage : uint8_t { Early, Late };
+
+enum class UnOpKind : uint8_t { Neg, Not };
+
+enum class BinOpKind : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,  ///< integer `div` or real `/` (disambiguated by operand type)
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+};
+
+/// Builtin operations (resolved from identifiers during type checking).
+enum class PrimKind : uint8_t {
+  Length, ///< vector length
+  VSub,   ///< bounds-checked vector subscript (infix `sub`)
+  MkVec,  ///< mkvec (n, init): allocate and fill a vector [driver builtin]
+  VSet,   ///< vset (v, i, x): destructive update [impure driver builtin]
+  RealOf, ///< int -> real conversion
+  Trunc,  ///< real -> int truncation
+  Andb,   ///< bitwise and (paper's `andb`)
+  Orb,    ///< bitwise or
+  Xorb,   ///< bitwise xor
+  Lsh,    ///< logical shift left (paper writes `<<`)
+  Rsh,    ///< logical shift right (paper writes `>>`)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct CaseArm;
+struct FunDef;
+struct ConDef;
+
+/// Expression node. A single struct with a kind tag keeps the backend's
+/// tree walks simple (the node set is small and fixed).
+struct Expr {
+  enum class Kind {
+    IntLit,
+    RealLit,
+    BoolLit,
+    UnitLit,
+    Var,
+    Unary,
+    Binary,
+    If,
+    Let,
+    Case,
+    Call, ///< named function applied to one or more argument groups
+    Con,  ///< datatype constructor application
+    Prim, ///< builtin
+  };
+
+  Kind K;
+  SourceLoc Loc;
+  Type *Ty = nullptr;          ///< set by the type checker
+  Stage S = Stage::Late;       ///< set by the staging analysis
+
+  // Literals.
+  int32_t IntValue = 0;
+  float RealValue = 0.0f;
+  bool BoolValue = false;
+
+  // Var / Call / Con names.
+  std::string Name;
+  uint32_t VarSlot = 0;     ///< resolved local binding id (checker)
+  FunDef *Callee = nullptr; ///< resolved callee (checker)
+  ConDef *Con = nullptr;    ///< resolved constructor (checker)
+
+  UnOpKind UnOp = UnOpKind::Neg;
+  BinOpKind BinOp = BinOpKind::Add;
+  PrimKind Prim = PrimKind::Length;
+  bool OperandsAreReal = false; ///< arithmetic/comparison on reals
+
+  // Children. Meaning depends on K:
+  //   Unary: [operand]
+  //   Binary: [lhs, rhs]
+  //   If: [cond, then, else]
+  //   Let: [rhs, body] with Name binding
+  //   Case: [scrutinee]
+  //   Call: argument groups flattened; GroupSizes delimits them
+  //   Con/Prim: arguments
+  std::vector<ExprPtr> Kids;
+  std::vector<uint32_t> GroupSizes; ///< Call: args per group
+  std::vector<std::unique_ptr<CaseArm>> Arms;
+
+  explicit Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+  bool isEarly() const { return S == Stage::Early; }
+};
+
+/// One arm of a case expression. Patterns are flat: a constructor with
+/// variable bindings, an integer literal, a variable, or a wildcard.
+struct CaseArm {
+  enum class PatKind { Con, IntLit, Var, Wild };
+
+  PatKind PK;
+  SourceLoc Loc;
+  std::string ConName;                 ///< Con
+  ConDef *Con = nullptr;               ///< resolved
+  int32_t IntValue = 0;                ///< IntLit
+  std::string VarName;                 ///< Var binding
+  std::vector<std::string> FieldNames; ///< Con field bindings ("_" allowed)
+  std::vector<uint32_t> FieldSlots;    ///< resolved binding ids
+  uint32_t VarSlot = 0;
+  ExprPtr Body;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// Unresolved surface type syntax (resolved by the checker).
+struct TypeExpr {
+  enum class Kind { Named, Vector };
+  Kind K = Kind::Named;
+  std::string Name; ///< "int", "real", "bool", "unit", or a datatype
+  std::unique_ptr<TypeExpr> Elem;
+  SourceLoc Loc;
+};
+
+/// One constructor of a datatype.
+struct ConDef {
+  std::string Name;
+  SourceLoc Loc;
+  std::vector<std::unique_ptr<TypeExpr>> FieldTypeExprs;
+  std::vector<Type *> FieldTypes; ///< resolved
+  uint32_t Tag = 0;               ///< declaration order, used as heap tag
+  DataDef *Parent = nullptr;
+};
+
+/// A datatype declaration.
+struct DataDef {
+  std::string Name;
+  SourceLoc Loc;
+  std::vector<std::unique_ptr<ConDef>> Cons;
+};
+
+/// One function parameter, with an optional type annotation.
+struct Param {
+  std::string Name;
+  SourceLoc Loc;
+  std::unique_ptr<TypeExpr> AnnotatedType; ///< may be null
+  Type *Ty = nullptr;                      ///< resolved/inferred
+  uint32_t Slot = 0;                       ///< binding id
+};
+
+/// A top-level function. Two parameter groups express staging (group 0 is
+/// early, group 1 is late); one group is an ordinary function.
+struct FunDef {
+  std::string Name;
+  SourceLoc Loc;
+  std::vector<std::vector<Param>> Groups;
+  ExprPtr Body;
+  Type *RetTy = nullptr;
+  uint32_t NumSlots = 0; ///< total local bindings (params + lets + pats)
+
+  bool isStaged() const { return Groups.size() == 2; }
+  size_t numParams() const {
+    size_t N = 0;
+    for (const auto &G : Groups)
+      N += G.size();
+    return N;
+  }
+};
+
+/// A parsed compilation unit.
+struct Program {
+  std::vector<std::unique_ptr<DataDef>> Datatypes;
+  std::vector<std::unique_ptr<FunDef>> Functions;
+
+  FunDef *findFunction(const std::string &Name) const;
+};
+
+} // namespace ml
+} // namespace fab
+
+#endif // FAB_ML_AST_H

@@ -1,0 +1,222 @@
+//===- AstPrinter.cpp - AST pretty-printer ----------------------------------===//
+
+#include "ml/AstPrinter.h"
+
+#include <sstream>
+
+using namespace fab;
+using namespace fab::ml;
+
+namespace {
+
+const char *binOpName(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "div";
+  case BinOpKind::Mod:
+    return "mod";
+  case BinOpKind::Eq:
+    return "=";
+  case BinOpKind::Ne:
+    return "<>";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Gt:
+    return ">";
+  case BinOpKind::Ge:
+    return ">=";
+  }
+  return "?";
+}
+
+const char *primName(PrimKind P) {
+  switch (P) {
+  case PrimKind::Length:
+    return "length";
+  case PrimKind::VSub:
+    return "sub";
+  case PrimKind::MkVec:
+    return "mkvec";
+  case PrimKind::VSet:
+    return "vset";
+  case PrimKind::RealOf:
+    return "real";
+  case PrimKind::Trunc:
+    return "trunc";
+  case PrimKind::Andb:
+    return "andb";
+  case PrimKind::Orb:
+    return "orb";
+  case PrimKind::Xorb:
+    return "xorb";
+  case PrimKind::Lsh:
+    return "lsh";
+  case PrimKind::Rsh:
+    return "rsh";
+  }
+  return "?";
+}
+
+class Printer {
+public:
+  explicit Printer(const PrintOptions &Opts) : Opts(Opts) {}
+
+  std::string expr(const Expr &E) {
+    std::string Inner = exprInner(E);
+    if (!Opts.ShowStages)
+      return Inner;
+    return E.S == Stage::Early ? "{" + Inner + "}" : "[" + Inner + "]";
+  }
+
+private:
+  std::string exprInner(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return E.IntValue < 0 ? "~" + std::to_string(-int64_t(E.IntValue))
+                            : std::to_string(E.IntValue);
+    case Expr::Kind::RealLit: {
+      std::ostringstream OS;
+      OS << E.RealValue;
+      std::string S = OS.str();
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos)
+        S += ".0";
+      return S;
+    }
+    case Expr::Kind::BoolLit:
+      return E.BoolValue ? "true" : "false";
+    case Expr::Kind::UnitLit:
+      return "()";
+    case Expr::Kind::Var:
+      return E.Name;
+    case Expr::Kind::Unary:
+      return (E.UnOp == UnOpKind::Not ? "not " : "~") + expr(*E.Kids[0]);
+    case Expr::Kind::Binary:
+      return "(" + expr(*E.Kids[0]) + " " + binOpName(E.BinOp) + " " +
+             expr(*E.Kids[1]) + ")";
+    case Expr::Kind::If:
+      return "if " + expr(*E.Kids[0]) + " then " + expr(*E.Kids[1]) +
+             " else " + expr(*E.Kids[2]);
+    case Expr::Kind::Let:
+      return "let val " + E.Name + " = " + expr(*E.Kids[0]) + " in " +
+             expr(*E.Kids[1]) + " end";
+    case Expr::Kind::Case: {
+      std::string S = "case " + expr(*E.Kids[0]) + " of ";
+      bool First = true;
+      for (const auto &Arm : E.Arms) {
+        if (!First)
+          S += " | ";
+        First = false;
+        S += pattern(*Arm) + " => " + expr(*Arm->Body);
+      }
+      return S;
+    }
+    case Expr::Kind::Con: {
+      std::string S = E.Con ? E.Con->Name : E.Name;
+      if (!E.Kids.empty()) {
+        S += " (";
+        for (size_t I = 0; I < E.Kids.size(); ++I)
+          S += (I ? ", " : "") + expr(*E.Kids[I]);
+        S += ")";
+      }
+      return S;
+    }
+    case Expr::Kind::Prim:
+      if (E.Prim == PrimKind::VSub)
+        return "(" + expr(*E.Kids[0]) + " sub " + expr(*E.Kids[1]) + ")";
+      else {
+        std::string S = std::string(primName(E.Prim)) + " (";
+        for (size_t I = 0; I < E.Kids.size(); ++I)
+          S += (I ? ", " : "") + expr(*E.Kids[I]);
+        return S + ")";
+      }
+    case Expr::Kind::Call: {
+      std::string S = E.Name;
+      size_t Arg = 0;
+      for (uint32_t GSize : E.GroupSizes) {
+        S += " (";
+        for (uint32_t I = 0; I < GSize; ++I, ++Arg)
+          S += (I ? ", " : "") + expr(*E.Kids[Arg]);
+        S += ")";
+      }
+      return S;
+    }
+    }
+    return "?";
+  }
+
+  std::string pattern(const CaseArm &Arm) {
+    switch (Arm.PK) {
+    case CaseArm::PatKind::Con: {
+      std::string S = Arm.ConName.empty() && Arm.Con ? Arm.Con->Name
+                                                     : Arm.ConName;
+      if (S.empty() && Arm.Con)
+        S = Arm.Con->Name;
+      if (!Arm.FieldNames.empty()) {
+        S += " (";
+        for (size_t I = 0; I < Arm.FieldNames.size(); ++I)
+          S += (I ? ", " : "") + Arm.FieldNames[I];
+        S += ")";
+      }
+      return S.empty() ? Arm.VarName : S;
+    }
+    case CaseArm::PatKind::IntLit:
+      return std::to_string(Arm.IntValue);
+    case CaseArm::PatKind::Var:
+      return Arm.VarName;
+    case CaseArm::PatKind::Wild:
+      return "_";
+    }
+    return "?";
+  }
+
+  const PrintOptions &Opts;
+};
+
+} // namespace
+
+std::string fab::ml::printExpr(const Expr &E, const PrintOptions &Opts) {
+  return Printer(Opts).expr(E);
+}
+
+std::string fab::ml::printFunction(const FunDef &F, const PrintOptions &Opts) {
+  std::string S = "fun " + F.Name;
+  for (const auto &G : F.Groups) {
+    S += " (";
+    for (size_t I = 0; I < G.size(); ++I) {
+      S += (I ? ", " : "") + G[I].Name;
+      if (G[I].Ty)
+        S += " : " + G[I].Ty->str();
+    }
+    S += ")";
+  }
+  S += " =\n  " + Printer(Opts).expr(*F.Body) + "\n";
+  return S;
+}
+
+std::string fab::ml::printProgram(const Program &P, const PrintOptions &Opts) {
+  std::string S;
+  for (const auto &D : P.Datatypes) {
+    S += "datatype " + D->Name + " = ";
+    for (size_t I = 0; I < D->Cons.size(); ++I) {
+      S += (I ? " | " : "") + D->Cons[I]->Name;
+      if (!D->Cons[I]->FieldTypes.empty()) {
+        S += " of ";
+        for (size_t F = 0; F < D->Cons[I]->FieldTypes.size(); ++F)
+          S += (F ? " * " : "") + D->Cons[I]->FieldTypes[F]->str();
+      }
+    }
+    S += "\n";
+  }
+  for (const auto &F : P.Functions)
+    S += printFunction(*F, Opts);
+  return S;
+}

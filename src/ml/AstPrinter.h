@@ -1,0 +1,44 @@
+//===- AstPrinter.h - AST pretty-printer with staging marks -----*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the AST back to ML-like source. After the staging analysis it
+/// can annotate each subexpression with its binding time — the textual
+/// analogue of the paper's overline (early) and underline (late)
+/// presentation in section 3.1: early expressions print inside `{...}`
+/// and late ones inside `[...]`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_ML_ASTPRINTER_H
+#define FAB_ML_ASTPRINTER_H
+
+#include "ml/Ast.h"
+
+#include <string>
+
+namespace fab {
+namespace ml {
+
+/// Printing options.
+struct PrintOptions {
+  /// Mark each expression's binding time: `{e}` early, `[e]` late.
+  bool ShowStages = false;
+};
+
+/// Renders one expression.
+std::string printExpr(const Expr &E, const PrintOptions &Opts = {});
+
+/// Renders one function declaration (signature + body).
+std::string printFunction(const FunDef &F, const PrintOptions &Opts = {});
+
+/// Renders the whole program.
+std::string printProgram(const Program &P, const PrintOptions &Opts = {});
+
+} // namespace ml
+} // namespace fab
+
+#endif // FAB_ML_ASTPRINTER_H

@@ -1,0 +1,286 @@
+//===- Interp.cpp - Reference AST interpreter -------------------------------===//
+
+#include "ml/Interp.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace fab;
+using namespace fab::ml;
+
+uint32_t Interp::newCell(std::vector<uint32_t> Words) {
+  Cells.push_back({std::move(Words)});
+  return HandleBase + static_cast<uint32_t>(Cells.size() - 1) * 16;
+}
+
+Interp::Cell &Interp::deref(uint32_t Handle) {
+  size_t Idx = (Handle - HandleBase) / 16;
+  assert(Handle >= HandleBase && Idx < Cells.size() && "bad handle");
+  return Cells[Idx];
+}
+
+const Interp::Cell &Interp::deref(uint32_t Handle) const {
+  size_t Idx = (Handle - HandleBase) / 16;
+  assert(Handle >= HandleBase && Idx < Cells.size() && "bad handle");
+  return Cells[Idx];
+}
+
+uint32_t Interp::vector(const std::vector<uint32_t> &Elems) {
+  std::vector<uint32_t> Words;
+  Words.push_back(static_cast<uint32_t>(Elems.size()));
+  Words.insert(Words.end(), Elems.begin(), Elems.end());
+  return newCell(std::move(Words));
+}
+
+uint32_t Interp::cell(uint32_t Tag, const std::vector<uint32_t> &Fields) {
+  std::vector<uint32_t> Words;
+  Words.push_back(Tag);
+  Words.insert(Words.end(), Fields.begin(), Fields.end());
+  return newCell(std::move(Words));
+}
+
+std::vector<uint32_t> Interp::readVector(uint32_t Handle) const {
+  const Cell &C = deref(Handle);
+  return std::vector<uint32_t>(C.Words.begin() + 1, C.Words.end());
+}
+
+std::optional<uint32_t> Interp::call(const std::string &Fn,
+                                     const std::vector<uint32_t> &Args) {
+  const FunDef *F = P.findFunction(Fn);
+  assert(F && "unknown function");
+  assert(Args.size() == F->numParams() && "argument count mismatch");
+  std::vector<uint32_t> Slots(F->NumSlots, 0);
+  size_t I = 0;
+  for (const auto &G : F->Groups)
+    for (const Param &Pm : G)
+      Slots[Pm.Slot] = Args[I++];
+  return eval(*F->Body, Slots);
+}
+
+std::optional<uint32_t> Interp::evalCall(const Expr &E,
+                                         std::vector<uint32_t> &Slots) {
+  const FunDef *F = E.Callee;
+  std::vector<uint32_t> ArgVals;
+  for (const auto &K : E.Kids) {
+    auto V = eval(*K, Slots);
+    if (!V)
+      return std::nullopt;
+    ArgVals.push_back(*V);
+  }
+  std::vector<uint32_t> NewSlots(F->NumSlots, 0);
+  size_t I = 0;
+  for (const auto &G : F->Groups)
+    for (const Param &Pm : G)
+      NewSlots[Pm.Slot] = ArgVals[I++];
+  return eval(*F->Body, NewSlots);
+}
+
+std::optional<uint32_t> Interp::eval(const Expr &E,
+                                     std::vector<uint32_t> &Slots) {
+  if (Fuel-- == 0)
+    return fail(InterpTrap::OutOfFuel);
+
+  auto F32 = [](uint32_t B) { return std::bit_cast<float>(B); };
+  auto B32 = [](float F) { return std::bit_cast<uint32_t>(F); };
+
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return static_cast<uint32_t>(E.IntValue);
+  case Expr::Kind::RealLit:
+    return B32(E.RealValue);
+  case Expr::Kind::BoolLit:
+    return E.BoolValue ? 1u : 0u;
+  case Expr::Kind::UnitLit:
+    return 0u;
+  case Expr::Kind::Var:
+    return Slots[E.VarSlot];
+
+  case Expr::Kind::Unary: {
+    auto V = eval(*E.Kids[0], Slots);
+    if (!V)
+      return std::nullopt;
+    if (E.UnOp == UnOpKind::Not)
+      return *V ^ 1u;
+    if (E.OperandsAreReal)
+      return B32(0.0f - F32(*V));
+    return 0u - *V;
+  }
+
+  case Expr::Kind::Binary: {
+    auto L = eval(*E.Kids[0], Slots);
+    if (!L)
+      return std::nullopt;
+    auto R = eval(*E.Kids[1], Slots);
+    if (!R)
+      return std::nullopt;
+    uint32_t A = *L, B = *R;
+    if (E.OperandsAreReal) {
+      float X = F32(A), Y = F32(B);
+      switch (E.BinOp) {
+      case BinOpKind::Add:
+        return B32(X + Y);
+      case BinOpKind::Sub:
+        return B32(X - Y);
+      case BinOpKind::Mul:
+        return B32(X * Y);
+      case BinOpKind::Div:
+        return B32(X / Y);
+      case BinOpKind::Mod:
+        return fail(InterpTrap::DivZero); // rejected by the checker
+      case BinOpKind::Eq:
+        return X == Y ? 1u : 0u;
+      case BinOpKind::Ne:
+        return X != Y ? 1u : 0u;
+      case BinOpKind::Lt:
+        return X < Y ? 1u : 0u;
+      case BinOpKind::Le:
+        return X <= Y ? 1u : 0u;
+      case BinOpKind::Gt:
+        return X > Y ? 1u : 0u;
+      case BinOpKind::Ge:
+        return X >= Y ? 1u : 0u;
+      }
+    }
+    int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+    switch (E.BinOp) {
+    case BinOpKind::Add:
+      return A + B;
+    case BinOpKind::Sub:
+      return A - B;
+    case BinOpKind::Mul:
+      return static_cast<uint32_t>(SA * static_cast<int64_t>(SB));
+    case BinOpKind::Div:
+      if (B == 0)
+        return fail(InterpTrap::DivZero);
+      if (A == 0x80000000u && B == 0xFFFFFFFFu)
+        return 0x80000000u; // wraps, matching the simulator's definition
+      return static_cast<uint32_t>(SA / SB);
+    case BinOpKind::Mod:
+      if (B == 0)
+        return fail(InterpTrap::DivZero);
+      if (A == 0x80000000u && B == 0xFFFFFFFFu)
+        return 0u;
+      return static_cast<uint32_t>(SA % SB);
+    case BinOpKind::Eq:
+      return A == B ? 1u : 0u;
+    case BinOpKind::Ne:
+      return A != B ? 1u : 0u;
+    case BinOpKind::Lt:
+      return SA < SB ? 1u : 0u;
+    case BinOpKind::Le:
+      return SA <= SB ? 1u : 0u;
+    case BinOpKind::Gt:
+      return SA > SB ? 1u : 0u;
+    case BinOpKind::Ge:
+      return SA >= SB ? 1u : 0u;
+    }
+    return 0u;
+  }
+
+  case Expr::Kind::If: {
+    auto C = eval(*E.Kids[0], Slots);
+    if (!C)
+      return std::nullopt;
+    return eval(*E.Kids[*C ? 1 : 2], Slots);
+  }
+
+  case Expr::Kind::Let: {
+    auto V = eval(*E.Kids[0], Slots);
+    if (!V)
+      return std::nullopt;
+    Slots[E.VarSlot] = *V;
+    return eval(*E.Kids[1], Slots);
+  }
+
+  case Expr::Kind::Case: {
+    auto S = eval(*E.Kids[0], Slots);
+    if (!S)
+      return std::nullopt;
+    bool IsData = E.Kids[0]->Ty->K == Type::Kind::Data;
+    uint32_t Tag = IsData ? deref(*S).Words[0] : *S;
+    for (const auto &Arm : E.Arms) {
+      switch (Arm->PK) {
+      case CaseArm::PatKind::Con:
+        if (Tag != Arm->Con->Tag)
+          continue;
+        for (size_t FI = 0; FI < Arm->FieldSlots.size(); ++FI)
+          if (Arm->FieldSlots[FI] != ~0u)
+            Slots[Arm->FieldSlots[FI]] = deref(*S).Words[1 + FI];
+        return eval(*Arm->Body, Slots);
+      case CaseArm::PatKind::IntLit:
+        if (Tag != static_cast<uint32_t>(Arm->IntValue))
+          continue;
+        return eval(*Arm->Body, Slots);
+      case CaseArm::PatKind::Var:
+        Slots[Arm->VarSlot] = *S;
+        return eval(*Arm->Body, Slots);
+      case CaseArm::PatKind::Wild:
+        return eval(*Arm->Body, Slots);
+      }
+    }
+    return fail(InterpTrap::MatchFail);
+  }
+
+  case Expr::Kind::Con: {
+    std::vector<uint32_t> Fields;
+    for (const auto &K : E.Kids) {
+      auto V = eval(*K, Slots);
+      if (!V)
+        return std::nullopt;
+      Fields.push_back(*V);
+    }
+    return cell(E.Con->Tag, Fields);
+  }
+
+  case Expr::Kind::Prim: {
+    std::vector<uint32_t> Vals;
+    for (const auto &K : E.Kids) {
+      auto V = eval(*K, Slots);
+      if (!V)
+        return std::nullopt;
+      Vals.push_back(*V);
+    }
+    switch (E.Prim) {
+    case PrimKind::Length:
+      return deref(Vals[0]).Words[0];
+    case PrimKind::VSub: {
+      const Cell &C = deref(Vals[0]);
+      if (Vals[1] >= C.Words[0]) // unsigned: negative indices trap too
+        return fail(InterpTrap::Bounds);
+      return C.Words[1 + Vals[1]];
+    }
+    case PrimKind::MkVec: {
+      if (static_cast<int32_t>(Vals[0]) < 0)
+        return fail(InterpTrap::Bounds);
+      return vector(std::vector<uint32_t>(Vals[0], Vals[1]));
+    }
+    case PrimKind::VSet: {
+      Cell &C = deref(Vals[0]);
+      if (Vals[1] >= C.Words[0])
+        return fail(InterpTrap::Bounds);
+      C.Words[1 + Vals[1]] = Vals[2];
+      return 0u;
+    }
+    case PrimKind::RealOf:
+      return B32(static_cast<float>(static_cast<int32_t>(Vals[0])));
+    case PrimKind::Trunc:
+      return static_cast<uint32_t>(static_cast<int32_t>(F32(Vals[0])));
+    case PrimKind::Andb:
+      return Vals[0] & Vals[1];
+    case PrimKind::Orb:
+      return Vals[0] | Vals[1];
+    case PrimKind::Xorb:
+      return Vals[0] ^ Vals[1];
+    case PrimKind::Lsh:
+      return Vals[0] << (Vals[1] & 31);
+    case PrimKind::Rsh:
+      return Vals[0] >> (Vals[1] & 31);
+    }
+    return 0u;
+  }
+
+  case Expr::Kind::Call:
+    return evalCall(E, Slots);
+  }
+  return 0u;
+}

@@ -1,0 +1,88 @@
+//===- Interp.h - Reference AST interpreter ---------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct AST interpreter for the ML subset, used as the oracle in
+/// property tests: for random programs and inputs, the interpreter, the
+/// plain backend, and the deferred backend must agree. Values mirror the
+/// compiled representation exactly (untagged 32-bit words; vectors and
+/// datatype cells as indices into an interpreter heap), so results are
+/// comparable word-for-word, including integer wraparound and float
+/// rounding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_ML_INTERP_H
+#define FAB_ML_INTERP_H
+
+#include "ml/Ast.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fab {
+namespace ml {
+
+/// Why interpretation stopped abnormally. Mirrors the compiled TrapCodes.
+enum class InterpTrap {
+  None,
+  Bounds,
+  MatchFail,
+  DivZero,
+  OutOfFuel,
+};
+
+/// The reference interpreter. Heap values are handles (indices shifted to
+/// look address-like) into an internal cell store.
+class Interp {
+public:
+  explicit Interp(const Program &P, uint64_t Fuel = 50'000'000)
+      : P(P), Fuel(Fuel) {}
+
+  /// Allocates a vector; returns its handle (usable as an argument).
+  uint32_t vector(const std::vector<uint32_t> &Elems);
+  /// Allocates a datatype cell [tag, fields...].
+  uint32_t cell(uint32_t Tag, const std::vector<uint32_t> &Fields);
+  /// Reads a vector back.
+  std::vector<uint32_t> readVector(uint32_t Handle) const;
+
+  /// Calls a function with all arguments (curried groups concatenated).
+  /// Returns nullopt on trap; check trap() for the reason.
+  std::optional<uint32_t> call(const std::string &Fn,
+                               const std::vector<uint32_t> &Args);
+
+  InterpTrap trap() const { return Trap; }
+
+private:
+  struct Cell {
+    std::vector<uint32_t> Words; ///< vectors: [len,e...]; cells: [tag,f...]
+  };
+
+  static constexpr uint32_t HandleBase = 0x40000000;
+  uint32_t newCell(std::vector<uint32_t> Words);
+  Cell &deref(uint32_t Handle);
+  const Cell &deref(uint32_t Handle) const;
+
+  std::optional<uint32_t> eval(const Expr &E, std::vector<uint32_t> &Slots);
+  std::optional<uint32_t> evalCall(const Expr &E,
+                                   std::vector<uint32_t> &Slots);
+  std::optional<uint32_t> fail(InterpTrap T) {
+    Trap = T;
+    return std::nullopt;
+  }
+
+  const Program &P;
+  uint64_t Fuel;
+  InterpTrap Trap = InterpTrap::None;
+  std::vector<Cell> Cells;
+};
+
+} // namespace ml
+} // namespace fab
+
+#endif // FAB_ML_INTERP_H

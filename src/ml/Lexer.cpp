@@ -1,0 +1,314 @@
+//===- Lexer.cpp - ML subset lexer ----------------------------------------===//
+
+#include "ml/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace fab;
+using namespace fab::ml;
+
+const char *fab::ml::tokName(Tok Kind) {
+  switch (Kind) {
+  case Tok::Eof:
+    return "end of input";
+  case Tok::Ident:
+    return "identifier";
+  case Tok::IntLit:
+    return "integer literal";
+  case Tok::RealLit:
+    return "real literal";
+  case Tok::KwFun:
+    return "'fun'";
+  case Tok::KwAnd:
+    return "'and'";
+  case Tok::KwDatatype:
+    return "'datatype'";
+  case Tok::KwOf:
+    return "'of'";
+  case Tok::KwIf:
+    return "'if'";
+  case Tok::KwThen:
+    return "'then'";
+  case Tok::KwElse:
+    return "'else'";
+  case Tok::KwLet:
+    return "'let'";
+  case Tok::KwVal:
+    return "'val'";
+  case Tok::KwIn:
+    return "'in'";
+  case Tok::KwEnd:
+    return "'end'";
+  case Tok::KwCase:
+    return "'case'";
+  case Tok::KwAndalso:
+    return "'andalso'";
+  case Tok::KwOrelse:
+    return "'orelse'";
+  case Tok::KwDiv:
+    return "'div'";
+  case Tok::KwMod:
+    return "'mod'";
+  case Tok::KwSub:
+    return "'sub'";
+  case Tok::KwTrue:
+    return "'true'";
+  case Tok::KwFalse:
+    return "'false'";
+  case Tok::KwNot:
+    return "'not'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Equal:
+    return "'='";
+  case Tok::NotEqual:
+    return "'<>'";
+  case Tok::Less:
+    return "'<'";
+  case Tok::LessEq:
+    return "'<='";
+  case Tok::Greater:
+    return "'>'";
+  case Tok::GreaterEq:
+    return "'>='";
+  case Tok::Plus:
+    return "'+'";
+  case Tok::Minus:
+    return "'-'";
+  case Tok::Star:
+    return "'*'";
+  case Tok::Slash:
+    return "'/'";
+  case Tok::Tilde:
+    return "'~'";
+  case Tok::Bar:
+    return "'|'";
+  case Tok::Arrow:
+    return "'=>'";
+  case Tok::Colon:
+    return "':'";
+  case Tok::Underscore:
+    return "'_'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok> &keywordMap() {
+  static const std::unordered_map<std::string, Tok> Map = {
+      {"fun", Tok::KwFun},         {"and", Tok::KwAnd},
+      {"datatype", Tok::KwDatatype}, {"of", Tok::KwOf},
+      {"if", Tok::KwIf},           {"then", Tok::KwThen},
+      {"else", Tok::KwElse},       {"let", Tok::KwLet},
+      {"val", Tok::KwVal},         {"in", Tok::KwIn},
+      {"end", Tok::KwEnd},         {"case", Tok::KwCase},
+      {"andalso", Tok::KwAndalso}, {"orelse", Tok::KwOrelse},
+      {"div", Tok::KwDiv},         {"mod", Tok::KwMod},
+      {"sub", Tok::KwSub},         {"true", Tok::KwTrue},
+      {"false", Tok::KwFalse},     {"not", Tok::KwNot},
+  };
+  return Map;
+}
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, DiagnosticEngine &Diags)
+      : Src(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    while (true) {
+      skipTrivia();
+      Token T = next();
+      Out.push_back(T);
+      if (T.Kind == Tok::Eof)
+        break;
+    }
+    return Out;
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  bool atEnd() const { return Pos >= Src.size(); }
+  SourceLoc loc() const { return {Line, Col}; }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '(' && peek(1) == '*') {
+        SourceLoc Start = loc();
+        advance();
+        advance();
+        unsigned Depth = 1;
+        while (Depth && !atEnd()) {
+          if (peek() == '(' && peek(1) == '*') {
+            advance();
+            advance();
+            ++Depth;
+          } else if (peek() == '*' && peek(1) == ')') {
+            advance();
+            advance();
+            --Depth;
+          } else {
+            advance();
+          }
+        }
+        if (Depth)
+          Diags.error(Start, "unterminated comment");
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token make(Tok Kind) {
+    Token T;
+    T.Kind = Kind;
+    T.Loc = TokLoc;
+    return T;
+  }
+
+  Token next() {
+    TokLoc = loc();
+    if (atEnd())
+      return make(Tok::Eof);
+
+    char C = advance();
+    if (std::isalpha(static_cast<unsigned char>(C))) {
+      std::string Word(1, C);
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_' || peek() == '\'')
+        Word += advance();
+      auto It = keywordMap().find(Word);
+      if (It != keywordMap().end())
+        return make(It->second);
+      Token T = make(Tok::Ident);
+      T.Text = std::move(Word);
+      return T;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(C);
+
+    switch (C) {
+    case '(':
+      return make(Tok::LParen);
+    case ')':
+      return make(Tok::RParen);
+    case ',':
+      return make(Tok::Comma);
+    case '+':
+      return make(Tok::Plus);
+    case '-':
+      return make(Tok::Minus);
+    case '*':
+      return make(Tok::Star);
+    case '/':
+      return make(Tok::Slash);
+    case '~':
+      return make(Tok::Tilde);
+    case '|':
+      return make(Tok::Bar);
+    case ':':
+      return make(Tok::Colon);
+    case '_':
+      return make(Tok::Underscore);
+    case '=':
+      if (peek() == '>') {
+        advance();
+        return make(Tok::Arrow);
+      }
+      return make(Tok::Equal);
+    case '<':
+      if (peek() == '>') {
+        advance();
+        return make(Tok::NotEqual);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(Tok::LessEq);
+      }
+      return make(Tok::Less);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(Tok::GreaterEq);
+      }
+      return make(Tok::Greater);
+    default:
+      Diags.error(TokLoc, std::string("unexpected character '") + C + "'");
+      return next();
+    }
+  }
+
+  Token lexNumber(char First) {
+    std::string Digits(1, First);
+    if (First == '0' && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      while (std::isxdigit(static_cast<unsigned char>(peek())))
+        Digits += advance();
+      Token T = make(Tok::IntLit);
+      T.IntValue = static_cast<int32_t>(
+          std::strtoul(Digits.c_str() + 1, nullptr, 16));
+      return T;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      Digits += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Digits += advance();
+      if (peek() == 'e' || peek() == 'E') {
+        Digits += advance();
+        if (peek() == '-' || peek() == '+' || peek() == '~') {
+          char Sign = advance();
+          Digits += (Sign == '~') ? '-' : Sign;
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Digits += advance();
+      }
+      Token T = make(Tok::RealLit);
+      T.RealValue = std::strtof(Digits.c_str(), nullptr);
+      return T;
+    }
+    Token T = make(Tok::IntLit);
+    T.IntValue = static_cast<int32_t>(std::strtoul(Digits.c_str(), nullptr, 10));
+    return T;
+  }
+
+  const std::string &Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+  SourceLoc TokLoc;
+};
+
+} // namespace
+
+std::vector<Token> fab::ml::lex(const std::string &Source,
+                                DiagnosticEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

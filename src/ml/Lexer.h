@@ -1,0 +1,26 @@
+//===- Lexer.h - ML subset lexer --------------------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_ML_LEXER_H
+#define FAB_ML_LEXER_H
+
+#include "ml/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace fab {
+namespace ml {
+
+/// Lexes an ML source buffer into a token vector (ending in Eof). Nested
+/// (* ... *) comments are supported. Errors are reported to \p Diags and
+/// lexing continues so the parser can still run over what was recognized.
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace ml
+} // namespace fab
+
+#endif // FAB_ML_LEXER_H

@@ -1,0 +1,556 @@
+//===- Parser.cpp - Recursive-descent parser for the ML subset ------------===//
+
+#include "ml/Parser.h"
+
+#include "ml/Lexer.h"
+
+using namespace fab;
+using namespace fab::ml;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Toks(std::move(Tokens)), Diags(Diags) {}
+
+  std::unique_ptr<Program> run() {
+    auto P = std::make_unique<Program>();
+    while (!at(Tok::Eof)) {
+      if (at(Tok::KwDatatype)) {
+        parseDatatype(*P);
+      } else if (at(Tok::KwFun)) {
+        parseFunGroup(*P);
+      } else {
+        error("expected 'fun' or 'datatype' at top level");
+        advance();
+      }
+      if (Diags.errorCount() > 20)
+        break; // avoid error cascades on badly broken input
+    }
+    return P;
+  }
+
+private:
+  // -- Token plumbing -------------------------------------------------------
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  bool at(Tok K) const { return cur().Kind == K; }
+  Token advance() { return Toks[Pos < Toks.size() - 1 ? Pos++ : Pos]; }
+  bool accept(Tok K) {
+    if (!at(K))
+      return false;
+    advance();
+    return true;
+  }
+  Token expect(Tok K, const char *Context) {
+    if (at(K))
+      return advance();
+    error(std::string("expected ") + tokName(K) + " " + Context + ", found " +
+          tokName(cur().Kind));
+    return cur();
+  }
+  void error(std::string Msg) { Diags.error(cur().Loc, std::move(Msg)); }
+
+  ExprPtr makeExpr(Expr::Kind K) {
+    return std::make_unique<Expr>(K, cur().Loc);
+  }
+
+  // -- Declarations ---------------------------------------------------------
+
+  void parseDatatype(Program &P) {
+    expect(Tok::KwDatatype, "to start datatype declaration");
+    auto D = std::make_unique<DataDef>();
+    D->Loc = cur().Loc;
+    D->Name = expect(Tok::Ident, "as datatype name").Text;
+    expect(Tok::Equal, "after datatype name");
+    uint32_t Tag = 0;
+    do {
+      auto C = std::make_unique<ConDef>();
+      C->Loc = cur().Loc;
+      C->Name = expect(Tok::Ident, "as constructor name").Text;
+      C->Tag = Tag++;
+      C->Parent = D.get();
+      if (accept(Tok::KwOf)) {
+        C->FieldTypeExprs.push_back(parseTypeExpr());
+        while (accept(Tok::Star))
+          C->FieldTypeExprs.push_back(parseTypeExpr());
+      }
+      D->Cons.push_back(std::move(C));
+    } while (accept(Tok::Bar));
+    P.Datatypes.push_back(std::move(D));
+  }
+
+  std::unique_ptr<TypeExpr> parseTypeExpr() {
+    auto T = std::make_unique<TypeExpr>();
+    T->Loc = cur().Loc;
+    T->K = TypeExpr::Kind::Named;
+    T->Name = expect(Tok::Ident, "as type name").Text;
+    // Postfix `vector` applications: `int vector vector`.
+    while (at(Tok::Ident) && cur().Text == "vector") {
+      advance();
+      auto V = std::make_unique<TypeExpr>();
+      V->Loc = T->Loc;
+      V->K = TypeExpr::Kind::Vector;
+      V->Elem = std::move(T);
+      T = std::move(V);
+    }
+    return T;
+  }
+
+  void parseFunGroup(Program &P) {
+    expect(Tok::KwFun, "to start function declaration");
+    parseFunDecl(P);
+    while (accept(Tok::KwAnd))
+      parseFunDecl(P);
+  }
+
+  void parseFunDecl(Program &P) {
+    auto F = std::make_unique<FunDef>();
+    F->Loc = cur().Loc;
+    F->Name = expect(Tok::Ident, "as function name").Text;
+    while (!at(Tok::Equal) && !at(Tok::Eof)) {
+      size_t Before = Pos;
+      F->Groups.push_back(parseParamGroup());
+      if (Pos == Before) {
+        // A malformed group consumed nothing; skip the offending token so
+        // the parser always makes progress.
+        advance();
+      }
+    }
+    if (F->Groups.empty())
+      error("function '" + F->Name + "' has no parameters");
+    expect(Tok::Equal, "after function parameters");
+    F->Body = parseExpr();
+    P.Functions.push_back(std::move(F));
+  }
+
+  std::vector<Param> parseParamGroup() {
+    std::vector<Param> Group;
+    if (at(Tok::Ident)) {
+      Param Pm;
+      Pm.Loc = cur().Loc;
+      Pm.Name = advance().Text;
+      Group.push_back(std::move(Pm));
+      return Group;
+    }
+    expect(Tok::LParen, "to start parameter group");
+    if (accept(Tok::RParen))
+      return Group; // unit parameter group: zero params
+    do {
+      Param Pm;
+      Pm.Loc = cur().Loc;
+      Pm.Name = expect(Tok::Ident, "as parameter name").Text;
+      if (accept(Tok::Colon))
+        Pm.AnnotatedType = parseTypeExpr();
+      Group.push_back(std::move(Pm));
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "to close parameter group");
+    return Group;
+  }
+
+  // -- Expressions ----------------------------------------------------------
+
+  ExprPtr parseExpr() { return parseOrelse(); }
+
+  ExprPtr parseOrelse() {
+    ExprPtr L = parseAndalso();
+    while (at(Tok::KwOrelse)) {
+      SourceLoc Loc = cur().Loc;
+      advance();
+      ExprPtr R = parseAndalso();
+      // a orelse b  ==>  if a then true else b
+      auto If = std::make_unique<Expr>(Expr::Kind::If, Loc);
+      auto True = std::make_unique<Expr>(Expr::Kind::BoolLit, Loc);
+      True->BoolValue = true;
+      If->Kids.push_back(std::move(L));
+      If->Kids.push_back(std::move(True));
+      If->Kids.push_back(std::move(R));
+      L = std::move(If);
+    }
+    return L;
+  }
+
+  ExprPtr parseAndalso() {
+    ExprPtr L = parseCompare();
+    while (at(Tok::KwAndalso)) {
+      SourceLoc Loc = cur().Loc;
+      advance();
+      ExprPtr R = parseCompare();
+      // a andalso b  ==>  if a then b else false
+      auto If = std::make_unique<Expr>(Expr::Kind::If, Loc);
+      auto False = std::make_unique<Expr>(Expr::Kind::BoolLit, Loc);
+      False->BoolValue = false;
+      If->Kids.push_back(std::move(L));
+      If->Kids.push_back(std::move(R));
+      If->Kids.push_back(std::move(False));
+      L = std::move(If);
+    }
+    return L;
+  }
+
+  ExprPtr parseCompare() {
+    ExprPtr L = parseAdditive();
+    BinOpKind Op;
+    switch (cur().Kind) {
+    case Tok::Equal:
+      Op = BinOpKind::Eq;
+      break;
+    case Tok::NotEqual:
+      Op = BinOpKind::Ne;
+      break;
+    case Tok::Less:
+      Op = BinOpKind::Lt;
+      break;
+    case Tok::LessEq:
+      Op = BinOpKind::Le;
+      break;
+    case Tok::Greater:
+      Op = BinOpKind::Gt;
+      break;
+    case Tok::GreaterEq:
+      Op = BinOpKind::Ge;
+      break;
+    default:
+      return L;
+    }
+    SourceLoc Loc = cur().Loc;
+    advance();
+    ExprPtr R = parseAdditive();
+    auto B = std::make_unique<Expr>(Expr::Kind::Binary, Loc);
+    B->BinOp = Op;
+    B->Kids.push_back(std::move(L));
+    B->Kids.push_back(std::move(R));
+    return B;
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr L = parseMultiplicative();
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      BinOpKind Op = at(Tok::Plus) ? BinOpKind::Add : BinOpKind::Sub;
+      SourceLoc Loc = cur().Loc;
+      advance();
+      ExprPtr R = parseMultiplicative();
+      auto B = std::make_unique<Expr>(Expr::Kind::Binary, Loc);
+      B->BinOp = Op;
+      B->Kids.push_back(std::move(L));
+      B->Kids.push_back(std::move(R));
+      L = std::move(B);
+    }
+    return L;
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr L = parseSubscript();
+    while (at(Tok::Star) || at(Tok::KwDiv) || at(Tok::KwMod) ||
+           at(Tok::Slash)) {
+      BinOpKind Op = BinOpKind::Mul;
+      if (at(Tok::KwDiv) || at(Tok::Slash))
+        Op = BinOpKind::Div;
+      else if (at(Tok::KwMod))
+        Op = BinOpKind::Mod;
+      SourceLoc Loc = cur().Loc;
+      advance();
+      ExprPtr R = parseSubscript();
+      auto B = std::make_unique<Expr>(Expr::Kind::Binary, Loc);
+      B->BinOp = Op;
+      B->Kids.push_back(std::move(L));
+      B->Kids.push_back(std::move(R));
+      L = std::move(B);
+    }
+    return L;
+  }
+
+  ExprPtr parseSubscript() {
+    ExprPtr L = parseUnary();
+    while (at(Tok::KwSub)) {
+      SourceLoc Loc = cur().Loc;
+      advance();
+      ExprPtr R = parseUnary();
+      auto P = std::make_unique<Expr>(Expr::Kind::Prim, Loc);
+      P->Prim = PrimKind::VSub;
+      P->Kids.push_back(std::move(L));
+      P->Kids.push_back(std::move(R));
+      L = std::move(P);
+    }
+    return L;
+  }
+
+  ExprPtr parseUnary() {
+    if (at(Tok::Tilde)) {
+      SourceLoc Loc = cur().Loc;
+      advance();
+      ExprPtr Operand = parseUnary();
+      auto U = std::make_unique<Expr>(Expr::Kind::Unary, Loc);
+      U->UnOp = UnOpKind::Neg;
+      U->Kids.push_back(std::move(Operand));
+      return U;
+    }
+    if (at(Tok::KwNot)) {
+      SourceLoc Loc = cur().Loc;
+      advance();
+      ExprPtr Operand = parseUnary();
+      auto U = std::make_unique<Expr>(Expr::Kind::Unary, Loc);
+      U->UnOp = UnOpKind::Not;
+      U->Kids.push_back(std::move(Operand));
+      return U;
+    }
+    return parseApplication();
+  }
+
+  /// True if the current token can start an application argument atom.
+  bool startsArgAtom() const {
+    switch (cur().Kind) {
+    case Tok::IntLit:
+    case Tok::RealLit:
+    case Tok::KwTrue:
+    case Tok::KwFalse:
+    case Tok::Ident:
+    case Tok::LParen:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  ExprPtr parseApplication() {
+    // Only a bare identifier can head an application (the language is
+    // first-order: functions, constructors, and builtins are named).
+    if (!at(Tok::Ident) || !canFollowAsArg())
+      return parseAtom();
+
+    SourceLoc Loc = cur().Loc;
+    std::string Name = advance().Text;
+    auto Call = std::make_unique<Expr>(Expr::Kind::Call, Loc);
+    Call->Name = std::move(Name);
+    while (startsArgAtom()) {
+      uint32_t Count = parseArgGroup(*Call);
+      Call->GroupSizes.push_back(Count);
+    }
+    return Call;
+  }
+
+  /// Checks whether the token after the current identifier begins an
+  /// argument atom (distinguishes `f x` from plain `x`).
+  bool canFollowAsArg() const {
+    switch (peek().Kind) {
+    case Tok::IntLit:
+    case Tok::RealLit:
+    case Tok::KwTrue:
+    case Tok::KwFalse:
+    case Tok::Ident:
+    case Tok::LParen:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Parses one argument group: either a single atom (1 argument) or a
+  /// parenthesized tuple `(e1, ..., ek)` (k arguments). Returns the count.
+  uint32_t parseArgGroup(Expr &Call) {
+    if (!at(Tok::LParen)) {
+      Call.Kids.push_back(parseArgAtom());
+      return 1;
+    }
+    advance(); // (
+    if (accept(Tok::RParen)) {
+      // Unit argument group: zero values.
+      return 0;
+    }
+    uint32_t Count = 0;
+    do {
+      Call.Kids.push_back(parseExpr());
+      ++Count;
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "to close argument list");
+    return Count;
+  }
+
+  /// Argument atoms: literals and identifiers (which may themselves be
+  /// nullary constructor uses or variables).
+  ExprPtr parseArgAtom() {
+    switch (cur().Kind) {
+    case Tok::IntLit: {
+      auto E = makeExpr(Expr::Kind::IntLit);
+      E->IntValue = advance().IntValue;
+      return E;
+    }
+    case Tok::RealLit: {
+      auto E = makeExpr(Expr::Kind::RealLit);
+      E->RealValue = advance().RealValue;
+      return E;
+    }
+    case Tok::KwTrue:
+    case Tok::KwFalse: {
+      auto E = makeExpr(Expr::Kind::BoolLit);
+      E->BoolValue = at(Tok::KwTrue);
+      advance();
+      return E;
+    }
+    case Tok::Ident: {
+      auto E = makeExpr(Expr::Kind::Var);
+      E->Name = advance().Text;
+      return E;
+    }
+    default:
+      error(std::string("expected argument, found ") + tokName(cur().Kind));
+      advance();
+      return makeExpr(Expr::Kind::UnitLit);
+    }
+  }
+
+  ExprPtr parseAtom() {
+    switch (cur().Kind) {
+    case Tok::IntLit: {
+      auto E = makeExpr(Expr::Kind::IntLit);
+      E->IntValue = advance().IntValue;
+      return E;
+    }
+    case Tok::RealLit: {
+      auto E = makeExpr(Expr::Kind::RealLit);
+      E->RealValue = advance().RealValue;
+      return E;
+    }
+    case Tok::KwTrue:
+    case Tok::KwFalse: {
+      auto E = makeExpr(Expr::Kind::BoolLit);
+      E->BoolValue = at(Tok::KwTrue);
+      advance();
+      return E;
+    }
+    case Tok::Ident: {
+      auto E = makeExpr(Expr::Kind::Var);
+      E->Name = advance().Text;
+      return E;
+    }
+    case Tok::LParen: {
+      advance();
+      if (accept(Tok::RParen))
+        return makeExpr(Expr::Kind::UnitLit);
+      ExprPtr E = parseExpr();
+      if (at(Tok::Comma))
+        error("tuples are not first-class; parenthesized lists are only "
+              "valid as call arguments");
+      expect(Tok::RParen, "to close parenthesized expression");
+      return E;
+    }
+    case Tok::KwIf: {
+      auto E = makeExpr(Expr::Kind::If);
+      advance();
+      E->Kids.push_back(parseExpr());
+      expect(Tok::KwThen, "in if expression");
+      E->Kids.push_back(parseExpr());
+      expect(Tok::KwElse, "in if expression");
+      E->Kids.push_back(parseExpr());
+      return E;
+    }
+    case Tok::KwLet:
+      return parseLet();
+    case Tok::KwCase:
+      return parseCase();
+    default:
+      error(std::string("expected expression, found ") + tokName(cur().Kind));
+      advance();
+      return makeExpr(Expr::Kind::UnitLit);
+    }
+  }
+
+  ExprPtr parseLet() {
+    SourceLoc Loc = cur().Loc;
+    expect(Tok::KwLet, "to start let");
+    // Collect bindings, then build right-nested Let nodes.
+    std::vector<std::pair<std::string, ExprPtr>> Binds;
+    std::vector<SourceLoc> Locs;
+    while (at(Tok::KwVal)) {
+      advance();
+      Locs.push_back(cur().Loc);
+      std::string Name = expect(Tok::Ident, "as val binding name").Text;
+      expect(Tok::Equal, "in val binding");
+      Binds.emplace_back(std::move(Name), parseExpr());
+    }
+    if (Binds.empty())
+      error("let requires at least one val binding");
+    expect(Tok::KwIn, "after let bindings");
+    ExprPtr Body = parseExpr();
+    expect(Tok::KwEnd, "to close let");
+    for (size_t I = Binds.size(); I-- > 0;) {
+      auto L = std::make_unique<Expr>(Expr::Kind::Let,
+                                      Binds.size() ? Locs[I] : Loc);
+      L->Name = std::move(Binds[I].first);
+      L->Kids.push_back(std::move(Binds[I].second));
+      L->Kids.push_back(std::move(Body));
+      Body = std::move(L);
+    }
+    return Body;
+  }
+
+  ExprPtr parseCase() {
+    auto E = makeExpr(Expr::Kind::Case);
+    expect(Tok::KwCase, "to start case");
+    E->Kids.push_back(parseExpr());
+    expect(Tok::KwOf, "in case expression");
+    do {
+      E->Arms.push_back(parseArm());
+    } while (accept(Tok::Bar));
+    return E;
+  }
+
+  std::unique_ptr<CaseArm> parseArm() {
+    auto Arm = std::make_unique<CaseArm>();
+    Arm->Loc = cur().Loc;
+    if (at(Tok::IntLit)) {
+      Arm->PK = CaseArm::PatKind::IntLit;
+      Arm->IntValue = advance().IntValue;
+    } else if (at(Tok::Tilde)) {
+      advance();
+      Arm->PK = CaseArm::PatKind::IntLit;
+      Arm->IntValue = -expect(Tok::IntLit, "after '~' in pattern").IntValue;
+    } else if (at(Tok::Underscore)) {
+      advance();
+      Arm->PK = CaseArm::PatKind::Wild;
+    } else if (at(Tok::Ident)) {
+      std::string Name = advance().Text;
+      if (accept(Tok::LParen)) {
+        Arm->PK = CaseArm::PatKind::Con;
+        Arm->ConName = std::move(Name);
+        do {
+          if (at(Tok::Underscore)) {
+            advance();
+            Arm->FieldNames.push_back("_");
+          } else {
+            Arm->FieldNames.push_back(
+                expect(Tok::Ident, "as pattern field").Text);
+          }
+        } while (accept(Tok::Comma));
+        expect(Tok::RParen, "to close constructor pattern");
+      } else {
+        // Nullary constructor or variable binding; resolved by the checker.
+        Arm->PK = CaseArm::PatKind::Var;
+        Arm->VarName = std::move(Name);
+      }
+    } else {
+      error(std::string("expected pattern, found ") + tokName(cur().Kind));
+      Arm->PK = CaseArm::PatKind::Wild;
+    }
+    expect(Tok::Arrow, "after pattern");
+    Arm->Body = parseExpr();
+    return Arm;
+  }
+
+  std::vector<Token> Toks;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Program> fab::ml::parse(const std::string &Source,
+                                        DiagnosticEngine &Diags) {
+  std::vector<Token> Toks = lex(Source, Diags);
+  return Parser(std::move(Toks), Diags).run();
+}

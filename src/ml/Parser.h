@@ -1,0 +1,29 @@
+//===- Parser.h - ML subset parser ------------------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_ML_PARSER_H
+#define FAB_ML_PARSER_H
+
+#include "ml/Ast.h"
+
+#include <memory>
+#include <string>
+
+namespace fab {
+namespace ml {
+
+/// Parses an ML source buffer into a Program. Returns a (possibly partial)
+/// program; check \p Diags for errors before using it.
+///
+/// Name resolution (functions vs. constructors vs. builtins) and typing
+/// happen in the checker; the parser only builds syntax.
+std::unique_ptr<Program> parse(const std::string &Source,
+                               DiagnosticEngine &Diags);
+
+} // namespace ml
+} // namespace fab
+
+#endif // FAB_ML_PARSER_H

@@ -1,0 +1,89 @@
+//===- Token.h - ML subset token definitions --------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens for the pure, first-order ML subset accepted by FABIUS (paper
+/// section 3): integers, reals, booleans, vectors, user datatypes, curried
+/// function definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_ML_TOKEN_H
+#define FAB_ML_TOKEN_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace fab {
+namespace ml {
+
+enum class Tok {
+  Eof,
+  Ident,   ///< lower- or upper-case identifier
+  IntLit,  ///< 42, 0x2A, ~3 handled by unary minus
+  RealLit, ///< 1.5
+
+  // Keywords.
+  KwFun,
+  KwAnd,
+  KwDatatype,
+  KwOf,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwLet,
+  KwVal,
+  KwIn,
+  KwEnd,
+  KwCase,
+  KwAndalso,
+  KwOrelse,
+  KwDiv,
+  KwMod,
+  KwSub,
+  KwTrue,
+  KwFalse,
+  KwNot,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  Comma,
+  Equal,    ///< = (both definition and comparison)
+  NotEqual, ///< <>
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Tilde, ///< unary negation ~
+  Bar,   ///< |
+  Arrow, ///< =>
+  Colon,
+  Underscore,
+};
+
+/// One lexed token with its source location and payload.
+struct Token {
+  Tok Kind = Tok::Eof;
+  SourceLoc Loc;
+  std::string Text;  ///< identifier spelling
+  int32_t IntValue = 0;
+  float RealValue = 0.0f;
+};
+
+/// Token kind name for diagnostics.
+const char *tokName(Tok Kind);
+
+} // namespace ml
+} // namespace fab
+
+#endif // FAB_ML_TOKEN_H

@@ -1,0 +1,634 @@
+//===- TypeCheck.cpp - Monomorphic type inference --------------------------===//
+
+#include "ml/TypeCheck.h"
+
+#include <map>
+#include <set>
+
+using namespace fab;
+using namespace fab::ml;
+
+namespace {
+
+class Checker {
+public:
+  Checker(Program &P, TypeContext &Types, DiagnosticEngine &Diags)
+      : P(P), Types(Types), Diags(Diags) {}
+
+  bool run() {
+    collectDatatypes();
+    collectSignatures();
+    if (Diags.hasErrors())
+      return false;
+    for (auto &F : P.Functions)
+      checkFunction(*F);
+    if (Diags.hasErrors())
+      return false;
+    for (auto &F : P.Functions)
+      finalizeFunction(*F);
+    return !Diags.hasErrors();
+  }
+
+private:
+  // -- Unification ----------------------------------------------------------
+
+  bool occurs(Type *Var, Type *T) {
+    T = TypeContext::resolve(T);
+    if (T == Var)
+      return true;
+    if (T->K == Type::Kind::Vector)
+      return occurs(Var, T->Elem);
+    return false;
+  }
+
+  bool unify(Type *A, Type *B) {
+    A = TypeContext::resolve(A);
+    B = TypeContext::resolve(B);
+    if (A == B)
+      return true;
+    if (A->K == Type::Kind::Var) {
+      if (occurs(A, B))
+        return false;
+      A->Link = B;
+      return true;
+    }
+    if (B->K == Type::Kind::Var)
+      return unify(B, A);
+    if (A->K != B->K)
+      return false;
+    switch (A->K) {
+    case Type::Kind::Vector:
+      return unify(A->Elem, B->Elem);
+    case Type::Kind::Data:
+      return A->Data == B->Data;
+    default:
+      return true; // same primitive kind
+    }
+  }
+
+  void unifyOrError(Type *A, Type *B, SourceLoc Loc, const char *What) {
+    if (!unify(A, B))
+      Diags.error(Loc, std::string(What) + ": expected " + A->str() +
+                           ", found " + B->str());
+  }
+
+  // -- Declaration collection -------------------------------------------------
+
+  Type *resolveTypeExpr(const TypeExpr &TE) {
+    if (TE.K == TypeExpr::Kind::Vector)
+      return Types.vectorTy(resolveTypeExpr(*TE.Elem));
+    if (TE.Name == "int")
+      return Types.intTy();
+    if (TE.Name == "real")
+      return Types.realTy();
+    if (TE.Name == "bool")
+      return Types.boolTy();
+    if (TE.Name == "unit")
+      return Types.unitTy();
+    auto It = Datatypes.find(TE.Name);
+    if (It != Datatypes.end())
+      return Types.dataTy(It->second);
+    Diags.error(TE.Loc, "unknown type '" + TE.Name + "'");
+    return Types.freshVar();
+  }
+
+  void collectDatatypes() {
+    // First pass: names (so recursive datatypes resolve).
+    for (auto &D : P.Datatypes) {
+      if (Datatypes.count(D->Name))
+        Diags.error(D->Loc, "duplicate datatype '" + D->Name + "'");
+      Datatypes[D->Name] = D.get();
+    }
+    // Second pass: constructor fields.
+    for (auto &D : P.Datatypes) {
+      for (auto &C : D->Cons) {
+        if (Constructors.count(C->Name))
+          Diags.error(C->Loc, "duplicate constructor '" + C->Name + "'");
+        Constructors[C->Name] = C.get();
+        for (auto &FT : C->FieldTypeExprs)
+          C->FieldTypes.push_back(resolveTypeExpr(*FT));
+      }
+    }
+  }
+
+  void collectSignatures() {
+    for (auto &F : P.Functions) {
+      if (Functions.count(F->Name))
+        Diags.error(F->Loc, "duplicate function '" + F->Name + "'");
+      Functions[F->Name] = F.get();
+      if (Constructors.count(F->Name))
+        Diags.error(F->Loc, "'" + F->Name + "' is already a constructor");
+      for (auto &G : F->Groups)
+        for (Param &Pm : G)
+          Pm.Ty = Pm.AnnotatedType ? resolveTypeExpr(*Pm.AnnotatedType)
+                                   : Types.freshVar();
+      F->RetTy = Types.freshVar();
+    }
+  }
+
+  // -- Scoped environment -----------------------------------------------------
+
+  struct Binding {
+    std::string Name;
+    uint32_t Slot;
+    Type *Ty;
+  };
+
+  uint32_t pushBinding(const std::string &Name, Type *Ty) {
+    uint32_t Slot = NextSlot++;
+    Env.push_back({Name, Slot, Ty});
+    return Slot;
+  }
+
+  void popTo(size_t Mark) { Env.resize(Mark); }
+
+  const Binding *lookup(const std::string &Name) const {
+    for (size_t I = Env.size(); I-- > 0;)
+      if (Env[I].Name == Name)
+        return &Env[I];
+    return nullptr;
+  }
+
+  // -- Function bodies --------------------------------------------------------
+
+  void checkFunction(FunDef &F) {
+    Env.clear();
+    NextSlot = 0;
+    for (auto &G : F.Groups)
+      for (Param &Pm : G)
+        Pm.Slot = pushBinding(Pm.Name, Pm.Ty);
+    Type *BodyTy = check(*F.Body);
+    unifyOrError(F.RetTy, BodyTy, F.Loc,
+                 ("result of function '" + F.Name + "'").c_str());
+    F.NumSlots = NextSlot;
+  }
+
+  Type *check(Expr &E) {
+    Type *T = checkImpl(E);
+    E.Ty = T;
+    return T;
+  }
+
+  Type *checkImpl(Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return Types.intTy();
+    case Expr::Kind::RealLit:
+      return Types.realTy();
+    case Expr::Kind::BoolLit:
+      return Types.boolTy();
+    case Expr::Kind::UnitLit:
+      return Types.unitTy();
+
+    case Expr::Kind::Var: {
+      if (const Binding *B = lookup(E.Name)) {
+        E.VarSlot = B->Slot;
+        return B->Ty;
+      }
+      // A bare identifier may be a nullary constructor.
+      auto It = Constructors.find(E.Name);
+      if (It != Constructors.end()) {
+        ConDef *C = It->second;
+        if (!C->FieldTypes.empty()) {
+          Diags.error(E.Loc, "constructor '" + E.Name + "' expects " +
+                                 std::to_string(C->FieldTypes.size()) +
+                                 " arguments");
+        }
+        E.K = Expr::Kind::Con;
+        E.Con = C;
+        return Types.dataTy(C->Parent);
+      }
+      Diags.error(E.Loc, "unbound variable '" + E.Name + "'");
+      return Types.freshVar();
+    }
+
+    case Expr::Kind::Unary: {
+      Type *T = check(*E.Kids[0]);
+      if (E.UnOp == UnOpKind::Not) {
+        unifyOrError(Types.boolTy(), T, E.Loc, "operand of 'not'");
+        return Types.boolTy();
+      }
+      // Negation: int or real. Default to int if unconstrained.
+      Type *R = TypeContext::resolve(T);
+      if (R->K == Type::Kind::Var) {
+        unifyOrError(Types.intTy(), T, E.Loc, "operand of '~'");
+        R = Types.intTy();
+      }
+      if (!R->isNumeric()) {
+        Diags.error(E.Loc, "operand of '~' must be numeric, found " +
+                               R->str());
+        return Types.intTy();
+      }
+      E.OperandsAreReal = R->K == Type::Kind::Real;
+      return R;
+    }
+
+    case Expr::Kind::Binary:
+      return checkBinary(E);
+
+    case Expr::Kind::If: {
+      Type *C = check(*E.Kids[0]);
+      unifyOrError(Types.boolTy(), C, E.Kids[0]->Loc, "if condition");
+      Type *T1 = check(*E.Kids[1]);
+      Type *T2 = check(*E.Kids[2]);
+      unifyOrError(T1, T2, E.Loc, "branches of if");
+      return T1;
+    }
+
+    case Expr::Kind::Let: {
+      Type *RhsTy = check(*E.Kids[0]);
+      size_t Mark = Env.size();
+      E.VarSlot = pushBinding(E.Name, RhsTy);
+      Type *BodyTy = check(*E.Kids[1]);
+      popTo(Mark);
+      return BodyTy;
+    }
+
+    case Expr::Kind::Case:
+      return checkCase(E);
+
+    case Expr::Kind::Call:
+      return checkCall(E);
+
+    case Expr::Kind::Con: {
+      // Constructor application parsed as Call is rewritten before we get
+      // here; direct Con nodes come from nullary-variable rewriting.
+      return Types.dataTy(E.Con->Parent);
+    }
+
+    case Expr::Kind::Prim: {
+      // Only VSub arrives directly from the parser (infix `sub`).
+      assert(E.Prim == PrimKind::VSub && "unexpected direct prim");
+      Type *VecTy = check(*E.Kids[0]);
+      Type *IdxTy = check(*E.Kids[1]);
+      Type *Elem = Types.freshVar();
+      unifyOrError(Types.vectorTy(Elem), VecTy, E.Kids[0]->Loc,
+                   "subscripted value");
+      unifyOrError(Types.intTy(), IdxTy, E.Kids[1]->Loc, "subscript index");
+      return TypeContext::resolve(Elem);
+    }
+    }
+    return Types.freshVar();
+  }
+
+  Type *checkBinary(Expr &E) {
+    Type *L = check(*E.Kids[0]);
+    Type *R = check(*E.Kids[1]);
+    switch (E.BinOp) {
+    case BinOpKind::Add:
+    case BinOpKind::Sub:
+    case BinOpKind::Mul:
+    case BinOpKind::Div:
+    case BinOpKind::Mod: {
+      unifyOrError(L, R, E.Loc, "arithmetic operands");
+      Type *T = TypeContext::resolve(L);
+      if (T->K == Type::Kind::Var) {
+        unifyOrError(Types.intTy(), L, E.Loc, "arithmetic operand");
+        T = Types.intTy();
+      }
+      if (!T->isNumeric()) {
+        Diags.error(E.Loc, "arithmetic on non-numeric type " + T->str());
+        return Types.intTy();
+      }
+      if (T->K == Type::Kind::Real && E.BinOp == BinOpKind::Mod)
+        Diags.error(E.Loc, "'mod' is not defined on reals");
+      E.OperandsAreReal = T->K == Type::Kind::Real;
+      return T;
+    }
+    case BinOpKind::Eq:
+    case BinOpKind::Ne: {
+      unifyOrError(L, R, E.Loc, "equality operands");
+      Type *T = TypeContext::resolve(L);
+      if (T->K == Type::Kind::Var) {
+        unifyOrError(Types.intTy(), L, E.Loc, "equality operand");
+        T = Types.intTy();
+      }
+      if (T->K != Type::Kind::Int && T->K != Type::Kind::Bool &&
+          T->K != Type::Kind::Real)
+        Diags.error(E.Loc,
+                    "equality is only defined on int, bool, and real; found " +
+                        T->str());
+      E.OperandsAreReal = T->K == Type::Kind::Real;
+      return Types.boolTy();
+    }
+    case BinOpKind::Lt:
+    case BinOpKind::Le:
+    case BinOpKind::Gt:
+    case BinOpKind::Ge: {
+      unifyOrError(L, R, E.Loc, "comparison operands");
+      Type *T = TypeContext::resolve(L);
+      if (T->K == Type::Kind::Var) {
+        unifyOrError(Types.intTy(), L, E.Loc, "comparison operand");
+        T = Types.intTy();
+      }
+      if (!T->isNumeric())
+        Diags.error(E.Loc, "ordering comparison on non-numeric type " +
+                               T->str());
+      E.OperandsAreReal = T->K == Type::Kind::Real;
+      return Types.boolTy();
+    }
+    }
+    return Types.boolTy();
+  }
+
+  Type *checkCase(Expr &E) {
+    Type *ScrutTy = check(*E.Kids[0]);
+    Type *Scrut = TypeContext::resolve(ScrutTy);
+    Type *ResultTy = Types.freshVar();
+    bool HasDefault = false;
+    std::set<const ConDef *> Covered;
+    std::set<int32_t> IntsCovered;
+    DataDef *Data = nullptr;
+
+    for (auto &Arm : E.Arms) {
+      size_t Mark = Env.size();
+      switch (Arm->PK) {
+      case CaseArm::PatKind::IntLit:
+        unifyOrError(Types.intTy(), ScrutTy, Arm->Loc, "integer pattern");
+        if (!IntsCovered.insert(Arm->IntValue).second)
+          Diags.warning(Arm->Loc, "duplicate integer pattern");
+        break;
+      case CaseArm::PatKind::Wild:
+        HasDefault = true;
+        break;
+      case CaseArm::PatKind::Var: {
+        // Nullary constructor or binding?
+        auto It = Constructors.find(Arm->VarName);
+        if (It != Constructors.end()) {
+          Arm->PK = CaseArm::PatKind::Con;
+          Arm->ConName = Arm->VarName;
+          Arm->Con = It->second;
+          if (!Arm->Con->FieldTypes.empty())
+            Diags.error(Arm->Loc, "constructor '" + Arm->ConName +
+                                      "' pattern is missing its fields");
+          unifyOrError(Types.dataTy(Arm->Con->Parent), ScrutTy, Arm->Loc,
+                       "constructor pattern");
+          Data = Arm->Con->Parent;
+          Covered.insert(Arm->Con);
+        } else {
+          HasDefault = true;
+          Arm->VarSlot = pushBinding(Arm->VarName, ScrutTy);
+        }
+        break;
+      }
+      case CaseArm::PatKind::Con: {
+        auto It = Constructors.find(Arm->ConName);
+        if (It == Constructors.end()) {
+          Diags.error(Arm->Loc, "unknown constructor '" + Arm->ConName + "'");
+          break;
+        }
+        Arm->Con = It->second;
+        Data = Arm->Con->Parent;
+        unifyOrError(Types.dataTy(Data), ScrutTy, Arm->Loc,
+                     "constructor pattern");
+        if (Arm->FieldNames.size() != Arm->Con->FieldTypes.size()) {
+          Diags.error(Arm->Loc,
+                      "constructor '" + Arm->ConName + "' has " +
+                          std::to_string(Arm->Con->FieldTypes.size()) +
+                          " fields, pattern binds " +
+                          std::to_string(Arm->FieldNames.size()));
+          break;
+        }
+        if (!Covered.insert(Arm->Con).second)
+          Diags.warning(Arm->Loc, "duplicate constructor pattern");
+        for (size_t I = 0; I < Arm->FieldNames.size(); ++I) {
+          if (Arm->FieldNames[I] == "_") {
+            Arm->FieldSlots.push_back(~0u);
+          } else {
+            Arm->FieldSlots.push_back(
+                pushBinding(Arm->FieldNames[I], Arm->Con->FieldTypes[I]));
+          }
+        }
+        break;
+      }
+      }
+      Type *ArmTy = check(*Arm->Body);
+      unifyOrError(ResultTy, ArmTy, Arm->Loc, "case arm result");
+      popTo(Mark);
+    }
+
+    // Exhaustiveness.
+    if (!HasDefault) {
+      Scrut = TypeContext::resolve(ScrutTy);
+      if (Scrut->K == Type::Kind::Int) {
+        Diags.error(E.Loc, "integer case requires a default arm");
+      } else if (Data) {
+        for (auto &C : Data->Cons)
+          if (!Covered.count(C.get()))
+            Diags.error(E.Loc, "case does not cover constructor '" + C->Name +
+                                   "'");
+      }
+    }
+    (void)Scrut;
+    return TypeContext::resolve(ResultTy);
+  }
+
+  Type *checkCall(Expr &E) {
+    // Builtins.
+    if (E.Name == "length")
+      return checkPrim(E, PrimKind::Length);
+    if (E.Name == "real")
+      return checkPrim(E, PrimKind::RealOf);
+    if (E.Name == "trunc")
+      return checkPrim(E, PrimKind::Trunc);
+    if (E.Name == "mkvec")
+      return checkPrim(E, PrimKind::MkVec);
+    if (E.Name == "vset")
+      return checkPrim(E, PrimKind::VSet);
+    if (E.Name == "andb")
+      return checkPrim(E, PrimKind::Andb);
+    if (E.Name == "orb")
+      return checkPrim(E, PrimKind::Orb);
+    if (E.Name == "xorb")
+      return checkPrim(E, PrimKind::Xorb);
+    if (E.Name == "lsh")
+      return checkPrim(E, PrimKind::Lsh);
+    if (E.Name == "rsh")
+      return checkPrim(E, PrimKind::Rsh);
+
+    // Constructor application.
+    auto CIt = Constructors.find(E.Name);
+    if (CIt != Constructors.end()) {
+      ConDef *C = CIt->second;
+      if (E.GroupSizes.size() != 1 ||
+          E.GroupSizes[0] != C->FieldTypes.size()) {
+        Diags.error(E.Loc, "constructor '" + E.Name + "' expects " +
+                               std::to_string(C->FieldTypes.size()) +
+                               " arguments in one group");
+        return Types.dataTy(C->Parent);
+      }
+      for (size_t I = 0; I < E.Kids.size(); ++I) {
+        Type *ArgTy = check(*E.Kids[I]);
+        unifyOrError(C->FieldTypes[I], ArgTy, E.Kids[I]->Loc,
+                     "constructor field");
+      }
+      E.K = Expr::Kind::Con;
+      E.Con = C;
+      return Types.dataTy(C->Parent);
+    }
+
+    // Function call.
+    auto FIt = Functions.find(E.Name);
+    if (FIt == Functions.end()) {
+      Diags.error(E.Loc, "unknown function '" + E.Name + "'");
+      for (auto &K : E.Kids)
+        check(*K);
+      return Types.freshVar();
+    }
+    FunDef *F = FIt->second;
+    E.Callee = F;
+
+    // Require full application with matching group shape.
+    if (E.GroupSizes.size() != F->Groups.size()) {
+      Diags.error(E.Loc, "function '" + E.Name + "' expects " +
+                             std::to_string(F->Groups.size()) +
+                             " argument groups (partial application is not "
+                             "supported in-source; use the host specialize "
+                             "API), found " +
+                             std::to_string(E.GroupSizes.size()));
+      for (auto &K : E.Kids)
+        check(*K);
+      return F->RetTy;
+    }
+    size_t ArgIdx = 0;
+    for (size_t G = 0; G < F->Groups.size(); ++G) {
+      if (E.GroupSizes[G] != F->Groups[G].size()) {
+        Diags.error(E.Loc, "argument group " + std::to_string(G) +
+                               " of call to '" + E.Name + "' has " +
+                               std::to_string(E.GroupSizes[G]) +
+                               " arguments, expected " +
+                               std::to_string(F->Groups[G].size()));
+        break;
+      }
+      for (size_t I = 0; I < F->Groups[G].size(); ++I, ++ArgIdx) {
+        Type *ArgTy = check(*E.Kids[ArgIdx]);
+        unifyOrError(F->Groups[G][I].Ty, ArgTy, E.Kids[ArgIdx]->Loc,
+                     "argument");
+      }
+    }
+    return F->RetTy;
+  }
+
+  Type *checkPrim(Expr &E, PrimKind PK) {
+    E.Prim = PK;
+    size_t Expected = 0;
+    switch (PK) {
+    case PrimKind::Length:
+    case PrimKind::RealOf:
+    case PrimKind::Trunc:
+      Expected = 1;
+      break;
+    case PrimKind::VSub:
+    case PrimKind::MkVec:
+    case PrimKind::Andb:
+    case PrimKind::Orb:
+    case PrimKind::Xorb:
+    case PrimKind::Lsh:
+    case PrimKind::Rsh:
+      Expected = 2;
+      break;
+    case PrimKind::VSet:
+      Expected = 3;
+      break;
+    }
+    if (E.Kids.size() != Expected) {
+      Diags.error(E.Loc, "builtin '" + E.Name + "' expects " +
+                             std::to_string(Expected) + " arguments");
+      for (auto &K : E.Kids)
+        check(*K);
+      E.K = Expr::Kind::Prim;
+      return Types.freshVar();
+    }
+    E.K = Expr::Kind::Prim;
+    switch (PK) {
+    case PrimKind::Length: {
+      Type *Elem = Types.freshVar();
+      unifyOrError(Types.vectorTy(Elem), check(*E.Kids[0]), E.Loc,
+                   "operand of length");
+      return Types.intTy();
+    }
+    case PrimKind::RealOf:
+      unifyOrError(Types.intTy(), check(*E.Kids[0]), E.Loc,
+                   "operand of real");
+      return Types.realTy();
+    case PrimKind::Trunc:
+      unifyOrError(Types.realTy(), check(*E.Kids[0]), E.Loc,
+                   "operand of trunc");
+      return Types.intTy();
+    case PrimKind::MkVec: {
+      unifyOrError(Types.intTy(), check(*E.Kids[0]), E.Loc, "mkvec length");
+      Type *Elem = check(*E.Kids[1]);
+      return Types.vectorTy(TypeContext::resolve(Elem));
+    }
+    case PrimKind::VSet: {
+      Type *Elem = Types.freshVar();
+      unifyOrError(Types.vectorTy(Elem), check(*E.Kids[0]), E.Loc,
+                   "vset vector");
+      unifyOrError(Types.intTy(), check(*E.Kids[1]), E.Loc, "vset index");
+      unifyOrError(Elem, check(*E.Kids[2]), E.Loc, "vset element");
+      return Types.unitTy();
+    }
+    case PrimKind::Andb:
+    case PrimKind::Orb:
+    case PrimKind::Xorb:
+    case PrimKind::Lsh:
+    case PrimKind::Rsh:
+      unifyOrError(Types.intTy(), check(*E.Kids[0]), E.Loc,
+                   "bitwise operand");
+      unifyOrError(Types.intTy(), check(*E.Kids[1]), E.Loc,
+                   "bitwise operand");
+      return Types.intTy();
+    case PrimKind::VSub:
+      break;
+    }
+    return Types.freshVar();
+  }
+
+  // -- Finalization -----------------------------------------------------------
+
+  /// After inference, every type reachable from the function must be
+  /// ground. Rewrites each Expr::Ty to its representative.
+  void finalizeFunction(FunDef &F) {
+    for (auto &G : F.Groups)
+      for (Param &Pm : G) {
+        Pm.Ty = TypeContext::resolve(Pm.Ty);
+        if (Pm.Ty->K == Type::Kind::Var)
+          Diags.error(Pm.Loc, "cannot infer type of parameter '" + Pm.Name +
+                                  "' of '" + F.Name +
+                                  "'; add a type annotation");
+      }
+    F.RetTy = TypeContext::resolve(F.RetTy);
+    if (F.RetTy->K == Type::Kind::Var)
+      Diags.error(F.Loc, "cannot infer result type of '" + F.Name + "'");
+    finalizeExpr(*F.Body);
+  }
+
+  void finalizeExpr(Expr &E) {
+    if (E.Ty)
+      E.Ty = TypeContext::resolve(E.Ty);
+    if (E.Ty && E.Ty->K == Type::Kind::Var)
+      Diags.error(E.Loc, "expression type is unconstrained; add annotations");
+    for (auto &K : E.Kids)
+      finalizeExpr(*K);
+    for (auto &Arm : E.Arms)
+      finalizeExpr(*Arm->Body);
+  }
+
+  Program &P;
+  TypeContext &Types;
+  DiagnosticEngine &Diags;
+
+  std::map<std::string, DataDef *> Datatypes;
+  std::map<std::string, ConDef *> Constructors;
+  std::map<std::string, FunDef *> Functions;
+
+  std::vector<Binding> Env;
+  uint32_t NextSlot = 0;
+};
+
+} // namespace
+
+bool fab::ml::typecheck(Program &P, TypeContext &Types,
+                        DiagnosticEngine &Diags) {
+  return Checker(P, Types, Diags).run();
+}

@@ -1,0 +1,28 @@
+//===- TypeCheck.h - Monomorphic type inference -----------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_ML_TYPECHECK_H
+#define FAB_ML_TYPECHECK_H
+
+#include "ml/Ast.h"
+
+namespace fab {
+namespace ml {
+
+/// Type-checks \p P in place: resolves datatype field types, infers
+/// monomorphic function signatures by unification (optional parameter
+/// annotations constrain inference), resolves names (local variables get
+/// slots; call heads resolve to functions, constructors, or builtins), and
+/// verifies case exhaustiveness.
+///
+/// \returns true on success. On failure, diagnostics describe the errors;
+/// the program must not be passed to later phases.
+bool typecheck(Program &P, TypeContext &Types, DiagnosticEngine &Diags);
+
+} // namespace ml
+} // namespace fab
+
+#endif // FAB_ML_TYPECHECK_H

@@ -1,0 +1,70 @@
+//===- HeapImage.cpp ------------------------------------------------------===//
+
+#include "runtime/HeapImage.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace fab;
+
+uint32_t HeapImage::alloc(uint32_t Words) {
+  uint32_t Addr = Next;
+  Next += Words * 4;
+  assert(Next <= layout::HeapEnd && "host heap image overflow");
+  return Addr;
+}
+
+uint32_t HeapImage::vector(const std::vector<int32_t> &Elems) {
+  uint32_t Addr = alloc(static_cast<uint32_t>(Elems.size()) + 1);
+  M.store32(Addr, static_cast<uint32_t>(Elems.size()));
+  for (size_t I = 0; I < Elems.size(); ++I)
+    M.store32(Addr + 4 + static_cast<uint32_t>(I) * 4,
+              static_cast<uint32_t>(Elems[I]));
+  return Addr;
+}
+
+uint32_t HeapImage::vectorF(const std::vector<float> &Elems) {
+  uint32_t Addr = alloc(static_cast<uint32_t>(Elems.size()) + 1);
+  M.store32(Addr, static_cast<uint32_t>(Elems.size()));
+  for (size_t I = 0; I < Elems.size(); ++I)
+    M.store32(Addr + 4 + static_cast<uint32_t>(I) * 4,
+              std::bit_cast<uint32_t>(Elems[I]));
+  return Addr;
+}
+
+uint32_t HeapImage::string(const std::string &S) {
+  std::vector<int32_t> Codes(S.begin(), S.end());
+  return vector(Codes);
+}
+
+uint32_t HeapImage::cell(uint32_t Tag, const std::vector<uint32_t> &Fields) {
+  uint32_t Addr = alloc(static_cast<uint32_t>(Fields.size()) + 1);
+  M.store32(Addr, Tag);
+  for (size_t I = 0; I < Fields.size(); ++I)
+    M.store32(Addr + 4 + static_cast<uint32_t>(I) * 4, Fields[I]);
+  return Addr;
+}
+
+uint32_t HeapImage::consList(const std::vector<uint32_t> &Values,
+                             uint32_t ConsTag, uint32_t NilTag) {
+  uint32_t List = cell(NilTag, {});
+  for (size_t I = Values.size(); I-- > 0;)
+    List = cell(ConsTag, {Values[I], List});
+  return List;
+}
+
+std::vector<int32_t> HeapImage::readVector(uint32_t Addr) const {
+  uint32_t Len = M.load32(Addr);
+  std::vector<int32_t> Out(Len);
+  for (uint32_t I = 0; I < Len; ++I)
+    Out[I] = static_cast<int32_t>(M.load32(Addr + 4 + I * 4));
+  return Out;
+}
+
+std::vector<float> HeapImage::readVectorF(uint32_t Addr) const {
+  uint32_t Len = M.load32(Addr);
+  std::vector<float> Out(Len);
+  for (uint32_t I = 0; I < Len; ++I)
+    Out[I] = std::bit_cast<float>(M.load32(Addr + 4 + I * 4));
+  return Out;
+}

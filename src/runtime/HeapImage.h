@@ -1,0 +1,71 @@
+//===- HeapImage.h - Host-side heap value construction ----------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds ML runtime values (vectors, datatype cells, lists) directly in
+/// simulator memory before execution, and reads results back afterwards.
+/// The bump pointer is handed to the machine as the initial $hp so in-VM
+/// allocation continues where the host left off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_RUNTIME_HEAPIMAGE_H
+#define FAB_RUNTIME_HEAPIMAGE_H
+
+#include "runtime/Layout.h"
+#include "vm/Vm.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fab {
+
+/// Host-side allocator into the VM heap region.
+class HeapImage {
+public:
+  explicit HeapImage(Vm &Machine, uint32_t Base = layout::HeapBase)
+      : M(Machine), Next(Base) {}
+
+  /// Current bump pointer; install as the machine's initial $hp.
+  uint32_t heapTop() const { return Next; }
+
+  /// Allocates an int vector [length, elems...]; returns its address.
+  uint32_t vector(const std::vector<int32_t> &Elems);
+
+  /// Allocates a real vector (float bit patterns).
+  uint32_t vectorF(const std::vector<float> &Elems);
+
+  /// Allocates a string as an int vector of character codes.
+  uint32_t string(const std::string &S);
+
+  /// Allocates a datatype cell [tag, fields...].
+  uint32_t cell(uint32_t Tag, const std::vector<uint32_t> &Fields);
+
+  /// Builds a cons list from values using tags (ConsTag, NilTag); the list
+  /// layout matches `datatype t = Nil | Cons of elem * t` declaration order
+  /// (Nil = tag 0, Cons = tag 1) unless overridden.
+  uint32_t consList(const std::vector<uint32_t> &Values, uint32_t ConsTag = 1,
+                    uint32_t NilTag = 0);
+
+  // -- Reading results back -------------------------------------------------
+
+  int32_t loadInt(uint32_t Addr) const {
+    return static_cast<int32_t>(M.load32(Addr));
+  }
+  std::vector<int32_t> readVector(uint32_t Addr) const;
+  std::vector<float> readVectorF(uint32_t Addr) const;
+
+private:
+  uint32_t alloc(uint32_t Words);
+
+  Vm &M;
+  uint32_t Next;
+};
+
+} // namespace fab
+
+#endif // FAB_RUNTIME_HEAPIMAGE_H

@@ -1,0 +1,172 @@
+//===- Staging.cpp - Binding-time (staging) analysis ------------------------===//
+
+#include "staging/Staging.h"
+
+#include <vector>
+
+using namespace fab;
+using namespace fab::ml;
+
+namespace {
+
+Stage join(Stage A, Stage B) {
+  return (A == Stage::Late || B == Stage::Late) ? Stage::Late : Stage::Early;
+}
+
+class StagingAnalysis {
+public:
+  StagingAnalysis(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    for (auto &F : P.Functions) {
+      if (F->Groups.size() > 2) {
+        Diags.error(F->Loc, "function '" + F->Name +
+                                "' has more than two parameter groups; only "
+                                "two stages are supported");
+        continue;
+      }
+      if (F->isStaged())
+        analyzeStaged(*F);
+      else
+        markAllLate(*F->Body);
+    }
+    return !Diags.hasErrors();
+  }
+
+private:
+  void markAllLate(Expr &E) {
+    E.S = Stage::Late;
+    for (auto &K : E.Kids)
+      markAllLate(*K);
+    for (auto &Arm : E.Arms)
+      markAllLate(*Arm->Body);
+  }
+
+  void analyzeStaged(FunDef &F) {
+    if (F.Groups[1].size() > 4)
+      Diags.error(F.Loc,
+                  "staged function '" + F.Name +
+                      "' has more than four late parameters; the generated-"
+                      "code convention passes late arguments in registers");
+    SlotStage.assign(F.NumSlots, Stage::Late);
+    for (const Param &Pm : F.Groups[0])
+      SlotStage[Pm.Slot] = Stage::Early;
+    for (const Param &Pm : F.Groups[1])
+      SlotStage[Pm.Slot] = Stage::Late;
+    annotate(*F.Body);
+  }
+
+  Stage annotate(Expr &E) {
+    Stage S = annotateImpl(E);
+    E.S = S;
+    return S;
+  }
+
+  Stage annotateImpl(Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::RealLit:
+    case Expr::Kind::BoolLit:
+    case Expr::Kind::UnitLit:
+      return Stage::Early;
+
+    case Expr::Kind::Var:
+      return SlotStage[E.VarSlot];
+
+    case Expr::Kind::Unary:
+      return annotate(*E.Kids[0]);
+
+    case Expr::Kind::Binary:
+      return join(annotate(*E.Kids[0]), annotate(*E.Kids[1]));
+
+    case Expr::Kind::If: {
+      Stage C = annotate(*E.Kids[0]);
+      Stage T = annotate(*E.Kids[1]);
+      Stage F = annotate(*E.Kids[2]);
+      // Early condition: the generator unfolds the conditional; the result
+      // stage is the join of the arms. Late condition: emitted branch.
+      if (C == Stage::Early)
+        return join(T, F);
+      return Stage::Late;
+    }
+
+    case Expr::Kind::Let: {
+      Stage Rhs = annotate(*E.Kids[0]);
+      SlotStage[E.VarSlot] = Rhs;
+      Stage Body = annotate(*E.Kids[1]);
+      // Conservative: if the bound expression is late it is still emitted,
+      // so the whole let is late even when the body value is early.
+      return join(Rhs, Body);
+    }
+
+    case Expr::Kind::Case: {
+      Stage Scrut = annotate(*E.Kids[0]);
+      Stage Result = Stage::Early;
+      for (auto &Arm : E.Arms) {
+        // Pattern bindings inherit the scrutinee's stage.
+        if (Arm->PK == CaseArm::PatKind::Var &&
+            Arm->VarSlot != ~0u && !Arm->Con)
+          SlotStage[Arm->VarSlot] = Scrut;
+        for (uint32_t Slot : Arm->FieldSlots)
+          if (Slot != ~0u)
+            SlotStage[Slot] = Scrut;
+        Result = join(Result, annotate(*Arm->Body));
+      }
+      if (Scrut == Stage::Early)
+        return Result;
+      return Stage::Late;
+    }
+
+    case Expr::Kind::Con: {
+      Stage S = Stage::Early;
+      for (auto &K : E.Kids)
+        S = join(S, annotate(*K));
+      return S;
+    }
+
+    case Expr::Kind::Prim: {
+      Stage S = Stage::Early;
+      for (auto &K : E.Kids)
+        S = join(S, annotate(*K));
+      if (E.Prim == PrimKind::VSet)
+        return Stage::Late; // impure driver builtin: never early
+      return S;
+    }
+
+    case Expr::Kind::Call: {
+      FunDef *Callee = E.Callee;
+      assert(Callee && "unresolved call survived type checking");
+      if (Callee->isStaged()) {
+        // The callee's early group must be early here too: the generator
+        // invokes the callee's generator with these values.
+        size_t NumEarly = Callee->Groups[0].size();
+        for (size_t I = 0; I < E.Kids.size(); ++I) {
+          Stage S = annotate(*E.Kids[I]);
+          if (I < NumEarly && S == Stage::Late)
+            Diags.error(E.Kids[I]->Loc,
+                        "early argument of staged call to '" + Callee->Name +
+                            "' depends on a late value");
+        }
+        return Stage::Late;
+      }
+      // Unstaged callee: early call (the generator executes it) exactly
+      // when every argument is early.
+      Stage S = Stage::Early;
+      for (auto &K : E.Kids)
+        S = join(S, annotate(*K));
+      return S;
+    }
+    }
+    return Stage::Late;
+  }
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  std::vector<Stage> SlotStage;
+};
+
+} // namespace
+
+bool fab::analyzeStaging(Program &P, DiagnosticEngine &Diags) {
+  return StagingAnalysis(P, Diags).run();
+}

@@ -1,0 +1,47 @@
+//===- Staging.h - Binding-time (staging) analysis --------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staging analysis of paper section 3.1. A function declared with two
+/// curried parameter groups is *staged*: its first group is early and its
+/// second late. A dependency analysis extends this classification to every
+/// subexpression of the body: an expression is early exactly when all of
+/// its inputs are early, so it can be executed by the run-time code
+/// generator; everything else is late and will be emitted as code.
+///
+/// Conditionals and cases whose scrutinee is early are *unfolded*: the
+/// generator takes the branch and only the taken arm produces code. Early
+/// computations under late conditionals execute speculatively at
+/// specialization time (safe in the pure fragment; the paper's benchmarks
+/// share this property).
+///
+/// Checks enforced here:
+///  * at most two parameter groups (two stages);
+///  * the late group has at most four parameters (register convention);
+///  * inside a staged body, a call to a staged function must supply early
+///    expressions for the callee's early group;
+///  * `vset` (an impure driver builtin) is never early.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_STAGING_STAGING_H
+#define FAB_STAGING_STAGING_H
+
+#include "ml/Ast.h"
+
+namespace fab {
+
+/// Runs the staging analysis over every function in \p P, setting
+/// Expr::S on each body expression. Unstaged functions are annotated all
+/// late (they compile to ordinary code; the generator may still execute
+/// them directly when it calls them with early arguments).
+///
+/// \returns true if no staging constraint was violated.
+bool analyzeStaging(ml::Program &P, DiagnosticEngine &Diags);
+
+} // namespace fab
+
+#endif // FAB_STAGING_STAGING_H

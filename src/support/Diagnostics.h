@@ -1,0 +1,71 @@
+//===- Diagnostics.h - Error reporting for the FABIUS pipeline -*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic sink shared by the lexer, parser, type
+/// checker, and staging analysis. Library code never throws; user-visible
+/// errors accumulate in a DiagnosticEngine and internal invariants use
+/// assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_SUPPORT_DIAGNOSTICS_H
+#define FAB_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fab {
+
+/// A position in an ML source buffer (1-based line and column).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagLevel { Note, Warning, Error };
+
+/// One reported problem with its location and rendered message.
+struct Diagnostic {
+  DiagLevel Level = DiagLevel::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one compilation unit.
+///
+/// The pipeline keeps going after recoverable errors so that a single run
+/// reports as many problems as possible; callers check hasErrors() between
+/// phases.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line, for test assertions and CLI
+  /// output.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace fab
+
+#endif // FAB_SUPPORT_DIAGNOSTICS_H

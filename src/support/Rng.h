@@ -1,0 +1,62 @@
+//===- Rng.h - Deterministic PRNG for workloads and tests -------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small splitmix64-based PRNG. Benchmarks and property tests need
+/// reproducible streams that do not depend on the standard library's
+/// unspecified distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_SUPPORT_RNG_H
+#define FAB_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace fab {
+
+/// Deterministic 64-bit PRNG (splitmix64). Identical output on every
+/// platform for a given seed.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli draw: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Uniform float in [0, 1).
+  float unitFloat() {
+    return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace fab
+
+#endif // FAB_SUPPORT_RNG_H

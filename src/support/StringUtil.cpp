@@ -1,0 +1,34 @@
+//===- StringUtil.cpp -----------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+using namespace fab;
+
+std::string fab::hex32(uint32_t Value) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%08x", Value);
+  return Buf;
+}
+
+std::string fab::fixed(double Value, int Places) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Places, Value);
+  return Buf;
+}
+
+std::string fab::formatf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::vector<char> Buf(static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, Args);
+  va_end(Args);
+  return std::string(Buf.data(), static_cast<size_t>(Needed));
+}

@@ -1,0 +1,32 @@
+//===- StringUtil.h - Small string helpers ----------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers shared by the disassembler, diagnostics, and bench
+/// report printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_SUPPORT_STRINGUTIL_H
+#define FAB_SUPPORT_STRINGUTIL_H
+
+#include <cstdint>
+#include <string>
+
+namespace fab {
+
+/// Renders \p Value as 0x%08x.
+std::string hex32(uint32_t Value);
+
+/// Renders \p Value with a fixed number of decimal places (bench tables).
+std::string fixed(double Value, int Places);
+
+/// printf-style formatting into a std::string.
+std::string formatf(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace fab
+
+#endif // FAB_SUPPORT_STRINGUTIL_H

@@ -1,0 +1,398 @@
+//===- Vm.cpp - FAB-32 simulator execution loop ---------------------------===//
+
+#include "vm/Vm.h"
+
+#include "support/StringUtil.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+using namespace fab;
+
+VmStats VmStats::operator-(const VmStats &Rhs) const {
+  VmStats D;
+  D.Executed = Executed - Rhs.Executed;
+  D.ExecutedStatic = ExecutedStatic - Rhs.ExecutedStatic;
+  D.ExecutedDynamic = ExecutedDynamic - Rhs.ExecutedDynamic;
+  D.Loads = Loads - Rhs.Loads;
+  D.Stores = Stores - Rhs.Stores;
+  D.DynWordsWritten = DynWordsWritten - Rhs.DynWordsWritten;
+  D.Flushes = Flushes - Rhs.Flushes;
+  D.FlushedBytes = FlushedBytes - Rhs.FlushedBytes;
+  D.Cycles = Cycles - Rhs.Cycles;
+  return D;
+}
+
+std::string ExecResult::describe() const {
+  std::ostringstream OS;
+  switch (Reason) {
+  case StopReason::Halted:
+    OS << "halted, v0=" << static_cast<int32_t>(V0);
+    break;
+  case StopReason::ReturnedToHost:
+    OS << "returned, v0=" << static_cast<int32_t>(V0);
+    break;
+  case StopReason::OutOfFuel:
+    OS << "out of fuel at pc=" << hex32(FaultPc);
+    break;
+  case StopReason::Trapped:
+    OS << "trap at pc=" << hex32(FaultPc) << ": ";
+    switch (FaultKind) {
+    case Fault::None:
+      OS << "none";
+      break;
+    case Fault::BadFetch:
+      OS << "bad fetch";
+      break;
+    case Fault::BadAccess:
+      OS << "bad access";
+      break;
+    case Fault::BadInstruction:
+      OS << "bad instruction";
+      break;
+    case Fault::DivideByZero:
+      OS << "divide by zero";
+      break;
+    case Fault::IcacheIncoherent:
+      OS << "icache incoherent fetch";
+      break;
+    case Fault::ProgramTrap:
+      OS << "program trap code " << TrapValue;
+      break;
+    }
+    break;
+  }
+  return OS.str();
+}
+
+Vm::Vm(VmOptions Options) : Opts(Options) {
+  assert((Opts.MemBytes & 3) == 0 && "memory size must be word aligned");
+  Mem.resize(Opts.MemBytes, 0);
+}
+
+void Vm::setCodeRegions(uint32_t SLo, uint32_t SHi, uint32_t DLo,
+                        uint32_t DHi) {
+  StaticLo = SLo;
+  StaticHi = SHi;
+  DynLo = DLo;
+  DynHi = DHi;
+}
+
+uint32_t Vm::load32(uint32_t Addr) const {
+  assert(inBounds(Addr) && (Addr & 3) == 0 && "host load out of range");
+  uint32_t Value;
+  std::memcpy(&Value, &Mem[Addr], 4);
+  return Value;
+}
+
+void Vm::store32(uint32_t Addr, uint32_t Value) {
+  assert(inBounds(Addr) && (Addr & 3) == 0 && "host store out of range");
+  std::memcpy(&Mem[Addr], &Value, 4);
+}
+
+void Vm::writeBlock(uint32_t Addr, const uint32_t *Words, size_t Count) {
+  assert(inBounds(Addr + static_cast<uint32_t>(Count * 4) - 4) &&
+         "host block write out of range");
+  std::memcpy(&Mem[Addr], Words, Count * 4);
+}
+
+uint32_t Vm::fetch(uint32_t Addr) const {
+  uint32_t Value;
+  std::memcpy(&Value, &Mem[Addr], 4);
+  return Value;
+}
+
+ExecResult Vm::stopFault(Fault Kind, uint32_t Pc, uint32_t TrapValue) {
+  ExecResult R;
+  R.Reason = StopReason::Trapped;
+  R.FaultKind = Kind;
+  R.FaultPc = Pc;
+  R.TrapValue = TrapValue;
+  R.V0 = Regs[V0];
+  return R;
+}
+
+ExecResult Vm::call(uint32_t EntryPc, const std::vector<uint32_t> &Args) {
+  assert(Args.size() <= 4 && "host call supports at most 4 register args");
+  for (size_t I = 0; I < Args.size(); ++I)
+    Regs[A0 + I] = Args[I];
+  Regs[Ra] = HostReturnAddr;
+  return run(EntryPc);
+}
+
+ExecResult Vm::run(uint32_t EntryPc) {
+  uint32_t Pc = EntryPc;
+  uint64_t Budget = Opts.Fuel;
+  const uint32_t Line = Opts.IcacheLineBytes;
+
+  auto floatOf = [](uint32_t Bits) { return std::bit_cast<float>(Bits); };
+  auto bitsOf = [](float F) { return std::bit_cast<uint32_t>(F); };
+
+  while (true) {
+    if (Pc == HostReturnAddr) {
+      ExecResult R;
+      R.Reason = StopReason::ReturnedToHost;
+      R.V0 = Regs[V0];
+      return R;
+    }
+    if (!inBounds(Pc) || (Pc & 3))
+      return stopFault(Fault::BadFetch, Pc);
+    if (Budget-- == 0) {
+      ExecResult R;
+      R.Reason = StopReason::OutOfFuel;
+      R.FaultPc = Pc;
+      R.V0 = Regs[V0];
+      return R;
+    }
+
+    // Coherence check: the generated-code discipline requires a flush
+    // before executing freshly written dynamic code (paper section 3.4).
+    if (inDynRegion(Pc) && DirtyLines.count(Pc / Line)) {
+      ++CoherenceViolations;
+      if (Opts.TrapOnIncoherentFetch)
+        return stopFault(Fault::IcacheIncoherent, Pc);
+    }
+
+    uint32_t Word = fetch(Pc);
+    Inst I;
+    if (!decode(Word, I))
+      return stopFault(Fault::BadInstruction, Pc);
+
+    ++Stats.Executed;
+    ++Stats.Cycles;
+    if (inStaticRegion(Pc))
+      ++Stats.ExecutedStatic;
+    else if (inDynRegion(Pc))
+      ++Stats.ExecutedDynamic;
+
+    uint32_t NextPc = Pc + 4;
+    const uint32_t RsV = Regs[I.Rs];
+    const uint32_t RtV = Regs[I.Rt];
+
+    switch (I.Op) {
+    case Opcode::Special: {
+      uint32_t Result = 0;
+      bool WriteRd = true;
+      switch (I.Fn) {
+      case Funct::Sll:
+        Result = RtV << I.Shamt;
+        break;
+      case Funct::Srl:
+        Result = RtV >> I.Shamt;
+        break;
+      case Funct::Sra:
+        Result = static_cast<uint32_t>(static_cast<int32_t>(RtV) >> I.Shamt);
+        break;
+      case Funct::Sllv:
+        Result = RtV << (RsV & 31);
+        break;
+      case Funct::Srlv:
+        Result = RtV >> (RsV & 31);
+        break;
+      case Funct::Srav:
+        Result =
+            static_cast<uint32_t>(static_cast<int32_t>(RtV) >> (RsV & 31));
+        break;
+      case Funct::Jr:
+        NextPc = RsV;
+        WriteRd = false;
+        break;
+      case Funct::Jalr:
+        Result = Pc + 4;
+        NextPc = RsV;
+        break;
+      case Funct::Addu:
+        Result = RsV + RtV;
+        break;
+      case Funct::Subu:
+        Result = RsV - RtV;
+        break;
+      case Funct::And:
+        Result = RsV & RtV;
+        break;
+      case Funct::Or:
+        Result = RsV | RtV;
+        break;
+      case Funct::Xor:
+        Result = RsV ^ RtV;
+        break;
+      case Funct::Nor:
+        Result = ~(RsV | RtV);
+        break;
+      case Funct::Slt:
+        Result = static_cast<int32_t>(RsV) < static_cast<int32_t>(RtV);
+        break;
+      case Funct::Sltu:
+        Result = RsV < RtV;
+        break;
+      case Funct::Mul:
+        Result = static_cast<uint32_t>(static_cast<int32_t>(RsV) *
+                                       static_cast<int64_t>(
+                                           static_cast<int32_t>(RtV)));
+        break;
+      case Funct::Divq:
+        if (RtV == 0)
+          return stopFault(Fault::DivideByZero, Pc);
+        // INT_MIN / -1 wraps (hardware leaves it unspecified; we define it
+        // so the reference interpreter can match).
+        if (RsV == 0x80000000u && RtV == 0xFFFFFFFFu)
+          Result = 0x80000000u;
+        else
+          Result = static_cast<uint32_t>(static_cast<int32_t>(RsV) /
+                                         static_cast<int32_t>(RtV));
+        break;
+      case Funct::Rem:
+        if (RtV == 0)
+          return stopFault(Fault::DivideByZero, Pc);
+        if (RsV == 0x80000000u && RtV == 0xFFFFFFFFu)
+          Result = 0;
+        else
+          Result = static_cast<uint32_t>(static_cast<int32_t>(RsV) %
+                                         static_cast<int32_t>(RtV));
+        break;
+      case Funct::FAdd:
+        Result = bitsOf(floatOf(RsV) + floatOf(RtV));
+        break;
+      case Funct::FSub:
+        Result = bitsOf(floatOf(RsV) - floatOf(RtV));
+        break;
+      case Funct::FMul:
+        Result = bitsOf(floatOf(RsV) * floatOf(RtV));
+        break;
+      case Funct::FDiv:
+        Result = bitsOf(floatOf(RsV) / floatOf(RtV));
+        break;
+      case Funct::FLt:
+        Result = floatOf(RsV) < floatOf(RtV);
+        break;
+      case Funct::FLe:
+        Result = floatOf(RsV) <= floatOf(RtV);
+        break;
+      case Funct::FEq:
+        Result = floatOf(RsV) == floatOf(RtV);
+        break;
+      case Funct::CvtSW:
+        Result = bitsOf(static_cast<float>(static_cast<int32_t>(RsV)));
+        break;
+      case Funct::CvtWS:
+        Result = static_cast<uint32_t>(
+            static_cast<int32_t>(floatOf(RsV)));
+        break;
+      }
+      if (WriteRd && I.Rd != 0)
+        Regs[I.Rd] = Result;
+      break;
+    }
+
+    case Opcode::Ext:
+      switch (I.Ext) {
+      case ExtFn::Halt: {
+        ExecResult R;
+        R.Reason = StopReason::Halted;
+        R.V0 = Regs[V0];
+        return R;
+      }
+      case ExtFn::Flush: {
+        uint32_t Lo = RsV, Len = RtV;
+        ++Stats.Flushes;
+        Stats.FlushedBytes += Len;
+        Stats.Cycles += Opts.FlushTrapCycles;
+        if (Opts.FlushBytesPerCycle)
+          Stats.Cycles += Len / Opts.FlushBytesPerCycle;
+        for (uint32_t Addr = Lo & ~(Line - 1); Addr < Lo + Len; Addr += Line)
+          DirtyLines.erase(Addr / Line);
+        break;
+      }
+      case ExtFn::PutInt:
+        Output += std::to_string(static_cast<int32_t>(RsV));
+        break;
+      case ExtFn::PutCh:
+        Output += static_cast<char>(RsV & 0xFF);
+        break;
+      case ExtFn::Trap:
+        return stopFault(Fault::ProgramTrap, Pc, I.Shamt);
+      }
+      break;
+
+    case Opcode::J:
+      NextPc = (Pc & 0xF0000000u) | (I.Target << 2);
+      break;
+    case Opcode::Jal:
+      Regs[Ra] = Pc + 4;
+      NextPc = (Pc & 0xF0000000u) | (I.Target << 2);
+      break;
+    case Opcode::Beq:
+      if (RsV == RtV)
+        NextPc = Pc + 4 + (static_cast<int32_t>(I.Imm) << 2);
+      break;
+    case Opcode::Bne:
+      if (RsV != RtV)
+        NextPc = Pc + 4 + (static_cast<int32_t>(I.Imm) << 2);
+      break;
+    case Opcode::Addiu:
+      if (I.Rt != 0)
+        Regs[I.Rt] = RsV + static_cast<uint32_t>(static_cast<int32_t>(I.Imm));
+      break;
+    case Opcode::Slti:
+      if (I.Rt != 0)
+        Regs[I.Rt] =
+            static_cast<int32_t>(RsV) < static_cast<int32_t>(I.Imm);
+      break;
+    case Opcode::Sltiu:
+      if (I.Rt != 0)
+        Regs[I.Rt] =
+            RsV < static_cast<uint32_t>(static_cast<int32_t>(I.Imm));
+      break;
+    case Opcode::Andi:
+      if (I.Rt != 0)
+        Regs[I.Rt] = RsV & static_cast<uint16_t>(I.Imm);
+      break;
+    case Opcode::Ori:
+      if (I.Rt != 0)
+        Regs[I.Rt] = RsV | static_cast<uint16_t>(I.Imm);
+      break;
+    case Opcode::Xori:
+      if (I.Rt != 0)
+        Regs[I.Rt] = RsV ^ static_cast<uint16_t>(I.Imm);
+      break;
+    case Opcode::Lui:
+      if (I.Rt != 0)
+        Regs[I.Rt] = static_cast<uint32_t>(static_cast<uint16_t>(I.Imm)) << 16;
+      break;
+    case Opcode::Lw: {
+      uint32_t Addr = RsV + static_cast<uint32_t>(static_cast<int32_t>(I.Imm));
+      if (!inBounds(Addr) || (Addr & 3))
+        return stopFault(Fault::BadAccess, Pc);
+      ++Stats.Loads;
+      if (I.Rt != 0)
+        Regs[I.Rt] = fetch(Addr);
+      break;
+    }
+    case Opcode::Sw: {
+      uint32_t Addr = RsV + static_cast<uint32_t>(static_cast<int32_t>(I.Imm));
+      if (!inBounds(Addr) || (Addr & 3))
+        return stopFault(Fault::BadAccess, Pc);
+      ++Stats.Stores;
+      std::memcpy(&Mem[Addr], &RtV, 4);
+      if (inDynRegion(Addr)) {
+        ++Stats.DynWordsWritten;
+        DirtyLines.insert(Addr / Line);
+      }
+      break;
+    }
+    }
+
+    Pc = NextPc;
+  }
+}
+
+std::string Vm::disassembleRange(uint32_t Addr, unsigned Count) const {
+  std::ostringstream OS;
+  for (unsigned I = 0; I < Count; ++I) {
+    uint32_t A = Addr + I * 4;
+    OS << hex32(A) << ":  " << disassemble(load32(A), A) << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,179 @@
+//===- Vm.h - FAB-32 simulator ----------------------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic simulator for the FAB-32 ISA. It stands in for the
+/// paper's DECstation 5000/200: all benchmark results are reported in
+/// simulated cycles, so the paper's relative comparisons (FABIUS vs. C
+/// baselines, with vs. without run-time code generation, instructions
+/// executed per instruction generated) are directly measurable.
+///
+/// The simulator additionally models the instruction-cache coherence
+/// discipline of section 3.4: writes into the dynamic code segment mark
+/// I-cache lines dirty, the `flush` service instruction invalidates them
+/// (charging a kernel-trap cost plus a per-byte cost), and fetching from a
+/// dirty line is a detectable coherence violation. This lets the test
+/// suite verify that generated generators follow the paper's flush and
+/// line-alignment discipline rather than merely assuming it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_VM_VM_H
+#define FAB_VM_VM_H
+
+#include "isa/Isa.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace fab {
+
+/// Why an execution run stopped.
+enum class StopReason {
+  Halted,        ///< Ext/Halt executed
+  ReturnedToHost,///< jumped to the host return sentinel
+  Trapped,       ///< Ext/Trap or a machine fault
+  OutOfFuel,     ///< instruction budget exhausted
+};
+
+/// Machine faults (distinct from program-level TrapCodes).
+enum class Fault {
+  None,
+  BadFetch,         ///< PC outside memory or unaligned
+  BadAccess,        ///< load/store outside memory or unaligned
+  BadInstruction,   ///< undecodable word
+  DivideByZero,     ///< divq/rem with zero divisor
+  IcacheIncoherent, ///< fetched a dirty (unflushed) dynamic code line
+  ProgramTrap,      ///< Ext/Trap executed; see TrapValue
+};
+
+/// Execution statistics. All counters are cumulative over the life of the
+/// machine; benchmarks snapshot-and-subtract around regions of interest.
+struct VmStats {
+  uint64_t Executed = 0;        ///< instructions executed, total
+  uint64_t ExecutedStatic = 0;  ///< ... with PC in the static code region
+  uint64_t ExecutedDynamic = 0; ///< ... with PC in the dynamic code region
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t DynWordsWritten = 0; ///< words stored into the dynamic code
+                                ///< segment == instructions generated
+  uint64_t Flushes = 0;
+  uint64_t FlushedBytes = 0;
+  uint64_t Cycles = 0; ///< Executed + modeled flush penalties
+
+  VmStats operator-(const VmStats &Rhs) const;
+};
+
+/// Configuration for a simulator instance.
+struct VmOptions {
+  uint32_t MemBytes = 64u << 20; ///< flat memory size
+  uint64_t Fuel = 4'000'000'000ULL; ///< instruction budget per run() call
+  /// Modeled I-cache line size (bytes). DECstation 5000/200 had 16-byte
+  /// lines on a 64 KiB I-cache; we default to 16.
+  uint32_t IcacheLineBytes = 16;
+  /// Cost of one flush call: a kernel trap (~cycles) plus per-byte cost.
+  /// Paper: "a kernel trap plus approximately 0.8 nanoseconds per byte" on
+  /// a 25 MHz machine, i.e. one cycle per 50 bytes.
+  uint32_t FlushTrapCycles = 100;
+  uint32_t FlushBytesPerCycle = 50;
+  /// If true, fetching from a dirty dynamic-code line faults; if false the
+  /// violation is only counted (CoherenceViolations).
+  bool TrapOnIncoherentFetch = true;
+};
+
+/// Result of one run()/call() invocation.
+struct ExecResult {
+  StopReason Reason = StopReason::Halted;
+  Fault FaultKind = Fault::None;
+  uint32_t TrapValue = 0; ///< TrapCode for ProgramTrap
+  uint32_t FaultPc = 0;
+  uint32_t V0 = 0; ///< $v0 at stop time
+
+  bool ok() const {
+    return Reason == StopReason::Halted || Reason == StopReason::ReturnedToHost;
+  }
+  std::string describe() const;
+};
+
+/// The FAB-32 simulator.
+class Vm {
+public:
+  /// Address the host installs in $ra for call(); a jump here returns
+  /// control to the host.
+  static constexpr uint32_t HostReturnAddr = 0xFFFFFFF0u;
+
+  explicit Vm(VmOptions Opts = VmOptions());
+
+  /// Declares the code regions used for statistics and coherence checking.
+  /// [StaticLo, StaticHi) holds compiler output; [DynLo, DynHi) is the
+  /// run-time code segment.
+  void setCodeRegions(uint32_t StaticLo, uint32_t StaticHi, uint32_t DynLo,
+                      uint32_t DynHi);
+
+  // -- Memory access from the host -----------------------------------------
+
+  uint32_t load32(uint32_t Addr) const;
+  void store32(uint32_t Addr, uint32_t Value);
+  void writeBlock(uint32_t Addr, const uint32_t *Words, size_t Count);
+  uint32_t memBytes() const { return static_cast<uint32_t>(Mem.size()); }
+
+  // -- Register access ------------------------------------------------------
+
+  uint32_t reg(unsigned RegNo) const { return Regs[RegNo]; }
+  void setReg(unsigned RegNo, uint32_t Value) {
+    if (RegNo != 0)
+      Regs[RegNo] = Value;
+  }
+
+  // -- Execution ------------------------------------------------------------
+
+  /// Runs from \p EntryPc until halt/host-return/trap/fuel exhaustion.
+  ExecResult run(uint32_t EntryPc);
+
+  /// Calls a function using the FABIUS calling convention: up to four
+  /// arguments in $a0..$a3, result in $v0, $ra set to the host sentinel.
+  /// $sp must already be valid (see Runtime layout).
+  ExecResult call(uint32_t EntryPc, const std::vector<uint32_t> &Args);
+
+  const VmStats &stats() const { return Stats; }
+  uint64_t coherenceViolations() const { return CoherenceViolations; }
+
+  /// Debug output accumulated from PutInt/PutCh.
+  const std::string &output() const { return Output; }
+  void clearOutput() { Output.clear(); }
+
+  /// Disassembles \p Count instructions starting at \p Addr (debugging and
+  /// golden-code tests).
+  std::string disassembleRange(uint32_t Addr, unsigned Count) const;
+
+private:
+  bool inBounds(uint32_t Addr) const { return Addr + 3 < Mem.size(); }
+  bool inDynRegion(uint32_t Addr) const {
+    return Addr >= DynLo && Addr < DynHi;
+  }
+  bool inStaticRegion(uint32_t Addr) const {
+    return Addr >= StaticLo && Addr < StaticHi;
+  }
+  uint32_t fetch(uint32_t Addr) const;
+  ExecResult stopFault(Fault Kind, uint32_t Pc, uint32_t TrapValue = 0);
+
+  VmOptions Opts;
+  std::vector<uint8_t> Mem;
+  uint32_t Regs[32] = {0};
+  VmStats Stats;
+  uint64_t CoherenceViolations = 0;
+  std::string Output;
+
+  uint32_t StaticLo = 0, StaticHi = 0, DynLo = 0, DynHi = 0;
+  /// Dirty I-cache lines in the dynamic region (line index = addr / line).
+  std::unordered_set<uint32_t> DirtyLines;
+};
+
+} // namespace fab
+
+#endif // FAB_VM_VM_H

@@ -1,0 +1,154 @@
+//===- Inputs.h - Benchmark input generators --------------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic input generators for the benchmark programs, plus
+/// helpers that lay the inputs out in a Machine's heap in the shapes the
+/// ML programs expect. Substitutes for the paper's external inputs
+/// (matrices of 16-bit pseudo-random integers, /usr/dict/words, CMU
+/// packet traces) — see DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_WORKLOADS_INPUTS_H
+#define FAB_WORKLOADS_INPUTS_H
+
+#include "core/Fabius.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fab {
+namespace workloads {
+
+//===----------------------------------------------------------------------===//
+// Matrices (Figure 2)
+//===----------------------------------------------------------------------===//
+
+/// Flat n*n matrix of pseudo-random 16-bit integers; each entry is zero
+/// with probability \p ZeroFraction (paper: sparse = 90% zero).
+std::vector<int32_t> randomMatrixFlat(uint32_t N, double ZeroFraction,
+                                      Rng &R);
+
+/// Transposes a flat n*n matrix.
+std::vector<int32_t> transposeFlat(const std::vector<int32_t> &A, uint32_t N);
+
+/// Host-side reference multiply (the oracle for correctness tests).
+std::vector<int32_t> referenceMatmul(const std::vector<int32_t> &A,
+                                     const std::vector<int32_t> &B,
+                                     uint32_t N);
+
+/// Builds `int vector vector` rows of a flat matrix in the machine heap.
+uint32_t buildIntRows(Machine &M, const std::vector<int32_t> &Flat,
+                      uint32_t N);
+
+/// Builds an n x n `int vector vector` of zero rows (the result matrix).
+uint32_t buildZeroIntRows(Machine &M, uint32_t N);
+
+/// Reads back a row-vector matrix into flat form.
+std::vector<int32_t> readIntRows(Machine &M, uint32_t Rows, uint32_t N);
+
+//===----------------------------------------------------------------------===//
+// Regular expressions (Figure 5b)
+//===----------------------------------------------------------------------===//
+
+/// A Thompson NFA in the int-vector encoding the ML matcher consumes:
+/// state s = words [3s] kind, [3s+1] arg1, [3s+2] arg2; kinds are
+/// 0 = CHAR, 1 = SPLIT, 2 = MATCH, 3 = ANY. State 0 is the start state.
+struct Nfa {
+  std::vector<int32_t> Prog;
+  size_t numStates() const { return Prog.size() / 3; }
+};
+
+/// Compiles a pattern over literal characters, '.', postfix '*',
+/// alternation '|' and parentheses. Anchored at both ends (wrap with
+/// `.*` for substring search). Aborts on malformed patterns.
+Nfa compileRegex(const std::string &Pattern);
+
+/// Host-side backtracking matcher over the NFA encoding (the oracle).
+bool nfaMatches(const Nfa &N, const std::string &S);
+
+/// The paper's query: words containing the five vowels in order.
+inline std::string vowelsInOrderPattern() { return ".*a.*e.*i.*o.*u.*"; }
+
+/// Deterministic pronounceable word list standing in for /usr/dict/words;
+/// roughly \p VowelOrderedRate of the words contain the five vowels in
+/// order (e.g. "facetious").
+std::vector<std::string> wordList(size_t Count, uint64_t Seed,
+                                  double VowelOrderedRate = 0.02);
+
+//===----------------------------------------------------------------------===//
+// Association lists, sets, life (Figures 5c, 5d, 5e)
+//===----------------------------------------------------------------------===//
+
+/// Builds an `alist` (ANil = 0 | ACons of key * value * rest = 1).
+uint32_t buildAList(Machine &M,
+                    const std::vector<std::pair<int32_t, int32_t>> &Entries);
+
+/// Builds an `iset` (SNil = 0 | SCons of int * iset = 1).
+uint32_t buildISet(Machine &M, const std::vector<int32_t> &Elements);
+
+/// Cell ids (row * W + col) of \p Guns Gosper glider guns placed side by
+/// side, with the board dimensions returned through \p W and \p H.
+std::vector<int32_t> gliderGunCells(unsigned Guns, uint32_t &W, uint32_t &H);
+
+/// Host-side one-generation life step over cell ids (the oracle).
+std::vector<int32_t> referenceLifeStep(const std::vector<int32_t> &Live,
+                                       uint32_t W, uint32_t NumCells);
+
+//===----------------------------------------------------------------------===//
+// Strings for insertion sort (Figure 5f)
+//===----------------------------------------------------------------------===//
+
+/// Builds an `int vector vector` of string vectors in the machine heap.
+uint32_t buildStringArray(Machine &M, const std::vector<std::string> &Words);
+
+/// Reads the string array back.
+std::vector<std::string> readStringArray(Machine &M, uint32_t Arr);
+
+//===----------------------------------------------------------------------===//
+// Conjugate gradient (Figure 5a)
+//===----------------------------------------------------------------------===//
+
+/// A tridiagonal symmetric positive-definite system (2 on the diagonal,
+/// -1 off) stored as *dense* rows, with a pseudo-random right-hand side.
+void tridiagonalSystem(uint32_t N, Rng &R,
+                       std::vector<std::vector<float>> &Rows,
+                       std::vector<float> &B);
+
+/// Builds a `real vector vector` of rows in the machine heap.
+uint32_t buildRealRows(Machine &M, const std::vector<std::vector<float>> &Rows);
+
+/// Builds an `int vector vector` from explicit rows.
+uint32_t buildIntRowsV(Machine &M,
+                       const std::vector<std::vector<int32_t>> &Rows);
+
+/// Splits dense rows into the sparse pair-of-vectors representation the
+/// CG program consumes: per row, the nonzero column indices and values.
+void sparseFromDense(const std::vector<std::vector<float>> &Rows,
+                     std::vector<std::vector<int32_t>> &IdxRows,
+                     std::vector<std::vector<float>> &ValRows);
+
+/// Host-side CG (the oracle); returns the final squared residual.
+float referenceCg(const std::vector<std::vector<float>> &A,
+                  const std::vector<float> &B, uint32_t Iters);
+
+//===----------------------------------------------------------------------===//
+// Pseudoknot-like search
+//===----------------------------------------------------------------------===//
+
+/// Constraint table: 1 with probability \p CheckFraction (paper: most
+/// levels need no check).
+std::vector<int32_t> constraintTable(uint32_t Levels, double CheckFraction,
+                                     Rng &R);
+
+} // namespace workloads
+} // namespace fab
+
+#endif // FAB_WORKLOADS_INPUTS_H

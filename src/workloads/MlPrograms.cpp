@@ -1,0 +1,355 @@
+//===- MlPrograms.cpp - The paper's benchmark programs in ML ---------------===//
+
+#include "workloads/MlPrograms.h"
+
+using namespace fab;
+using namespace fab::workloads;
+
+const char *fab::workloads::MatmulSrc = R"ML(
+(* Integer dot product, staged on the left vector — the paper's section
+   3.1 program, verbatim modulo type annotations. Sparsity needs no help
+   from the source: the backend's run-time strength reduction eliminates
+   the multiply-add (and the v2 subscript) wherever v1 sub i is zero. *)
+fun dotloop (v1 : int vector, i, n) (v2 : int vector, sum) =
+  if i = n then sum
+  else dotloop (v1, i + 1, n) (v2, sum + (v1 sub i) * (v2 sub i))
+
+fun dotprod v1 v2 = dotloop (v1, 0, length v1) (v2, 0)
+
+(* Triply nested multiply: the outer loops select a row of a and a column
+   of b (bt holds b transposed, columns as vectors); the inner loop is the
+   staged dot product, so each row's specialization is reused for every
+   column (memoization). c must be preallocated n x n. *)
+fun mmloop (a : int vector vector, bt : int vector vector,
+            c : int vector vector, i, j, n) =
+  if i = n then 0
+  else if j = n then mmloop (a, bt, c, i + 1, 0, n)
+  else
+    let val row = a sub i
+        val d = dotloop (row, 0, length row) (bt sub j, 0)
+        val u = vset (c sub i, j, d)
+    in mmloop (a, bt, c, i, j + 1, n) end
+
+fun matmul (a : int vector vector, bt : int vector vector,
+            c : int vector vector) =
+  mmloop (a, bt, c, 0, 0, length a)
+)ML";
+
+const char *fab::workloads::FMatmulSrc = R"ML(
+(* Floating-point variant of the staged dot product and multiply; zero
+   rows entries vanish via run-time strength reduction exactly as in the
+   integer version. *)
+fun fdotloop (v1 : real vector, i, n) (v2 : real vector, sum : real) =
+  if i = n then sum
+  else fdotloop (v1, i + 1, n) (v2, sum + (v1 sub i) * (v2 sub i))
+
+fun fdotprod v1 v2 = fdotloop (v1, 0, length v1) (v2, 0.0)
+
+fun fmmloop (a : real vector vector, bt : real vector vector,
+             c : real vector vector, i, j, n) =
+  if i = n then 0
+  else if j = n then fmmloop (a, bt, c, i + 1, 0, n)
+  else
+    let val row = a sub i
+        val d = fdotloop (row, 0, length row) (bt sub j, 0.0)
+        val u = vset (c sub i, j, d)
+    in fmmloop (a, bt, c, i, j + 1, n) end
+
+fun fmatmul (a : real vector vector, bt : real vector vector,
+             c : real vector vector) =
+  fmmloop (a, bt, c, 0, 0, length a)
+)ML";
+
+const char *fab::workloads::EvalSrc = R"ML(
+(* The BSD packet filter interpreter of Figure 3, staged on the filter
+   program and program counter; the machine state (accumulator a, index
+   register x, scratch memory mem) and the packet are late — the paper's
+   exact signature. Instructions are pairs of words: word 0 =
+   opcode<<16 | jt<<8 | jf, word 1 = immediate k. All decoding is early
+   and vanishes from the generated code. *)
+fun eval (filter : int vector, pc) (a, x, mem : int vector,
+                                    pkt : int vector) =
+  if pc + 1 >= length filter then ~1
+  else
+  let val instr = filter sub pc
+      val opc = rsh (instr, 16)
+      val k = filter sub (pc + 1)
+  in
+  if opc = 0 then eval (filter, pc + 2) (k, x, mem, pkt)
+  else if opc = 1 then
+    (if k >= length pkt then ~1
+     else eval (filter, pc + 2) (pkt sub k, x, mem, pkt))
+  else if opc = 2 then
+    (if x + k >= length pkt orelse x + k < 0 then ~1
+     else eval (filter, pc + 2) (pkt sub (x + k), x, mem, pkt))
+  else if opc = 3 then eval (filter, pc + 2) (a, k, mem, pkt)
+  else if opc = 4 then eval (filter, pc + 2) (a, a, mem, pkt)
+  else if opc = 5 then eval (filter, pc + 2) (x, x, mem, pkt)
+  else if opc = 6 then eval (filter, pc + 2) (a + k, x, mem, pkt)
+  else if opc = 7 then eval (filter, pc + 2) (a - k, x, mem, pkt)
+  else if opc = 8 then eval (filter, pc + 2) (andb (a, k), x, mem, pkt)
+  else if opc = 9 then eval (filter, pc + 2) (orb (a, k), x, mem, pkt)
+  else if opc = 10 then eval (filter, pc + 2) (lsh (a, k), x, mem, pkt)
+  else if opc = 11 then eval (filter, pc + 2) (rsh (a, k), x, mem, pkt)
+  else if opc = 12 then
+    (if a = k
+     then eval (filter, pc + 2 + 2 * andb (rsh (instr, 8), 255))
+               (a, x, mem, pkt)
+     else eval (filter, pc + 2 + 2 * andb (instr, 255)) (a, x, mem, pkt))
+  else if opc = 13 then
+    (if a > k
+     then eval (filter, pc + 2 + 2 * andb (rsh (instr, 8), 255))
+               (a, x, mem, pkt)
+     else eval (filter, pc + 2 + 2 * andb (instr, 255)) (a, x, mem, pkt))
+  else if opc = 14 then
+    (if andb (a, k) <> 0
+     then eval (filter, pc + 2 + 2 * andb (rsh (instr, 8), 255))
+               (a, x, mem, pkt)
+     else eval (filter, pc + 2 + 2 * andb (instr, 255)) (a, x, mem, pkt))
+  else if opc = 15 then k
+  else if opc = 16 then a
+  else if opc = 17 then
+    (if k < 0 orelse k >= length mem then ~1
+     else let val u = vset (mem, k, a) in
+            eval (filter, pc + 2) (a, x, mem, pkt)
+          end)
+  else if opc = 18 then
+    (if k < 0 orelse k >= length mem then ~1
+     else eval (filter, pc + 2) (mem sub k, x, mem, pkt))
+  else ~1
+  end
+
+fun runfilter (filter : int vector, pkt : int vector) =
+  eval (filter, 0) (0, 0, mkvec (16, 0), pkt)
+)ML";
+
+const char *fab::workloads::RegexpSrc = R"ML(
+(* Backtracking matcher over a Thompson NFA held in an int vector: state
+   s occupies words 3s..3s+2 as [kind, arg1, arg2] with kinds
+   0 = CHAR (arg1 = code, arg2 = next), 1 = SPLIT (arg1, arg2 = branches),
+   2 = MATCH, 3 = ANY (arg2 = next). Staged on (prog, state): the NFA is
+   compiled into native code whose states are memoized specializations
+   (the paper's "finite state machine in native code"). *)
+fun rmatch (prog : int vector, st) (s : int vector, i) =
+  let val kind = prog sub (3 * st) in
+  if kind = 2 then (if i = length s then 1 else 0)
+  else if kind = 0 then
+    (if i >= length s then 0
+     else if s sub i = prog sub (3 * st + 1)
+     then rmatch (prog, prog sub (3 * st + 2)) (s, i + 1)
+     else 0)
+  else if kind = 3 then
+    (if i >= length s then 0
+     else rmatch (prog, prog sub (3 * st + 2)) (s, i + 1))
+  else
+    (if rmatch (prog, prog sub (3 * st + 1)) (s, i) = 1 then 1
+     else rmatch (prog, prog sub (3 * st + 2)) (s, i))
+  end
+
+fun matches (prog : int vector, s : int vector) = rmatch (prog, 0) (s, 0)
+)ML";
+
+const char *fab::workloads::AssocSrc = R"ML(
+(* Association-list lookup staged on the list: specialization unrolls the
+   list into an executable data structure (Figure 6) — straight-line
+   compares with the keys and values embedded as immediates. *)
+datatype alist = ANil | ACons of int * int * alist
+
+fun lookup (l : alist) (key : int) =
+  case l of
+    ANil => ~1
+  | ACons (k, v, rest) => if key = k then v else lookup rest key
+)ML";
+
+const char *fab::workloads::MemberSrc = R"ML(
+datatype iset = SNil | SCons of int * iset
+
+fun member (s : iset) (x : int) =
+  case s of
+    SNil => 0
+  | SCons (k, rest) => if x = k then 1 else member rest x
+)ML";
+
+const char *fab::workloads::LifeSrc = R"ML(
+(* Conway's game of life over a set of live cell ids (id = row*w + col).
+   Each generation specializes the membership test on the current set, so
+   the 9 probes per cell run straight-line compare chains with the cell
+   ids embedded as immediates. *)
+datatype iset = SNil | SCons of int * iset
+
+fun member (s : iset) (x : int) =
+  case s of
+    SNil => 0
+  | SCons (k, rest) => if x = k then 1 else member rest x
+
+fun neighbors (s : iset, c, w) =
+  member s (c - w - 1) + member s (c - w) + member s (c - w + 1) +
+  member s (c - 1) + member s (c + 1) +
+  member s (c + w - 1) + member s (c + w) + member s (c + w + 1)
+
+fun step (s : iset, c, n, w, acc : iset) =
+  if c = n then acc
+  else
+    let val cnt = neighbors (s, c, w)
+        val alive = member s c
+    in
+      if cnt = 3 orelse (alive = 1 andalso cnt = 2)
+      then step (s, c + 1, n, w, SCons (c, acc))
+      else step (s, c + 1, n, w, acc)
+    end
+
+fun size (s : iset) = szloop (s, 0)
+and szloop (s : iset, acc) =
+  case s of SNil => acc | SCons (k, r) => szloop (r, acc + 1)
+
+fun life (s : iset, gens, n, w) =
+  if gens = 0 then size s
+  else life (step (s, 0, n, w, SNil), gens - 1, n, w)
+)ML";
+
+const char *fab::workloads::IsortSrc = R"ML(
+(* Insertion sort of strings (int vectors of character codes) with the
+   lexical comparison staged on the inserted key — the paper's negative
+   result: most comparisons look at only a few characters, so the cost of
+   generating code for the whole key is wasted. *)
+fun lexlt (a : int vector, i, n) (b : int vector) =
+  if i = n then (if n < length b then 1 else 0)
+  else if i >= length b then 0
+  else if (a sub i) < (b sub i) then 1
+  else if (a sub i) > (b sub i) then 0
+  else lexlt (a, i + 1, n) (b)
+
+(* Shift elements right while key < arr[j-1]; returns the insert slot. *)
+fun shift (arr : int vector vector, j, keyv : int vector) =
+  if j = 0 then 0
+  else if lexlt (keyv, 0, length keyv) (arr sub (j - 1)) = 1
+  then let val u = vset (arr, j, arr sub (j - 1)) in
+         shift (arr, j - 1, keyv)
+       end
+  else j
+
+fun isort (arr : int vector vector, i, n) =
+  if i = n then 0
+  else
+    let val keyv = arr sub i
+        val p = shift (arr, i, keyv)
+        val u = vset (arr, p, keyv)
+    in isort (arr, i + 1, n) end
+
+fun sortall (arr : int vector vector) = isort (arr, 0, length arr)
+)ML";
+
+const char *fab::workloads::CgSrc = R"ML(
+(* Conjugate gradient for A x = b with A symmetric positive definite and
+   held in a sparse representation (after Wainwright & Sexton [37], the
+   paper's source): row i is a pair of vectors, the nonzero column
+   indices ri and the nonzero values rv. The row . vector product is
+   staged on the row: the sparse traversal is performed by the generator,
+   leaving straight-line multiply-adds with hard-wired offsets. *)
+fun rdot (ri : int vector, rv : real vector, i, n) (x : real vector,
+                                                    sum : real) =
+  if i = n then sum
+  else rdot (ri, rv, i + 1, n) (x, sum + (rv sub i) * (x sub (ri sub i)))
+
+fun mvloop (ai : int vector vector, av : real vector vector,
+            p : real vector, ap : real vector, i, n) =
+  if i = n then 0
+  else
+    let val ri = ai sub i
+        val d = rdot (ri, av sub i, 0, length ri) (p, 0.0)
+        val u = vset (ap, i, d)
+    in mvloop (ai, av, p, ap, i + 1, n) end
+
+fun vdot (x : real vector, y : real vector, i, n, s : real) =
+  if i = n then s
+  else vdot (x, y, i + 1, n, s + (x sub i) * (y sub i))
+
+fun vaxpy (y : real vector, x : real vector, a : real, i, n) =
+  if i = n then 0
+  else let val u = vset (y, i, (y sub i) + a * (x sub i)) in
+         vaxpy (y, x, a, i + 1, n)
+       end
+
+fun vxpby (p : real vector, r : real vector, b : real, i, n) =
+  if i = n then 0
+  else let val u = vset (p, i, (r sub i) + b * (p sub i)) in
+         vxpby (p, r, b, i + 1, n)
+       end
+
+fun vcopy (d : real vector, s : real vector, i, n) =
+  if i = n then 0
+  else let val u = vset (d, i, s sub i) in vcopy (d, s, i + 1, n) end
+
+fun cgloop (ai : int vector vector, av : real vector vector,
+            x : real vector, r : real vector, p : real vector,
+            ap : real vector, rs : real, it) =
+  if it = 0 then rs
+  else
+    let val n = length x
+        val u1 = mvloop (ai, av, p, ap, 0, n)
+        val pap = vdot (p, ap, 0, n, 0.0)
+        val alpha = rs / pap
+        val u2 = vaxpy (x, p, alpha, 0, n)
+        val u3 = vaxpy (r, ap, ~alpha, 0, n)
+        val rs2 = vdot (r, r, 0, n, 0.0)
+        val beta = rs2 / rs
+        val u4 = vxpby (p, r, beta, 0, n)
+    in cgloop (ai, av, x, r, p, ap, rs2, it - 1) end
+
+fun cg (ai : int vector vector, av : real vector vector, b : real vector,
+        x : real vector, r : real vector, p : real vector,
+        ap : real vector, iters) =
+  let val n = length x
+      val u1 = vcopy (r, b, 0, n)
+      val u2 = vcopy (p, b, 0, n)
+      val rs = vdot (r, r, 0, n, 0.0)
+  in cgloop (ai, av, x, r, p, ap, rs, iters) end
+)ML";
+
+const char *fab::workloads::PseudoknotSrc = R"ML(
+(* Pseudoknot-like synthetic constraint search: a chain of placement
+   levels. Every level performs placement arithmetic on the candidate
+   values (this work is inherent and stays in the generated code); only a
+   few levels carry a constraint check (chk sub lvl = 1). Specialization
+   on the constraint table removes just the per-level check dispatch, so
+   — as the paper observes — the improvement is marginal, because most
+   levels need no check and the removable overhead is small. *)
+(* Placement arithmetic shared by both configurations: with RTCG the
+   generated code calls the same static routine, so this work is not
+   specializable — mirroring the paper's geometry computations. *)
+fun placework (v, acc, k) =
+  if k = 0 then acc
+  else placework (v, (acc + (v * v - 3 * v + 7)) div 2 + v, k - 1)
+
+fun placement (v, acc) = placework (v, acc, 8)
+
+fun pk (chk : int vector, lvl, n) (vals : int vector, acc) =
+  if lvl = n then acc
+  else
+    let val v = vals sub lvl
+        val score = placement (v, acc)
+    in
+      if chk sub lvl = 1 then
+        (if andb (v, 7) = 0 then ~1
+         else pk (chk, lvl + 1, n) (vals, score))
+      else pk (chk, lvl + 1, n) (vals, score)
+    end
+
+fun pkrun (chk : int vector, vals : int vector, n) =
+  pk (chk, 0, n) (vals, 0)
+)ML";
+
+BackendOptions fab::workloads::deferredOptionsFor(const char *Src) {
+  BackendOptions Opts;
+  Opts.Mode = CompileMode::Deferred;
+  if (Src == EvalSrc) {
+    // Filter programs are DAGs: memoized self calls share the common
+    // accept/reject suffixes instead of duplicating them per branch.
+    Opts.MemoizedSelfCalls.insert("eval");
+  } else if (Src == RegexpSrc) {
+    // NFAs are cyclic (Kleene star): only memoization terminates
+    // specialization, yielding the native-code FSM.
+    Opts.MemoizedSelfCalls.insert("rmatch");
+  }
+  return Opts;
+}

@@ -1,0 +1,82 @@
+//===- MlPrograms.h - The paper's benchmark programs in ML ------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ML sources of every benchmark in the paper's section 4, written in
+/// the FABIUS subset. Each program is an *ordinary* ML program; staging is
+/// expressed purely through currying, exactly as in the paper. The same
+/// source compiles in Plain mode ("without RTCG") and Deferred mode
+/// ("with RTCG").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_WORKLOADS_MLPROGRAMS_H
+#define FAB_WORKLOADS_MLPROGRAMS_H
+
+#include "backend/Backend.h"
+
+namespace fab {
+namespace workloads {
+
+/// Integer dot product / matrix multiply (sections 3.1 and 4.1). The
+/// inner dot-product loop is staged on the left row; a generator-time
+/// zero test realizes the paper's run-time strength reduction on sparse
+/// rows. Entry points: `dotprod v1 v2`, `matmul (a, bt, c)` with bt the
+/// transposed right matrix (columns as vectors) and c preallocated.
+extern const char *MatmulSrc;
+
+/// Floating-point matrix multiply (the paper notes "similar improvements
+/// were also observed for floating-point matrix multiply"). Same shape as
+/// MatmulSrc over real vectors. Entry: `fmatmul (a, bt, c)`.
+extern const char *FMatmulSrc;
+
+/// The BSD packet filter interpreter (section 4.2, Figure 3), staged on
+/// (filter, pc). Entry: `runfilter (filter, pkt)`.
+extern const char *EvalSrc;
+
+/// Backtracking regular-expression matcher over a Thompson-style NFA
+/// program held in an int vector (section 4.3, Figure 5b), staged on
+/// (prog, state). Entry: `matches (prog, s)`.
+extern const char *RegexpSrc;
+
+/// Association-list lookup (section 4.3, Figures 5c and 6), staged on the
+/// list. Entry: `lookup l key`.
+extern const char *AssocSrc;
+
+/// Set membership (section 4.3, Figure 5d), staged on the set. Entries:
+/// `member s x`.
+extern const char *MemberSrc;
+
+/// Conway's game of life over a set of live cells (section 4.3, Figure
+/// 5e); the membership test is staged on each generation's set. Entry:
+/// `life (s, gens, ncells, w)` returning the final population.
+extern const char *LifeSrc;
+
+/// Insertion sort of strings with a comparison staged on the inserted key
+/// (section 4.3, Figure 5f — the paper's negative result). Entry:
+/// `sortall arr` (in-place over a vector of string vectors).
+extern const char *IsortSrc;
+
+/// Conjugate-gradient solver with the row·vector product staged on each
+/// (dense-represented, mostly-zero) matrix row (section 4.3, Figure 5a).
+/// Entry: `cg (a, b, x, r, p, ap, n, iters)` returning the final residual
+/// norm squared.
+extern const char *CgSrc;
+
+/// Pseudoknot-like synthetic constraint search (section 4.3): most levels
+/// need no constraint check, which specialization elides. Entry:
+/// `pkrun (chk, vals, n)`.
+extern const char *PseudoknotSrc;
+
+/// Backend options matched to each program (which staged functions need
+/// memoized self calls because their early arguments cycle or must be
+/// shared).
+BackendOptions deferredOptionsFor(const char *Src);
+
+} // namespace workloads
+} // namespace fab
+
+#endif // FAB_WORKLOADS_MLPROGRAMS_H

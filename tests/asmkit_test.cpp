@@ -1,0 +1,221 @@
+//===- asmkit_test.cpp - Assembler fixup and pseudo-instruction tests -----===//
+
+#include "asmkit/Assembler.h"
+
+#include "runtime/Layout.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace fab;
+
+namespace {
+
+ExecResult assembleAndRun(Assembler &A, Vm &M,
+                          const std::vector<uint32_t> &Args = {}) {
+  A.finalize();
+  M.setCodeRegions(layout::StaticCodeBase, layout::StaticCodeEnd,
+                   layout::DynCodeBase, layout::DynCodeEnd);
+  M.writeBlock(A.baseAddr(), A.code().data(), A.code().size());
+  M.setReg(Sp, layout::StackTop);
+  return M.call(A.baseAddr(), Args);
+}
+
+} // namespace
+
+TEST(AsmkitLabels, BackwardBranch) {
+  Assembler A(layout::StaticCodeBase);
+  Vm M;
+  Label Loop = A.newLabel();
+  A.li(T0, 3);
+  A.li(V0, 0);
+  A.bind(Loop);
+  A.addiu(V0, V0, 10);
+  A.addiu(T0, T0, -1);
+  A.bnez(T0, Loop);
+  A.jr(Ra);
+  EXPECT_EQ(static_cast<int32_t>(assembleAndRun(A, M).V0), 30);
+}
+
+TEST(AsmkitLabels, ForwardBranchFixup) {
+  Assembler A(layout::StaticCodeBase);
+  Vm M;
+  Label Skip = A.newLabel();
+  A.li(V0, 1);
+  A.beq(Zero, Zero, Skip);
+  A.li(V0, 2); // skipped
+  A.bind(Skip);
+  A.jr(Ra);
+  EXPECT_EQ(static_cast<int32_t>(assembleAndRun(A, M).V0), 1);
+}
+
+TEST(AsmkitLabels, ForwardJumpFixup) {
+  Assembler A(layout::StaticCodeBase);
+  Vm M;
+  Label End = A.newLabel();
+  A.li(V0, 7);
+  A.j(End);
+  A.li(V0, 8);
+  A.bind(End);
+  A.jr(Ra);
+  EXPECT_EQ(static_cast<int32_t>(assembleAndRun(A, M).V0), 7);
+}
+
+TEST(AsmkitLabels, LaLoadsForwardAddress) {
+  Assembler A(layout::StaticCodeBase);
+  Vm M;
+  Label Fn = A.newLabel();
+  A.la(T0, Fn);
+  A.jalr(T0);
+  A.jr(Ra);
+  A.bind(Fn);
+  A.li(V0, 55);
+  A.jr(Ra);
+  // Careful: jalr overwrote $ra; save it around the call.
+  Assembler B(layout::StaticCodeBase);
+  Vm M2;
+  Label Fn2 = B.newLabel();
+  B.move(T9, Ra);
+  B.la(T0, Fn2);
+  B.jalr(T0);
+  B.jr(T9);
+  B.bind(Fn2);
+  B.li(V0, 55);
+  B.jr(Ra);
+  EXPECT_EQ(static_cast<int32_t>(assembleAndRun(B, M2).V0), 55);
+}
+
+TEST(AsmkitPseudo, LiSelectsShortestForm) {
+  // Small signed constant: 1 instruction.
+  Assembler A(0x1000);
+  A.li(T0, -5);
+  EXPECT_EQ(A.sizeWords(), 1u);
+  // 16-bit unsigned: 1 instruction (ori).
+  Assembler B(0x1000);
+  B.li(T0, 0x9000);
+  EXPECT_EQ(B.sizeWords(), 1u);
+  // Full 32-bit: lui+ori.
+  Assembler C(0x1000);
+  C.li(T0, static_cast<int32_t>(0x12345678));
+  EXPECT_EQ(C.sizeWords(), 2u);
+  // Upper-half only: lui alone.
+  Assembler D(0x1000);
+  D.li(T0, static_cast<int32_t>(0x00050000));
+  EXPECT_EQ(D.sizeWords(), 1u);
+}
+
+TEST(AsmkitPseudo, LiUpperOnlyIsSingleLui) {
+  Assembler A(0x1000);
+  A.li(T0, static_cast<int32_t>(0x00070000));
+  EXPECT_EQ(A.sizeWords(), 1u);
+  Vm M;
+  Assembler B(layout::StaticCodeBase);
+  B.li(V0, static_cast<int32_t>(0x00070000));
+  B.jr(Ra);
+  EXPECT_EQ(assembleAndRun(B, M).V0, 0x00070000u);
+}
+
+TEST(AsmkitPseudo, ComparisonBranches) {
+  // v0 = (a0 < a1 signed) ? 1 : 0 via blt.
+  Assembler A(layout::StaticCodeBase);
+  Vm M;
+  Label Yes = A.newLabel();
+  A.blt(A0, A1, Yes);
+  A.li(V0, 0);
+  A.jr(Ra);
+  A.bind(Yes);
+  A.li(V0, 1);
+  A.jr(Ra);
+  EXPECT_EQ(assembleAndRun(A, M, {static_cast<uint32_t>(-3), 2}).V0, 1u);
+
+  Assembler B(layout::StaticCodeBase);
+  Vm M2;
+  Label Yes2 = B.newLabel();
+  B.bltu(A0, A1, Yes2);
+  B.li(V0, 0);
+  B.jr(Ra);
+  B.bind(Yes2);
+  B.li(V0, 1);
+  B.jr(Ra);
+  // Unsigned: 0xFFFFFFFD is not < 2.
+  EXPECT_EQ(assembleAndRun(B, M2, {static_cast<uint32_t>(-3), 2}).V0, 0u);
+}
+
+TEST(AsmkitAlign, AlignToPadsWithNops) {
+  Assembler A(layout::StaticCodeBase);
+  A.li(T0, 1);
+  A.alignTo(16);
+  EXPECT_EQ(A.currentAddr() % 16, 0u);
+  uint32_t Addr = A.currentAddr();
+  A.alignTo(16); // already aligned: no change
+  EXPECT_EQ(A.currentAddr(), Addr);
+}
+
+TEST(AsmkitData, RawWords) {
+  Assembler A(layout::StaticCodeBase);
+  A.data(0xCAFEBABE);
+  A.finalize();
+  EXPECT_EQ(A.code()[0], 0xCAFEBABEu);
+}
+
+TEST(AsmkitLabels, HereBindsImmediately) {
+  Assembler A(layout::StaticCodeBase);
+  A.nop();
+  Label L = A.here();
+  EXPECT_EQ(A.addrOf(L), layout::StaticCodeBase + 4);
+}
+
+TEST(AsmkitEncode, JalrLinksInRa) {
+  // jalr's default link register is $ra; encoding places the target in rs.
+  uint32_t W = encodeR(Funct::Jalr, Ra, T3, Zero);
+  Inst I;
+  ASSERT_TRUE(decode(W, I));
+  EXPECT_EQ(I.Rd, Ra);
+  EXPECT_EQ(I.Rs, T3);
+}
+
+TEST(AsmkitPseudo, NotComplement) {
+  Assembler A(layout::StaticCodeBase);
+  Vm M;
+  A.li(T0, 0x0F0F);
+  A.not_(V0, T0);
+  A.jr(Ra);
+  A.finalize();
+  M.setCodeRegions(layout::StaticCodeBase, layout::StaticCodeEnd,
+                   layout::DynCodeBase, layout::DynCodeEnd);
+  M.writeBlock(A.baseAddr(), A.code().data(), A.code().size());
+  M.setReg(Sp, layout::StackTop);
+  EXPECT_EQ(M.call(A.baseAddr(), {}).V0, ~0x0F0Fu);
+}
+
+TEST(AsmkitLabels, ManyForwardReferences) {
+  // A dispatch ladder with 100 forward branches all patched correctly.
+  Assembler A(layout::StaticCodeBase);
+  Vm M;
+  std::vector<Label> Ls;
+  for (int I = 0; I < 100; ++I)
+    Ls.push_back(A.newLabel());
+  Label End = A.newLabel();
+  // if a0 == I goto L_I (for each I)
+  for (int I = 0; I < 100; ++I) {
+    A.li(At, I);
+    A.beq(A0, At, Ls[static_cast<size_t>(I)]);
+  }
+  A.li(V0, -1);
+  A.j(End);
+  for (int I = 0; I < 100; ++I) {
+    A.bind(Ls[static_cast<size_t>(I)]);
+    A.li(V0, I * 10);
+    A.j(End);
+  }
+  A.bind(End);
+  A.jr(Ra);
+  A.finalize();
+  M.setCodeRegions(layout::StaticCodeBase, layout::StaticCodeEnd,
+                   layout::DynCodeBase, layout::DynCodeEnd);
+  M.writeBlock(A.baseAddr(), A.code().data(), A.code().size());
+  M.setReg(Sp, layout::StackTop);
+  EXPECT_EQ(static_cast<int32_t>(M.call(A.baseAddr(), {42}).V0), 420);
+  EXPECT_EQ(static_cast<int32_t>(M.call(A.baseAddr(), {99}).V0), 990);
+  EXPECT_EQ(static_cast<int32_t>(M.call(A.baseAddr(), {777}).V0), -1);
+}

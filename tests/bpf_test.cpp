@@ -1,0 +1,111 @@
+//===- bpf_test.cpp - BPF substrate unit tests -----------------------------===//
+
+#include "bpf/Bpf.h"
+
+#include <gtest/gtest.h>
+
+using namespace fab;
+using namespace fab::bpf;
+
+TEST(BpfBuilder, EncodesOpcodeAndOffsets) {
+  Program P = Builder().jeqK(0x800, 2, 5).build();
+  ASSERT_EQ(P.Words.size(), 2u);
+  uint32_t W = static_cast<uint32_t>(P.Words[0]);
+  EXPECT_EQ(W >> 16, static_cast<uint32_t>(Op::JeqK));
+  EXPECT_EQ((W >> 8) & 0xFF, 2u);
+  EXPECT_EQ(W & 0xFF, 5u);
+  EXPECT_EQ(P.Words[1], 0x800);
+}
+
+TEST(BpfValidate, AcceptsCanned) {
+  EXPECT_EQ(validate(ethIpFilter()), "");
+  EXPECT_EQ(validate(telnetFilter()), "");
+}
+
+TEST(BpfValidate, RejectsBranchPastEnd) {
+  Program P = Builder().jeqK(1, 10, 0).retK(0).build();
+  EXPECT_NE(validate(P), "");
+}
+
+TEST(BpfValidate, RejectsFallOffEnd) {
+  Program P = Builder().ld(1).build();
+  EXPECT_NE(validate(P), "");
+}
+
+TEST(BpfValidate, RejectsUnknownOpcode) {
+  Program P;
+  P.Words = {static_cast<int32_t>(99u << 16), 0};
+  EXPECT_NE(validate(P), "");
+}
+
+TEST(BpfInterp, AluAndBranches) {
+  // A = pkt[0]; A &= 0xF0; A >>= 4; if (A == 3) ret 100 else ret A.
+  Program P = Builder()
+                  .ldAbs(0)
+                  .andK(0xF0)
+                  .rshK(4)
+                  .jeqK(3, 0, 1)
+                  .retK(100)
+                  .retA()
+                  .build();
+  EXPECT_EQ(interpret(P, {0x30}), 100);
+  EXPECT_EQ(interpret(P, {0x70}), 7);
+}
+
+TEST(BpfInterp, IndexRegisterAndLdInd) {
+  // X = pkt[0]; A = pkt[X + 1]; ret A.
+  Program P = Builder().ldAbs(0).tax().ldInd(1).retA().build();
+  EXPECT_EQ(interpret(P, {2, 10, 20, 30}), 30);
+}
+
+TEST(BpfInterp, OutOfRangeLoadIsError) {
+  Program P = Builder().ldAbs(5).retA().build();
+  EXPECT_EQ(interpret(P, {1, 2}), IndexError);
+}
+
+TEST(BpfInterp, JgtAndJset) {
+  Program P = Builder()
+                  .ldAbs(0)
+                  .jgtK(10, 0, 1)
+                  .retK(1)
+                  .jsetK(0x4, 0, 1)
+                  .retK(2)
+                  .retK(3)
+                  .build();
+  EXPECT_EQ(interpret(P, {11}), 1);
+  EXPECT_EQ(interpret(P, {6}), 2); // 6 & 4
+  EXPECT_EQ(interpret(P, {3}), 3);
+}
+
+TEST(BpfRandom, AlwaysValidates) {
+  for (uint64_t Seed = 0; Seed < 50; ++Seed) {
+    Rng R(Seed);
+    Program P = randomFilter(R, 10);
+    EXPECT_EQ(validate(P), "") << P.disassemble();
+  }
+}
+
+TEST(BpfDisasm, RendersBranches) {
+  std::string D = telnetFilter().disassemble();
+  EXPECT_NE(D.find("jeq 2048"), std::string::npos);
+  EXPECT_NE(D.find("ret 1"), std::string::npos);
+}
+
+TEST(BpfInterp, ScratchMemoryRoundTrip) {
+  // A = pkt[0]; mem[3] = A; A = 0; A = mem[3]; ret A.
+  Program P = Builder().ldAbs(0).stM(3).ld(0).ldM(3).retA().build();
+  EXPECT_EQ(validate(P), "");
+  EXPECT_EQ(interpret(P, {77}), 77);
+}
+
+TEST(BpfInterp, ScratchStartsZeroed) {
+  Program P = Builder().ldM(9).retA().build();
+  EXPECT_EQ(interpret(P, {1}), 0);
+}
+
+TEST(BpfValidate, ScratchIndexRangeChecked) {
+  Program P = Builder().stM(16).retK(0).build();
+  EXPECT_NE(validate(P), "");
+  Program P2 = Builder().ldM(-1).retK(0).build();
+  EXPECT_NE(validate(P2), "");
+}

@@ -1,0 +1,97 @@
+//===- frontend_fuzz_test.cpp - Lexer/parser robustness fuzzing -----------===//
+//
+// The frontend must never crash: random byte soup, random token soup, and
+// truncations of valid programs all either parse or produce diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Parser.h"
+#include "ml/TypeCheck.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace fab;
+using namespace fab::ml;
+
+namespace {
+
+/// Runs the pipeline as far as it goes; only checks for no-crash and the
+/// invariant that a failing phase reports at least one error.
+void feed(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = parse(Src, D);
+  ASSERT_NE(P, nullptr);
+  if (!D.hasErrors()) {
+    TypeContext T;
+    typecheck(*P, T, D);
+  }
+}
+
+} // namespace
+
+TEST(FrontendFuzz, RandomBytes) {
+  Rng R(0xBADF00D);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    std::string S;
+    size_t Len = R.below(200);
+    for (size_t I = 0; I < Len; ++I)
+      S += static_cast<char>(32 + R.below(95)); // printable ASCII
+    feed(S);
+  }
+}
+
+TEST(FrontendFuzz, RandomTokenSoup) {
+  static const char *Toks[] = {
+      "fun",  "and",    "datatype", "of",   "if",   "then", "else",
+      "let",  "val",    "in",       "end",  "case", "sub",  "andalso",
+      "orelse", "div",  "mod",      "true", "false", "not", "(",
+      ")",    ",",      "=",        "<>",   "<",    "<=",   ">",
+      ">=",   "+",      "-",        "*",    "/",    "~",    "|",
+      "=>",   ":",      "_",        "x",    "f",    "Cons", "42",
+      "3.14", "0xFF",   "int",      "vector"};
+  Rng R(0x70CE75);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::string S;
+    size_t Len = R.below(60);
+    for (size_t I = 0; I < Len; ++I) {
+      S += Toks[R.below(std::size(Toks))];
+      S += ' ';
+    }
+    feed(S);
+  }
+}
+
+TEST(FrontendFuzz, TruncationsOfValidProgram) {
+  const std::string Valid =
+      "datatype ilist = Nil | Cons of int * ilist\n"
+      "fun sum (l, acc) = case l of Nil => acc "
+      "| Cons (x, rest) => sum (rest, acc + x)\n"
+      "fun loop (v1 : int vector, i, n) (v2 : int vector, s) =\n"
+      "  if i = n then s"
+      "  else loop (v1, i + 1, n) (v2, s + (v1 sub i) * (v2 sub i))";
+  for (size_t Cut = 0; Cut <= Valid.size(); Cut += 3)
+    feed(Valid.substr(0, Cut));
+}
+
+TEST(FrontendFuzz, DeeplyNestedExpressions) {
+  // Deep nesting must not blow the parser (recursion bounded by input).
+  std::string S = "fun f x = ";
+  for (int I = 0; I < 200; ++I)
+    S += "(1 + ";
+  S += "x";
+  for (int I = 0; I < 200; ++I)
+    S += ")";
+  feed(S);
+}
+
+TEST(FrontendFuzz, ManyErrorsDoNotCascadeForever) {
+  std::string S;
+  for (int I = 0; I < 100; ++I)
+    S += "fun = = = )\n";
+  DiagnosticEngine D;
+  auto P = parse(S, D);
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_LT(D.errorCount(), 200u); // the parser bails out of cascades
+}

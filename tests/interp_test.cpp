@@ -1,0 +1,130 @@
+//===- interp_test.cpp - Reference AST interpreter unit tests -------------===//
+
+#include "ml/Interp.h"
+
+#include "ml/Parser.h"
+#include "ml/TypeCheck.h"
+#include "staging/Staging.h"
+
+#include <gtest/gtest.h>
+
+using namespace fab;
+using namespace fab::ml;
+
+namespace {
+
+struct Checked {
+  std::unique_ptr<Program> P;
+  TypeContext Types;
+};
+
+std::unique_ptr<Program> check(const std::string &Src, TypeContext &T) {
+  DiagnosticEngine D;
+  auto P = parse(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  EXPECT_TRUE(typecheck(*P, T, D)) << D.str();
+  EXPECT_TRUE(analyzeStaging(*P, D)) << D.str();
+  return P;
+}
+
+} // namespace
+
+TEST(InterpTest, Arithmetic) {
+  TypeContext T;
+  auto P = check("fun f (x, y) = x * y + x div y - x mod y", T);
+  Interp I(*P);
+  EXPECT_EQ(I.call("f", {17, 5}), 17u * 5 + 17 / 5 - 17 % 5);
+}
+
+TEST(InterpTest, WrapsOnOverflow) {
+  TypeContext T;
+  auto P = check("fun f (x : int) = x * x", T);
+  Interp I(*P);
+  auto R = I.call("f", {0x10000});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, 0u); // 2^32 wraps
+}
+
+TEST(InterpTest, DivZeroTraps) {
+  TypeContext T;
+  auto P = check("fun f (x, y) = x div y", T);
+  Interp I(*P);
+  EXPECT_FALSE(I.call("f", {1, 0}).has_value());
+  EXPECT_EQ(I.trap(), InterpTrap::DivZero);
+}
+
+TEST(InterpTest, IntMinDivMinusOneWraps) {
+  TypeContext T;
+  auto P = check("fun f (x, y) = x div y", T);
+  Interp I(*P);
+  EXPECT_EQ(I.call("f", {0x80000000u, 0xFFFFFFFFu}), 0x80000000u);
+}
+
+TEST(InterpTest, VectorsAndBounds) {
+  TypeContext T;
+  auto P = check("fun f (v : int vector, i) = v sub i + length v", T);
+  Interp I(*P);
+  uint32_t V = I.vector({10, 20, 30});
+  EXPECT_EQ(I.call("f", {V, 1}), 23u);
+  EXPECT_FALSE(I.call("f", {V, 3}).has_value());
+  EXPECT_EQ(I.trap(), InterpTrap::Bounds);
+}
+
+TEST(InterpTest, MkVecAndVSet) {
+  TypeContext T;
+  auto P = check(
+      "fun f n = let val v = mkvec (n, 7) val u = vset (v, 2, 99) in "
+      "v sub 0 + v sub 2 end", T);
+  Interp I(*P);
+  EXPECT_EQ(I.call("f", {4}), 7u + 99u);
+}
+
+TEST(InterpTest, DatatypesAndRecursion) {
+  TypeContext T;
+  auto P = check(
+      "datatype ilist = Nil | Cons of int * ilist\n"
+      "fun sum l = case l of Nil => 0 | Cons (x, r) => x + sum r", T);
+  Interp I(*P);
+  uint32_t L = I.cell(0, {});
+  L = I.cell(1, {5, L});
+  L = I.cell(1, {6, L});
+  EXPECT_EQ(I.call("sum", {L}), 11u);
+}
+
+TEST(InterpTest, MatchFailureTraps) {
+  TypeContext T;
+  auto P = check("datatype t = A | B\nfun f x = case x of A => 1 | B => 2",
+                 T);
+  Interp I(*P);
+  uint32_t Bogus = I.cell(7, {});
+  EXPECT_FALSE(I.call("f", {Bogus}).has_value());
+  EXPECT_EQ(I.trap(), InterpTrap::MatchFail);
+}
+
+TEST(InterpTest, FuelBoundsRunaway) {
+  TypeContext T;
+  auto P = check("fun f (x : int) = 1 + f x", T);
+  Interp I(*P, /*Fuel=*/1000);
+  EXPECT_FALSE(I.call("f", {1}).has_value());
+  EXPECT_EQ(I.trap(), InterpTrap::OutOfFuel);
+}
+
+TEST(InterpTest, RealArithmeticBitExact) {
+  TypeContext T;
+  auto P = check("fun f (x : real, y : real) = x / y + 0.5", T);
+  Interp I(*P);
+  uint32_t X = std::bit_cast<uint32_t>(1.0f);
+  uint32_t Y = std::bit_cast<uint32_t>(3.0f);
+  auto R = I.call("f", {X, Y});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(std::bit_cast<float>(*R), 1.0f / 3.0f + 0.5f);
+}
+
+TEST(InterpTest, BitwisePrims) {
+  TypeContext T;
+  auto P = check("fun f (a, b) = orb (andb (a, b), lsh (xorb (a, b), 1))",
+                 T);
+  Interp I(*P);
+  uint32_t A = 0xF0F0, B = 0x0FF0;
+  EXPECT_EQ(I.call("f", {A, B}), ((A & B) | ((A ^ B) << 1)));
+}

@@ -1,0 +1,169 @@
+//===- isa_test.cpp - FAB-32 encoder/decoder/disassembler tests -----------===//
+
+#include "isa/Isa.h"
+
+#include <gtest/gtest.h>
+
+using namespace fab;
+
+TEST(IsaEncode, RTypeFields) {
+  uint32_t W = encodeR(Funct::Addu, T0, A0, A1);
+  Inst I;
+  ASSERT_TRUE(decode(W, I));
+  EXPECT_EQ(I.Op, Opcode::Special);
+  EXPECT_EQ(I.Fn, Funct::Addu);
+  EXPECT_EQ(I.Rd, T0);
+  EXPECT_EQ(I.Rs, A0);
+  EXPECT_EQ(I.Rt, A1);
+  EXPECT_EQ(I.Shamt, 0);
+}
+
+TEST(IsaEncode, ShiftShamt) {
+  uint32_t W = encodeR(Funct::Sll, T1, Zero, T2, 2);
+  Inst I;
+  ASSERT_TRUE(decode(W, I));
+  EXPECT_EQ(I.Fn, Funct::Sll);
+  EXPECT_EQ(I.Shamt, 2);
+  EXPECT_EQ(I.Rt, T2);
+  EXPECT_EQ(I.Rd, T1);
+}
+
+TEST(IsaEncode, ITypeSignedImmediate) {
+  uint32_t W = encodeI(Opcode::Addiu, T0, Sp, -8);
+  Inst I;
+  ASSERT_TRUE(decode(W, I));
+  EXPECT_EQ(I.Op, Opcode::Addiu);
+  EXPECT_EQ(I.Rt, T0);
+  EXPECT_EQ(I.Rs, Sp);
+  EXPECT_EQ(I.Imm, -8);
+}
+
+TEST(IsaEncode, ITypeImmediateTruncates) {
+  uint32_t W = encodeI(Opcode::Ori, T0, Zero, 0xABCD);
+  Inst I;
+  ASSERT_TRUE(decode(W, I));
+  EXPECT_EQ(static_cast<uint16_t>(I.Imm), 0xABCD);
+}
+
+TEST(IsaEncode, JTypeRoundTrip) {
+  uint32_t W = encodeJ(Opcode::Jal, 0x0030'0040);
+  Inst I;
+  ASSERT_TRUE(decode(W, I));
+  EXPECT_EQ(I.Op, Opcode::Jal);
+  EXPECT_EQ(I.Target << 2, 0x0030'0040u);
+}
+
+TEST(IsaEncode, ExtEncoding) {
+  uint32_t W = encodeExt(ExtFn::Flush, A0, A1);
+  Inst I;
+  ASSERT_TRUE(decode(W, I));
+  EXPECT_EQ(I.Op, Opcode::Ext);
+  EXPECT_EQ(I.Ext, ExtFn::Flush);
+  EXPECT_EQ(I.Rs, A0);
+  EXPECT_EQ(I.Rt, A1);
+}
+
+TEST(IsaEncode, TrapCarriesCodeInShamt) {
+  uint32_t W = encodeExt(ExtFn::Trap, Zero, Zero,
+                         static_cast<unsigned>(TrapCode::Bounds));
+  Inst I;
+  ASSERT_TRUE(decode(W, I));
+  EXPECT_EQ(I.Ext, ExtFn::Trap);
+  EXPECT_EQ(I.Shamt, static_cast<unsigned>(TrapCode::Bounds));
+}
+
+TEST(IsaDecode, RejectsUnknownPrimaryOpcode) {
+  Inst I;
+  EXPECT_FALSE(decode(0x3Fu << 26, I));
+  EXPECT_FALSE(decode(0x15u << 26, I));
+}
+
+TEST(IsaDecode, RejectsUnknownFunct) {
+  Inst I;
+  EXPECT_FALSE(decode(0x3Fu, I)); // Special with funct 63
+  EXPECT_FALSE(decode(0x25u, I)); // hole between Rem and FAdd
+}
+
+TEST(IsaDecode, NopIsSllZero) {
+  Inst I;
+  ASSERT_TRUE(decode(0, I));
+  EXPECT_EQ(I.Op, Opcode::Special);
+  EXPECT_EQ(I.Fn, Funct::Sll);
+  EXPECT_EQ(disassemble(0, 0), "nop");
+}
+
+TEST(IsaDisasm, BasicForms) {
+  EXPECT_EQ(disassemble(encodeR(Funct::Addu, T0, A0, A1), 0),
+            "addu $t0, $a0, $a1");
+  EXPECT_EQ(disassemble(encodeI(Opcode::Lw, T1, A0, 16), 0),
+            "lw $t1, 16($a0)");
+  EXPECT_EQ(disassemble(encodeI(Opcode::Sw, T1, Sp, -4), 0),
+            "sw $t1, -4($sp)");
+  EXPECT_EQ(disassemble(encodeR(Funct::Jr, Zero, Ra, Zero), 0), "jr $ra");
+  EXPECT_EQ(disassemble(encodeExt(ExtFn::Halt), 0), "halt");
+}
+
+TEST(IsaDisasm, BranchTargetIsAbsolute) {
+  // beq at pc=0x100 with offset +3 words targets 0x100 + 4 + 12 = 0x110.
+  uint32_t W = encodeI(Opcode::Beq, Zero, T0, 3);
+  EXPECT_EQ(disassemble(W, 0x100), "beq $t0, $zero, 0x00000110");
+}
+
+TEST(IsaDisasm, UndecodableRendersAsWord) {
+  EXPECT_EQ(disassemble(0xFFFFFFFFu, 0), ".word 0xffffffff");
+}
+
+TEST(IsaFields, EncHelpersMatchEncoder) {
+  uint32_t W = encodeR(Funct::Subu, S3, T4, A2, 0);
+  EXPECT_EQ(enc::opField(W), 0u);
+  EXPECT_EQ(enc::rsField(W), static_cast<uint32_t>(T4));
+  EXPECT_EQ(enc::rtField(W), static_cast<uint32_t>(A2));
+  EXPECT_EQ(enc::rdField(W), static_cast<uint32_t>(S3));
+  EXPECT_EQ(enc::functField(W), static_cast<uint32_t>(Funct::Subu));
+}
+
+TEST(IsaFields, Imm16Ranges) {
+  EXPECT_TRUE(fitsImm16(32767));
+  EXPECT_TRUE(fitsImm16(-32768));
+  EXPECT_FALSE(fitsImm16(32768));
+  EXPECT_FALSE(fitsImm16(-32769));
+  EXPECT_TRUE(fitsUImm16(0xFFFF));
+  EXPECT_FALSE(fitsUImm16(0x10000));
+}
+
+TEST(IsaRegs, Names) {
+  EXPECT_STREQ(regName(Zero), "$zero");
+  EXPECT_STREQ(regName(Cp), "$cp");
+  EXPECT_STREQ(regName(Hp), "$hp");
+  EXPECT_STREQ(regName(Ra), "$ra");
+}
+
+// Round-trip every defined R-type funct through encode/decode.
+class IsaFunctRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IsaFunctRoundTrip, EncodeDecode) {
+  Funct Fn = static_cast<Funct>(GetParam());
+  uint32_t W = encodeR(Fn, T0, T1, T2, 0);
+  Inst I;
+  ASSERT_TRUE(decode(W, I));
+  EXPECT_EQ(I.Fn, Fn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFuncts, IsaFunctRoundTrip,
+    ::testing::Values(
+        static_cast<unsigned>(Funct::Sll), static_cast<unsigned>(Funct::Srl),
+        static_cast<unsigned>(Funct::Sra), static_cast<unsigned>(Funct::Sllv),
+        static_cast<unsigned>(Funct::Srlv), static_cast<unsigned>(Funct::Srav),
+        static_cast<unsigned>(Funct::Jr), static_cast<unsigned>(Funct::Jalr),
+        static_cast<unsigned>(Funct::Addu), static_cast<unsigned>(Funct::Subu),
+        static_cast<unsigned>(Funct::And), static_cast<unsigned>(Funct::Or),
+        static_cast<unsigned>(Funct::Xor), static_cast<unsigned>(Funct::Nor),
+        static_cast<unsigned>(Funct::Slt), static_cast<unsigned>(Funct::Sltu),
+        static_cast<unsigned>(Funct::Mul), static_cast<unsigned>(Funct::Divq),
+        static_cast<unsigned>(Funct::Rem), static_cast<unsigned>(Funct::FAdd),
+        static_cast<unsigned>(Funct::FSub), static_cast<unsigned>(Funct::FMul),
+        static_cast<unsigned>(Funct::FDiv), static_cast<unsigned>(Funct::FLt),
+        static_cast<unsigned>(Funct::FLe), static_cast<unsigned>(Funct::FEq),
+        static_cast<unsigned>(Funct::CvtSW),
+        static_cast<unsigned>(Funct::CvtWS)));

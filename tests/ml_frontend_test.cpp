@@ -1,0 +1,392 @@
+//===- ml_frontend_test.cpp - Lexer/parser/typechecker tests --------------===//
+
+#include "ml/Lexer.h"
+#include "ml/Parser.h"
+#include "ml/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace fab;
+using namespace fab::ml;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = parse(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+/// Parses and typechecks; expects success.
+struct Checked {
+  std::unique_ptr<Program> P;
+  TypeContext Types;
+};
+
+std::unique_ptr<Program> checkOk(const std::string &Src, TypeContext &Types) {
+  DiagnosticEngine Diags;
+  auto P = parse(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  bool Ok = typecheck(*P, Types, Diags);
+  EXPECT_TRUE(Ok) << Diags.str();
+  return P;
+}
+
+std::string checkErr(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = parse(Src, Diags);
+  if (!Diags.hasErrors()) {
+    TypeContext Types;
+    typecheck(*P, Types, Diags);
+  }
+  EXPECT_TRUE(Diags.hasErrors()) << "expected an error for:\n" << Src;
+  return Diags.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(MlLexer, BasicTokens) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("fun f x = x + 41", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Toks.size(), 8u); // fun f x = x + 41 EOF
+  EXPECT_EQ(Toks[0].Kind, Tok::KwFun);
+  EXPECT_EQ(Toks[1].Kind, Tok::Ident);
+  EXPECT_EQ(Toks[1].Text, "f");
+  EXPECT_EQ(Toks[5].Kind, Tok::Plus);
+  EXPECT_EQ(Toks[6].IntValue, 41);
+}
+
+TEST(MlLexer, HexAndRealLiterals) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("0x1F 2.5 1.0e2", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[0].IntValue, 31);
+  EXPECT_FLOAT_EQ(Toks[1].RealValue, 2.5f);
+  EXPECT_FLOAT_EQ(Toks[2].RealValue, 100.0f);
+}
+
+TEST(MlLexer, NestedComments) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("1 (* outer (* inner *) still *) 2", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].IntValue, 1);
+  EXPECT_EQ(Toks[1].IntValue, 2);
+}
+
+TEST(MlLexer, UnterminatedCommentIsError) {
+  DiagnosticEngine Diags;
+  lex("1 (* oops", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(MlLexer, CompositeOperators) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("<> <= >= =>", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[0].Kind, Tok::NotEqual);
+  EXPECT_EQ(Toks[1].Kind, Tok::LessEq);
+  EXPECT_EQ(Toks[2].Kind, Tok::GreaterEq);
+  EXPECT_EQ(Toks[3].Kind, Tok::Arrow);
+}
+
+TEST(MlLexer, PrimeInIdentifier) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("x' loop2", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[0].Text, "x'");
+  EXPECT_EQ(Toks[1].Text, "loop2");
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(MlParser, CurriedFunctionGroups) {
+  auto P = parseOk("fun loop (v1, i, n) (v2, sum) = sum");
+  ASSERT_EQ(P->Functions.size(), 1u);
+  FunDef &F = *P->Functions[0];
+  EXPECT_TRUE(F.isStaged());
+  ASSERT_EQ(F.Groups.size(), 2u);
+  EXPECT_EQ(F.Groups[0].size(), 3u);
+  EXPECT_EQ(F.Groups[1].size(), 2u);
+  EXPECT_EQ(F.Groups[0][0].Name, "v1");
+}
+
+TEST(MlParser, SingleBareParam) {
+  auto P = parseOk("fun id x = x");
+  EXPECT_FALSE(P->Functions[0]->isStaged());
+  EXPECT_EQ(P->Functions[0]->Groups[0].size(), 1u);
+}
+
+TEST(MlParser, MutualRecursionWithAnd) {
+  auto P = parseOk("fun iseven n = if n = 0 then true else isodd (n - 1)\n"
+                   "and isodd n = if n = 0 then false else iseven (n - 1)");
+  EXPECT_EQ(P->Functions.size(), 2u);
+}
+
+TEST(MlParser, DatatypeDeclaration) {
+  auto P = parseOk("datatype ilist = Nil | Cons of int * ilist");
+  ASSERT_EQ(P->Datatypes.size(), 1u);
+  DataDef &D = *P->Datatypes[0];
+  ASSERT_EQ(D.Cons.size(), 2u);
+  EXPECT_EQ(D.Cons[0]->Name, "Nil");
+  EXPECT_EQ(D.Cons[0]->Tag, 0u);
+  EXPECT_EQ(D.Cons[1]->Name, "Cons");
+  EXPECT_EQ(D.Cons[1]->Tag, 1u);
+  EXPECT_EQ(D.Cons[1]->FieldTypeExprs.size(), 2u);
+}
+
+TEST(MlParser, PrecedenceArithmeticOverComparison) {
+  auto P = parseOk("fun f (x, y) = x + y * 2 < x - 1");
+  Expr &B = *P->Functions[0]->Body;
+  ASSERT_EQ(B.K, Expr::Kind::Binary);
+  EXPECT_EQ(B.BinOp, BinOpKind::Lt);
+  EXPECT_EQ(B.Kids[0]->BinOp, BinOpKind::Add);
+  EXPECT_EQ(B.Kids[0]->Kids[1]->BinOp, BinOpKind::Mul);
+}
+
+TEST(MlParser, SubBindsTighterThanMul) {
+  auto P = parseOk("fun f (v, i) = v sub i * 2");
+  Expr &B = *P->Functions[0]->Body;
+  ASSERT_EQ(B.K, Expr::Kind::Binary);
+  EXPECT_EQ(B.BinOp, BinOpKind::Mul);
+  EXPECT_EQ(B.Kids[0]->K, Expr::Kind::Prim);
+  EXPECT_EQ(B.Kids[0]->Prim, PrimKind::VSub);
+}
+
+TEST(MlParser, AndalsoOrelseDesugarToIf) {
+  auto P = parseOk("fun f (a, b) = a andalso b orelse a");
+  Expr &B = *P->Functions[0]->Body;
+  EXPECT_EQ(B.K, Expr::Kind::If); // orelse at top
+  EXPECT_EQ(B.Kids[0]->K, Expr::Kind::If); // andalso below
+}
+
+TEST(MlParser, CurriedCallGroups) {
+  auto P = parseOk("fun g (a, b) (c) = a\n"
+                   "fun f x = g (x, 1) (2)");
+  Expr &B = *P->Functions[1]->Body;
+  ASSERT_EQ(B.K, Expr::Kind::Call);
+  EXPECT_EQ(B.Name, "g");
+  ASSERT_EQ(B.GroupSizes.size(), 2u);
+  EXPECT_EQ(B.GroupSizes[0], 2u);
+  EXPECT_EQ(B.GroupSizes[1], 1u);
+  EXPECT_EQ(B.Kids.size(), 3u);
+}
+
+TEST(MlParser, JuxtapositionApplication) {
+  auto P = parseOk("fun f v = length v - 1");
+  Expr &B = *P->Functions[0]->Body;
+  EXPECT_EQ(B.K, Expr::Kind::Binary);
+  EXPECT_EQ(B.BinOp, BinOpKind::Sub);
+  EXPECT_EQ(B.Kids[0]->K, Expr::Kind::Call);
+  EXPECT_EQ(B.Kids[0]->Name, "length");
+}
+
+TEST(MlParser, LetNestsBindings) {
+  auto P = parseOk("fun f x = let val a = x + 1 val b = a * 2 in a + b end");
+  Expr &B = *P->Functions[0]->Body;
+  ASSERT_EQ(B.K, Expr::Kind::Let);
+  EXPECT_EQ(B.Name, "a");
+  EXPECT_EQ(B.Kids[1]->K, Expr::Kind::Let);
+  EXPECT_EQ(B.Kids[1]->Name, "b");
+}
+
+TEST(MlParser, CaseWithConstructorPatterns) {
+  auto P = parseOk("datatype t = A | B of int * int\n"
+                   "fun f x = case x of A => 0 | B (p, q) => p + q");
+  Expr &B = *P->Functions[0]->Body;
+  ASSERT_EQ(B.K, Expr::Kind::Case);
+  ASSERT_EQ(B.Arms.size(), 2u);
+  EXPECT_EQ(B.Arms[0]->PK, CaseArm::PatKind::Var); // resolved in checker
+  EXPECT_EQ(B.Arms[1]->PK, CaseArm::PatKind::Con);
+  EXPECT_EQ(B.Arms[1]->FieldNames.size(), 2u);
+}
+
+TEST(MlParser, NegativeLiteralViaTilde) {
+  auto P = parseOk("fun f () = ~5");
+  Expr &B = *P->Functions[0]->Body;
+  EXPECT_EQ(B.K, Expr::Kind::Unary);
+  EXPECT_EQ(B.UnOp, UnOpKind::Neg);
+}
+
+TEST(MlParser, FirstClassTupleRejected) {
+  DiagnosticEngine Diags;
+  parse("fun f x = (x, x)", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(MlParser, UnitArgumentGroup) {
+  auto P = parseOk("fun g () = 1\nfun f x = g ()");
+  Expr &B = *P->Functions[1]->Body;
+  ASSERT_EQ(B.K, Expr::Kind::Call);
+  ASSERT_EQ(B.GroupSizes.size(), 1u);
+  EXPECT_EQ(B.GroupSizes[0], 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Type checker
+//===----------------------------------------------------------------------===//
+
+TEST(MlTypes, InfersIntArithmetic) {
+  TypeContext Types;
+  auto P = checkOk("fun f (x, y) = x + y * 2", Types);
+  FunDef &F = *P->Functions[0];
+  EXPECT_EQ(F.RetTy, Types.intTy());
+  EXPECT_EQ(F.Groups[0][0].Ty, Types.intTy());
+}
+
+TEST(MlTypes, InfersRealFromLiteral) {
+  TypeContext Types;
+  auto P = checkOk("fun f x = x + 1.5", Types);
+  EXPECT_EQ(P->Functions[0]->RetTy, Types.realTy());
+  EXPECT_TRUE(P->Functions[0]->Body->OperandsAreReal);
+}
+
+TEST(MlTypes, VectorSubscriptInference) {
+  TypeContext Types;
+  auto P = checkOk("fun f (v : int vector, i) = v sub i + 1", Types);
+  EXPECT_EQ(P->Functions[0]->RetTy, Types.intTy());
+  EXPECT_EQ(P->Functions[0]->Groups[0][1].Ty, Types.intTy());
+}
+
+TEST(MlTypes, NestedVectorAnnotation) {
+  TypeContext Types;
+  auto P = checkOk("fun f (m : int vector vector, i, j) = m sub i sub j",
+                   Types);
+  EXPECT_EQ(P->Functions[0]->RetTy, Types.intTy());
+}
+
+TEST(MlTypes, LengthOperandMustBeVector) {
+  checkErr("fun f x = length (x + 1)");
+}
+
+TEST(MlTypes, RecursiveFunctionTypes) {
+  TypeContext Types;
+  auto P = checkOk(
+      "fun fact n = if n = 0 then 1 else n * fact (n - 1)", Types);
+  EXPECT_EQ(P->Functions[0]->RetTy, Types.intTy());
+}
+
+TEST(MlTypes, DatatypeConstructionAndCase) {
+  TypeContext Types;
+  auto P = checkOk("datatype ilist = Nil | Cons of int * ilist\n"
+                   "fun sum l = case l of Nil => 0 "
+                   "| Cons (x, rest) => x + sum rest",
+                   Types);
+  EXPECT_EQ(P->Functions[0]->RetTy, Types.intTy());
+}
+
+TEST(MlTypes, CaseMissingConstructorIsError) {
+  std::string E = checkErr("datatype t = A | B | C\n"
+                           "fun f x = case x of A => 1 | B => 2");
+  EXPECT_NE(E.find("does not cover"), std::string::npos);
+}
+
+TEST(MlTypes, IntCaseNeedsDefault) {
+  checkErr("fun f x = case x of 1 => 2 | 3 => 4");
+}
+
+TEST(MlTypes, IntCaseWithDefaultOk) {
+  TypeContext Types;
+  checkOk("fun f x = case x of 1 => 2 | 3 => 4 | _ => 0", Types);
+}
+
+TEST(MlTypes, BranchTypeMismatch) {
+  checkErr("fun f x = if x then 1 else 2.0");
+}
+
+TEST(MlTypes, CondMustBeBool) { checkErr("fun f x = if x + 1 then 1 else 2"); }
+
+TEST(MlTypes, EqualityOnVectorsRejected) {
+  checkErr("fun f (v : int vector, w : int vector) = v = w");
+}
+
+TEST(MlTypes, ModOnRealsRejected) { checkErr("fun f x = x mod 2.0"); }
+
+TEST(MlTypes, UnboundVariable) { checkErr("fun f x = y"); }
+
+TEST(MlTypes, UnknownFunction) { checkErr("fun f x = g x"); }
+
+TEST(MlTypes, PartialApplicationRejected) {
+  std::string E = checkErr("fun g (a) (b) = a + b\nfun f x = g (x)");
+  EXPECT_NE(E.find("argument groups"), std::string::npos);
+}
+
+TEST(MlTypes, GroupArityMismatch) {
+  checkErr("fun g (a, b) = a\nfun f x = g (x, x, x)");
+}
+
+TEST(MlTypes, UnconstrainedParamNeedsAnnotation) {
+  std::string E = checkErr("fun f x = 0");
+  EXPECT_NE(E.find("annotation"), std::string::npos);
+}
+
+TEST(MlTypes, AnnotationGroundsPolymorphicUse) {
+  TypeContext Types;
+  checkOk("fun f (x : int) = 0", Types);
+}
+
+TEST(MlTypes, MkVecAndVSet) {
+  TypeContext Types;
+  auto P = checkOk("fun f n = let val v = mkvec (n, 0) in "
+                   "let val u = vset (v, 0, 42) in v sub 0 end end",
+                   Types);
+  EXPECT_EQ(P->Functions[0]->RetTy, Types.intTy());
+}
+
+TEST(MlTypes, RealConversion) {
+  TypeContext Types;
+  auto P = checkOk("fun f n = real n * 2.0", Types);
+  EXPECT_EQ(P->Functions[0]->RetTy, Types.realTy());
+  TypeContext Types2;
+  auto P2 = checkOk("fun f (x : real) = trunc x + 1", Types2);
+  EXPECT_EQ(P2->Functions[0]->RetTy, Types2.intTy());
+}
+
+TEST(MlTypes, ConstructorArityMismatch) {
+  checkErr("datatype t = C of int\nfun f x = C (x, x)");
+}
+
+TEST(MlTypes, NullaryConstructorAsExpression) {
+  TypeContext Types;
+  auto P = checkOk("datatype ilist = Nil | Cons of int * ilist\n"
+                   "fun f x = Cons (x, Nil)",
+                   Types);
+  Expr &B = *P->Functions[0]->Body;
+  EXPECT_EQ(B.K, Expr::Kind::Con);
+  EXPECT_EQ(B.Kids[1]->K, Expr::Kind::Con);
+}
+
+TEST(MlTypes, DuplicateFunctionRejected) {
+  checkErr("fun f x = x + 0\nfun f x = x + 1");
+}
+
+TEST(MlTypes, PaperDotProductChecks) {
+  TypeContext Types;
+  auto P = checkOk(
+      "fun dotprod v1 v2 = loop (v1, 0, length v1) (v2, 0)\n"
+      "and loop (v1 : int vector, i, n) (v2 : int vector, sum) =\n"
+      "  if i = n then sum\n"
+      "  else loop (v1, i + 1, n) (v2, sum + (v1 sub i) * (v2 sub i))",
+      Types);
+  FunDef *Loop = P->findFunction("loop");
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_TRUE(Loop->isStaged());
+  EXPECT_EQ(Loop->RetTy, Types.intTy());
+  FunDef *Dot = P->findFunction("dotprod");
+  EXPECT_TRUE(Dot->isStaged());
+}
+
+TEST(MlTypes, VarPatternBindsScrutinee) {
+  TypeContext Types;
+  checkOk("datatype t = A | B\n"
+          "fun f x = case x of A => 1 | other => 2",
+          Types);
+}

@@ -1,0 +1,88 @@
+//===- printer_test.cpp - AST printer tests -------------------------------===//
+
+#include "ml/AstPrinter.h"
+
+#include "ml/Parser.h"
+#include "ml/TypeCheck.h"
+#include "staging/Staging.h"
+
+#include <gtest/gtest.h>
+
+using namespace fab;
+using namespace fab::ml;
+
+namespace {
+
+std::string render(const std::string &Src, bool Stages) {
+  DiagnosticEngine D;
+  auto P = parse(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  TypeContext T;
+  EXPECT_TRUE(typecheck(*P, T, D)) << D.str();
+  EXPECT_TRUE(analyzeStaging(*P, D)) << D.str();
+  PrintOptions O;
+  O.ShowStages = Stages;
+  return printProgram(*P, O);
+}
+
+/// Round trip: the printed program must re-parse and re-check cleanly.
+void expectRoundTrips(const std::string &Src) {
+  std::string Printed = render(Src, /*Stages=*/false);
+  DiagnosticEngine D;
+  auto P2 = parse(Printed, D);
+  ASSERT_FALSE(D.hasErrors()) << Printed << "\n" << D.str();
+  TypeContext T;
+  EXPECT_TRUE(typecheck(*P2, T, D)) << Printed << "\n" << D.str();
+}
+
+} // namespace
+
+TEST(Printer, SimpleFunction) {
+  std::string S = render("fun f (x, y) = x + y * 2", false);
+  EXPECT_NE(S.find("fun f (x : int, y : int)"), std::string::npos);
+  EXPECT_NE(S.find("(x + (y * 2))"), std::string::npos);
+}
+
+TEST(Printer, StagingMarksMatchPaperExample) {
+  std::string S = render(
+      "fun loop (v1 : int vector, i, n) (v2 : int vector, sum) ="
+      " if i = n then sum"
+      " else loop (v1, i + 1, n) (v2, sum + (v1 sub i) * (v2 sub i))",
+      true);
+  // The conditional test is early; sum is late; the v1 subscript is
+  // early while the v2 subscript is late — the paper's annotation.
+  EXPECT_NE(S.find("{({i} = {n})}"), std::string::npos);
+  EXPECT_NE(S.find("[sum]"), std::string::npos);
+  EXPECT_NE(S.find("{({v1} sub {i})}"), std::string::npos);
+  EXPECT_NE(S.find("[([v2] sub {i})]"), std::string::npos);
+}
+
+TEST(Printer, DatatypesRender) {
+  std::string S = render("datatype ilist = Nil | Cons of int * ilist\n"
+                         "fun f (l : ilist) = case l of Nil => 0 "
+                         "| Cons (x, r) => x",
+                         false);
+  EXPECT_NE(S.find("datatype ilist = Nil | Cons of int * ilist"),
+            std::string::npos);
+  EXPECT_NE(S.find("case l of Nil => 0 | Cons (x, r) => x"),
+            std::string::npos);
+}
+
+TEST(Printer, RoundTripsThroughParser) {
+  expectRoundTrips("fun f (x, y) = if x < y then x else y");
+  expectRoundTrips("fun f (v : int vector, i) = v sub i + length v");
+  expectRoundTrips("fun f x = let val a = x + 1 in a * a end");
+  expectRoundTrips("datatype t = A | B of int\n"
+                   "fun g x = case x of A => 0 | B (v) => v");
+  expectRoundTrips(
+      "fun loop (v1 : int vector, i, n) (v2 : int vector, sum) ="
+      " if i = n then sum"
+      " else loop (v1, i + 1, n) (v2, sum + (v1 sub i) * (v2 sub i))");
+  expectRoundTrips("fun f (x : real) = ~x * 2.5");
+  expectRoundTrips("fun f (a, b) = andb (a, rsh (b, 3))");
+}
+
+TEST(Printer, NegativeLiterals) {
+  std::string S = render("fun f () = ~5", false);
+  EXPECT_NE(S.find("~5"), std::string::npos);
+}

@@ -1,0 +1,167 @@
+//===- staging_test.cpp - Binding-time analysis unit tests ----------------===//
+//
+// Verifies the early/late annotations the staging analysis assigns to
+// specific subexpressions (paper section 3.1), and its error conditions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "staging/Staging.h"
+
+#include "ml/Parser.h"
+#include "ml/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace fab;
+using namespace fab::ml;
+
+namespace {
+
+struct Staged {
+  std::unique_ptr<Program> P;
+  std::shared_ptr<TypeContext> Types = std::make_shared<TypeContext>();
+};
+
+Staged stage(const std::string &Src) {
+  Staged S;
+  DiagnosticEngine D;
+  S.P = parse(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  EXPECT_TRUE(typecheck(*S.P, *S.Types, D)) << D.str();
+  EXPECT_TRUE(analyzeStaging(*S.P, D)) << D.str();
+  return S;
+}
+
+std::string stageErr(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = parse(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  TypeContext T;
+  EXPECT_TRUE(typecheck(*P, T, D)) << D.str();
+  analyzeStaging(*P, D);
+  EXPECT_TRUE(D.hasErrors()) << "expected staging error for:\n" << Src;
+  return D.str();
+}
+
+} // namespace
+
+TEST(Staging, LiteralsAreEarly) {
+  Staged S = stage("fun f (k : int) (x : int) = x + 1");
+  const Expr &Body = *S.P->Functions[0]->Body; // x + 1
+  EXPECT_EQ(Body.S, Stage::Late);
+  EXPECT_EQ(Body.Kids[0]->S, Stage::Late);  // x
+  EXPECT_EQ(Body.Kids[1]->S, Stage::Early); // 1
+}
+
+TEST(Staging, EarlyParamsPropagate) {
+  Staged S = stage("fun f (k : int) (x : int) = x + k * k");
+  const Expr &Body = *S.P->Functions[0]->Body;
+  EXPECT_EQ(Body.Kids[1]->S, Stage::Early); // k * k
+}
+
+TEST(Staging, EarlyConditionUnfolds) {
+  // The if with early condition joins the arm stages; an all-early if is
+  // itself early.
+  Staged S = stage("fun f (k : int) (x : int) = "
+                   "x + (if k > 0 then k else 0 - k)");
+  const Expr &Add = *S.P->Functions[0]->Body;
+  EXPECT_EQ(Add.Kids[1]->S, Stage::Early); // the early-unfolded if
+}
+
+TEST(Staging, LateConditionForcesLate) {
+  Staged S = stage("fun f (k : int) (x : int) = if x > 0 then k else 0");
+  EXPECT_EQ(S.P->Functions[0]->Body->S, Stage::Late);
+}
+
+TEST(Staging, LetBindingInheritsRhsStage) {
+  Staged S = stage("fun f (k : int) (x : int) = "
+                   "let val a = k * 2 val b = x * 2 in a + b end");
+  const Expr *L = S.P->Functions[0]->Body.get(); // let a
+  ASSERT_EQ(L->K, Expr::Kind::Let);
+  EXPECT_EQ(L->Kids[0]->S, Stage::Early);
+  const Expr *L2 = L->Kids[1].get(); // let b
+  ASSERT_EQ(L2->K, Expr::Kind::Let);
+  EXPECT_EQ(L2->Kids[0]->S, Stage::Late);
+  const Expr &Sum = *L2->Kids[1];
+  EXPECT_EQ(Sum.Kids[0]->S, Stage::Early); // a
+  EXPECT_EQ(Sum.Kids[1]->S, Stage::Late);  // b
+}
+
+TEST(Staging, UnstagedCallWithEarlyArgsIsEarly) {
+  Staged S = stage("fun sq y = y * y\n"
+                   "fun f (k : int) (x : int) = x + sq k");
+  const Expr &Body = *S.P->findFunction("f")->Body;
+  EXPECT_EQ(Body.Kids[1]->S, Stage::Early); // sq k
+}
+
+TEST(Staging, UnstagedCallWithLateArgIsLate) {
+  Staged S = stage("fun sq y = y * y\n"
+                   "fun f (k : int) (x : int) = k + sq x");
+  const Expr &Body = *S.P->findFunction("f")->Body;
+  EXPECT_EQ(Body.Kids[1]->S, Stage::Late); // sq x
+}
+
+TEST(Staging, StagedCallsAreAlwaysLate) {
+  Staged S = stage("fun g (a : int) (b : int) = a + b\n"
+                   "fun f (k : int) (x : int) = g (k) (k)");
+  EXPECT_EQ(S.P->findFunction("f")->Body->S, Stage::Late);
+}
+
+TEST(Staging, VSetIsNeverEarly) {
+  Staged S = stage("fun f (v : int vector, k : int) (x : int) = "
+                   "let val u = vset (v, 0, k) in x end");
+  const Expr *L = S.P->Functions[0]->Body.get();
+  EXPECT_EQ(L->Kids[0]->S, Stage::Late); // vset with all-early args
+}
+
+TEST(Staging, SubWithEarlyVectorAndIndexIsEarly) {
+  Staged S = stage("fun f (v : int vector, i : int) (x : int) = "
+                   "x + v sub i");
+  const Expr &Body = *S.P->Functions[0]->Body;
+  EXPECT_EQ(Body.Kids[1]->S, Stage::Early);
+}
+
+TEST(Staging, CaseFieldsInheritScrutineeStage) {
+  Staged S = stage("datatype p = P of int * int\n"
+                   "fun f (c : p) (x : int) = "
+                   "case c of P (a, b) => x + a * b");
+  const Expr &Case = *S.P->Functions[0]->Body;
+  ASSERT_EQ(Case.K, Expr::Kind::Case);
+  // a * b uses early fields of the early scrutinee.
+  const Expr &ArmBody = *Case.Arms[0]->Body;
+  EXPECT_EQ(ArmBody.Kids[1]->S, Stage::Early);
+}
+
+TEST(Staging, UnstagedFunctionBodyAllLate) {
+  Staged S = stage("fun f (x, y) = x + y * 2");
+  const Expr &Body = *S.P->Functions[0]->Body;
+  EXPECT_EQ(Body.S, Stage::Late);
+  EXPECT_EQ(Body.Kids[0]->S, Stage::Late);
+}
+
+TEST(Staging, ThreeGroupsRejected) {
+  std::string E = stageErr("fun f (a : int) (b : int) (c : int) = a + b + c");
+  EXPECT_NE(E.find("two parameter groups"), std::string::npos);
+}
+
+TEST(Staging, TooManyLateParamsRejected) {
+  std::string E = stageErr(
+      "fun f (k : int) (a, b, c, d, e) = k + a + b + c + d + e");
+  EXPECT_NE(E.find("four late parameters"), std::string::npos);
+}
+
+TEST(Staging, LateEarlyArgumentOfStagedCallRejected) {
+  std::string E = stageErr(
+      "fun g (a : int) (b : int) = a + b\n"
+      "fun f (k : int) (x : int) = g (x) (k)");
+  EXPECT_NE(E.find("depends on a late value"), std::string::npos);
+}
+
+TEST(Staging, OrElseDesugarStagesCorrectly) {
+  // k > 0 orelse x > 0 desugars to an if with early condition; the whole
+  // expression is late because one arm is late.
+  Staged S = stage("fun f (k : int) (x : int) = "
+                   "if k > 0 orelse x > 0 then 1 else 0");
+  const Expr &If = *S.P->Functions[0]->Body;
+  EXPECT_EQ(If.Kids[0]->S, Stage::Late); // the desugared condition
+}
