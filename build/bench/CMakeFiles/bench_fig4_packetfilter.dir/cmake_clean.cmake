@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_packetfilter.dir/bench_fig4_packetfilter.cpp.o"
+  "CMakeFiles/bench_fig4_packetfilter.dir/bench_fig4_packetfilter.cpp.o.d"
+  "bench_fig4_packetfilter"
+  "bench_fig4_packetfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_packetfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

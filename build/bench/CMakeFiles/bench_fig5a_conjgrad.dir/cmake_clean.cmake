@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_conjgrad.dir/bench_fig5a_conjgrad.cpp.o"
+  "CMakeFiles/bench_fig5a_conjgrad.dir/bench_fig5a_conjgrad.cpp.o.d"
+  "bench_fig5a_conjgrad"
+  "bench_fig5a_conjgrad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_conjgrad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_regexp.dir/bench_fig5b_regexp.cpp.o"
+  "CMakeFiles/bench_fig5b_regexp.dir/bench_fig5b_regexp.cpp.o.d"
+  "bench_fig5b_regexp"
+  "bench_fig5b_regexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_regexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5d_member.cpp" "bench/CMakeFiles/bench_fig5d_member.dir/bench_fig5d_member.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5d_member.dir/bench_fig5d_member.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/fab_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fab_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpf/CMakeFiles/fab_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/fab_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/staging/CMakeFiles/fab_staging.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fab_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fab_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/fab_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fab_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fab_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fab_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

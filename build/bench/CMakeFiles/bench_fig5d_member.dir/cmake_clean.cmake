@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5d_member.dir/bench_fig5d_member.cpp.o"
+  "CMakeFiles/bench_fig5d_member.dir/bench_fig5d_member.cpp.o.d"
+  "bench_fig5d_member"
+  "bench_fig5d_member.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5d_member.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5e_life.dir/bench_fig5e_life.cpp.o"
+  "CMakeFiles/bench_fig5e_life.dir/bench_fig5e_life.cpp.o.d"
+  "bench_fig5e_life"
+  "bench_fig5e_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5e_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

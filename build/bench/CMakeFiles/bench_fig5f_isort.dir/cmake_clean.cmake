@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5f_isort.dir/bench_fig5f_isort.cpp.o"
+  "CMakeFiles/bench_fig5f_isort.dir/bench_fig5f_isort.cpp.o.d"
+  "bench_fig5f_isort"
+  "bench_fig5f_isort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5f_isort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

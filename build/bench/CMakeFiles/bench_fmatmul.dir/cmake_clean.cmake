@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fmatmul.dir/bench_fmatmul.cpp.o"
+  "CMakeFiles/bench_fmatmul.dir/bench_fmatmul.cpp.o.d"
+  "bench_fmatmul"
+  "bench_fmatmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fmatmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

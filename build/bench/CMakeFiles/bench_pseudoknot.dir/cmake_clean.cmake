@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pseudoknot.dir/bench_pseudoknot.cpp.o"
+  "CMakeFiles/bench_pseudoknot.dir/bench_pseudoknot.cpp.o.d"
+  "bench_pseudoknot"
+  "bench_pseudoknot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pseudoknot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

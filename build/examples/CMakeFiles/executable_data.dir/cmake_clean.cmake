@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executable_data.dir/executable_data.cpp.o"
+  "CMakeFiles/executable_data.dir/executable_data.cpp.o.d"
+  "executable_data"
+  "executable_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executable_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/life_animation.dir/life_animation.cpp.o"
+  "CMakeFiles/life_animation.dir/life_animation.cpp.o.d"
+  "life_animation"
+  "life_animation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/life_animation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regexp_fsm.dir/regexp_fsm.cpp.o"
+  "CMakeFiles/regexp_fsm.dir/regexp_fsm.cpp.o.d"
+  "regexp_fsm"
+  "regexp_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regexp_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

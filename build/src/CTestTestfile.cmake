@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("vm")
+subdirs("asmkit")
+subdirs("runtime")
+subdirs("ml")
+subdirs("staging")
+subdirs("backend")
+subdirs("core")
+subdirs("bpf")
+subdirs("baselines")
+subdirs("workloads")

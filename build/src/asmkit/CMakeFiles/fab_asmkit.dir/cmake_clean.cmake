@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_asmkit.dir/Assembler.cpp.o"
+  "CMakeFiles/fab_asmkit.dir/Assembler.cpp.o.d"
+  "libfab_asmkit.a"
+  "libfab_asmkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_asmkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

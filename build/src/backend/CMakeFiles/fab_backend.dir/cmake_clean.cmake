@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_backend.dir/Backend.cpp.o"
+  "CMakeFiles/fab_backend.dir/Backend.cpp.o.d"
+  "CMakeFiles/fab_backend.dir/DeferredCodegen.cpp.o"
+  "CMakeFiles/fab_backend.dir/DeferredCodegen.cpp.o.d"
+  "libfab_backend.a"
+  "libfab_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

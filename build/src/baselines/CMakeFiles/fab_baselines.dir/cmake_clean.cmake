@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_baselines.dir/Baselines.cpp.o"
+  "CMakeFiles/fab_baselines.dir/Baselines.cpp.o.d"
+  "libfab_baselines.a"
+  "libfab_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

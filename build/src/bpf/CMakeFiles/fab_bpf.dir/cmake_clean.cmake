@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_bpf.dir/Bpf.cpp.o"
+  "CMakeFiles/fab_bpf.dir/Bpf.cpp.o.d"
+  "libfab_bpf.a"
+  "libfab_bpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_bpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

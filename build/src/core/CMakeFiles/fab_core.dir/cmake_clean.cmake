@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_core.dir/Fabius.cpp.o"
+  "CMakeFiles/fab_core.dir/Fabius.cpp.o.d"
+  "libfab_core.a"
+  "libfab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_isa.dir/Isa.cpp.o"
+  "CMakeFiles/fab_isa.dir/Isa.cpp.o.d"
+  "libfab_isa.a"
+  "libfab_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

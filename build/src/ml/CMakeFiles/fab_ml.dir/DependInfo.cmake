@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/Ast.cpp" "src/ml/CMakeFiles/fab_ml.dir/Ast.cpp.o" "gcc" "src/ml/CMakeFiles/fab_ml.dir/Ast.cpp.o.d"
+  "/root/repo/src/ml/AstPrinter.cpp" "src/ml/CMakeFiles/fab_ml.dir/AstPrinter.cpp.o" "gcc" "src/ml/CMakeFiles/fab_ml.dir/AstPrinter.cpp.o.d"
+  "/root/repo/src/ml/Interp.cpp" "src/ml/CMakeFiles/fab_ml.dir/Interp.cpp.o" "gcc" "src/ml/CMakeFiles/fab_ml.dir/Interp.cpp.o.d"
+  "/root/repo/src/ml/Lexer.cpp" "src/ml/CMakeFiles/fab_ml.dir/Lexer.cpp.o" "gcc" "src/ml/CMakeFiles/fab_ml.dir/Lexer.cpp.o.d"
+  "/root/repo/src/ml/Parser.cpp" "src/ml/CMakeFiles/fab_ml.dir/Parser.cpp.o" "gcc" "src/ml/CMakeFiles/fab_ml.dir/Parser.cpp.o.d"
+  "/root/repo/src/ml/TypeCheck.cpp" "src/ml/CMakeFiles/fab_ml.dir/TypeCheck.cpp.o" "gcc" "src/ml/CMakeFiles/fab_ml.dir/TypeCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fab_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

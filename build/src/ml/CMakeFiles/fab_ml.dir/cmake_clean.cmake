@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_ml.dir/Ast.cpp.o"
+  "CMakeFiles/fab_ml.dir/Ast.cpp.o.d"
+  "CMakeFiles/fab_ml.dir/AstPrinter.cpp.o"
+  "CMakeFiles/fab_ml.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/fab_ml.dir/Interp.cpp.o"
+  "CMakeFiles/fab_ml.dir/Interp.cpp.o.d"
+  "CMakeFiles/fab_ml.dir/Lexer.cpp.o"
+  "CMakeFiles/fab_ml.dir/Lexer.cpp.o.d"
+  "CMakeFiles/fab_ml.dir/Parser.cpp.o"
+  "CMakeFiles/fab_ml.dir/Parser.cpp.o.d"
+  "CMakeFiles/fab_ml.dir/TypeCheck.cpp.o"
+  "CMakeFiles/fab_ml.dir/TypeCheck.cpp.o.d"
+  "libfab_ml.a"
+  "libfab_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

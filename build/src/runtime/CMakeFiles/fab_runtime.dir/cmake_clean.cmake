@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_runtime.dir/HeapImage.cpp.o"
+  "CMakeFiles/fab_runtime.dir/HeapImage.cpp.o.d"
+  "libfab_runtime.a"
+  "libfab_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_staging.dir/Staging.cpp.o"
+  "CMakeFiles/fab_staging.dir/Staging.cpp.o.d"
+  "libfab_staging.a"
+  "libfab_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/fab_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/fab_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/fab_support.dir/StringUtil.cpp.o.d"
+  "libfab_support.a"
+  "libfab_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

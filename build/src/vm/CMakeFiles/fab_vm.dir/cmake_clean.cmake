@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_vm.dir/Vm.cpp.o"
+  "CMakeFiles/fab_vm.dir/Vm.cpp.o.d"
+  "libfab_vm.a"
+  "libfab_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

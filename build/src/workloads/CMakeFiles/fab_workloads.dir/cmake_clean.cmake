@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fab_workloads.dir/Inputs.cpp.o"
+  "CMakeFiles/fab_workloads.dir/Inputs.cpp.o.d"
+  "CMakeFiles/fab_workloads.dir/MlPrograms.cpp.o"
+  "CMakeFiles/fab_workloads.dir/MlPrograms.cpp.o.d"
+  "libfab_workloads.a"
+  "libfab_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmkit_test.dir/asmkit_test.cpp.o"
+  "CMakeFiles/asmkit_test.dir/asmkit_test.cpp.o.d"
+  "asmkit_test"
+  "asmkit_test.pdb"
+  "asmkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_plain_test.dir/backend_plain_test.cpp.o"
+  "CMakeFiles/backend_plain_test.dir/backend_plain_test.cpp.o.d"
+  "backend_plain_test"
+  "backend_plain_test.pdb"
+  "backend_plain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_plain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

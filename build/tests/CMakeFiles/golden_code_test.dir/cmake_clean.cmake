@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_code_test.dir/golden_code_test.cpp.o"
+  "CMakeFiles/golden_code_test.dir/golden_code_test.cpp.o.d"
+  "golden_code_test"
+  "golden_code_test.pdb"
+  "golden_code_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_frontend_test.dir/ml_frontend_test.cpp.o"
+  "CMakeFiles/ml_frontend_test.dir/ml_frontend_test.cpp.o.d"
+  "ml_frontend_test"
+  "ml_frontend_test.pdb"
+  "ml_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_test.dir/staging_test.cpp.o"
+  "CMakeFiles/staging_test.dir/staging_test.cpp.o.d"
+  "staging_test"
+  "staging_test.pdb"
+  "staging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_property_test.dir/vm_property_test.cpp.o"
+  "CMakeFiles/vm_property_test.dir/vm_property_test.cpp.o.d"
+  "vm_property_test"
+  "vm_property_test.pdb"
+  "vm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

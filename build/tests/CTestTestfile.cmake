@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/asmkit_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_plain_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_deferred_test[1]_include.cmake")
+include("/root/repo/build/tests/bpf_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/property_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/staging_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/printer_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_property_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_code_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_api_test[1]_include.cmake")

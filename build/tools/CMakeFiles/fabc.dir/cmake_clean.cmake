@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabc.dir/fabc.cpp.o"
+  "CMakeFiles/fabc.dir/fabc.cpp.o.d"
+  "fabc"
+  "fabc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
