@@ -59,10 +59,10 @@ void dotprodAblation() {
     uint32_t V1 = M.heap().vector(Row);
     uint32_t V2 = M.heap().vector(Col);
     VmStats B0 = M.stats();
-    uint32_t Spec = M.specialize("dotloop", {V1, 0, 64});
+    uint32_t Spec = M.specializeOrDie("dotloop", {V1, 0, 64});
     VmStats Gen = M.stats() - B0;
     VmStats B1 = M.stats();
-    M.callAtInt(Spec, {V2, 0});
+    M.callAtIntOrDie(Spec, {V2, 0});
     VmStats Exec = M.stats() - B1;
     std::printf("%-14s  %13.2f  %10llu  %12llu\n", C.Name,
                 ratio(Gen.Executed, Gen.DynWordsWritten),
@@ -89,7 +89,7 @@ void packetFilterAblation() {
     uint64_t Total = 0;
     for (const auto &P : Trace) {
       uint32_t Pv = M.heap().vector(P);
-      Total += measureCycles(M, [&] { M.callInt("runfilter", {Fv, Pv}); });
+      Total += measureCycles(M, [&] { M.callIntOrDie("runfilter", {Fv, Pv}); });
     }
     std::printf("%-14s  %16llu\n", C.Name,
                 static_cast<unsigned long long>(Total));

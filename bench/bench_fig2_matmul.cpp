@@ -44,7 +44,7 @@ uint64_t mlMatmulCycles(const Compilation &C, const MatmulInputs &In,
   uint32_t Bt = buildIntRows(M, In.Bt, N);
   uint32_t Cr = buildZeroIntRows(M, N);
   VmStats Before = M.stats();
-  M.callInt("matmul", {Ar, Bt, Cr});
+  M.callIntOrDie("matmul", {Ar, Bt, Cr});
   VmStats D = M.stats() - Before;
   if (GenInstrs)
     *GenInstrs = D.Executed;

@@ -52,7 +52,7 @@ int main() {
 
   for (size_t I = 0; I < NumPackets; ++I) {
     VmStats B0 = M.stats();
-    int32_t RFab = M.callInt("runfilter", {Fv, Pkts[I]});
+    int32_t RFab = M.callIntOrDie("runfilter", {Fv, Pkts[I]});
     VmStats DF = M.stats() - B0;
     FabCum[I + 1] = FabCum[I] + DF.Cycles;
     if (I == 0) {

@@ -32,7 +32,7 @@ int main() {
     Machine M(C.Unit, VOpts);
     uint32_t S = buildISet(M, Cells);
     return measureCycles(M, [&] {
-      Pop = M.callInt("life",
+      Pop = M.callIntOrDie("life",
                       {S, static_cast<uint32_t>(Generations), W * H, W});
     });
   };

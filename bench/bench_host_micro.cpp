@@ -28,7 +28,7 @@ void BM_VmDispatch(benchmark::State &State) {
   uint64_t Instrs = 0;
   for (auto _ : State) {
     VmStats Before = M.stats();
-    benchmark::DoNotOptimize(M.callInt("loop", {0, 100000, 0}));
+    benchmark::DoNotOptimize(M.callIntOrDie("loop", {0, 100000, 0}));
     Instrs += (M.stats() - Before).Executed;
   }
   State.counters["instr/s"] = benchmark::Counter(

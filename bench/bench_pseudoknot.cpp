@@ -46,7 +46,7 @@ int main() {
       ValVs.push_back(M.heap().vector(V));
     return measureCycles(M, [&] {
       for (uint32_t VV : ValVs)
-        Accepted += M.callInt("pkrun", {ChkV, VV, Levels});
+        Accepted += M.callIntOrDie("pkrun", {ChkV, VV, Levels});
     });
   };
 

@@ -44,7 +44,7 @@ Row specializeRow(const char *Name, const char *Src,
   Machine M(C.Unit);
   std::vector<uint32_t> A = Args(M);
   VmStats Before = M.stats();
-  M.specialize(GenFn, A);
+  M.specializeOrDie(GenFn, A);
   VmStats D = M.stats() - Before;
   return {Name, ratio(D.Executed, D.DynWordsWritten), D.DynWordsWritten};
 }
@@ -59,10 +59,10 @@ Row firstRunRow(const char *Name, const char *Src, const std::string &Fn,
   Machine M(C.Unit);
   std::vector<uint32_t> A = Args(M);
   VmStats B0 = M.stats();
-  M.callInt(Fn, A);
+  M.callIntOrDie(Fn, A);
   VmStats First = M.stats() - B0;
   VmStats B1 = M.stats();
-  M.callInt(Fn, A);
+  M.callIntOrDie(Fn, A);
   VmStats Second = M.stats() - B1;
   uint64_t GenInstrs = First.Executed - Second.Executed;
   return {Name, ratio(GenInstrs, First.DynWordsWritten),

@@ -30,7 +30,7 @@ int main() {
   uint32_t L = buildAList(M, Entries);
 
   VmStats Before = M.stats();
-  uint32_t Spec = M.specialize("lookup", {L});
+  uint32_t Spec = M.specializeOrDie("lookup", {L});
   VmStats Gen = M.stats() - Before;
 
   std::printf("association list [(1,100), (2,200), (3,300)] compiled to an "
@@ -43,7 +43,7 @@ int main() {
 
   for (int32_t Key : {1, 2, 3, 7}) {
     VmStats B = M.stats();
-    int32_t V = M.callAtInt(Spec, {static_cast<uint32_t>(Key)});
+    int32_t V = M.callAtIntOrDie(Spec, {static_cast<uint32_t>(Key)});
     VmStats D = M.stats() - B;
     std::printf("lookup %d = %4d   (%llu instructions, %llu memory loads)\n",
                 Key, V, static_cast<unsigned long long>(D.Executed),

@@ -35,7 +35,7 @@ int main() {
   // First packet triggers specialization of the interpreter to the filter.
   uint32_t P0 = M.heap().vector(Trace[0]);
   VmStats Before = M.stats();
-  M.callInt("runfilter", {Fv, P0});
+  M.callIntOrDie("runfilter", {Fv, P0});
   VmStats First = M.stats() - Before;
   std::printf("first packet compiled the filter: %llu instructions "
               "generated (paper: 85)\n\n",
@@ -49,7 +49,7 @@ int main() {
   for (size_t I = 1; I < Trace.size(); ++I) {
     uint32_t Pv = M.heap().vector(Trace[I]);
     VmStats B = M.stats();
-    int32_t R = M.callInt("runfilter", {Fv, Pv});
+    int32_t R = M.callIntOrDie("runfilter", {Fv, Pv});
     FabCycles += (M.stats() - B).Cycles;
 
     VmStats BB = S.vm().stats();

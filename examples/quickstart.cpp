@@ -33,7 +33,7 @@ int main() {
   // Run the generating extension: it executes the early computations and
   // emits specialized native code for the late ones.
   VmStats Before = M.stats();
-  uint32_t Spec = M.specialize("loop", {V1, 0, 3});
+  uint32_t Spec = M.specializeOrDie("loop", {V1, 0, 3});
   VmStats Gen = M.stats() - Before;
 
   std::printf("specialized `loop` for v1 = [1, 2, 3] at 0x%08x\n", Spec);
@@ -57,14 +57,14 @@ int main() {
                       std::vector<int32_t>{1, 1, 1},
                       std::vector<int32_t>{-2, 0, 9}}) {
     uint32_t V2 = M.heap().vector(V2Vals);
-    int32_t Dot = M.callAtInt(Spec, {V2, 0});
+    int32_t Dot = M.callAtIntOrDie(Spec, {V2, 0});
     std::printf("dot([1,2,3], [%d,%d,%d]) = %d\n", V2Vals[0], V2Vals[1],
                 V2Vals[2], Dot);
   }
 
   // Memoization: asking again is free.
   uint64_t GenBefore = M.instructionsGenerated();
-  uint32_t Again = M.specialize("loop", {V1, 0, 3});
+  uint32_t Again = M.specializeOrDie("loop", {V1, 0, 3});
   std::printf("\nre-specializing on the same vector: same code at 0x%08x, "
               "%llu new instructions\n",
               Again,

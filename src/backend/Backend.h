@@ -96,6 +96,23 @@ struct BackendOptions {
 
   /// I-cache line size used for alignment; must match the VM's model.
   uint32_t IcacheLineBytes = 16;
+
+  /// Emit code-space guards into generator prologues and loop heads: a
+  /// compare of $cp against DynCodeEnd - CodeSpaceGuardMargin that traps
+  /// with TrapCode::CodeSpace before emission could run past the segment.
+  /// The VM's hard bound still backstops emission if guards are disabled.
+  bool EmitCodeSpaceGuards = true;
+
+  /// Headroom the guard keeps below DynCodeEnd. One specialization
+  /// iteration must not emit more than this between guard checks. Tests
+  /// raise it to trigger code-space pressure quickly on small workloads.
+  uint32_t CodeSpaceGuardMargin = layout::CodeSpaceGuardMargin;
+
+  /// Base address for the static code image. The default places it at the
+  /// canonical static code base; a second unit (e.g. a Plain fall-back
+  /// image compiled alongside a Deferred one) can be placed above the
+  /// first by overriding this.
+  uint32_t CodeBase = layout::StaticCodeBase;
 };
 
 /// Result of compiling a program: a static code image plus the symbol and

@@ -46,7 +46,7 @@ struct ModuleContext {
   const ml::Program &Prog;
   const BackendOptions &Opts;
   DiagnosticEngine &Diags;
-  Assembler Asm{layout::StaticCodeBase};
+  Assembler Asm;
 
   std::map<const ml::FunDef *, Label> FnLabels;  ///< plain entry / wrapper
   std::map<const ml::FunDef *, Label> GenLabels; ///< deferred: generator
@@ -57,7 +57,7 @@ struct ModuleContext {
 
   ModuleContext(const ml::Program &P, const BackendOptions &O,
                 DiagnosticEngine &D)
-      : Prog(P), Opts(O), Diags(D) {}
+      : Prog(P), Opts(O), Diags(D), Asm(O.CodeBase) {}
 
   void error(SourceLoc Loc, std::string Msg) {
     Diags.error(Loc, std::move(Msg));

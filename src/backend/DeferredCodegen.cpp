@@ -1515,6 +1515,12 @@ void FnCompiler::emitMemoPrologue() {
     releaseTemp(TH);
   }
 
+  // Guard on the miss path only, after the lookup (memo hits must keep
+  // succeeding under code-space pressure) and before the in-progress entry
+  // is inserted (so a trap here leaves the memo table consistent and the
+  // whole generator call cleanly retryable after a reset).
+  emitCodeSpaceGuard();
+
   if (M.Opts.AlignSpecializations) {
     uint32_t L = M.Opts.IcacheLineBytes;
     A.addiu(Cp, Cp, static_cast<int32_t>(L - 1));
@@ -1554,14 +1560,22 @@ void FnCompiler::emitGeneratorFinish() {
   emitEpilogue();
 }
 
-/// Every unrolled iteration checks that the code segment has room left;
-/// runaway specialization (e.g. exponential path duplication from self
-/// calls in both arms of a late conditional — the paper's
+/// The generator prologue (on a memo miss, before the in-progress entry is
+/// inserted) and every unrolled iteration check that the code segment has
+/// room left; runaway specialization (e.g. exponential path duplication
+/// from self calls in both arms of a late conditional — the paper's
 /// "over-specialization" hazard) traps instead of silently overrunning
-/// into the stack.
+/// into the stack. The trap is recoverable: no memo entry has been
+/// inserted yet at the prologue check, and the machine layer can
+/// resetCodeSpace() and retry.
 void FnCompiler::emitCodeSpaceGuard() {
+  if (!M.Opts.EmitCodeSpaceGuards)
+    return;
   Label OkL = A.newLabel();
-  A.li(At, static_cast<int32_t>(layout::DynCodeEnd - 0x10000));
+  uint32_t Margin = M.Opts.CodeSpaceGuardMargin;
+  if (Margin >= layout::DynCodeBytes)
+    Margin = layout::DynCodeBytes - 4;
+  A.li(At, static_cast<int32_t>(layout::DynCodeEnd - Margin));
   A.sltu(At, Cp, At);
   A.bnez(At, OkL);
   A.trap(TrapCode::CodeSpace);

@@ -1,0 +1,72 @@
+//===- FabError.h - Structured machine-layer errors -------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured, recoverable error reporting for the Machine facade. Every
+/// failure of specialize()/call*() surfaces as a FabError carried in a
+/// FabResult<T> instead of aborting the process, so a host serving many
+/// requests can log, retry, degrade, or shed load per call. The *OrDie
+/// wrappers on Machine reconstruct the old crash-on-error convenience for
+/// tests and benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_CORE_FABERROR_H
+#define FAB_CORE_FABERROR_H
+
+#include "vm/Vm.h"
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fab {
+
+/// Machine-layer error categories (coarser than vm::Fault: the policy
+/// layer keys recovery decisions on these).
+enum class FabErrc {
+  UnknownFunction,    ///< name not in the compiled unit's symbol table
+  Trapped,            ///< the VM stopped on a fault or program trap
+  OutOfFuel,          ///< instruction budget exhausted
+  CodeSpaceExhausted, ///< dynamic code segment full and not recoverable
+  Degraded,           ///< machine fell back to Plain; staging unavailable
+};
+
+/// One failed Machine operation. Exec carries the underlying VM stop when
+/// there is one (Reason == Halted means "no VM run is associated").
+struct FabError {
+  FabErrc Code = FabErrc::Trapped;
+  std::string Fn; ///< function name or "@0x..." call address
+  ExecResult Exec;
+
+  std::string message() const;
+};
+
+/// Minimal expected<T, FabError> (the toolchain targets C++20, which has
+/// no std::expected).
+template <class T> class FabResult {
+public:
+  FabResult(T Value) : V(std::move(Value)) {}
+  FabResult(FabError E) : V(std::move(E)) {}
+
+  bool ok() const { return V.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T &operator*() { return std::get<0>(V); }
+  const T &operator*() const { return std::get<0>(V); }
+  T &value() { return std::get<0>(V); }
+  const T &value() const { return std::get<0>(V); }
+
+  FabError &error() { return std::get<1>(V); }
+  const FabError &error() const { return std::get<1>(V); }
+
+private:
+  std::variant<T, FabError> V;
+};
+
+} // namespace fab
+
+#endif // FAB_CORE_FABERROR_H

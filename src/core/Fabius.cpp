@@ -9,8 +9,65 @@
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 using namespace fab;
+
+//===----------------------------------------------------------------------===//
+// Errors
+//===----------------------------------------------------------------------===//
+
+std::string FabError::message() const {
+  std::ostringstream OS;
+  switch (Code) {
+  case FabErrc::UnknownFunction:
+    OS << "unknown function '" << Fn << "'";
+    break;
+  case FabErrc::Trapped:
+  case FabErrc::OutOfFuel:
+    OS << Fn << ": " << Exec.describe();
+    break;
+  case FabErrc::CodeSpaceExhausted:
+    OS << Fn << ": dynamic code space exhausted (" << Exec.describe() << ")";
+    break;
+  case FabErrc::Degraded:
+    OS << Fn << ": machine degraded to plain execution; staging unavailable";
+    break;
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// A stop curable by resetCodeSpace(): the emitted guard trap, a full memo
+/// table (reset also clears the tables), or the VM's emission hard bound.
+bool isCodeSpacePressure(const ExecResult &R) {
+  if (R.Reason != StopReason::Trapped)
+    return false;
+  if (R.FaultKind == Fault::CodeSpaceExhausted)
+    return true;
+  return R.FaultKind == Fault::ProgramTrap &&
+         (R.TrapValue == static_cast<uint32_t>(TrapCode::CodeSpace) ||
+          R.TrapValue == static_cast<uint32_t>(TrapCode::MemoFull));
+}
+
+FabErrc classify(const ExecResult &R) {
+  if (R.Reason == StopReason::OutOfFuel)
+    return FabErrc::OutOfFuel;
+  if (isCodeSpacePressure(R))
+    return FabErrc::CodeSpaceExhausted;
+  return FabErrc::Trapped;
+}
+
+bool inStaticCode(uint32_t Pc) {
+  return Pc >= layout::StaticCodeBase && Pc < layout::StaticCodeEnd;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
 
 std::optional<Compilation> fab::compile(const std::string &Source,
                                         const FabiusOptions &Opts,
@@ -26,6 +83,28 @@ std::optional<Compilation> fab::compile(const std::string &Source,
     return std::nullopt;
   if (!compileProgram(*C.Ast, Opts.Backend, C.Unit, Diags))
     return std::nullopt;
+
+  if (Opts.PlainFallback && Opts.Backend.Mode == CompileMode::Deferred) {
+    // Compile the degradation image above the deferred one. Plain code
+    // allocates no static data, so the two units only share the code
+    // region and cannot clash elsewhere.
+    BackendOptions PB = Opts.Backend;
+    PB.Mode = CompileMode::Plain;
+    uint32_t DeferredEnd =
+        C.Unit.CodeBase + 4u * static_cast<uint32_t>(C.Unit.Code.size());
+    PB.CodeBase = (DeferredEnd + 0xFFu) & ~0xFFu;
+    CompiledUnit PU;
+    if (!compileProgram(*C.Ast, PB, PU, Diags))
+      return std::nullopt;
+    if (PB.CodeBase + 4u * static_cast<uint32_t>(PU.Code.size()) >
+        layout::StaticCodeEnd) {
+      Diags.error(SourceLoc(),
+                  "plain fall-back image does not fit in the static "
+                  "code region");
+      return std::nullopt;
+    }
+    C.PlainUnit = std::move(PU);
+  }
   return C;
 }
 
@@ -35,10 +114,14 @@ Compilation fab::compileOrDie(const std::string &Source,
   auto C = compile(Source, Opts, Diags);
   if (!C) {
     std::fprintf(stderr, "FABIUS compilation failed:\n%s", Diags.str().c_str());
-    std::abort();
+    std::exit(1);
   }
   return std::move(*C);
 }
+
+//===----------------------------------------------------------------------===//
+// Machine
+//===----------------------------------------------------------------------===//
 
 Machine::Machine(const CompiledUnit &U, VmOptions VmOpts)
     : Unit(U), Sim(VmOpts), Heap(Sim) {
@@ -49,6 +132,14 @@ Machine::Machine(const CompiledUnit &U, VmOptions VmOpts)
   Sim.setReg(Hp, layout::HeapBase);
   Sim.setReg(Cp, layout::DynCodeBase);
   Sim.setReg(Gp, layout::StaticDataBase);
+}
+
+Machine::Machine(const Compilation &C, VmOptions VmOpts)
+    : Machine(C.Unit, VmOpts) {
+  if (C.PlainUnit) {
+    Plain = &*C.PlainUnit;
+    Sim.writeBlock(Plain->CodeBase, Plain->Code.data(), Plain->Code.size());
+  }
 }
 
 void Machine::syncHeapPointer() {
@@ -70,64 +161,176 @@ void Machine::resetCodeSpace() {
   Sim.setReg(Cp, layout::DynCodeBase);
 }
 
-ExecResult Machine::call(const std::string &Name,
-                         const std::vector<uint32_t> &Args) {
+ExecResult Machine::runGuarded(uint32_t Entry,
+                               const std::vector<uint32_t> &Args) {
   syncHeapPointer();
-  uint32_t Entry = Unit.fnAddr(Name);
-  if (Args.size() <= 4)
-    return Sim.call(Entry, Args);
-  // Spill extra arguments to the stack per the calling convention.
-  uint32_t ExtraWords = static_cast<uint32_t>(Args.size()) - 4;
-  uint32_t Sp0 = Sim.reg(Sp);
-  uint32_t NewSp = Sp0 - 4 * ExtraWords;
-  for (uint32_t I = 0; I < ExtraWords; ++I)
-    Sim.store32(NewSp + 4 * I, Args[4 + I]);
-  Sim.setReg(Sp, NewSp);
-  std::vector<uint32_t> RegArgs(Args.begin(), Args.begin() + 4);
-  ExecResult R = Sim.call(Entry, RegArgs);
-  Sim.setReg(Sp, Sp0);
+  const uint32_t Sp0 = Sim.reg(Sp);
+  const uint32_t Fp0 = Sim.reg(Fp);
+  ExecResult R;
+  if (Args.size() <= 4) {
+    R = Sim.call(Entry, Args);
+  } else {
+    // Spill extra arguments to the stack per the calling convention.
+    uint32_t ExtraWords = static_cast<uint32_t>(Args.size()) - 4;
+    uint32_t NewSp = Sp0 - 4 * ExtraWords;
+    for (uint32_t I = 0; I < ExtraWords; ++I)
+      Sim.store32(NewSp + 4 * I, Args[4 + I]);
+    Sim.setReg(Sp, NewSp);
+    std::vector<uint32_t> RegArgs(Args.begin(), Args.begin() + 4);
+    R = Sim.call(Entry, RegArgs);
+    Sim.setReg(Sp, Sp0);
+  }
+  if (!R.ok()) {
+    // A trapped run leaves whatever frame was live; re-seat the stack so
+    // the machine stays usable without manual repair.
+    Sim.setReg(Sp, Sp0);
+    Sim.setReg(Fp, Fp0);
+  }
   return R;
 }
 
-int32_t Machine::callInt(const std::string &Name,
-                         const std::vector<uint32_t> &Args) {
-  ExecResult R = call(Name, Args);
-  if (!R.ok()) {
-    std::fprintf(stderr, "FABIUS call to %s failed: %s\n", Name.c_str(),
-                 R.describe().c_str());
-    std::abort();
+ExecResult Machine::runRecovered(uint32_t Entry,
+                                 const std::vector<uint32_t> &Args) {
+  if (Policy.AutoReset && Policy.HighWatermark > 0) {
+    auto Limit = static_cast<uint64_t>(Policy.HighWatermark *
+                                       static_cast<double>(layout::DynCodeBytes));
+    if (codeSpaceUsed() >= Limit) {
+      resetCodeSpace();
+      ++Recovery.WatermarkResets;
+    }
   }
+
+  ExecResult R = runGuarded(Entry, Args);
+  for (unsigned Attempt = 0; !R.ok() && isCodeSpacePressure(R) &&
+                             Policy.AutoReset && Attempt < Policy.MaxRetries;
+       ++Attempt) {
+    resetCodeSpace();
+    ++Recovery.FaultResets;
+    R = runGuarded(Entry, Args);
+    if (R.ok())
+      ++Recovery.RecoveredRetries;
+  }
+  if (!R.ok() && isCodeSpacePressure(R) && Policy.AutoReset) {
+    // Unrecovered pressure: reset once more so the memo tables hold no
+    // in-progress entries pointing at the abandoned emission and the next
+    // operation starts from a consistent, empty segment.
+    resetCodeSpace();
+    ++Recovery.FaultResets;
+  }
+
+  // Degradation accounting: only failures on the generator side (static
+  // code, where generators and wrappers execute) or code-space pressure
+  // count; a trap raised by the *generated* code (e.g. a subscript bounds
+  // trap) is the program's own behavior, not a generator fault.
+  if (R.ok()) {
+    ConsecutiveGenFaults = 0;
+  } else if (isCodeSpacePressure(R) || inStaticCode(R.FaultPc)) {
+    ++Recovery.GeneratorFaults;
+    ++ConsecutiveGenFaults;
+    if (Policy.FallBackToPlain && Plain &&
+        ConsecutiveGenFaults >= Policy.MaxGeneratorFaults)
+      Degraded = true;
+  }
+  return R;
+}
+
+FabError Machine::makeError(const std::string &Fn, const ExecResult &R) const {
+  FabError E;
+  E.Code = classify(R);
+  E.Fn = Fn;
+  E.Exec = R;
+  return E;
+}
+
+ExecResult Machine::call(const std::string &Name,
+                         const std::vector<uint32_t> &Args) {
+  if (Degraded && Plain && Plain->FnAddr.count(Name)) {
+    ++Recovery.PlainFallbackCalls;
+    return runGuarded(Plain->fnAddr(Name), Args);
+  }
+  return runRecovered(Unit.fnAddr(Name), Args);
+}
+
+FabResult<int32_t> Machine::callInt(const std::string &Name,
+                                    const std::vector<uint32_t> &Args) {
+  if (!Unit.FnAddr.count(Name) && !(Plain && Plain->FnAddr.count(Name)))
+    return FabError{FabErrc::UnknownFunction, Name, {}};
+  ExecResult R = call(Name, Args);
+  if (!R.ok())
+    return makeError(Name, R);
   return static_cast<int32_t>(R.V0);
 }
 
-float Machine::callFloat(const std::string &Name,
-                         const std::vector<uint32_t> &Args) {
-  return std::bit_cast<float>(static_cast<uint32_t>(callInt(Name, Args)));
+FabResult<float> Machine::callFloat(const std::string &Name,
+                                    const std::vector<uint32_t> &Args) {
+  FabResult<int32_t> R = callInt(Name, Args);
+  if (!R)
+    return R.error();
+  return std::bit_cast<float>(static_cast<uint32_t>(*R));
 }
 
-uint32_t Machine::specialize(const std::string &Name,
-                             const std::vector<uint32_t> &EarlyArgs) {
-  syncHeapPointer();
-  ExecResult R = Sim.call(Unit.genAddr(Name), EarlyArgs);
-  if (!R.ok()) {
-    std::fprintf(stderr, "FABIUS specialization of %s failed: %s\n",
-                 Name.c_str(), R.describe().c_str());
-    std::abort();
-  }
+FabResult<uint32_t> Machine::specialize(const std::string &Name,
+                                        const std::vector<uint32_t> &EarlyArgs) {
+  if (Degraded)
+    return FabError{FabErrc::Degraded, Name, {}};
+  if (!Unit.GenAddr.count(Name))
+    return FabError{FabErrc::UnknownFunction, Name, {}};
+  ExecResult R = runRecovered(Unit.genAddr(Name), EarlyArgs);
+  if (!R.ok())
+    return makeError(Name, R);
   return R.V0;
 }
 
 ExecResult Machine::callAt(uint32_t Addr, const std::vector<uint32_t> &Args) {
-  syncHeapPointer();
-  return Sim.call(Addr, Args);
+  return runGuarded(Addr, Args);
 }
 
-int32_t Machine::callAtInt(uint32_t Addr, const std::vector<uint32_t> &Args) {
+FabResult<int32_t> Machine::callAtInt(uint32_t Addr,
+                                      const std::vector<uint32_t> &Args) {
   ExecResult R = callAt(Addr, Args);
   if (!R.ok()) {
-    std::fprintf(stderr, "FABIUS call at 0x%08x failed: %s\n", Addr,
-                 R.describe().c_str());
-    std::abort();
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "@0x%08x", Addr);
+    return makeError(Buf, R);
   }
   return static_cast<int32_t>(R.V0);
+}
+
+namespace {
+[[noreturn]] void dieOn(const FabError &E) {
+  std::fprintf(stderr, "FABIUS: %s\n", E.message().c_str());
+  std::exit(1);
+}
+} // namespace
+
+int32_t Machine::callIntOrDie(const std::string &Name,
+                              const std::vector<uint32_t> &Args) {
+  FabResult<int32_t> R = callInt(Name, Args);
+  if (!R)
+    dieOn(R.error());
+  return *R;
+}
+
+float Machine::callFloatOrDie(const std::string &Name,
+                              const std::vector<uint32_t> &Args) {
+  FabResult<float> R = callFloat(Name, Args);
+  if (!R)
+    dieOn(R.error());
+  return *R;
+}
+
+uint32_t Machine::specializeOrDie(const std::string &Name,
+                                  const std::vector<uint32_t> &EarlyArgs) {
+  FabResult<uint32_t> R = specialize(Name, EarlyArgs);
+  if (!R)
+    dieOn(R.error());
+  return *R;
+}
+
+int32_t Machine::callAtIntOrDie(uint32_t Addr,
+                                const std::vector<uint32_t> &Args) {
+  FabResult<int32_t> R = callAtInt(Addr, Args);
+  if (!R)
+    dieOn(R.error());
+  return *R;
 }

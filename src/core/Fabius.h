@@ -12,9 +12,10 @@
 ///   auto C = fab::compile(MlSource, Opts);   // parse/typecheck/stage/codegen
 ///   fab::Machine M(C->Unit);
 ///   uint32_t V = M.heap().vector({1, 2, 3});
-///   int32_t Dot = M.callInt("dotprod", {V, W});     // wrapper: gen + run
-///   uint32_t Spec = M.specialize("loop", {V, 0, 3}); // explicit staging
-///   int32_t R = M.callAtInt(Spec, {W, 0});
+///   auto Dot = M.callInt("dotprod", {V, W});         // wrapper: gen + run
+///   if (!Dot) { /* structured error in Dot.error() */ }
+///   uint32_t Spec = M.specializeOrDie("loop", {V, 0, 3}); // explicit staging
+///   int32_t R = M.callAtIntOrDie(Spec, {W, 0});
 /// \endcode
 ///
 /// All code runs on the deterministic FAB-32 simulator; Machine exposes its
@@ -27,6 +28,7 @@
 #define FAB_CORE_FABIUS_H
 
 #include "backend/Backend.h"
+#include "core/FabError.h"
 #include "ml/Ast.h"
 #include "runtime/HeapImage.h"
 #include "vm/Vm.h"
@@ -40,6 +42,11 @@ namespace fab {
 /// End-to-end compiler options.
 struct FabiusOptions {
   BackendOptions Backend;
+  /// Deferred mode only: additionally compile the program as a Plain
+  /// (non-RTCG) image placed in the static code region above the deferred
+  /// image, so a Machine can degrade to ordinary execution when the
+  /// generator repeatedly faults (see CodeSpacePolicy).
+  bool PlainFallback = false;
   /// When false, currying is collapsed and the program compiles to
   /// ordinary code (the paper's "without RTCG" configuration).
   bool runtimeCodegen() const {
@@ -55,6 +62,11 @@ struct FabiusOptions {
     O.Backend.Mode = CompileMode::Deferred;
     return O;
   }
+  static FabiusOptions deferredWithFallback() {
+    FabiusOptions O = deferred();
+    O.PlainFallback = true;
+    return O;
+  }
 };
 
 /// A successfully compiled program. Owns the AST and types (the compiled
@@ -63,6 +75,39 @@ struct Compilation {
   std::shared_ptr<ml::TypeContext> Types;
   std::shared_ptr<ml::Program> Ast;
   CompiledUnit Unit;
+  /// Present when FabiusOptions::PlainFallback was set: the same program
+  /// compiled Plain, based above Unit's code.
+  std::optional<CompiledUnit> PlainUnit;
+};
+
+/// Code-space pressure and generator-fault handling for a Machine.
+/// "Pressure" means the guard trap (TrapCode::CodeSpace), a full memo
+/// table (TrapCode::MemoFull), or the VM's emission hard bound
+/// (Fault::CodeSpaceExhausted) — all curable by resetCodeSpace() unless a
+/// single specialization alone exceeds the segment.
+struct CodeSpacePolicy {
+  /// Fraction of the dynamic code segment that, once used, triggers a
+  /// preemptive reset at the next specialize()/call() entry.
+  double HighWatermark = 0.9;
+  /// Automatically resetCodeSpace() and retry when a run stops on
+  /// code-space pressure.
+  bool AutoReset = true;
+  /// Retries per failing operation (each preceded by a reset).
+  unsigned MaxRetries = 1;
+  /// After MaxGeneratorFaults consecutive *unrecovered* generator
+  /// failures, permanently route name-based calls to the Plain fall-back
+  /// image (when one was compiled) instead of the staged path.
+  bool FallBackToPlain = true;
+  unsigned MaxGeneratorFaults = 3;
+};
+
+/// Counters describing recovery activity; see Machine::recovery().
+struct RecoveryStats {
+  uint64_t WatermarkResets = 0;    ///< preemptive resets at high watermark
+  uint64_t FaultResets = 0;        ///< resets in response to pressure traps
+  uint64_t RecoveredRetries = 0;   ///< retries that then succeeded
+  uint64_t GeneratorFaults = 0;    ///< unrecovered generator failures
+  uint64_t PlainFallbackCalls = 0; ///< calls served by the Plain image
 };
 
 /// Compiles ML source through the full pipeline. On failure returns
@@ -71,35 +116,70 @@ std::optional<Compilation> compile(const std::string &Source,
                                    const FabiusOptions &Opts,
                                    DiagnosticEngine &Diags);
 
-/// Convenience: compiles or aborts with the diagnostics printed (tests and
+/// Convenience: compiles or exits with the diagnostics printed (tests and
 /// benchmarks).
 Compilation compileOrDie(const std::string &Source,
                          const FabiusOptions &Opts);
 
 /// A loaded program instance: simulator + heap + symbol table.
+///
+/// Failure handling: every by-name operation reports failures as a
+/// FabResult/ExecResult instead of crashing, applies the CodeSpacePolicy
+/// (high-watermark resets, reset-and-retry on code-space pressure,
+/// degradation to a Plain image after repeated generator faults), and
+/// re-seats $sp/$fp after a failed run so the machine stays usable. The
+/// *OrDie variants exit the process on failure (benchmark convenience).
 class Machine {
 public:
   explicit Machine(const CompiledUnit &Unit, VmOptions VmOpts = VmOptions());
+  /// Loads C.Unit and, when present, C.PlainUnit as the degradation
+  /// target. \p C must outlive the machine.
+  explicit Machine(const Compilation &C, VmOptions VmOpts = VmOptions());
 
   Vm &vm() { return Sim; }
   HeapImage &heap() { return Heap; }
 
   /// Calls a function by name (in Deferred mode, a staged function's entry
-  /// is its wrapper).
+  /// is its wrapper). Applies the recovery policy; once degraded, routes
+  /// to the Plain fall-back image.
   ExecResult call(const std::string &Name, const std::vector<uint32_t> &Args);
-  int32_t callInt(const std::string &Name, const std::vector<uint32_t> &Args);
-  /// Calls a real-valued function; aborts on trap.
-  float callFloat(const std::string &Name, const std::vector<uint32_t> &Args);
+  FabResult<int32_t> callInt(const std::string &Name,
+                             const std::vector<uint32_t> &Args);
+  FabResult<float> callFloat(const std::string &Name,
+                             const std::vector<uint32_t> &Args);
 
   /// Runs the generating extension of staged function \p Name on the early
-  /// arguments; returns the address of the specialized code. Aborts if the
-  /// generator traps.
-  uint32_t specialize(const std::string &Name,
-                      const std::vector<uint32_t> &EarlyArgs);
+  /// arguments; returns the address of the specialized code, or a
+  /// structured error if the generator fails (after policy-driven
+  /// recovery attempts). Returns FabErrc::Degraded once the machine has
+  /// fallen back to Plain execution.
+  FabResult<uint32_t> specialize(const std::string &Name,
+                                 const std::vector<uint32_t> &EarlyArgs);
 
-  /// Calls previously specialized code.
+  /// Calls previously specialized code. No retry/fallback: a reset would
+  /// invalidate \p Addr, so failures are reported as-is.
   ExecResult callAt(uint32_t Addr, const std::vector<uint32_t> &Args);
-  int32_t callAtInt(uint32_t Addr, const std::vector<uint32_t> &Args);
+  FabResult<int32_t> callAtInt(uint32_t Addr,
+                               const std::vector<uint32_t> &Args);
+
+  // Crash-on-error conveniences (print the error and exit).
+  int32_t callIntOrDie(const std::string &Name,
+                       const std::vector<uint32_t> &Args);
+  float callFloatOrDie(const std::string &Name,
+                       const std::vector<uint32_t> &Args);
+  uint32_t specializeOrDie(const std::string &Name,
+                           const std::vector<uint32_t> &EarlyArgs);
+  int32_t callAtIntOrDie(uint32_t Addr, const std::vector<uint32_t> &Args);
+
+  // -- Recovery policy -------------------------------------------------------
+
+  void setPolicy(const CodeSpacePolicy &P) { Policy = P; }
+  const CodeSpacePolicy &policy() const { return Policy; }
+  const RecoveryStats &recovery() const { return Recovery; }
+  /// True once name-based calls are served by the Plain fall-back image.
+  bool degraded() const { return Degraded; }
+  /// Whether a Plain fall-back image is loaded.
+  bool hasPlainFallback() const { return Plain != nullptr; }
 
   const VmStats &stats() const { return Sim.stats(); }
 
@@ -123,10 +203,22 @@ public:
 
 private:
   void syncHeapPointer();
+  /// Runs \p Entry with $sp/$fp snapshotting: a failed run has its stack
+  /// registers re-seated so subsequent calls need no manual repair.
+  ExecResult runGuarded(uint32_t Entry, const std::vector<uint32_t> &Args);
+  /// runGuarded plus the recovery policy: watermark reset before, reset +
+  /// retry on code-space pressure, fault accounting + degradation after.
+  ExecResult runRecovered(uint32_t Entry, const std::vector<uint32_t> &Args);
+  FabError makeError(const std::string &Fn, const ExecResult &R) const;
 
   const CompiledUnit &Unit;
+  const CompiledUnit *Plain = nullptr; ///< degradation target, optional
   Vm Sim;
   HeapImage Heap;
+  CodeSpacePolicy Policy;
+  RecoveryStats Recovery;
+  unsigned ConsecutiveGenFaults = 0;
+  bool Degraded = false;
 };
 
 } // namespace fab

@@ -49,10 +49,16 @@ constexpr uint32_t HeapBase = 0x00900000;
 constexpr uint32_t HeapEnd = 0x03000000;
 constexpr uint32_t DynCodeBase = 0x03000000;
 constexpr uint32_t DynCodeEnd = 0x03800000;
+constexpr uint32_t DynCodeBytes = DynCodeEnd - DynCodeBase;
 constexpr uint32_t StackTop = 0x03FFFFF0; ///< ~8 MiB of stack
 
 /// Capacity of one specialization memo table, in entries.
 constexpr uint32_t MemoCapacity = 4096;
+
+/// Default headroom the emitted code-space guard keeps below DynCodeEnd:
+/// the guard traps once $cp crosses DynCodeEnd - margin, bounding how much
+/// one specialization iteration may emit between guard checks.
+constexpr uint32_t CodeSpaceGuardMargin = 0x10000;
 
 } // namespace layout
 } // namespace fab

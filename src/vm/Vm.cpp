@@ -61,6 +61,9 @@ std::string ExecResult::describe() const {
     case Fault::ProgramTrap:
       OS << "program trap code " << TrapValue;
       break;
+    case Fault::CodeSpaceExhausted:
+      OS << "dynamic code space exhausted";
+      break;
     }
     break;
   }
@@ -68,7 +71,8 @@ std::string ExecResult::describe() const {
 }
 
 Vm::Vm(VmOptions Options) : Opts(Options) {
-  assert((Opts.MemBytes & 3) == 0 && "memory size must be word aligned");
+  assert(Opts.MemBytes >= 4 && (Opts.MemBytes & 3) == 0 &&
+         "memory size must be word aligned and nonzero");
   Mem.resize(Opts.MemBytes, 0);
 }
 
@@ -125,6 +129,7 @@ ExecResult Vm::call(uint32_t EntryPc, const std::vector<uint32_t> &Args) {
 ExecResult Vm::run(uint32_t EntryPc) {
   uint32_t Pc = EntryPc;
   uint64_t Budget = Opts.Fuel;
+  uint64_t ExecutedThisRun = 0;
   const uint32_t Line = Opts.IcacheLineBytes;
 
   auto floatOf = [](uint32_t Bits) { return std::bit_cast<float>(Bits); };
@@ -137,6 +142,25 @@ ExecResult Vm::run(uint32_t EntryPc) {
       R.V0 = Regs[V0];
       return R;
     }
+    if (Opts.Injector.Armed) {
+      const bool Fire = Opts.Injector.AtPc
+                            ? Pc == Opts.Injector.AtPc
+                            : ExecutedThisRun >= Opts.Injector.AfterInstructions;
+      if (Fire) {
+        FaultInjector FI = Opts.Injector;
+        if (FI.OneShot)
+          Opts.Injector.Armed = false;
+        if (FI.Reason == StopReason::OutOfFuel) {
+          ExecResult R;
+          R.Reason = StopReason::OutOfFuel;
+          R.FaultPc = Pc;
+          R.V0 = Regs[V0];
+          return R;
+        }
+        return stopFault(FI.Kind, Pc, FI.TrapValue);
+      }
+    }
+    ++ExecutedThisRun;
     if (!inBounds(Pc) || (Pc & 3))
       return stopFault(Fault::BadFetch, Pc);
     if (Budget-- == 0) {
@@ -374,6 +398,13 @@ ExecResult Vm::run(uint32_t EntryPc) {
       uint32_t Addr = RsV + static_cast<uint32_t>(static_cast<int32_t>(I.Imm));
       if (!inBounds(Addr) || (Addr & 3))
         return stopFault(Fault::BadAccess, Pc);
+      // Hard bound on dynamic-code emission: $cp is the dedicated code
+      // pointer (never a temp), so a $cp-based store landing outside the
+      // dynamic segment means the generator ran past DynCodeEnd (or was
+      // mis-seated below DynCodeBase). Fault *before* writing so adjacent
+      // regions (stack above, heap below) are never corrupted.
+      if (I.Rs == Cp && DynHi != DynLo && !inDynRegion(Addr))
+        return stopFault(Fault::CodeSpaceExhausted, Pc);
       ++Stats.Stores;
       std::memcpy(&Mem[Addr], &RtV, 4);
       if (inDynRegion(Addr)) {

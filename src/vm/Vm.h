@@ -50,6 +50,7 @@ enum class Fault {
   DivideByZero,     ///< divq/rem with zero divisor
   IcacheIncoherent, ///< fetched a dirty (unflushed) dynamic code line
   ProgramTrap,      ///< Ext/Trap executed; see TrapValue
+  CodeSpaceExhausted, ///< dynamic-code emission past [DynLo, DynHi)
 };
 
 /// Execution statistics. All counters are cumulative over the life of the
@@ -69,6 +70,31 @@ struct VmStats {
   VmStats operator-(const VmStats &Rhs) const;
 };
 
+/// Deterministic fault injection for testing failure paths (the machine
+/// layer's recovery logic, harness error reporting, benchmark guard rails).
+/// While Armed, run() stops with the configured outcome immediately before
+/// executing the trigger instruction: the AfterInstructions-th instruction
+/// of the run, or the first instruction fetched at AtPc when AtPc != 0.
+/// The injected stop is indistinguishable from the organic fault by
+/// construction, so every consumer-visible failure path is exercisable
+/// without crafting a program that actually faults.
+struct FaultInjector {
+  bool Armed = false;
+  /// Fire before executing the Nth instruction of the run (0 = first).
+  /// Counted per run() call, not cumulatively.
+  uint64_t AfterInstructions = 0;
+  /// If nonzero, fire when the PC first reaches this address instead of
+  /// after an instruction count.
+  uint32_t AtPc = 0;
+  /// StopReason::Trapped injects fault Kind/TrapValue;
+  /// StopReason::OutOfFuel injects fuel exhaustion.
+  StopReason Reason = StopReason::Trapped;
+  Fault Kind = Fault::BadAccess;
+  uint32_t TrapValue = 0;
+  /// Disarm automatically after firing once (so a retry runs clean).
+  bool OneShot = true;
+};
+
 /// Configuration for a simulator instance.
 struct VmOptions {
   uint32_t MemBytes = 64u << 20; ///< flat memory size
@@ -84,6 +110,9 @@ struct VmOptions {
   /// If true, fetching from a dirty dynamic-code line faults; if false the
   /// violation is only counted (CoherenceViolations).
   bool TrapOnIncoherentFetch = true;
+  /// Optional deterministic fault injection; see FaultInjector. Can also be
+  /// (re)armed on a live machine via Vm::injectFault().
+  FaultInjector Injector;
 };
 
 /// Result of one run()/call() invocation.
@@ -121,6 +150,9 @@ public:
   void store32(uint32_t Addr, uint32_t Value);
   void writeBlock(uint32_t Addr, const uint32_t *Words, size_t Count);
   uint32_t memBytes() const { return static_cast<uint32_t>(Mem.size()); }
+  /// Raw memory for snapshot/diff assertions (e.g. proving a faulting
+  /// emission left adjacent regions untouched).
+  const std::vector<uint8_t> &memory() const { return Mem; }
 
   // -- Register access ------------------------------------------------------
 
@@ -143,6 +175,15 @@ public:
   const VmStats &stats() const { return Stats; }
   uint64_t coherenceViolations() const { return CoherenceViolations; }
 
+  /// Replaces the per-run instruction budget (e.g. to recover a machine
+  /// whose generator ran out of fuel mid-emission).
+  void setFuel(uint64_t Fuel) { Opts.Fuel = Fuel; }
+  uint64_t fuel() const { return Opts.Fuel; }
+
+  /// Arms (or, with Armed=false, disarms) the fault injector for subsequent
+  /// run()/call() invocations.
+  void injectFault(const FaultInjector &FI) { Opts.Injector = FI; }
+
   /// Debug output accumulated from PutInt/PutCh.
   const std::string &output() const { return Output; }
   void clearOutput() { Output.clear(); }
@@ -152,7 +193,9 @@ public:
   std::string disassembleRange(uint32_t Addr, unsigned Count) const;
 
 private:
-  bool inBounds(uint32_t Addr) const { return Addr + 3 < Mem.size(); }
+  // Mem.size() is word-aligned and nonzero, so the subtraction cannot
+  // wrap; the naive `Addr + 3 < size` form wrapped for Addr >= 0xFFFFFFFC.
+  bool inBounds(uint32_t Addr) const { return Addr <= Mem.size() - 4; }
   bool inDynRegion(uint32_t Addr) const {
     return Addr >= DynLo && Addr < DynHi;
   }

@@ -31,7 +31,7 @@ TEST(DeferredExec, DotProductViaWrapper) {
   Machine M(C.Unit);
   uint32_t V1 = M.heap().vector({1, 2, 3});
   uint32_t V2 = M.heap().vector({4, 5, 6});
-  EXPECT_EQ(M.callInt("dotprod", {V1, V2}), 32);
+  EXPECT_EQ(M.callIntOrDie("dotprod", {V1, V2}), 32);
   EXPECT_GT(M.instructionsGenerated(), 0u);
   EXPECT_EQ(M.vm().coherenceViolations(), 0u);
 }
@@ -42,23 +42,23 @@ TEST(DeferredExec, ExplicitSpecializeThenCall) {
   uint32_t V1 = M.heap().vector({2, 4, 6, 8});
   uint32_t V2 = M.heap().vector({1, 1, 1, 1});
   uint32_t V3 = M.heap().vector({1, 2, 3, 4});
-  uint32_t Spec = M.specialize("loop", {V1, 0, 4});
-  EXPECT_EQ(M.callAtInt(Spec, {V2, 0}), 20);
-  EXPECT_EQ(M.callAtInt(Spec, {V3, 0}), 2 + 8 + 18 + 32);
+  uint32_t Spec = M.specializeOrDie("loop", {V1, 0, 4});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {V2, 0}), 20);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {V3, 0}), 2 + 8 + 18 + 32);
 }
 
 TEST(DeferredExec, MemoizationReusesCode) {
   Compilation C = compileOrDie(DotProdSrc, FabiusOptions::deferred());
   Machine M(C.Unit);
   uint32_t V1 = M.heap().vector({1, 2, 3});
-  uint32_t Spec1 = M.specialize("loop", {V1, 0, 3});
+  uint32_t Spec1 = M.specializeOrDie("loop", {V1, 0, 3});
   uint64_t GenAfterFirst = M.instructionsGenerated();
-  uint32_t Spec2 = M.specialize("loop", {V1, 0, 3});
+  uint32_t Spec2 = M.specializeOrDie("loop", {V1, 0, 3});
   EXPECT_EQ(Spec1, Spec2);
   EXPECT_EQ(M.instructionsGenerated(), GenAfterFirst); // no re-emission
   // A different early key generates fresh code.
   uint32_t V2 = M.heap().vector({9, 9, 9});
-  uint32_t Spec3 = M.specialize("loop", {V2, 0, 3});
+  uint32_t Spec3 = M.specializeOrDie("loop", {V2, 0, 3});
   EXPECT_NE(Spec3, Spec1);
   EXPECT_GT(M.instructionsGenerated(), GenAfterFirst);
 }
@@ -67,7 +67,7 @@ TEST(DeferredExec, SpecializationsAreLineAligned) {
   Compilation C = compileOrDie(DotProdSrc, FabiusOptions::deferred());
   Machine M(C.Unit);
   uint32_t V1 = M.heap().vector({1, 2});
-  uint32_t Spec = M.specialize("loop", {V1, 0, 2});
+  uint32_t Spec = M.specializeOrDie("loop", {V1, 0, 2});
   EXPECT_EQ(Spec % 16, 0u);
 }
 
@@ -81,10 +81,10 @@ TEST(DeferredExec, UnrolledLoopIsBranchFreeStraightLine) {
   Machine M(C.Unit);
   uint32_t V1 = M.heap().vector({1, 2, 3, 4, 5});
   uint32_t V2 = M.heap().vector({5, 4, 3, 2, 1});
-  uint32_t Spec = M.specialize("loop", {V1, 0, 5});
+  uint32_t Spec = M.specializeOrDie("loop", {V1, 0, 5});
   uint64_t Generated = M.instructionsGenerated();
   VmStats Before = M.stats();
-  EXPECT_EQ(M.callAtInt(Spec, {V2, 0}), 5 + 8 + 9 + 8 + 5);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {V2, 0}), 5 + 8 + 9 + 8 + 5);
   VmStats D = M.stats() - Before;
   // Straight line: every generated word executes exactly once, except the
   // five bounds-failure trap words (one per v2 subscript) skipped by their
@@ -103,7 +103,7 @@ TEST(DeferredExec, CodegenCostIsNearPaperReported) {
     Elems[I] = I * 7 % 23;
   uint32_t V1 = M.heap().vector(Elems);
   VmStats Before = M.stats();
-  M.specialize("loop", {V1, 0, 64});
+  M.specializeOrDie("loop", {V1, 0, 64});
   VmStats D = M.stats() - Before;
   double PerInst = static_cast<double>(D.Executed) /
                    static_cast<double>(D.DynWordsWritten);
@@ -117,11 +117,11 @@ TEST(DeferredExec, ResidualizationLargeConstants) {
   const char *Src = "fun f (k : int) (x : int) = x + k";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  EXPECT_EQ(M.callInt("f", {5, 10}), 15);
-  EXPECT_EQ(M.callInt("f", {0x123456, 1}), 0x123457);
-  EXPECT_EQ(M.callInt("f", {static_cast<uint32_t>(-40000), 1}), -39999);
-  EXPECT_EQ(M.callInt("f", {32767, 1}), 32768);
-  EXPECT_EQ(M.callInt("f", {static_cast<uint32_t>(-32768), 1}), -32767);
+  EXPECT_EQ(M.callIntOrDie("f", {5, 10}), 15);
+  EXPECT_EQ(M.callIntOrDie("f", {0x123456, 1}), 0x123457);
+  EXPECT_EQ(M.callIntOrDie("f", {static_cast<uint32_t>(-40000), 1}), -39999);
+  EXPECT_EQ(M.callIntOrDie("f", {32767, 1}), 32768);
+  EXPECT_EQ(M.callIntOrDie("f", {static_cast<uint32_t>(-32768), 1}), -32767);
 }
 
 TEST(DeferredExec, LateConditional) {
@@ -129,9 +129,9 @@ TEST(DeferredExec, LateConditional) {
       "fun f (k : int) (x : int) = if x > k then x - k else k - x";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("f", {10});
-  EXPECT_EQ(M.callAtInt(Spec, {25}), 15);
-  EXPECT_EQ(M.callAtInt(Spec, {3}), 7);
+  uint32_t Spec = M.specializeOrDie("f", {10});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {25}), 15);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {3}), 7);
 }
 
 TEST(DeferredExec, EarlyConditionalUnfolds) {
@@ -140,10 +140,10 @@ TEST(DeferredExec, EarlyConditionalUnfolds) {
       "fun f (k : int) (x : int) = if k > 0 then x + k else x - k";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t SpecPos = M.specialize("f", {5});
-  uint32_t SpecNeg = M.specialize("f", {static_cast<uint32_t>(-5)});
-  EXPECT_EQ(M.callAtInt(SpecPos, {100}), 105);
-  EXPECT_EQ(M.callAtInt(SpecNeg, {100}), 105); // x - (-5)
+  uint32_t SpecPos = M.specializeOrDie("f", {5});
+  uint32_t SpecNeg = M.specializeOrDie("f", {static_cast<uint32_t>(-5)});
+  EXPECT_EQ(M.callAtIntOrDie(SpecPos, {100}), 105);
+  EXPECT_EQ(M.callAtIntOrDie(SpecNeg, {100}), 105); // x - (-5)
 }
 
 TEST(DeferredExec, NestedLateConditionals) {
@@ -152,11 +152,11 @@ TEST(DeferredExec, NestedLateConditionals) {
                     "(if x < 0 then 3 else 4)";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("f", {10});
-  EXPECT_EQ(M.callAtInt(Spec, {25}), 1);
-  EXPECT_EQ(M.callAtInt(Spec, {15}), 2);
-  EXPECT_EQ(M.callAtInt(Spec, {static_cast<uint32_t>(-1)}), 3);
-  EXPECT_EQ(M.callAtInt(Spec, {5}), 4);
+  uint32_t Spec = M.specializeOrDie("f", {10});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {25}), 1);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {15}), 2);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {static_cast<uint32_t>(-1)}), 3);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {5}), 4);
 }
 
 TEST(DeferredExec, LateLetBindings) {
@@ -164,9 +164,9 @@ TEST(DeferredExec, LateLetBindings) {
                     "let val a = x * k val b = a + x in a * b end";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("f", {3});
+  uint32_t Spec = M.specializeOrDie("f", {3});
   // a = 12, b = 16 for x = 4.
-  EXPECT_EQ(M.callAtInt(Spec, {4}), 12 * 16);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {4}), 12 * 16);
 }
 
 TEST(DeferredExec, EarlyLetUnderLateCode) {
@@ -174,8 +174,8 @@ TEST(DeferredExec, EarlyLetUnderLateCode) {
                     "let val kk = k * k in x + kk end";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("f", {7});
-  EXPECT_EQ(M.callAtInt(Spec, {1}), 50);
+  uint32_t Spec = M.specializeOrDie("f", {7});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {1}), 50);
 }
 
 TEST(DeferredExec, VSubEarlyVectorLateIndex) {
@@ -183,9 +183,9 @@ TEST(DeferredExec, VSubEarlyVectorLateIndex) {
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
   uint32_t V = M.heap().vector({7, 8, 9});
-  uint32_t Spec = M.specialize("f", {V});
-  EXPECT_EQ(M.callAtInt(Spec, {0}), 7);
-  EXPECT_EQ(M.callAtInt(Spec, {2}), 9);
+  uint32_t Spec = M.specializeOrDie("f", {V});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {0}), 7);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {2}), 9);
   ExecResult R = M.callAt(Spec, {3});
   EXPECT_EQ(R.Reason, StopReason::Trapped);
   EXPECT_EQ(R.TrapValue, static_cast<uint32_t>(TrapCode::Bounds));
@@ -196,10 +196,10 @@ TEST(DeferredExec, VSubLateVectorEarlyIndex) {
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
   uint32_t V = M.heap().vector({7, 8, 9});
-  uint32_t Spec = M.specialize("f", {1});
-  EXPECT_EQ(M.callAtInt(Spec, {V}), 8);
+  uint32_t Spec = M.specializeOrDie("f", {1});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {V}), 8);
   // Out-of-range early index against a short late vector traps.
-  uint32_t Spec9 = M.specialize("f", {9});
+  uint32_t Spec9 = M.specializeOrDie("f", {9});
   ExecResult R = M.callAt(Spec9, {V});
   EXPECT_EQ(R.Reason, StopReason::Trapped);
 }
@@ -210,8 +210,8 @@ TEST(DeferredExec, VSubBothLate) {
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
   uint32_t V = M.heap().vector({5, 6});
-  uint32_t Spec = M.specialize("f", {100});
-  EXPECT_EQ(M.callAtInt(Spec, {V, 1}), 106);
+  uint32_t Spec = M.specializeOrDie("f", {100});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {V, 1}), 106);
 }
 
 TEST(DeferredExec, LateCaseDispatch) {
@@ -226,10 +226,10 @@ TEST(DeferredExec, LateCaseDispatch) {
   uint32_t Circ = M.heap().cell(0, {4});
   uint32_t Rect = M.heap().cell(1, {3, 5});
   uint32_t Pt = M.heap().cell(2, {});
-  uint32_t Spec = M.specialize("area", {1000});
-  EXPECT_EQ(M.callAtInt(Spec, {Circ}), 48 + 1000);
-  EXPECT_EQ(M.callAtInt(Spec, {Rect}), 15 + 1000);
-  EXPECT_EQ(M.callAtInt(Spec, {Pt}), 1000);
+  uint32_t Spec = M.specializeOrDie("area", {1000});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {Circ}), 48 + 1000);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {Rect}), 15 + 1000);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {Pt}), 1000);
 }
 
 TEST(DeferredExec, EarlyCaseUnfoldsOverDatatype) {
@@ -246,15 +246,15 @@ TEST(DeferredExec, EarlyCaseUnfoldsOverDatatype) {
   L = M.heap().cell(1, {3, 30, L});
   L = M.heap().cell(1, {2, 20, L});
   L = M.heap().cell(1, {1, 10, L});
-  uint32_t Spec = M.specialize("lookup", {L});
-  EXPECT_EQ(M.callAtInt(Spec, {1}), 10);
-  EXPECT_EQ(M.callAtInt(Spec, {2}), 20);
-  EXPECT_EQ(M.callAtInt(Spec, {3}), 30);
-  EXPECT_EQ(M.callAtInt(Spec, {4}), -1);
+  uint32_t Spec = M.specializeOrDie("lookup", {L});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {1}), 10);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {2}), 20);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {3}), 30);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {4}), -1);
   // No loads from the list in the generated code: the lookup executes
   // without touching memory (Figure 6 of the paper).
   VmStats Before = M.stats();
-  M.callAtInt(Spec, {3});
+  M.callAtIntOrDie(Spec, {3});
   VmStats D = M.stats() - Before;
   EXPECT_EQ(D.Loads, 0u);
 }
@@ -272,7 +272,7 @@ TEST(DeferredExec, MemoizedSelfTailCallBuildsCyclicCode) {
   Compilation C = compileOrDie(Src, Opts);
   Machine M(C.Unit);
   uint32_t Prog = M.heap().vector({1, 2, 3, 4});
-  uint32_t Spec = M.specialize("step", {Prog, 0});
+  uint32_t Spec = M.specializeOrDie("step", {Prog, 0});
   // Sum 1,2,3,4 cyclically from 0 until >= 100: 10 per full cycle.
   int32_t Acc = 0;
   int Pc = 0;
@@ -280,10 +280,10 @@ TEST(DeferredExec, MemoizedSelfTailCallBuildsCyclicCode) {
     Acc += (Pc % 4) + 1;
     Pc = (Pc + 1) % 4;
   }
-  EXPECT_EQ(M.callAtInt(Spec, {0}), Acc);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {0}), Acc);
   // Generation terminated: exactly 4 specializations of `step` exist.
   uint64_t Gen = M.instructionsGenerated();
-  M.specialize("step", {Prog, 1});
+  M.specializeOrDie("step", {Prog, 1});
   EXPECT_EQ(M.instructionsGenerated(), Gen); // pc=1 already generated
 }
 
@@ -299,10 +299,10 @@ TEST(DeferredExec, NonTailStagedCallLazySpecialization) {
       "  end";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("try", {10, 5});
-  EXPECT_EQ(M.callAtInt(Spec, {20}), 20); // first branch hits
-  EXPECT_EQ(M.callAtInt(Spec, {7}), 7);   // second branch hits
-  EXPECT_EQ(M.callAtInt(Spec, {3}), 0);   // both fail
+  uint32_t Spec = M.specializeOrDie("try", {10, 5});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {20}), 20); // first branch hits
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {7}), 7);   // second branch hits
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {3}), 0);   // both fail
 }
 
 TEST(DeferredExec, LateCallToUnstagedFunction) {
@@ -311,8 +311,8 @@ TEST(DeferredExec, LateCallToUnstagedFunction) {
       "fun f (k : int) (x : int) = helper (x, k) + helper (k, x)";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("f", {3});
-  EXPECT_EQ(M.callAtInt(Spec, {7}), 73 + 37);
+  uint32_t Spec = M.specializeOrDie("f", {3});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {7}), 73 + 37);
 }
 
 TEST(DeferredExec, EarlyCallExecutedByGenerator) {
@@ -323,9 +323,9 @@ TEST(DeferredExec, EarlyCallExecutedByGenerator) {
       "fun f (k : int) (x : int) = x + square k";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("f", {9});
+  uint32_t Spec = M.specializeOrDie("f", {9});
   VmStats Before = M.stats();
-  EXPECT_EQ(M.callAtInt(Spec, {1}), 82);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {1}), 82);
   VmStats D = M.stats() - Before;
   // Executed code: the embedded constant, an add, a return plus host-call
   // glue; no call to square.
@@ -339,8 +339,8 @@ TEST(DeferredExec, LateDatatypeAllocation) {
       "and unbox b = case b of Box (a, c) => a * 1000 + c";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("f", {5});
-  EXPECT_EQ(M.callAtInt(Spec, {2}), 7 * 1000 + 10);
+  uint32_t Spec = M.specializeOrDie("f", {5});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {2}), 7 * 1000 + 10);
 }
 
 TEST(DeferredExec, LateVectorWriteAndAlloc) {
@@ -351,8 +351,8 @@ TEST(DeferredExec, LateVectorWriteAndAlloc) {
       "  in v sub 0 + v sub 1 end";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("f", {4});
-  EXPECT_EQ(M.callAtInt(Spec, {7}), 7 + 99);
+  uint32_t Spec = M.specializeOrDie("f", {4});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {7}), 7 + 99);
 }
 
 TEST(DeferredExec, StagedRealArithmetic) {
@@ -360,7 +360,7 @@ TEST(DeferredExec, StagedRealArithmetic) {
       "fun axpy (a : real) (x : real, y : real) = a * x + y";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("axpy", {std::bit_cast<uint32_t>(2.5f)});
+  uint32_t Spec = M.specializeOrDie("axpy", {std::bit_cast<uint32_t>(2.5f)});
   ExecResult R = M.callAt(Spec, {std::bit_cast<uint32_t>(4.0f),
                                  std::bit_cast<uint32_t>(1.0f)});
   EXPECT_FLOAT_EQ(std::bit_cast<float>(R.V0), 11.0f);
@@ -382,16 +382,16 @@ TEST(DeferredExec, SparseStrengthReduction) {
   uint32_t VD = M.heap().vector(Dense);
   uint32_t VS = M.heap().vector(Sparse);
   uint64_t G0 = M.instructionsGenerated();
-  M.specialize("loop", {VD, 0, 32});
+  M.specializeOrDie("loop", {VD, 0, 32});
   uint64_t DenseWords = M.instructionsGenerated() - G0;
   uint64_t G1 = M.instructionsGenerated();
-  M.specialize("loop", {VS, 0, 32});
+  M.specializeOrDie("loop", {VS, 0, 32});
   uint64_t SparseWords = M.instructionsGenerated() - G1;
   EXPECT_LT(SparseWords * 3, DenseWords); // far less code for sparse rows
   // And both compute correct results.
   uint32_t Ones = M.heap().vector(std::vector<int32_t>(32, 1));
-  uint32_t SpecS = M.specialize("loop", {VS, 0, 32});
-  EXPECT_EQ(M.callAtInt(SpecS, {Ones, 0}), 6);
+  uint32_t SpecS = M.specializeOrDie("loop", {VS, 0, 32});
+  EXPECT_EQ(M.callAtIntOrDie(SpecS, {Ones, 0}), 6);
 }
 
 //===----------------------------------------------------------------------===//
@@ -423,7 +423,7 @@ TEST_P(DeferredEquivalence, MatchesPlainMode) {
     ArgsP.push_back(S);
     ArgsD.push_back(S);
   }
-  EXPECT_EQ(MPlain.callInt(TC.Fn, ArgsP), MDef.callInt(TC.Fn, ArgsD))
+  EXPECT_EQ(MPlain.callIntOrDie(TC.Fn, ArgsP), MDef.callIntOrDie(TC.Fn, ArgsD))
       << TC.Name;
 }
 
@@ -490,8 +490,8 @@ TEST(DeferredEquivalence, MinScanNeedsDriver) {
   Compilation CDef = compileOrDie(Src, FabiusOptions::deferred());
   Machine MPlain(CPlain.Unit), MDef(CDef.Unit);
   std::vector<int32_t> V = {5, 3, 8, 1, 9, 4};
-  EXPECT_EQ(MPlain.callInt("run", {MPlain.heap().vector(V)}),
-            MDef.callInt("run", {MDef.heap().vector(V)}));
+  EXPECT_EQ(MPlain.callIntOrDie("run", {MPlain.heap().vector(V)}),
+            MDef.callIntOrDie("run", {MDef.heap().vector(V)}));
 }
 
 //===----------------------------------------------------------------------===//
@@ -520,7 +520,7 @@ TEST_P(DeferredAblation, DotProductStillCorrect) {
   Machine M(C.Unit);
   uint32_t V1 = M.heap().vector({11, 22, 33});
   uint32_t V2 = M.heap().vector({2, 3, 4});
-  EXPECT_EQ(M.callInt("dotprod", {V1, V2}), 22 + 66 + 132);
+  EXPECT_EQ(M.callIntOrDie("dotprod", {V1, V2}), 22 + 66 + 132);
   EXPECT_EQ(M.vm().coherenceViolations(), 0u);
 }
 
@@ -540,7 +540,7 @@ TEST(DeferredExec, LateBitwiseOps) {
   Compilation CD = compileOrDie(Src, FabiusOptions::deferred());
   Machine MP(CP.Unit), MD(CD.Unit);
   for (uint32_t X : {0u, 0xABCDu, 0xFFFF0000u})
-    EXPECT_EQ(MP.callInt("f", {3, X}), MD.callInt("f", {3, X}));
+    EXPECT_EQ(MP.callIntOrDie("f", {3, X}), MD.callIntOrDie("f", {3, X}));
 }
 
 TEST(DeferredExec, EarlyBitwiseDecoding) {
@@ -555,8 +555,8 @@ TEST(DeferredExec, EarlyBitwiseDecoding) {
   Machine M(C.Unit);
   uint32_t Add5 = (1u << 16) | 5;
   uint32_t Sub3 = (2u << 16) | 3;
-  EXPECT_EQ(M.callAtInt(M.specialize("f", {Add5}), {100}), 105);
-  EXPECT_EQ(M.callAtInt(M.specialize("f", {Sub3}), {100}), 97);
+  EXPECT_EQ(M.callAtIntOrDie(M.specializeOrDie("f", {Add5}), {100}), 105);
+  EXPECT_EQ(M.callAtIntOrDie(M.specializeOrDie("f", {Sub3}), {100}), 97);
 }
 
 TEST(DeferredExec, AutomaticRunTimeStrengthReduction) {
@@ -575,14 +575,14 @@ TEST(DeferredExec, AutomaticRunTimeStrengthReduction) {
   uint32_t VD = M.heap().vector(Dense);
   uint32_t VS = M.heap().vector(Sparse);
   uint64_t G0 = M.instructionsGenerated();
-  M.specialize("loop", {VD, 0, 32});
+  M.specializeOrDie("loop", {VD, 0, 32});
   uint64_t DenseWords = M.instructionsGenerated() - G0;
   uint64_t G1 = M.instructionsGenerated();
-  uint32_t SpecS = M.specialize("loop", {VS, 0, 32});
+  uint32_t SpecS = M.specializeOrDie("loop", {VS, 0, 32});
   uint64_t SparseWords = M.instructionsGenerated() - G1;
   EXPECT_LT(SparseWords * 3, DenseWords);
   uint32_t Ones = M.heap().vector(std::vector<int32_t>(32, 1));
-  EXPECT_EQ(M.callAtInt(SpecS, {Ones, 0}), 7);
+  EXPECT_EQ(M.callAtIntOrDie(SpecS, {Ones, 0}), 7);
 
   // With the optimization disabled the sparse code is as big as dense.
   FabiusOptions Off = FabiusOptions::deferred();
@@ -592,15 +592,15 @@ TEST(DeferredExec, AutomaticRunTimeStrengthReduction) {
   uint32_t VS2 = M2.heap().vector(Sparse);
   uint32_t VD2 = M2.heap().vector(Dense);
   uint64_t H0 = M2.instructionsGenerated();
-  M2.specialize("loop", {VS2, 0, 32});
+  M2.specializeOrDie("loop", {VS2, 0, 32});
   uint64_t SparseOff = M2.instructionsGenerated() - H0;
   uint64_t H1 = M2.instructionsGenerated();
-  M2.specialize("loop", {VD2, 0, 32});
+  M2.specializeOrDie("loop", {VD2, 0, 32});
   uint64_t DenseOff = M2.instructionsGenerated() - H1;
   EXPECT_EQ(SparseOff, DenseOff);
   uint32_t Ones2 = M2.heap().vector(std::vector<int32_t>(32, 1));
-  uint32_t SpecS2 = M2.specialize("loop", {VS2, 0, 32});
-  EXPECT_EQ(M2.callAtInt(SpecS2, {Ones2, 0}), 7);
+  uint32_t SpecS2 = M2.specializeOrDie("loop", {VS2, 0, 32});
+  EXPECT_EQ(M2.callAtIntOrDie(SpecS2, {Ones2, 0}), 7);
 }
 
 TEST(DeferredExec, StrengthReductionRealAccumulation) {
@@ -608,11 +608,11 @@ TEST(DeferredExec, StrengthReductionRealAccumulation) {
       "fun axpyacc (a : real) (x : real, acc : real) = acc + a * x";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t SpecZ = M.specialize("axpyacc", {std::bit_cast<uint32_t>(0.0f)});
+  uint32_t SpecZ = M.specializeOrDie("axpyacc", {std::bit_cast<uint32_t>(0.0f)});
   ExecResult R = M.callAt(SpecZ, {std::bit_cast<uint32_t>(5.0f),
                                   std::bit_cast<uint32_t>(2.5f)});
   EXPECT_FLOAT_EQ(std::bit_cast<float>(R.V0), 2.5f);
-  uint32_t Spec2 = M.specialize("axpyacc", {std::bit_cast<uint32_t>(2.0f)});
+  uint32_t Spec2 = M.specializeOrDie("axpyacc", {std::bit_cast<uint32_t>(2.0f)});
   ExecResult R2 = M.callAt(Spec2, {std::bit_cast<uint32_t>(5.0f),
                                    std::bit_cast<uint32_t>(2.5f)});
   EXPECT_FLOAT_EQ(std::bit_cast<float>(R2.V0), 12.5f);
@@ -636,8 +636,8 @@ TEST(DeferredExec, JumpThreadingPreservesSemanticsAndShortensPaths) {
     Compilation C = compileOrDie(Src, *Opts);
     Machine M(C.Unit);
     uint32_t P = M.heap().vector({0, 5, 0, 0, 7, 1});
-    uint32_t Spec = M.specialize("hop", {P, 0});
-    EXPECT_EQ(M.callAtInt(Spec, {100}), 113);
+    uint32_t Spec = M.specializeOrDie("hop", {P, 0});
+    EXPECT_EQ(M.callAtIntOrDie(Spec, {100}), 113);
     EXPECT_EQ(M.vm().coherenceViolations(), 0u);
   }
 
@@ -646,9 +646,9 @@ TEST(DeferredExec, JumpThreadingPreservesSemanticsAndShortensPaths) {
     Compilation C = compileOrDie(Src, O);
     Machine M(C.Unit);
     uint32_t P = M.heap().vector({0, 0, 0, 0, 0, 9});
-    uint32_t Spec = M.specialize("hop", {P, 0});
+    uint32_t Spec = M.specializeOrDie("hop", {P, 0});
     VmStats B = M.stats();
-    M.callAtInt(Spec, {1});
+    M.callAtIntOrDie(Spec, {1});
     return (M.stats() - B).ExecutedDynamic;
   };
   EXPECT_LE(DynCost(Threaded), DynCost(Base));
@@ -662,13 +662,13 @@ TEST(DeferredExec, TailCallBetweenDistinctStagedFunctions) {
       "fun g (k : int, m : int) (x : int) = h (m) (x + k)";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("g", {10, 3});
-  EXPECT_EQ(M.callAtInt(Spec, {5}), (5 + 10) * 3);
+  uint32_t Spec = M.specializeOrDie("g", {10, 3});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {5}), (5 + 10) * 3);
   // h's specialization is shared through its own memo table.
   uint64_t Gen = M.instructionsGenerated();
-  uint32_t SpecH = M.specialize("h", {3});
+  uint32_t SpecH = M.specializeOrDie("h", {3});
   EXPECT_EQ(M.instructionsGenerated(), Gen);
-  EXPECT_EQ(M.callAtInt(SpecH, {7}), 21);
+  EXPECT_EQ(M.callAtIntOrDie(SpecH, {7}), 21);
 }
 
 TEST(DeferredExec, MutuallyRecursiveStagedFunctions) {
@@ -680,8 +680,8 @@ TEST(DeferredExec, MutuallyRecursiveStagedFunctions) {
       "else even (n - 1) (x)";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  EXPECT_EQ(M.callAtInt(M.specialize("even", {6}), {42}), 42);
-  EXPECT_EQ(M.callAtInt(M.specialize("even", {7}), {42}), -42);
+  EXPECT_EQ(M.callAtIntOrDie(M.specializeOrDie("even", {6}), {42}), 42);
+  EXPECT_EQ(M.callAtIntOrDie(M.specializeOrDie("even", {7}), {42}), -42);
 }
 
 TEST(DeferredExec, LateCaseInValuePosition) {
@@ -693,13 +693,13 @@ TEST(DeferredExec, LateCaseInValuePosition) {
       "  x + (case v of A (a) => a + k | B (p, q) => p * q | C => 0 - k)";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("f", {100});
+  uint32_t Spec = M.specializeOrDie("f", {100});
   uint32_t Av = M.heap().cell(0, {7});
   uint32_t Bv = M.heap().cell(1, {3, 4});
   uint32_t Cv = M.heap().cell(2, {});
-  EXPECT_EQ(M.callAtInt(Spec, {Av, 1000}), 1000 + 107);
-  EXPECT_EQ(M.callAtInt(Spec, {Bv, 1000}), 1000 + 12);
-  EXPECT_EQ(M.callAtInt(Spec, {Cv, 1000}), 1000 - 100);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {Av, 1000}), 1000 + 107);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {Bv, 1000}), 1000 + 12);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {Cv, 1000}), 1000 - 100);
 }
 
 TEST(DeferredExec, EarlyCaseInValuePosition) {
@@ -711,8 +711,8 @@ TEST(DeferredExec, EarlyCaseInValuePosition) {
   Machine M(C.Unit);
   uint32_t Lin = M.heap().cell(0, {5});
   uint32_t Quad = M.heap().cell(1, {2});
-  EXPECT_EQ(M.callAtInt(M.specialize("f", {Lin}), {10}), 51);
-  EXPECT_EQ(M.callAtInt(M.specialize("f", {Quad}), {10}), 201);
+  EXPECT_EQ(M.callAtIntOrDie(M.specializeOrDie("f", {Lin}), {10}), 51);
+  EXPECT_EQ(M.callAtIntOrDie(M.specializeOrDie("f", {Quad}), {10}), 201);
 }
 
 TEST(DeferredExec, LazyCallInsideLoopedGenerator) {
@@ -725,8 +725,8 @@ TEST(DeferredExec, LazyCallInsideLoopedGenerator) {
       "  else let val y = inc (d) (x) in rep (d, i + 1, n) (y) end";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("rep", {7, 0, 5});
-  EXPECT_EQ(M.callAtInt(Spec, {1}), 1 + 7 * 5);
+  uint32_t Spec = M.specializeOrDie("rep", {7, 0, 5});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {1}), 1 + 7 * 5);
 }
 
 TEST(DeferredDiagnostics, TooManyEmittedCallArgsRejected) {
@@ -756,7 +756,7 @@ TEST(DeferredExec, WrapperHandlesStackArguments) {
       "fun f (k : int, m : int) (a, b, c, d) = k * a + m * b + c - d";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  EXPECT_EQ(M.callInt("f", {2, 3, 10, 20, 30, 40}),
+  EXPECT_EQ(M.callIntOrDie("f", {2, 3, 10, 20, 30, 40}),
             2 * 10 + 3 * 20 + 30 - 40);
 }
 
@@ -765,7 +765,7 @@ TEST(DeferredExec, UnitParameterGroups) {
                     "fun g () (x : int) = x + 1";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  EXPECT_EQ(M.callInt("f", {21}), 42);
-  uint32_t SpecG = M.specialize("g", {});
-  EXPECT_EQ(M.callAtInt(SpecG, {41}), 42);
+  EXPECT_EQ(M.callIntOrDie("f", {21}), 42);
+  uint32_t SpecG = M.specializeOrDie("g", {});
+  EXPECT_EQ(M.callAtIntOrDie(SpecG, {41}), 42);
 }

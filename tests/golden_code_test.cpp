@@ -36,7 +36,7 @@ TEST(GoldenCode, DotProductElementShape) {
   Machine M(C.Unit);
   uint32_t V1 = M.heap().vector({2});
   VmStats Before = M.stats();
-  uint32_t Spec = M.specialize("loop", {V1, 0, 1});
+  uint32_t Spec = M.specializeOrDie("loop", {V1, 0, 1});
   uint64_t Words = (M.stats() - Before).DynWordsWritten;
 
   // One element: residualized constant, bounds check, load, multiply,
@@ -69,7 +69,7 @@ TEST(GoldenCode, ExecutableAssocListShape) {
   uint32_t L = M.heap().cell(0, {});
   L = M.heap().cell(1, {7, 700, L});
   VmStats Before = M.stats();
-  uint32_t Spec = M.specialize("lookup", {L});
+  uint32_t Spec = M.specializeOrDie("lookup", {L});
   uint64_t Words = (M.stats() - Before).DynWordsWritten;
 
   // Figure 6: compare with the embedded key; hit returns the embedded
@@ -95,7 +95,7 @@ TEST(GoldenCode, ResidualizationSelectsImmediateForms) {
 
   // Small constant: single addiu.
   VmStats B0 = M.stats();
-  uint32_t SpecSmall = M.specialize("f", {5});
+  uint32_t SpecSmall = M.specializeOrDie("f", {5});
   uint64_t SmallWords = (M.stats() - B0).DynWordsWritten;
   std::vector<std::string> ExpectSmall = {
       "addiu $t0, $zero, 5",
@@ -108,7 +108,7 @@ TEST(GoldenCode, ResidualizationSelectsImmediateForms) {
 
   // Large constant: lui + ori.
   VmStats B1 = M.stats();
-  uint32_t SpecBig = M.specialize("f", {0x123456});
+  uint32_t SpecBig = M.specializeOrDie("f", {0x123456});
   uint64_t BigWords = (M.stats() - B1).DynWordsWritten;
   std::vector<std::string> ExpectBig = {
       "lui $t0, 18",        // 0x12
@@ -127,7 +127,7 @@ TEST(GoldenCode, UnfoldedConditionalLeavesNoBranch) {
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
   VmStats B = M.stats();
-  uint32_t Spec = M.specialize("f", {3});
+  uint32_t Spec = M.specializeOrDie("f", {3});
   uint64_t Words = (M.stats() - B).DynWordsWritten;
   // Only the taken arm exists; no compare, no branch.
   for (const std::string &Line : disasmSpec(M, Spec, Words)) {

@@ -20,15 +20,15 @@ TEST(MemoStress, ManyDistinctSpecializations) {
   Machine M(C.Unit);
   std::set<uint32_t> Addrs;
   for (uint32_t K = 1; K <= 1500; ++K) {
-    uint32_t Spec = M.specialize("f", {K});
+    uint32_t Spec = M.specializeOrDie("f", {K});
     EXPECT_TRUE(Addrs.insert(Spec).second) << "duplicate address for " << K;
     EXPECT_EQ(Spec % 16, 0u);
   }
   // Spot-check results and reuse.
-  EXPECT_EQ(M.callAtInt(M.specialize("f", {7}), {100}), 707);
+  EXPECT_EQ(M.callAtIntOrDie(M.specializeOrDie("f", {7}), {100}), 707);
   uint64_t Gen = M.instructionsGenerated();
   for (uint32_t K = 1; K <= 1500; ++K)
-    M.specialize("f", {K});
+    M.specializeOrDie("f", {K});
   EXPECT_EQ(M.instructionsGenerated(), Gen) << "re-specialization emitted";
 }
 
@@ -42,10 +42,10 @@ TEST(MemoStress, CollidingKeysProbeCorrectly) {
     Keys.push_back(1 + (I << 16)); // identical hash after >>4 and mask
   std::set<uint32_t> Addrs;
   for (uint32_t K : Keys)
-    Addrs.insert(M.specialize("f", {K}));
+    Addrs.insert(M.specializeOrDie("f", {K}));
   EXPECT_EQ(Addrs.size(), Keys.size());
   for (uint32_t K : Keys)
-    EXPECT_EQ(M.callAtInt(M.specialize("f", {K}), {1}),
+    EXPECT_EQ(M.callAtIntOrDie(M.specializeOrDie("f", {K}), {1}),
               static_cast<int32_t>(1 + K));
 }
 
@@ -79,9 +79,9 @@ TEST(MemoStress, MemoizedFsmStatesScaleWithProgram) {
   Compilation C = compileOrDie(Src, Opts);
   Machine M(C.Unit);
   uint32_t P = M.heap().vector({1, 2, 3, 4, 5, 6, 7, 8});
-  uint32_t Spec = M.specialize("step", {P, 0});
+  uint32_t Spec = M.specializeOrDie("step", {P, 0});
   uint64_t Gen = M.instructionsGenerated();
-  int32_t R = M.callAtInt(Spec, {0});
+  int32_t R = M.callAtIntOrDie(Spec, {0});
   EXPECT_GE(R, 1000000);
   EXPECT_EQ(M.instructionsGenerated(), Gen); // no generation at run time
 }
@@ -103,13 +103,13 @@ TEST(CodeSpace, LargeUnrollingsStayInBounds) {
   for (int I = 0; I < 4000; ++I)
     Big[I] = I % 7;
   uint32_t V1 = M.heap().vector(Big);
-  uint32_t Spec = M.specialize("loop", {V1, 0, 4000});
+  uint32_t Spec = M.specializeOrDie("loop", {V1, 0, 4000});
   std::vector<int32_t> Ones(4000, 1);
   uint32_t V2 = M.heap().vector(Ones);
   int64_t Expected = 0;
   for (int I = 0; I < 4000; ++I)
     Expected += Big[I];
-  EXPECT_EQ(M.callAtInt(Spec, {V2, 0}), static_cast<int32_t>(Expected));
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {V2, 0}), static_cast<int32_t>(Expected));
   EXPECT_EQ(M.vm().coherenceViolations(), 0u);
 }
 
@@ -128,9 +128,9 @@ TEST(CodeSpace, DeepGeneratorRecursionSurvives) {
   for (int I = 0; I < 3000; ++I)
     V[I] = I * 3;
   uint32_t Vv = M.heap().vector(V);
-  uint32_t Spec = M.specialize("find", {Vv, 0, 3000});
-  EXPECT_EQ(M.callAtInt(Spec, {2500 * 3}), 2500);
-  EXPECT_EQ(M.callAtInt(Spec, {1}), -1);
+  uint32_t Spec = M.specializeOrDie("find", {Vv, 0, 3000});
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {2500 * 3}), 2500);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {1}), -1);
 }
 
 TEST(CodeSpace, ExponentialOverSpecializationTrapsCleanly) {
@@ -166,7 +166,7 @@ TEST(Robustness, ManySequentialMachines) {
     Ms.push_back(std::make_unique<Machine>(C.Unit));
   for (int Round = 0; Round < 4; ++Round)
     for (int I = 0; I < 8; ++I)
-      EXPECT_EQ(Ms[I]->callInt("f", {static_cast<uint32_t>(I), 100}),
+      EXPECT_EQ(Ms[I]->callIntOrDie("f", {static_cast<uint32_t>(I), 100}),
                 100 - I);
 }
 
@@ -175,20 +175,21 @@ TEST(Robustness, TrapsDoNotCorruptLaterCalls) {
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
   uint32_t V = M.heap().vector({1, 2, 3});
-  uint32_t Spec = M.specialize("f", {V});
+  uint32_t Spec = M.specializeOrDie("f", {V});
   EXPECT_FALSE(M.callAt(Spec, {9}).ok()); // bounds trap
-  // The machine stays usable: the stack pointer is re-seated by call().
-  M.vm().setReg(Sp, layout::StackTop);
-  EXPECT_EQ(M.callAtInt(Spec, {1}), 2);
+  // The machine stays usable without manual repair: a failed run has its
+  // $sp/$fp re-seated by the machine layer.
+  EXPECT_EQ(M.vm().reg(Sp), layout::StackTop);
+  EXPECT_EQ(M.callAtIntOrDie(Spec, {1}), 2);
 }
 
 TEST(Robustness, GeneratedCodeRegionAccounting) {
   const char *Src = "fun f (k : int) (x : int) = x * k";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t Spec = M.specialize("f", {3});
+  uint32_t Spec = M.specializeOrDie("f", {3});
   VmStats B = M.stats();
-  M.callAtInt(Spec, {5});
+  M.callAtIntOrDie(Spec, {5});
   VmStats D = M.stats() - B;
   // Everything executed during the direct call runs from the dynamic
   // region (plus nothing static).
@@ -201,22 +202,22 @@ TEST(CodeSpace, ResetReclaimsAndRegenerates) {
   const char *Src = "fun f (k : int) (x : int) = x * k + 1";
   Compilation C = compileOrDie(Src, FabiusOptions::deferred());
   Machine M(C.Unit);
-  uint32_t S1 = M.specialize("f", {3});
-  uint32_t S2 = M.specialize("f", {4});
+  uint32_t S1 = M.specializeOrDie("f", {3});
+  uint32_t S2 = M.specializeOrDie("f", {4});
   EXPECT_GT(M.codeSpaceUsed(), 0u);
   EXPECT_NE(S1, S2);
 
   M.resetCodeSpace();
   EXPECT_EQ(M.codeSpaceUsed(), 0u);
   // Fresh specializations reuse the reclaimed space from the base.
-  uint32_t S3 = M.specialize("f", {5});
+  uint32_t S3 = M.specializeOrDie("f", {5});
   EXPECT_EQ(S3, layout::DynCodeBase);
-  EXPECT_EQ(M.callAtInt(S3, {10}), 51);
+  EXPECT_EQ(M.callAtIntOrDie(S3, {10}), 51);
   // The memo works again after the wipe, including for old keys.
-  uint32_t S4 = M.specialize("f", {3});
-  EXPECT_EQ(M.callAtInt(S4, {10}), 31);
+  uint32_t S4 = M.specializeOrDie("f", {3});
+  EXPECT_EQ(M.callAtIntOrDie(S4, {10}), 31);
   uint64_t Gen = M.instructionsGenerated();
-  EXPECT_EQ(M.specialize("f", {3}), S4);
+  EXPECT_EQ(M.specializeOrDie("f", {3}), S4);
   EXPECT_EQ(M.instructionsGenerated(), Gen);
   EXPECT_EQ(M.vm().coherenceViolations(), 0u);
 }
@@ -229,8 +230,8 @@ TEST(CodeSpace, RepeatedResetCyclesStayCoherent) {
   Machine M(C.Unit);
   for (int Cycle = 0; Cycle < 20; ++Cycle) {
     for (uint32_t K = 1; K <= 30; ++K) {
-      uint32_t Spec = M.specialize("f", {K + 100u * Cycle});
-      ASSERT_EQ(M.callAtInt(Spec, {7}),
+      uint32_t Spec = M.specializeOrDie("f", {K + 100u * Cycle});
+      ASSERT_EQ(M.callAtIntOrDie(Spec, {7}),
                 static_cast<int32_t>(7 + (K + 100u * Cycle) *
                                              (K + 100u * Cycle)));
     }
