@@ -120,6 +120,12 @@ int main() {
   std::printf("  RTCG sparse / special C sparse= %.2f (paper ~1.4)\n",
               ratio(FabSparse.Points[Last].second,
                     SpecialSparse.Points[Last].second));
+  reportMetric("n200_nortcg_over_conv_c",
+               ratio(NoRtcg.Points[Last].second, ConvC.Points[Last].second));
+  reportMetric("n200_rtcg_dense_over_conv_c",
+               ratio(FabDense.Points[Last].second, ConvC.Points[Last].second));
+  reportMetric("n200_conv_c_over_rtcg_sparse",
+               ratio(ConvC.Points[Last].second, FabSparse.Points[Last].second));
 
   // Break-even sizes: smallest n where RTCG beats no-RTCG.
   auto breakEven = [&](double ZeroFraction) -> uint32_t {
@@ -149,7 +155,10 @@ int main() {
                 ratio(D.Executed, D.DynWordsWritten));
     std::printf("Specialized dot product size: %.2f KB (paper 6.25 KB)\n",
                 static_cast<double>(D.DynWordsWritten) * 4 / 1024.0);
+    reportMetric("dotprod_instrs_per_generated",
+                 ratio(D.Executed, D.DynWordsWritten));
     (void)R;
   }
+  writeBenchJson("fig2_matmul");
   return 0;
 }

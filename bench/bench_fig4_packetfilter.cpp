@@ -100,6 +100,13 @@ int main() {
               "(paper 8.3 vs 13.7)\n",
               static_cast<double>(FabCum[1000] - FabCum[500]) / 500 / 25.0,
               static_cast<double>(BpfCum[1000] - BpfCum[500]) / 500 / 25.0);
+  reportMetric("break_even_packets", static_cast<double>(BreakEven));
+  reportMetric("improvement_at_1000_packets_pct",
+               100.0 * (1.0 - ratio(FabCum[NumPackets], BpfCum[NumPackets])));
+  reportMetric("steady_state_us_per_packet",
+               static_cast<double>(FabCum[1000] - FabCum[500]) / 500 / 25.0,
+               "us");
+  writeBenchJson("fig4_packetfilter");
   (void)GenWords;
   return 0;
 }

@@ -68,5 +68,8 @@ int main() {
               ratio(NoRtcg.Points[Last].second, Rtcg.Points[Last].second));
   std::printf("Speedup at n=20:  %.2fx (paper: superior at all sizes)\n",
               ratio(NoRtcg.Points[0].second, Rtcg.Points[0].second));
+  reportMetric("speedup_n200",
+               ratio(NoRtcg.Points[Last].second, Rtcg.Points[Last].second));
+  writeBenchJson("fig5a_conjgrad");
   return 0;
 }

@@ -69,5 +69,8 @@ int main() {
   std::printf("Break-even: %zu matches (paper ~20)\n", BreakEven);
   std::printf("Speedup at 200 matches: %.2fx (paper 3.4x)\n",
               ratio(PlainCum.back(), DefCum.back()));
+  reportMetric("break_even_matches", static_cast<double>(BreakEven));
+  reportMetric("speedup_200_matches", ratio(PlainCum.back(), DefCum.back()));
+  writeBenchJson("fig5b_regexp");
   return 0;
 }

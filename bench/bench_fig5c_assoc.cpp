@@ -74,5 +74,8 @@ int main() {
   std::printf("\nBreak-even: %zu lookups\n", BreakEven);
   std::printf("Speedup at 200 lookups: %.2fx\n",
               ratio(PlainCum.back(), DefCum.back()));
+  reportMetric("break_even_lookups", static_cast<double>(BreakEven));
+  reportMetric("speedup_200_lookups", ratio(PlainCum.back(), DefCum.back()));
+  writeBenchJson("fig5c_assoc");
   return 0;
 }

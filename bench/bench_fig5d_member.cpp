@@ -70,5 +70,8 @@ int main() {
   std::printf("\nBreak-even: %zu tests\n", BreakEven);
   std::printf("Speedup at 200 tests: %.2fx\n",
               ratio(PlainCum.back(), DefCum.back()));
+  reportMetric("break_even_tests", static_cast<double>(BreakEven));
+  reportMetric("speedup_200_tests", ratio(PlainCum.back(), DefCum.back()));
+  writeBenchJson("fig5d_member");
   return 0;
 }

@@ -52,5 +52,8 @@ int main() {
   printFigure("Figure 5(e): game of life", "glider guns", {NoRtcg, Rtcg});
   std::printf("\nSpeedup at 5 guns: %.2fx\n",
               ratio(NoRtcg.Points.back().second, Rtcg.Points.back().second));
+  reportMetric("speedup_5_guns",
+               ratio(NoRtcg.Points.back().second, Rtcg.Points.back().second));
+  writeBenchJson("fig5e_life");
   return 0;
 }

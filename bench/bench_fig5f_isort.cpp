@@ -51,5 +51,8 @@ int main() {
   std::printf("\nRTCG / no-RTCG at 1000 words: %.2f "
               "(paper: >= 1, RTCG does not pay off)\n",
               ratio(Rtcg.Points.back().second, NoRtcg.Points.back().second));
+  reportMetric("rtcg_over_nortcg_1000_words",
+               ratio(Rtcg.Points.back().second, NoRtcg.Points.back().second));
+  writeBenchJson("fig5f_isort");
   return 0;
 }

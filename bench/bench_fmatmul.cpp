@@ -56,5 +56,10 @@ int main() {
               "no-RTCG dense\n",
               ratio(NoRtcg.Points[L].second, Dense.Points[L].second),
               ratio(NoRtcg.Points[L].second, Sparse.Points[L].second));
+  reportMetric("speedup_n120_dense",
+               ratio(NoRtcg.Points[L].second, Dense.Points[L].second));
+  reportMetric("speedup_n120_sparse",
+               ratio(NoRtcg.Points[L].second, Sparse.Points[L].second));
+  writeBenchJson("fmatmul");
   return 0;
 }

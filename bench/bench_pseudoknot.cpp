@@ -66,5 +66,7 @@ int main() {
   std::printf("Improvement: %.1f%% (paper ~5%%: small, because most levels "
               "need no check)\n",
               100.0 * (1.0 - ratio(CycD, CycP)));
+  reportMetric("improvement_pct", 100.0 * (1.0 - ratio(CycD, CycP)));
+  writeBenchJson("pseudoknot");
   return 0;
 }

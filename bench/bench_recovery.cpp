@@ -105,6 +105,7 @@ int main() {
     double E2e = overheadPct(G.EndToEnd, U.EndToEnd);
     std::printf("\nGuard overhead at n=200: %.3f%% end to end (target < 2%%)\n",
                 E2e);
+    reportMetric("guard_overhead_n200_pct", E2e);
   }
 
   // Recovery latency: fill the (margin-shrunk) segment, then pay one
@@ -144,6 +145,9 @@ int main() {
     (void)B2;
     std::printf("  one-row regeneration (the retry cost): %llu cycles\n",
                 static_cast<unsigned long long>(M2.stats().Cycles));
+    reportMetric("one_row_regeneration_cycles",
+                 static_cast<double>(M2.stats().Cycles), "cycles");
   }
+  writeBenchJson("recovery");
   return 0;
 }

@@ -33,6 +33,7 @@ enum class FabErrc {
   OutOfFuel,          ///< instruction budget exhausted
   CodeSpaceExhausted, ///< dynamic code segment full and not recoverable
   Degraded,           ///< machine fell back to Plain; staging unavailable
+  Rejected,           ///< serving layer refused the request (shut down)
 };
 
 /// One failed Machine operation. Exec carries the underlying VM stop when

@@ -33,6 +33,9 @@ std::string FabError::message() const {
   case FabErrc::Degraded:
     OS << Fn << ": machine degraded to plain execution; staging unavailable";
     break;
+  case FabErrc::Rejected:
+    OS << Fn << ": request rejected (server shutting down)";
+    break;
   }
   return OS.str();
 }
@@ -159,6 +162,14 @@ void Machine::resetCodeSpace() {
       Sim.store32(Addr + 8 + (I * EntryWords + Keys) * 4, 0);
   }
   Sim.setReg(Cp, layout::DynCodeBase);
+  ++CodeEpoch;
+}
+
+uint32_t Machine::specializationsLive() const {
+  uint32_t Live = 0;
+  for (const auto &[Name, Addr] : Unit.MemoAddr)
+    Live += Sim.load32(Addr);
+  return Live;
 }
 
 ExecResult Machine::runGuarded(uint32_t Entry,
@@ -275,9 +286,15 @@ FabResult<uint32_t> Machine::specialize(const std::string &Name,
     return FabError{FabErrc::Degraded, Name, {}};
   if (!Unit.GenAddr.count(Name))
     return FabError{FabErrc::UnknownFunction, Name, {}};
+  uint64_t WordsBefore = Sim.stats().DynWordsWritten;
   ExecResult R = runRecovered(Unit.genAddr(Name), EarlyArgs);
   if (!R.ok())
     return makeError(Name, R);
+  ++Memo.GeneratorRuns;
+  if (Sim.stats().DynWordsWritten == WordsBefore)
+    ++Memo.MemoHits;
+  else
+    ++Memo.MemoMisses;
   return R.V0;
 }
 

@@ -110,6 +110,17 @@ struct RecoveryStats {
   uint64_t PlainFallbackCalls = 0; ///< calls served by the Plain image
 };
 
+/// Host-visible memoization behaviour of the in-VM memo tables; see
+/// Machine::memo(). A "hit" is a successful specialize() that emitted no
+/// dynamic code (the generator was answered entirely from its memo
+/// table), so callers can prove a cached path skipped the generator by
+/// checking instructionsGenerated() stayed constant.
+struct SpecializationStats {
+  uint64_t GeneratorRuns = 0; ///< successful specialize() operations
+  uint64_t MemoHits = 0;      ///< ... that emitted no code
+  uint64_t MemoMisses = 0;    ///< ... that emitted code
+};
+
 /// Compiles ML source through the full pipeline. On failure returns
 /// std::nullopt and fills \p Diags.
 std::optional<Compilation> compile(const std::string &Source,
@@ -182,11 +193,23 @@ public:
   bool hasPlainFallback() const { return Plain != nullptr; }
 
   const VmStats &stats() const { return Sim.stats(); }
+  const SpecializationStats &memo() const { return Memo; }
 
   /// Dynamic-code words emitted so far (== instructions generated).
   uint64_t instructionsGenerated() const {
     return Sim.stats().DynWordsWritten;
   }
+
+  /// Number of specializations currently reachable through the in-VM memo
+  /// tables (the sum of every table's entry count). Drops to zero after
+  /// resetCodeSpace().
+  uint32_t specializationsLive() const;
+
+  /// Monotonic counter bumped by every resetCodeSpace(). Specialization
+  /// addresses are only meaningful within the epoch that produced them;
+  /// a host-side cache tags entries with the epoch and re-specializes on
+  /// mismatch instead of calling through a dangling address.
+  uint64_t codeEpoch() const { return CodeEpoch; }
 
   /// Reclaims the dynamic code segment: resets the code pointer, clears
   /// every memo table, and invalidates the freed I-cache range in one
@@ -217,6 +240,8 @@ private:
   HeapImage Heap;
   CodeSpacePolicy Policy;
   RecoveryStats Recovery;
+  SpecializationStats Memo;
+  uint64_t CodeEpoch = 0;
   unsigned ConsecutiveGenFaults = 0;
   bool Degraded = false;
 };

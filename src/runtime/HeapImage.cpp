@@ -61,6 +61,14 @@ std::vector<int32_t> HeapImage::readVector(uint32_t Addr) const {
   return Out;
 }
 
+uint64_t HeapImage::hashVector(uint32_t Addr, uint64_t H) const {
+  uint32_t Len = M.load32(Addr);
+  H = fnv1aWord(H, Len);
+  for (uint32_t I = 0; I < Len; ++I)
+    H = fnv1aWord(H, M.load32(Addr + 4 + I * 4));
+  return H;
+}
+
 std::vector<float> HeapImage::readVectorF(uint32_t Addr) const {
   uint32_t Len = M.load32(Addr);
   std::vector<float> Out(Len);

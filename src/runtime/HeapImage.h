@@ -33,6 +33,15 @@ public:
   /// Current bump pointer; install as the machine's initial $hp.
   uint32_t heapTop() const { return Next; }
 
+  /// Moves the bump pointer forward to \p Addr (no-op when behind it).
+  /// A host that interleaves allocation with VM execution calls this
+  /// with the machine's $hp so host allocations never overwrite cells
+  /// the program allocated in-VM.
+  void advanceTo(uint32_t Addr) {
+    if (Addr > Next)
+      Next = Addr;
+  }
+
   /// Allocates an int vector [length, elems...]; returns its address.
   uint32_t vector(const std::vector<int32_t> &Elems);
 
@@ -58,6 +67,27 @@ public:
   }
   std::vector<int32_t> readVector(uint32_t Addr) const;
   std::vector<float> readVectorF(uint32_t Addr) const;
+
+  // -- Value hashing --------------------------------------------------------
+  //
+  // FNV-1a over 32-bit words, used by the host-side specialization cache
+  // to key on argument *values* (the in-VM memo tables key on pointer
+  // equality, so identical data at a different address — or in a different
+  // machine — misses there but hits a value-keyed cache).
+
+  static constexpr uint64_t FnvOffset = 1469598103934665603ull;
+  static constexpr uint64_t FnvPrime = 1099511628211ull;
+
+  static uint64_t fnv1aWord(uint64_t H, uint32_t Word) {
+    for (int Shift = 0; Shift < 32; Shift += 8) {
+      H ^= (Word >> Shift) & 0xFFu;
+      H *= FnvPrime;
+    }
+    return H;
+  }
+
+  /// Deep hash of the vector at \p Addr: length word plus every element.
+  uint64_t hashVector(uint32_t Addr, uint64_t H = FnvOffset) const;
 
 private:
   uint32_t alloc(uint32_t Words);

@@ -1,0 +1,223 @@
+//===- MachinePool.cpp ----------------------------------------------------===//
+
+#include "service/MachinePool.h"
+
+#include <algorithm>
+
+using namespace fab;
+using namespace fab::service;
+
+MachinePool::MachinePool(const Compilation &C, const PoolOptions &O)
+    : Comp(C), Opts(O) {
+  unsigned N = std::max(1u, Opts.Workers);
+  Ws.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Ws.push_back(std::make_unique<Worker>());
+  for (unsigned I = 0; I < N; ++I)
+    Ws[I]->Thread = std::thread([this, I] { runWorker(I); });
+}
+
+MachinePool::~MachinePool() { shutdown(); }
+
+bool MachinePool::post(unsigned W, Request R) {
+  Worker &Wk = *Ws.at(W);
+  {
+    std::lock_guard<std::mutex> L(Wk.QueueMutex);
+    if (Wk.Stopped)
+      return false;
+    Wk.Queue.push_back(std::move(R));
+    Wk.QueueHighWater = std::max(Wk.QueueHighWater,
+                                 static_cast<uint64_t>(Wk.Queue.size()));
+  }
+  Wk.Ready.notify_one();
+  return true;
+}
+
+void MachinePool::shutdown() {
+  {
+    std::lock_guard<std::mutex> L(ShutdownMutex);
+    if (ShutDown)
+      return;
+    ShutDown = true;
+  }
+  for (auto &W : Ws) {
+    {
+      std::lock_guard<std::mutex> L(W->QueueMutex);
+      W->Stopped = true;
+    }
+    W->Ready.notify_all();
+  }
+  for (auto &W : Ws)
+    if (W->Thread.joinable())
+      W->Thread.join();
+}
+
+WorkerStats MachinePool::workerStats(unsigned W) const {
+  const Worker &Wk = *Ws.at(W);
+  std::lock_guard<std::mutex> L(Wk.StatsMutex);
+  return Wk.Stats;
+}
+
+namespace {
+
+/// Lays the request values out in the worker heap; vectors go through the
+/// intern table when one is given (one heap copy per distinct value).
+std::vector<uint32_t>
+materialize(Machine &M, std::map<std::vector<int32_t>, uint32_t> *Intern,
+            const std::vector<Value> &Vals) {
+  // In-VM allocation may have pushed $hp past the host bump pointer.
+  M.heap().advanceTo(M.vm().reg(Hp));
+  std::vector<uint32_t> Words;
+  Words.reserve(Vals.size());
+  for (const Value &V : Vals) {
+    if (V.K == Value::Kind::Int) {
+      Words.push_back(static_cast<uint32_t>(V.I));
+    } else if (Intern) {
+      auto [It, Inserted] = Intern->try_emplace(V.Vec, 0);
+      if (Inserted)
+        It->second = M.heap().vector(V.Vec);
+      Words.push_back(It->second);
+    } else {
+      Words.push_back(M.heap().vector(V.Vec));
+    }
+  }
+  return Words;
+}
+
+} // namespace
+
+FabResult<int32_t>
+MachinePool::serve(Machine &M, SpecCache &Cache,
+                   std::map<std::vector<int32_t>, uint32_t> &Intern,
+                   Request &R, BatchSpecMap &BatchSpecs, WorkerStats &Local) {
+  VmStats Before = M.stats();
+  auto finish = [&](FabResult<int32_t> Res) {
+    Local.BusyCycles += (M.stats() - Before).Cycles;
+    if (Res)
+      ++Local.Served;
+    else
+      ++Local.Errors;
+    return Res;
+  };
+
+  // Resolve the specialization address: batch peer, then cache, then the
+  // generator.
+  uint32_t Addr = 0;
+  bool Have = false;
+  if (Opts.EnableCache) {
+    auto It = BatchSpecs.find(R.Key);
+    if (It != BatchSpecs.end() && It->second.second == M.codeEpoch()) {
+      Addr = It->second.first;
+      Have = true;
+      ++Local.Coalesced;
+    }
+    if (!Have) {
+      if (auto A = Cache.lookup(R.Key, M.codeEpoch())) {
+        Addr = *A;
+        Have = true;
+      }
+    }
+  }
+  if (!Have) {
+    std::vector<uint32_t> EarlyWords =
+        materialize(M, Opts.InternEarlyArgs ? &Intern : nullptr, R.Early);
+    FabResult<uint32_t> S = M.specialize(R.Key.Fn, EarlyWords);
+    if (!S)
+      return finish(S.error());
+    Addr = *S;
+    if (Opts.EnableCache) {
+      // specialize() may have reset the code space (watermark/retry), so
+      // tag with the epoch as of *now*.
+      Cache.insert(R.Key, Addr, M.codeEpoch());
+      BatchSpecs[R.Key] = {Addr, M.codeEpoch()};
+    }
+  }
+  std::vector<uint32_t> LateWords = materialize(M, nullptr, R.Late);
+  return finish(M.callAtInt(Addr, LateWords));
+}
+
+void MachinePool::runWorker(unsigned Idx) {
+  Worker &W = *Ws[Idx];
+
+  std::optional<Machine> M;
+  auto rebuild = [&] {
+    M.emplace(Comp, Opts.Vm);
+    M->setPolicy(Opts.Policy);
+    if (Opts.ConfigureWorker)
+      Opts.ConfigureWorker(Idx, *M);
+  };
+  rebuild();
+  SpecCache Cache(Opts.CacheCapacity);
+  std::map<std::vector<int32_t>, uint32_t> Intern;
+  WorkerStats Local;
+
+  // Counters carried over from machines retired by heap recycling (a
+  // fresh Machine restarts its statistics from zero).
+  uint64_t RetiredGenWords = 0;
+  SpecializationStats RetiredMemo;
+  RecoveryStats RetiredRecovery;
+  auto retire = [&] {
+    RetiredGenWords += M->instructionsGenerated();
+    const SpecializationStats &SM = M->memo();
+    RetiredMemo.GeneratorRuns += SM.GeneratorRuns;
+    RetiredMemo.MemoHits += SM.MemoHits;
+    RetiredMemo.MemoMisses += SM.MemoMisses;
+    const RecoveryStats &RS = M->recovery();
+    RetiredRecovery.WatermarkResets += RS.WatermarkResets;
+    RetiredRecovery.FaultResets += RS.FaultResets;
+    RetiredRecovery.RecoveredRetries += RS.RecoveredRetries;
+    RetiredRecovery.GeneratorFaults += RS.GeneratorFaults;
+    RetiredRecovery.PlainFallbackCalls += RS.PlainFallbackCalls;
+  };
+
+  auto publish = [&] {
+    Local.Cache = Cache.stats();
+    Local.Memo = RetiredMemo;
+    Local.Memo.GeneratorRuns += M->memo().GeneratorRuns;
+    Local.Memo.MemoHits += M->memo().MemoHits;
+    Local.Memo.MemoMisses += M->memo().MemoMisses;
+    Local.Recovery = RetiredRecovery;
+    Local.Recovery.WatermarkResets += M->recovery().WatermarkResets;
+    Local.Recovery.FaultResets += M->recovery().FaultResets;
+    Local.Recovery.RecoveredRetries += M->recovery().RecoveredRetries;
+    Local.Recovery.GeneratorFaults += M->recovery().GeneratorFaults;
+    Local.Recovery.PlainFallbackCalls += M->recovery().PlainFallbackCalls;
+    Local.Degraded = M->degraded();
+    Local.GenInstrWords = RetiredGenWords + M->instructionsGenerated();
+    std::lock_guard<std::mutex> L(W.StatsMutex);
+    W.Stats = Local;
+  };
+
+  for (;;) {
+    std::deque<Request> Batch;
+    {
+      std::unique_lock<std::mutex> L(W.QueueMutex);
+      W.Ready.wait(L, [&] { return !W.Queue.empty() || W.Stopped; });
+      if (W.Queue.empty() && W.Stopped)
+        break;
+      Batch.swap(W.Queue);
+      Local.QueueHighWater = W.QueueHighWater;
+    }
+
+    BatchSpecMap BatchSpecs;
+    for (Request &R : Batch) {
+      uint32_t HeapUsed =
+          std::max(M->heap().heapTop(), M->vm().reg(Hp));
+      if (HeapUsed > layout::HeapEnd - Opts.HeapRecycleMargin) {
+        retire();
+        rebuild();
+        Cache.clear();
+        Intern.clear();
+        BatchSpecs.clear();
+        ++Local.HeapRecycles;
+      }
+      FabResult<int32_t> Res = serve(*M, Cache, Intern, R, BatchSpecs, Local);
+      // Publish before resolving the future: once a caller observes a
+      // result, stats() already accounts for the request that produced
+      // it (tests and benches rely on this ordering).
+      publish();
+      R.Promise.set_value(std::move(Res));
+    }
+  }
+  publish();
+}

@@ -1,0 +1,156 @@
+//===- MachinePool.h - Sharded pool of FAB-32 machines ----------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// N worker threads, each owning an *independent* Machine (simulator +
+/// heap + memo tables) and a value-keyed SpecCache over it. The FAB-32
+/// simulator is single-threaded by design, so isolation-per-worker is
+/// the sharding model: a request is routed to one worker (by key hash —
+/// see SpecServer) and everything it touches — heap materialization,
+/// generator runs, the specialized code itself — stays private to that
+/// worker's machine. No lock is ever held around simulator execution.
+///
+/// Each worker drains its queue in batches. Within a batch, requests
+/// with the same specialization key are coalesced: the first one runs
+/// (or reuses) the generator, the rest jump straight to the produced
+/// address. Workers inherit the CodeSpacePolicy recovery discipline of
+/// the Machine layer; a worker whose machine degrades keeps draining its
+/// queue (answering with structured errors or Plain-fallback results)
+/// rather than stalling the pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_SERVICE_MACHINEPOOL_H
+#define FAB_SERVICE_MACHINEPOOL_H
+
+#include "core/Fabius.h"
+#include "service/SpecCache.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace fab {
+namespace service {
+
+/// One unit of work: run `Fn` specialized on `Early` with the late
+/// arguments `Late`, answering through `Promise`. `Key` is precomputed
+/// by the front-end (it also routes the request).
+struct Request {
+  SpecKey Key;
+  std::vector<Value> Early;
+  std::vector<Value> Late;
+  std::promise<FabResult<int32_t>> Promise;
+};
+
+struct PoolOptions {
+  unsigned Workers = 1;
+  size_t CacheCapacity = 1024;
+  /// Host-side value-keyed caching of specialization addresses. Off =
+  /// every request goes through the generator path (the in-VM memo may
+  /// still answer it when the early data is interned).
+  bool EnableCache = true;
+  /// Reuse one heap copy per distinct early vector value (content-
+  /// addressed). Besides bounding heap growth this keeps the in-VM memo
+  /// effective across requests, since it keys on pointer equality.
+  /// Specialized code treats early data as constant, so interned vectors
+  /// must not be mutated by the program — true of staged early arguments
+  /// by construction. Off = re-materialize per request (with the cache
+  /// also off this is the always-respecialize baseline).
+  bool InternEarlyArgs = true;
+  /// When the worker heap's bump pointer crosses HeapEnd - margin, the
+  /// worker rebuilds its machine from the compilation (fresh heap and
+  /// code space) and clears its cache and intern table.
+  uint32_t HeapRecycleMargin = 1u << 20;
+  CodeSpacePolicy Policy;
+  VmOptions Vm;
+  /// Called on the worker thread right after its Machine is (re)built;
+  /// tests use it to arm a per-worker fault injector.
+  std::function<void(unsigned WorkerIdx, Machine &M)> ConfigureWorker;
+};
+
+/// Per-worker counters, published by the worker before each request's
+/// future resolves and snapshotted under a lock by workerStats() — so a
+/// caller that has observed a result observes its accounting too.
+struct WorkerStats {
+  uint64_t Served = 0;   ///< requests answered with a value
+  uint64_t Errors = 0;   ///< requests answered with a FabError
+  uint64_t Coalesced = 0;///< batch peers that shared a specialization run
+  uint64_t QueueHighWater = 0; ///< deepest the queue has been
+  uint64_t BusyCycles = 0;     ///< simulated cycles spent serving
+  uint64_t GenInstrWords = 0;  ///< Machine::instructionsGenerated()
+  uint64_t HeapRecycles = 0;   ///< machine rebuilds on heap pressure
+  bool Degraded = false;
+  SpecCacheStats Cache;
+  SpecializationStats Memo;
+  RecoveryStats Recovery;
+};
+
+class MachinePool {
+public:
+  /// \p C must outlive the pool (machines are rebuilt from it on heap
+  /// recycle). When C.PlainUnit is present each worker loads it as its
+  /// degradation target.
+  MachinePool(const Compilation &C, const PoolOptions &Opts);
+  ~MachinePool();
+
+  MachinePool(const MachinePool &) = delete;
+  MachinePool &operator=(const MachinePool &) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(Ws.size()); }
+
+  /// Enqueues \p R on worker \p W. Returns false (leaving the promise
+  /// untouched) once shutdown has begun.
+  bool post(unsigned W, Request R);
+
+  /// Stops intake, lets every worker drain its queue, joins the threads.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  WorkerStats workerStats(unsigned W) const;
+
+private:
+  struct Worker {
+    std::mutex QueueMutex;
+    std::condition_variable Ready;
+    std::deque<Request> Queue;       // guarded by QueueMutex
+    uint64_t QueueHighWater = 0;     // guarded by QueueMutex
+    bool Stopped = false;            // guarded by QueueMutex
+
+    mutable std::mutex StatsMutex;
+    WorkerStats Stats; // guarded by StatsMutex
+
+    std::thread Thread;
+  };
+
+  /// Specializations produced earlier in the same batch: key -> (addr,
+  /// epoch). Peers reuse the address only while the epoch still matches.
+  using BatchSpecMap =
+      std::unordered_map<SpecKey, std::pair<uint32_t, uint64_t>, SpecKeyHash>;
+
+  void runWorker(unsigned Idx);
+  FabResult<int32_t> serve(Machine &M, SpecCache &Cache,
+                           std::map<std::vector<int32_t>, uint32_t> &Intern,
+                           Request &R, BatchSpecMap &BatchSpecs,
+                           WorkerStats &Local);
+
+  const Compilation &Comp;
+  PoolOptions Opts;
+  std::vector<std::unique_ptr<Worker>> Ws;
+  std::mutex ShutdownMutex;
+  bool ShutDown = false; // guarded by ShutdownMutex
+};
+
+} // namespace service
+} // namespace fab
+
+#endif // FAB_SERVICE_MACHINEPOOL_H

@@ -1,0 +1,126 @@
+//===- SpecCache.cpp ------------------------------------------------------===//
+
+#include "service/SpecCache.h"
+
+#include <bit>
+
+using namespace fab;
+using namespace fab::service;
+
+Value Value::ofRealVec(const std::vector<float> &V) {
+  Value R;
+  R.K = Kind::Vec;
+  R.Vec.reserve(V.size());
+  for (float F : V)
+    R.Vec.push_back(static_cast<int32_t>(std::bit_cast<uint32_t>(F)));
+  return R;
+}
+
+namespace {
+
+// Per-argument tags keep [1] and 1 from colliding and make the key
+// sequence self-delimiting.
+constexpr uint32_t ScalarTag = 0x5Cu;
+constexpr uint32_t VectorTag = 0x5Du;
+
+void hashWord(SpecKey &K, uint32_t W) {
+  K.Hash = HeapImage::fnv1aWord(K.Hash, W);
+  K.Words.push_back(W);
+}
+
+} // namespace
+
+SpecKey SpecKey::make(const std::string &Fn, const std::vector<Value> &Early) {
+  SpecKey K;
+  K.Fn = Fn;
+  for (char C : Fn)
+    K.Hash = HeapImage::fnv1aWord(K.Hash, static_cast<unsigned char>(C));
+  for (const Value &V : Early) {
+    if (V.K == Value::Kind::Int) {
+      hashWord(K, ScalarTag);
+      hashWord(K, static_cast<uint32_t>(V.I));
+    } else {
+      hashWord(K, VectorTag);
+      hashWord(K, static_cast<uint32_t>(V.Vec.size()));
+      for (int32_t E : V.Vec)
+        hashWord(K, static_cast<uint32_t>(E));
+    }
+  }
+  return K;
+}
+
+SpecKey SpecKey::fromHeap(const std::string &Fn,
+                          const std::vector<uint32_t> &ArgWords,
+                          const std::vector<bool> &IsVec, const HeapImage &H) {
+  std::vector<Value> Early;
+  Early.reserve(ArgWords.size());
+  for (size_t I = 0; I < ArgWords.size(); ++I) {
+    if (I < IsVec.size() && IsVec[I])
+      Early.push_back(Value::ofVec(H.readVector(ArgWords[I])));
+    else
+      Early.push_back(Value::ofInt(static_cast<int32_t>(ArgWords[I])));
+  }
+  return make(Fn, Early);
+}
+
+std::optional<uint32_t> SpecCache::lookup(const SpecKey &K, uint64_t Epoch) {
+  auto It = Map.find(K);
+  if (It == Map.end()) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  if (It->second.Epoch != Epoch) {
+    Lru.erase(It->second.LruIt);
+    Map.erase(It);
+    ++Stats.Rehydrations;
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  ++Stats.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  return It->second.Addr;
+}
+
+void SpecCache::insert(const SpecKey &K, uint32_t Addr, uint64_t Epoch) {
+  auto It = Map.find(K);
+  if (It != Map.end()) {
+    It->second.Addr = Addr;
+    It->second.Epoch = Epoch;
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return;
+  }
+  if (Map.size() >= Cap)
+    evictOne();
+  Lru.push_front(K);
+  Entry E;
+  E.Addr = Addr;
+  E.Epoch = Epoch;
+  E.LruIt = Lru.begin();
+  Map.emplace(K, E);
+}
+
+void SpecCache::evictOne() {
+  for (auto It = Lru.rbegin(); It != Lru.rend(); ++It) {
+    auto MapIt = Map.find(*It);
+    if (MapIt != Map.end() && !MapIt->second.Pinned) {
+      Lru.erase(MapIt->second.LruIt);
+      Map.erase(MapIt);
+      ++Stats.Evictions;
+      return;
+    }
+  }
+  // Everything pinned: grow past capacity rather than drop a pin.
+}
+
+bool SpecCache::pin(const SpecKey &K, bool On) {
+  auto It = Map.find(K);
+  if (It == Map.end())
+    return false;
+  It->second.Pinned = On;
+  return true;
+}
+
+void SpecCache::clear() {
+  Map.clear();
+  Lru.clear();
+}

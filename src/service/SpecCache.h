@@ -1,0 +1,163 @@
+//===- SpecCache.h - Value-keyed specialization cache -----------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A host-side cache mapping (function, early-argument *values*) to the
+/// address of the specialization a Machine produced for them, tagged with
+/// the machine's code epoch.
+///
+/// The paper's section 3.5 memo tables live inside the VM and key on
+/// pointer/word equality of the early arguments, so they cannot recognize
+/// equal data at a different heap address, cannot be shared across
+/// machines, and are wiped — together with the addresses they return —
+/// by every resetCodeSpace(). This cache closes those gaps for a serving
+/// front-end: keys are deep FNV-1a hashes over the function name and the
+/// early-argument values (heap vectors hashed element-wise via
+/// HeapImage), entries carry the code epoch that produced them, and a
+/// lookup in a later epoch reports the entry as stale so the caller
+/// transparently re-specializes (a "rehydration") instead of jumping to
+/// a dangling address. LRU eviction bounds the footprint; pinned entries
+/// are never evicted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_SERVICE_SPECCACHE_H
+#define FAB_SERVICE_SPECCACHE_H
+
+#include "runtime/HeapImage.h"
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fab {
+namespace service {
+
+/// A host-side argument value: what a serving request carries instead of
+/// machine addresses (each pool worker owns its own heap, so addresses
+/// are meaningless across the wire). RealVec stores IEEE-754 bit
+/// patterns; in heap representation int and real vectors are identical,
+/// so they hash identically on purpose.
+struct Value {
+  enum class Kind : uint8_t { Int, Vec } K = Kind::Int;
+  int32_t I = 0;
+  std::vector<int32_t> Vec;
+
+  static Value ofInt(int32_t V) {
+    Value R;
+    R.K = Kind::Int;
+    R.I = V;
+    return R;
+  }
+  static Value ofVec(std::vector<int32_t> V) {
+    Value R;
+    R.K = Kind::Vec;
+    R.Vec = std::move(V);
+    return R;
+  }
+  static Value ofRealVec(const std::vector<float> &V);
+
+  bool operator==(const Value &Rhs) const {
+    return K == Rhs.K && (K == Kind::Int ? I == Rhs.I : Vec == Rhs.Vec);
+  }
+};
+
+/// Cache key: the function name plus the canonicalized early-argument
+/// words, with a precomputed FNV-1a hash. Scalars contribute their word;
+/// vectors contribute a tag, their length, and every element, matching
+/// HeapImage::hashVector so in-heap and host-side values produce the
+/// same key.
+struct SpecKey {
+  uint64_t Hash = HeapImage::FnvOffset;
+  std::string Fn;
+  std::vector<uint32_t> Words; ///< canonical key material (for exact equality)
+
+  static SpecKey make(const std::string &Fn, const std::vector<Value> &Early);
+
+  /// Builds the key from arguments already materialized in a machine
+  /// heap: \p IsVec flags which of \p ArgWords are heap vector pointers
+  /// to hash deeply (the rest contribute their raw word).
+  static SpecKey fromHeap(const std::string &Fn,
+                          const std::vector<uint32_t> &ArgWords,
+                          const std::vector<bool> &IsVec, const HeapImage &H);
+
+  bool operator==(const SpecKey &Rhs) const {
+    return Hash == Rhs.Hash && Fn == Rhs.Fn && Words == Rhs.Words;
+  }
+};
+
+struct SpecKeyHash {
+  size_t operator()(const SpecKey &K) const {
+    return static_cast<size_t>(K.Hash);
+  }
+};
+
+/// Hit/miss/eviction counters; hitRate() is hits over all lookups.
+struct SpecCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  /// Lookups that found an entry from an earlier code epoch: the address
+  /// died in a resetCodeSpace(), so the caller re-specialized. Counted in
+  /// Misses as well.
+  uint64_t Rehydrations = 0;
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total) : 0.0;
+  }
+};
+
+/// The cache proper. Single-threaded by design: each pool worker owns
+/// one, alongside its Machine (the sharding model — see MachinePool.h).
+class SpecCache {
+public:
+  explicit SpecCache(size_t Capacity = 1024) : Cap(Capacity) {}
+
+  /// Returns the cached specialization address when present and produced
+  /// in \p Epoch; a stale-epoch entry is erased and counted as a
+  /// rehydration (and a miss).
+  std::optional<uint32_t> lookup(const SpecKey &K, uint64_t Epoch);
+
+  /// Records \p Addr for \p K under \p Epoch, evicting the least
+  /// recently used unpinned entry when over capacity. (If every entry is
+  /// pinned the cache grows past capacity rather than dropping one.)
+  void insert(const SpecKey &K, uint32_t Addr, uint64_t Epoch);
+
+  /// Marks an entry as (un)evictable; returns false when absent.
+  bool pin(const SpecKey &K, bool On);
+
+  /// Drops every entry without touching the eviction counter (used when
+  /// the backing machine itself is replaced).
+  void clear();
+
+  size_t size() const { return Map.size(); }
+  size_t capacity() const { return Cap; }
+  const SpecCacheStats &stats() const { return Stats; }
+
+private:
+  struct Entry {
+    uint32_t Addr = 0;
+    uint64_t Epoch = 0;
+    bool Pinned = false;
+    std::list<SpecKey>::iterator LruIt; ///< position in Lru (front = hottest)
+  };
+
+  void evictOne();
+
+  size_t Cap;
+  std::list<SpecKey> Lru;
+  std::unordered_map<SpecKey, Entry, SpecKeyHash> Map;
+  SpecCacheStats Stats;
+};
+
+} // namespace service
+} // namespace fab
+
+#endif // FAB_SERVICE_SPECCACHE_H

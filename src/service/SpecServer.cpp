@@ -1,0 +1,75 @@
+//===- SpecServer.cpp -----------------------------------------------------===//
+
+#include "service/SpecServer.h"
+
+#include <algorithm>
+
+using namespace fab;
+using namespace fab::service;
+
+SpecServer::SpecServer(const Compilation &C, const ServerOptions &Opts)
+    : Pool(C, Opts.Pool) {}
+
+unsigned SpecServer::workerFor(const std::string &Fn,
+                               const std::vector<Value> &Early) const {
+  SpecKey K = SpecKey::make(Fn, Early);
+  return static_cast<unsigned>(K.Hash % Pool.workers());
+}
+
+std::future<FabResult<int32_t>> SpecServer::submit(const std::string &Fn,
+                                                   std::vector<Value> Early,
+                                                   std::vector<Value> Late) {
+  Request R;
+  R.Key = SpecKey::make(Fn, Early);
+  R.Early = std::move(Early);
+  R.Late = std::move(Late);
+  std::future<FabResult<int32_t>> F = R.Promise.get_future();
+  unsigned W = static_cast<unsigned>(R.Key.Hash % Pool.workers());
+  Submitted.fetch_add(1, std::memory_order_relaxed);
+  if (!Pool.post(W, std::move(R))) {
+    // The pool refused (shutdown): hand back an already-resolved future.
+    RejectedCount.fetch_add(1, std::memory_order_relaxed);
+    std::promise<FabResult<int32_t>> P;
+    P.set_value(FabError{FabErrc::Rejected, Fn, {}});
+    return P.get_future();
+  }
+  return F;
+}
+
+FabResult<int32_t> SpecServer::call(const std::string &Fn,
+                                    std::vector<Value> Early,
+                                    std::vector<Value> Late) {
+  return submit(Fn, std::move(Early), std::move(Late)).get();
+}
+
+ServerStats SpecServer::stats() const {
+  ServerStats S;
+  S.Workers = Pool.workers();
+  S.Submitted = Submitted.load(std::memory_order_relaxed);
+  S.Rejected = RejectedCount.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I < Pool.workers(); ++I) {
+    WorkerStats W = Pool.workerStats(I);
+    S.Served += W.Served;
+    S.Errors += W.Errors;
+    S.Coalesced += W.Coalesced;
+    S.QueueHighWater = std::max(S.QueueHighWater, W.QueueHighWater);
+    S.BusyCyclesTotal += W.BusyCycles;
+    S.BusyCyclesMax = std::max(S.BusyCyclesMax, W.BusyCycles);
+    S.GenInstrWords += W.GenInstrWords;
+    S.HeapRecycles += W.HeapRecycles;
+    S.DegradedWorkers += W.Degraded ? 1u : 0u;
+    S.Cache.Hits += W.Cache.Hits;
+    S.Cache.Misses += W.Cache.Misses;
+    S.Cache.Evictions += W.Cache.Evictions;
+    S.Cache.Rehydrations += W.Cache.Rehydrations;
+    S.Memo.GeneratorRuns += W.Memo.GeneratorRuns;
+    S.Memo.MemoHits += W.Memo.MemoHits;
+    S.Memo.MemoMisses += W.Memo.MemoMisses;
+    S.Recovery.WatermarkResets += W.Recovery.WatermarkResets;
+    S.Recovery.FaultResets += W.Recovery.FaultResets;
+    S.Recovery.RecoveredRetries += W.Recovery.RecoveredRetries;
+    S.Recovery.GeneratorFaults += W.Recovery.GeneratorFaults;
+    S.Recovery.PlainFallbackCalls += W.Recovery.PlainFallbackCalls;
+  }
+  return S;
+}

@@ -1,0 +1,103 @@
+//===- SpecServer.h - Concurrent specialization serving front-end -*- C++ -*-=//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving API over a MachinePool: submit(fn, earlyArgs, lateArgs)
+/// returns a std::future of the call result. Requests are routed to a
+/// worker by the hash of their specialization key, so all requests with
+/// the same early values land on the same machine and share one
+/// specialization (via batch coalescing and the worker's SpecCache);
+/// distinct keys spread across the pool. Arguments travel as host-side
+/// *values* (ints and vectors), never machine addresses — each worker
+/// materializes them into its own heap.
+///
+///   fab::Compilation C = fab::compileOrDie(Src, Opts);
+///   fab::service::ServerOptions SO;
+///   SO.Pool.Workers = 4;
+///   fab::service::SpecServer S(C, SO);
+///   auto F = S.submit("dotloop",
+///                     {Value::ofVec(Row), Value::ofInt(0), Value::ofInt(N)},
+///                     {Value::ofVec(Col), Value::ofInt(0)});
+///   FabResult<int32_t> R = F.get();
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_SERVICE_SPECSERVER_H
+#define FAB_SERVICE_SPECSERVER_H
+
+#include "service/MachinePool.h"
+
+#include <atomic>
+
+namespace fab {
+namespace service {
+
+struct ServerOptions {
+  PoolOptions Pool;
+};
+
+/// Aggregate view across the pool; see SpecServer::stats().
+struct ServerStats {
+  unsigned Workers = 0;
+  uint64_t Submitted = 0;
+  uint64_t Served = 0;
+  uint64_t Errors = 0;
+  uint64_t Rejected = 0;       ///< refused at submit (shutdown)
+  uint64_t Coalesced = 0;
+  uint64_t QueueHighWater = 0; ///< deepest any one worker queue got
+  uint64_t BusyCyclesTotal = 0;
+  /// Pool makespan in simulated cycles: the busiest worker's serving
+  /// cycles. Each worker is an independent simulated machine (one core
+  /// each in a real deployment), so requests/second at the modeled clock
+  /// is Served / (BusyCyclesMax / 25 MHz).
+  uint64_t BusyCyclesMax = 0;
+  uint64_t GenInstrWords = 0;  ///< generator emissions, summed over workers
+  uint64_t HeapRecycles = 0;
+  unsigned DegradedWorkers = 0;
+  SpecCacheStats Cache;        ///< summed over workers
+  SpecializationStats Memo;    ///< summed over workers
+  RecoveryStats Recovery;      ///< summed over workers
+};
+
+class SpecServer {
+public:
+  /// \p C must outlive the server.
+  explicit SpecServer(const Compilation &C, const ServerOptions &Opts = {});
+
+  /// Enqueues one call of staged function \p Fn. The future resolves
+  /// once a worker has specialized (or found cached code for) the early
+  /// values and run it on the late values. After shutdown() the future
+  /// is already resolved with FabErrc::Rejected.
+  std::future<FabResult<int32_t>> submit(const std::string &Fn,
+                                         std::vector<Value> Early,
+                                         std::vector<Value> Late);
+
+  /// Synchronous convenience wrapper around submit().get().
+  FabResult<int32_t> call(const std::string &Fn, std::vector<Value> Early,
+                          std::vector<Value> Late);
+
+  /// The worker a request with these early values routes to (stable;
+  /// exposed for tests and load inspection).
+  unsigned workerFor(const std::string &Fn,
+                     const std::vector<Value> &Early) const;
+
+  /// Graceful: stops intake, drains every queue, joins the workers.
+  void shutdown() { Pool.shutdown(); }
+
+  unsigned workers() const { return Pool.workers(); }
+  WorkerStats workerStats(unsigned W) const { return Pool.workerStats(W); }
+  ServerStats stats() const;
+
+private:
+  MachinePool Pool;
+  std::atomic<uint64_t> Submitted{0};
+  std::atomic<uint64_t> RejectedCount{0};
+};
+
+} // namespace service
+} // namespace fab
+
+#endif // FAB_SERVICE_SPECSERVER_H

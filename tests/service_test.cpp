@@ -1,0 +1,425 @@
+//===- service_test.cpp - Specialization service tests --------------------===//
+//
+// Covers the three layers of src/service/: SpecKey/SpecCache (value
+// keying, LRU eviction, pinning, epoch invalidation after
+// resetCodeSpace), MachinePool (per-worker isolation, heap recycling,
+// fault degradation without stalling), and SpecServer (futures,
+// coalescing, graceful shutdown, N-thread hammer against the
+// single-threaded Machine baseline). Also covers the core hooks the
+// service depends on: Machine::codeEpoch(), specializationsLive(), and
+// the memo hit/miss counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SpecServer.h"
+
+#include "bpf/Bpf.h"
+#include "support/Rng.h"
+#include "workloads/MlPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace fab;
+using namespace fab::service;
+
+namespace {
+
+const char *SimpleSrc = "fun f (k : int) (x : int) = x * k + k";
+
+/// Matmul (dotloop/dotprod) plus the BPF interpreter (eval/runfilter) in
+/// one program: the service's mixed workload. Names are disjoint.
+std::string mixedSrc() {
+  return std::string(workloads::MatmulSrc) + "\n" + workloads::EvalSrc;
+}
+
+FabiusOptions mixedOptions() {
+  FabiusOptions Opts = FabiusOptions::deferred();
+  // Filter programs are DAGs; memoized self calls share their suffixes.
+  Opts.Backend.MemoizedSelfCalls.insert("eval");
+  return Opts;
+}
+
+/// A mixed request stream: dot products over a few distinct rows
+/// interleaved with telnet-filter runs over a packet trace.
+struct MixedRequest {
+  std::string Fn;
+  std::vector<Value> Early, Late;
+};
+
+std::vector<MixedRequest> mixedWorkload(size_t Count, uint64_t Seed) {
+  Rng R(Seed);
+  const uint32_t N = 16;
+  std::vector<std::vector<int32_t>> Rows;
+  for (int I = 0; I < 8; ++I) {
+    std::vector<int32_t> Row(N);
+    for (uint32_t J = 0; J < N; ++J)
+      Row[J] = static_cast<int32_t>(R.next() % 100) - 20;
+    Rows.push_back(Row);
+  }
+  bpf::Program Filter = bpf::telnetFilter();
+  auto Trace = bpf::makeTrace(24, Seed ^ 0x9E3779B9u);
+
+  std::vector<MixedRequest> Reqs;
+  for (size_t I = 0; I < Count; ++I) {
+    if (I % 3 == 2) {
+      MixedRequest Q;
+      Q.Fn = "eval";
+      Q.Early = {Value::ofVec(Filter.Words), Value::ofInt(0)};
+      Q.Late = {Value::ofInt(0), Value::ofInt(0),
+                Value::ofVec(std::vector<int32_t>(16, 0)),
+                Value::ofVec(Trace[I % Trace.size()])};
+      Reqs.push_back(std::move(Q));
+    } else {
+      std::vector<int32_t> Col(N);
+      for (uint32_t J = 0; J < N; ++J)
+        Col[J] = static_cast<int32_t>(R.next() % 50) - 10;
+      MixedRequest Q;
+      Q.Fn = "dotloop";
+      Q.Early = {Value::ofVec(Rows[I % Rows.size()]), Value::ofInt(0),
+                 Value::ofInt(static_cast<int32_t>(N))};
+      Q.Late = {Value::ofVec(Col), Value::ofInt(0)};
+      Reqs.push_back(std::move(Q));
+    }
+  }
+  return Reqs;
+}
+
+/// Serves one request on a plain single-threaded Machine (the baseline
+/// the pool must match byte for byte).
+FabResult<int32_t> baselineServe(Machine &M, const MixedRequest &Q) {
+  auto materialize = [&](const std::vector<Value> &Vals) {
+    std::vector<uint32_t> Words;
+    for (const Value &V : Vals)
+      Words.push_back(V.K == Value::Kind::Int ? static_cast<uint32_t>(V.I)
+                                              : M.heap().vector(V.Vec));
+    return Words;
+  };
+  FabResult<uint32_t> S = M.specialize(Q.Fn, materialize(Q.Early));
+  if (!S)
+    return S.error();
+  return M.callAtInt(*S, materialize(Q.Late));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Keys
+//===----------------------------------------------------------------------===//
+
+TEST(SpecKey, ValueKeyingIsAddressFree) {
+  SpecKey A = SpecKey::make("f", {Value::ofVec({1, 2, 3}), Value::ofInt(7)});
+  SpecKey B = SpecKey::make("f", {Value::ofVec({1, 2, 3}), Value::ofInt(7)});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.Hash, B.Hash);
+
+  // Different content, length, function, or arg shape: different keys.
+  EXPECT_FALSE(A == SpecKey::make("f", {Value::ofVec({1, 2, 4}),
+                                        Value::ofInt(7)}));
+  EXPECT_FALSE(A == SpecKey::make("g", {Value::ofVec({1, 2, 3}),
+                                        Value::ofInt(7)}));
+  EXPECT_FALSE(SpecKey::make("f", {Value::ofVec({1})}) ==
+               SpecKey::make("f", {Value::ofInt(1)}));
+}
+
+TEST(SpecKey, FromHeapMatchesHostValues) {
+  Compilation C = compileOrDie(SimpleSrc, FabiusOptions::deferred());
+  Machine M1(C.Unit), M2(C.Unit);
+  // The same values at different addresses (M2 allocates a decoy first)
+  // produce the same key, and match the host-side construction.
+  uint32_t V1 = M1.heap().vector({5, 6, 7});
+  M2.heap().vector({99});
+  uint32_t V2 = M2.heap().vector({5, 6, 7});
+  EXPECT_NE(V1, V2);
+
+  SpecKey Host = SpecKey::make("f", {Value::ofVec({5, 6, 7}), Value::ofInt(2)});
+  SpecKey H1 = SpecKey::fromHeap("f", {V1, 2}, {true, false}, M1.heap());
+  SpecKey H2 = SpecKey::fromHeap("f", {V2, 2}, {true, false}, M2.heap());
+  EXPECT_EQ(Host, H1);
+  EXPECT_EQ(Host, H2);
+  // Deep hashing goes through HeapImage::hashVector: flipping one element
+  // in the heap flips the key.
+  M1.vm().store32(V1 + 4, 100);
+  SpecKey H1b = SpecKey::fromHeap("f", {V1, 2}, {true, false}, M1.heap());
+  EXPECT_FALSE(Host == H1b);
+}
+
+//===----------------------------------------------------------------------===//
+// SpecCache
+//===----------------------------------------------------------------------===//
+
+TEST(SpecCache, HitMissLruEvictionAndPinning) {
+  SpecCache Cache(2);
+  SpecKey K1 = SpecKey::make("f", {Value::ofInt(1)});
+  SpecKey K2 = SpecKey::make("f", {Value::ofInt(2)});
+  SpecKey K3 = SpecKey::make("f", {Value::ofInt(3)});
+
+  EXPECT_FALSE(Cache.lookup(K1, 0).has_value());
+  Cache.insert(K1, 0x100, 0);
+  Cache.insert(K2, 0x200, 0);
+  EXPECT_EQ(*Cache.lookup(K1, 0), 0x100u); // K1 now hottest
+  Cache.insert(K3, 0x300, 0);              // evicts K2 (LRU)
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_FALSE(Cache.lookup(K2, 0).has_value());
+  EXPECT_TRUE(Cache.lookup(K1, 0).has_value());
+  EXPECT_TRUE(Cache.lookup(K3, 0).has_value());
+
+  // Pin K3; the next insert must evict K1 instead of the colder pin.
+  EXPECT_TRUE(Cache.pin(K3, true));
+  EXPECT_TRUE(Cache.lookup(K1, 0).has_value()); // K1 hottest, K3 coldest
+  Cache.insert(K2, 0x201, 0);
+  EXPECT_TRUE(Cache.lookup(K3, 0).has_value());
+  EXPECT_FALSE(Cache.lookup(K1, 0).has_value());
+  EXPECT_FALSE(Cache.pin(K1, true)); // absent
+
+  EXPECT_EQ(Cache.stats().Hits, 5u);
+  EXPECT_EQ(Cache.stats().Misses, 3u);
+  EXPECT_NEAR(Cache.stats().hitRate(), 5.0 / 8.0, 1e-9);
+}
+
+TEST(SpecCache, EpochInvalidationAfterResetCodeSpace) {
+  Compilation C = compileOrDie(SimpleSrc, FabiusOptions::deferred());
+  Machine M(C.Unit);
+  SpecCache Cache(16);
+  SpecKey K = SpecKey::make("f", {Value::ofInt(3)});
+
+  EXPECT_EQ(M.codeEpoch(), 0u);
+  uint32_t A = M.specializeOrDie("f", {3});
+  Cache.insert(K, A, M.codeEpoch());
+  EXPECT_EQ(*Cache.lookup(K, M.codeEpoch()), A);
+
+  M.resetCodeSpace();
+  EXPECT_EQ(M.codeEpoch(), 1u);
+  // The cached address died with the epoch: stale entry reported as a
+  // rehydration, then the caller re-specializes and re-inserts.
+  EXPECT_FALSE(Cache.lookup(K, M.codeEpoch()).has_value());
+  EXPECT_EQ(Cache.stats().Rehydrations, 1u);
+  uint32_t A2 = M.specializeOrDie("f", {3});
+  Cache.insert(K, A2, M.codeEpoch());
+  EXPECT_EQ(*Cache.lookup(K, M.codeEpoch()), A2);
+  EXPECT_EQ(M.callAtIntOrDie(A2, {10}), 33);
+}
+
+//===----------------------------------------------------------------------===//
+// Core hooks: memo counters, live-specialization query, code epoch
+//===----------------------------------------------------------------------===//
+
+TEST(MachineMemo, CountersAndLiveQuery) {
+  Compilation C = compileOrDie(SimpleSrc, FabiusOptions::deferred());
+  Machine M(C.Unit);
+  EXPECT_EQ(M.specializationsLive(), 0u);
+
+  for (uint32_t K = 1; K <= 3; ++K)
+    M.specializeOrDie("f", {K});
+  EXPECT_EQ(M.specializationsLive(), 3u);
+  EXPECT_EQ(M.memo().GeneratorRuns, 3u);
+  EXPECT_EQ(M.memo().MemoMisses, 3u);
+  EXPECT_EQ(M.memo().MemoHits, 0u);
+
+  // A repeated key is answered from the memo table: counted as a hit,
+  // no new code, no new live entry.
+  uint64_t Gen = M.instructionsGenerated();
+  M.specializeOrDie("f", {2});
+  EXPECT_EQ(M.memo().MemoHits, 1u);
+  EXPECT_EQ(M.instructionsGenerated(), Gen);
+  EXPECT_EQ(M.specializationsLive(), 3u);
+
+  M.resetCodeSpace();
+  EXPECT_EQ(M.specializationsLive(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// SpecServer
+//===----------------------------------------------------------------------===//
+
+TEST(SpecServer, CacheHitSkipsGeneratorEntirely) {
+  Compilation C = compileOrDie(SimpleSrc, FabiusOptions::deferred());
+  SpecServer S(C);
+
+  std::vector<Value> Early = {Value::ofInt(6)};
+  FabResult<int32_t> R1 = S.call("f", Early, {Value::ofInt(10)});
+  ASSERT_TRUE(R1.ok());
+  EXPECT_EQ(*R1, 66);
+  uint64_t GenAfterCold = S.stats().GenInstrWords;
+  EXPECT_GT(GenAfterCold, 0u);
+  EXPECT_EQ(S.stats().Cache.Misses, 1u);
+
+  // Warm request: same early value, different late value. The host cache
+  // answers it without even entering the generator.
+  FabResult<int32_t> R2 = S.call("f", Early, {Value::ofInt(11)});
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(*R2, 72);
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.GenInstrWords, GenAfterCold); // zero generator instructions
+  EXPECT_EQ(St.Cache.Hits, 1u);
+  EXPECT_EQ(St.Memo.GeneratorRuns, 1u); // generator entered exactly once
+  EXPECT_EQ(St.Served, 2u);
+}
+
+TEST(SpecServer, EvictionUnderTinyCapacityStaysCorrect) {
+  Compilation C = compileOrDie(SimpleSrc, FabiusOptions::deferred());
+  ServerOptions SO;
+  SO.Pool.Workers = 1;
+  SO.Pool.CacheCapacity = 2;
+  SpecServer S(C, SO);
+  for (int Round = 0; Round < 3; ++Round)
+    for (int32_t K = 1; K <= 5; ++K) {
+      FabResult<int32_t> R =
+          S.call("f", {Value::ofInt(K)}, {Value::ofInt(100)});
+      ASSERT_TRUE(R.ok());
+      EXPECT_EQ(*R, 100 * K + K);
+    }
+  ServerStats St = S.stats();
+  EXPECT_GT(St.Cache.Evictions, 0u);
+  EXPECT_LE(St.Cache.Hits, 14u); // capacity 2 of 5 keys: mostly misses
+  // Evicted host entries fall back to the in-VM memo (pointer-keyed, but
+  // the early scalar is the key word itself), not to regeneration.
+  EXPECT_GT(St.Memo.MemoHits, 0u);
+}
+
+TEST(SpecServer, HammerMatchesSingleThreadedMachine) {
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  std::vector<MixedRequest> Reqs = mixedWorkload(240, 42);
+
+  // Baseline: every request on one single-threaded Machine.
+  std::vector<int32_t> Expected;
+  {
+    Machine M(C.Unit);
+    for (const MixedRequest &Q : Reqs) {
+      FabResult<int32_t> R = baselineServe(M, Q);
+      ASSERT_TRUE(R.ok());
+      Expected.push_back(*R);
+    }
+  }
+
+  // Pool: 4 workers hammered from 3 submitter threads.
+  ServerOptions SO;
+  SO.Pool.Workers = 4;
+  SpecServer S(C, SO);
+  std::vector<std::future<FabResult<int32_t>>> Futures(Reqs.size());
+  {
+    std::vector<std::thread> Submitters;
+    std::atomic<size_t> NextIdx{0};
+    for (int T = 0; T < 3; ++T)
+      Submitters.emplace_back([&] {
+        for (;;) {
+          size_t I = NextIdx.fetch_add(1);
+          if (I >= Reqs.size())
+            return;
+          Futures[I] = S.submit(Reqs[I].Fn, Reqs[I].Early, Reqs[I].Late);
+        }
+      });
+    for (std::thread &T : Submitters)
+      T.join();
+  }
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    FabResult<int32_t> R = Futures[I].get();
+    ASSERT_TRUE(R.ok()) << "request " << I << ": " << R.error().message();
+    EXPECT_EQ(*R, Expected[I]) << "request " << I;
+  }
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.Served, Reqs.size());
+  EXPECT_EQ(St.Errors, 0u);
+  // 9 distinct keys across 240 requests: the cache carries the load.
+  EXPECT_GT(St.Cache.Hits + St.Coalesced, St.Cache.Misses);
+}
+
+TEST(SpecServer, HeapRecyclingKeepsServing) {
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  std::vector<MixedRequest> Reqs = mixedWorkload(60, 7);
+  ServerOptions SO;
+  SO.Pool.Workers = 2;
+  // Recycle as soon as the heap holds more than ~4 KB: forces machine
+  // rebuilds (fresh heap + code space, cleared cache/intern) mid-stream.
+  SO.Pool.HeapRecycleMargin = layout::HeapEnd - (layout::HeapBase + 4096);
+  SpecServer S(C, SO);
+
+  Machine Baseline(C.Unit);
+  for (const MixedRequest &Q : Reqs) {
+    FabResult<int32_t> Want = baselineServe(Baseline, Q);
+    ASSERT_TRUE(Want.ok());
+    FabResult<int32_t> Got = S.call(Q.Fn, Q.Early, Q.Late);
+    ASSERT_TRUE(Got.ok()) << Got.error().message();
+    EXPECT_EQ(*Got, *Want);
+  }
+  EXPECT_GT(S.stats().HeapRecycles, 0u);
+}
+
+TEST(SpecServer, FaultInjectedWorkerDegradesWithoutStallingPool) {
+  // Worker 0's machine faults on every generator run (a repeating
+  // injector); with a Plain fall-back image compiled it degrades after
+  // MaxGeneratorFaults. The pool keeps draining: every future resolves,
+  // other workers' results stay correct.
+  Compilation C = compileOrDie(SimpleSrc, FabiusOptions::deferredWithFallback());
+  ServerOptions SO;
+  SO.Pool.Workers = 2;
+  SO.Pool.Policy.MaxRetries = 0;
+  SO.Pool.Policy.MaxGeneratorFaults = 2;
+  SO.Pool.ConfigureWorker = [](unsigned Idx, Machine &M) {
+    if (Idx != 0)
+      return;
+    FaultInjector FI;
+    FI.Armed = true;
+    FI.AfterInstructions = 8; // early in the generator: static code
+    FI.Kind = Fault::BadAccess;
+    FI.OneShot = false;
+    M.vm().injectFault(FI);
+  };
+  SpecServer S(C, SO);
+
+  std::vector<std::future<FabResult<int32_t>>> Futures;
+  std::vector<unsigned> Route;
+  const int32_t NumKeys = 64;
+  for (int32_t K = 1; K <= NumKeys; ++K) {
+    std::vector<Value> Early = {Value::ofInt(K)};
+    Route.push_back(S.workerFor("f", Early));
+    Futures.push_back(S.submit("f", Early, {Value::ofInt(5)}));
+  }
+  unsigned Healthy = 0, Faulted = 0;
+  for (int32_t K = 1; K <= NumKeys; ++K) {
+    FabResult<int32_t> R = Futures[K - 1].get(); // no future may hang
+    if (Route[K - 1] == 0) {
+      EXPECT_FALSE(R.ok());
+      ++Faulted;
+    } else {
+      ASSERT_TRUE(R.ok());
+      EXPECT_EQ(*R, 5 * K + K);
+      ++Healthy;
+    }
+  }
+  EXPECT_GT(Healthy, 0u);
+  EXPECT_GT(Faulted, 0u);
+
+  WorkerStats W0 = S.workerStats(0);
+  EXPECT_TRUE(W0.Degraded);
+  EXPECT_GE(W0.Recovery.GeneratorFaults, 2u);
+  EXPECT_EQ(W0.Errors, Faulted);
+  WorkerStats W1 = S.workerStats(1);
+  EXPECT_FALSE(W1.Degraded);
+  EXPECT_EQ(W1.Served, Healthy);
+}
+
+TEST(SpecServer, GracefulShutdownDrainsThenRejects) {
+  Compilation C = compileOrDie(SimpleSrc, FabiusOptions::deferred());
+  std::vector<std::future<FabResult<int32_t>>> Futures;
+  ServerOptions SO;
+  SO.Pool.Workers = 2;
+  SpecServer S(C, SO);
+  for (int32_t K = 1; K <= 32; ++K)
+    Futures.push_back(S.submit("f", {Value::ofInt(K)}, {Value::ofInt(1)}));
+  S.shutdown(); // drains the queues; never drops accepted work
+  for (int32_t K = 1; K <= 32; ++K) {
+    FabResult<int32_t> R = Futures[K - 1].get();
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(*R, K + K);
+  }
+  // Post-shutdown submissions resolve immediately with Rejected.
+  FabResult<int32_t> R = S.call("f", {Value::ofInt(1)}, {Value::ofInt(1)});
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Code, FabErrc::Rejected);
+  EXPECT_EQ(S.stats().Rejected, 1u);
+  EXPECT_EQ(S.stats().Served, 32u);
+}

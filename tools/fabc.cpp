@@ -183,6 +183,30 @@ int main(int Argc, char **Argv) {
     std::printf("  icache flushes        : %llu (%llu bytes)\n",
                 static_cast<unsigned long long>(S.Flushes),
                 static_cast<unsigned long long>(S.FlushedBytes));
+
+    const SpecializationStats &Sp = M.memo();
+    std::printf("specialization statistics:\n");
+    std::printf("  generator runs        : %llu (memo hits %llu, misses "
+                "%llu)\n",
+                static_cast<unsigned long long>(Sp.GeneratorRuns),
+                static_cast<unsigned long long>(Sp.MemoHits),
+                static_cast<unsigned long long>(Sp.MemoMisses));
+    std::printf("  specializations live  : %u (code epoch %llu)\n",
+                M.specializationsLive(),
+                static_cast<unsigned long long>(M.codeEpoch()));
+
+    const RecoveryStats &R = M.recovery();
+    std::printf("recovery statistics:\n");
+    std::printf("  watermark resets      : %llu\n",
+                static_cast<unsigned long long>(R.WatermarkResets));
+    std::printf("  fault resets          : %llu (recovered retries %llu)\n",
+                static_cast<unsigned long long>(R.FaultResets),
+                static_cast<unsigned long long>(R.RecoveredRetries));
+    std::printf("  generator faults      : %llu\n",
+                static_cast<unsigned long long>(R.GeneratorFaults));
+    std::printf("  plain fallback calls  : %llu%s\n",
+                static_cast<unsigned long long>(R.PlainFallbackCalls),
+                M.degraded() ? " (machine degraded)" : "");
   }
   return 0;
 }

@@ -1,0 +1,208 @@
+//===- fabserve.cpp - Specialization service demo driver ------------------===//
+//
+// Replays a synthetic mixed workload — Figure 2 dot-product rows
+// interleaved with Figure 4 packet-filter runs — through the
+// src/service/ stack (SpecServer over a MachinePool of FAB-32
+// machines), validates every result against host-side oracles (a plain
+// C++ dot product and the BPF reference interpreter), and prints the
+// aggregate ServerStats.
+//
+// Usage: fabserve [--workers N] [--requests N] [--rows N] [--len N]
+//                 [--seed S] [--no-cache] [--cache-capacity N]
+//
+//   fabserve --workers 4 --requests 1000
+//
+//===----------------------------------------------------------------------===//
+
+#include "bpf/Bpf.h"
+#include "service/SpecServer.h"
+#include "support/Rng.h"
+#include "workloads/MlPrograms.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace fab;
+using namespace fab::service;
+
+namespace {
+
+[[noreturn]] void usage(const char *Msg) {
+  if (Msg)
+    std::fprintf(stderr, "fabserve: %s\n", Msg);
+  std::fprintf(stderr,
+               "usage: fabserve [--workers N] [--requests N] [--rows N]\n"
+               "                [--len N] [--seed S] [--no-cache]\n"
+               "                [--cache-capacity N]\n");
+  std::exit(2);
+}
+
+uint64_t parseNum(const char *S) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 0);
+  if (!End || *End)
+    usage("malformed number");
+  return V;
+}
+
+struct MixedRequest {
+  std::string Fn;
+  std::vector<Value> Early, Late;
+  int32_t Oracle; // host-side expected result
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Workers = 2;
+  size_t NumRequests = 300, NumRows = 24;
+  uint32_t Len = 64;
+  uint64_t Seed = 1;
+  size_t CacheCapacity = 1024;
+  bool Cache = true;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto next = [&]() -> const char * {
+      if (I + 1 >= argc)
+        usage(("missing value for " + A).c_str());
+      return argv[++I];
+    };
+    if (A == "--workers")
+      Workers = static_cast<unsigned>(parseNum(next()));
+    else if (A == "--requests")
+      NumRequests = parseNum(next());
+    else if (A == "--rows")
+      NumRows = parseNum(next());
+    else if (A == "--len")
+      Len = static_cast<uint32_t>(parseNum(next()));
+    else if (A == "--seed")
+      Seed = parseNum(next());
+    else if (A == "--cache-capacity")
+      CacheCapacity = parseNum(next());
+    else if (A == "--no-cache")
+      Cache = false;
+    else
+      usage(("unknown option " + A).c_str());
+  }
+  if (!Workers || !NumRequests || !NumRows || !Len)
+    usage("counts must be nonzero");
+
+  // The mixed program: matmul's dotloop plus the staged BPF interpreter.
+  FabiusOptions Opts = FabiusOptions::deferred();
+  Opts.Backend.MemoizedSelfCalls.insert("eval");
+  std::string Src =
+      std::string(workloads::MatmulSrc) + "\n" + workloads::EvalSrc;
+  Compilation C = compileOrDie(Src, Opts);
+
+  // Build the request stream, computing each expected result on the host.
+  Rng R(Seed);
+  std::vector<std::vector<int32_t>> Rows;
+  for (size_t I = 0; I < NumRows; ++I) {
+    std::vector<int32_t> Row(Len);
+    for (uint32_t J = 0; J < Len; ++J)
+      Row[J] = static_cast<int32_t>(R.next() % 200) - 50;
+    Rows.push_back(Row);
+  }
+  bpf::Program Filter = bpf::telnetFilter();
+  auto Trace = bpf::makeTrace(32, Seed ^ 0xBADCAB);
+
+  std::vector<MixedRequest> Reqs;
+  for (size_t I = 0; I < NumRequests; ++I) {
+    if (I % 3 == 2) {
+      const std::vector<int32_t> &Pkt = Trace[I % Trace.size()];
+      Reqs.push_back({"eval",
+                      {Value::ofVec(Filter.Words), Value::ofInt(0)},
+                      {Value::ofInt(0), Value::ofInt(0),
+                       Value::ofVec(std::vector<int32_t>(16, 0)),
+                       Value::ofVec(Pkt)},
+                      bpf::interpret(Filter, Pkt)});
+    } else {
+      const std::vector<int32_t> &Row = Rows[I % Rows.size()];
+      std::vector<int32_t> Col(Len);
+      int32_t Dot = 0;
+      for (uint32_t J = 0; J < Len; ++J) {
+        Col[J] = static_cast<int32_t>(R.next() % 100) - 25;
+        Dot += Row[J] * Col[J];
+      }
+      Reqs.push_back({"dotloop",
+                      {Value::ofVec(Row), Value::ofInt(0),
+                       Value::ofInt(static_cast<int32_t>(Len))},
+                      {Value::ofVec(Col), Value::ofInt(0)},
+                      Dot});
+    }
+  }
+
+  ServerOptions SO;
+  SO.Pool.Workers = Workers;
+  SO.Pool.EnableCache = Cache;
+  SO.Pool.InternEarlyArgs = Cache;
+  SO.Pool.CacheCapacity = CacheCapacity;
+  SpecServer S(C, SO);
+
+  std::printf("fabserve: %zu requests (%zu dot-product keys of length %u + "
+              "telnet filter) on %u worker(s), cache %s\n",
+              NumRequests, NumRows, Len, Workers, Cache ? "on" : "off");
+
+  std::vector<std::future<FabResult<int32_t>>> Futures;
+  Futures.reserve(Reqs.size());
+  for (const MixedRequest &Q : Reqs)
+    Futures.push_back(S.submit(Q.Fn, Q.Early, Q.Late));
+
+  size_t Mismatches = 0;
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    FabResult<int32_t> Res = Futures[I].get();
+    if (!Res.ok()) {
+      std::fprintf(stderr, "request %zu failed: %s\n", I,
+                   Res.error().message().c_str());
+      return 1;
+    }
+    if (*Res != Reqs[I].Oracle) {
+      std::fprintf(stderr, "request %zu: got %d, oracle says %d\n", I, *Res,
+                   Reqs[I].Oracle);
+      ++Mismatches;
+    }
+  }
+  S.shutdown();
+
+  ServerStats St = S.stats();
+  std::printf("\nall %llu results validated against host oracles (%zu "
+              "mismatches)\n",
+              static_cast<unsigned long long>(St.Served), Mismatches);
+  std::printf("\nserver statistics:\n");
+  std::printf("  served / errors       : %llu / %llu\n",
+              static_cast<unsigned long long>(St.Served),
+              static_cast<unsigned long long>(St.Errors));
+  std::printf("  pool makespan         : %llu cycles (%.3f ms at 25 MHz, "
+              "%.0f req/sim-second)\n",
+              static_cast<unsigned long long>(St.BusyCyclesMax),
+              static_cast<double>(St.BusyCyclesMax) / 25000.0,
+              St.BusyCyclesMax ? static_cast<double>(St.Served) * 25e6 /
+                                     static_cast<double>(St.BusyCyclesMax)
+                               : 0.0);
+  std::printf("  busy cycles (total)   : %llu across %u workers\n",
+              static_cast<unsigned long long>(St.BusyCyclesTotal), St.Workers);
+  std::printf("  queue high water      : %llu\n",
+              static_cast<unsigned long long>(St.QueueHighWater));
+  std::printf("  cache                 : %llu hits, %llu misses, %llu "
+              "evictions, %llu rehydrations (%.1f%% hit rate), %llu "
+              "coalesced\n",
+              static_cast<unsigned long long>(St.Cache.Hits),
+              static_cast<unsigned long long>(St.Cache.Misses),
+              static_cast<unsigned long long>(St.Cache.Evictions),
+              static_cast<unsigned long long>(St.Cache.Rehydrations),
+              100.0 * St.Cache.hitRate(),
+              static_cast<unsigned long long>(St.Coalesced));
+  std::printf("  generator             : %llu runs (in-VM memo %llu hits, "
+              "%llu misses), %llu instr words\n",
+              static_cast<unsigned long long>(St.Memo.GeneratorRuns),
+              static_cast<unsigned long long>(St.Memo.MemoHits),
+              static_cast<unsigned long long>(St.Memo.MemoMisses),
+              static_cast<unsigned long long>(St.GenInstrWords));
+  std::printf("  heap recycles         : %llu; degraded workers: %u\n",
+              static_cast<unsigned long long>(St.HeapRecycles),
+              St.DegradedWorkers);
+  return Mismatches ? 1 : 0;
+}
