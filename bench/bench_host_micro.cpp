@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "core/Fabius.h"
 #include "workloads/Inputs.h"
 #include "workloads/MlPrograms.h"
@@ -20,11 +21,11 @@ using namespace fab::workloads;
 
 namespace {
 
-void BM_VmDispatch(benchmark::State &State) {
+void dispatchLoop(benchmark::State &State, const VmOptions &VmOpts) {
   Compilation C = compileOrDie(
       "fun loop (i, n, acc) = if i = n then acc else loop (i + 1, n, acc + i)",
       FabiusOptions::plain());
-  Machine M(C.Unit);
+  Machine M(C.Unit, VmOpts);
   uint64_t Instrs = 0;
   for (auto _ : State) {
     VmStats Before = M.stats();
@@ -34,7 +35,18 @@ void BM_VmDispatch(benchmark::State &State) {
   State.counters["instr/s"] = benchmark::Counter(
       static_cast<double>(Instrs), benchmark::Counter::kIsRate);
 }
+
+void BM_VmDispatch(benchmark::State &State) { dispatchLoop(State, {}); }
 BENCHMARK(BM_VmDispatch);
+
+/// The reference interpreter (predecoded-block engine off): the ratio to
+/// BM_VmDispatch is the engine's host-side speedup on hot loops.
+void BM_VmDispatchNoCache(benchmark::State &State) {
+  VmOptions VmOpts;
+  VmOpts.EnableDecodeCache = false;
+  dispatchLoop(State, VmOpts);
+}
+BENCHMARK(BM_VmDispatchNoCache);
 
 void BM_CompilePipelinePlain(benchmark::State &State) {
   for (auto _ : State) {
@@ -78,6 +90,31 @@ void BM_SpecializeDotprod(benchmark::State &State) {
 }
 BENCHMARK(BM_SpecializeDotprod);
 
+/// Console output as usual, plus every finished run's rate counters and
+/// wall time folded into the shared BenchReport so host numbers land in
+/// BENCH_host_micro.json alongside the figure benches' simulated cycles.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+public:
+  void ReportRuns(const std::vector<Run> &Reports) override {
+    for (const Run &R : Reports) {
+      const std::string Name = R.benchmark_name();
+      bench::reportMetric(Name + ".real_time_ns", R.GetAdjustedRealTime(),
+                          "ns");
+      for (const auto &[CounterName, C] : R.counters)
+        bench::reportMetric(Name + "." + CounterName, C.value);
+    }
+    ConsoleReporter::ReportRuns(Reports);
+  }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  JsonCapturingReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  bench::writeBenchJson("host_micro");
+  return 0;
+}

@@ -162,6 +162,9 @@ void Machine::resetCodeSpace() {
       Sim.store32(Addr + 8 + (I * EntryWords + Keys) * 4, 0);
   }
   Sim.setReg(Cp, layout::DynCodeBase);
+  // The code segment will be rewritten from DynCodeBase: every predecoded
+  // block over it is garbage now, not merely stale.
+  Sim.invalidateDecodeCache(layout::DynCodeBase, layout::DynCodeEnd);
   ++CodeEpoch;
 }
 

@@ -156,8 +156,10 @@ void MachinePool::runWorker(unsigned Idx) {
   uint64_t RetiredGenWords = 0;
   SpecializationStats RetiredMemo;
   RecoveryStats RetiredRecovery;
+  DecodeCacheStats RetiredDecode;
   auto retire = [&] {
     RetiredGenWords += M->instructionsGenerated();
+    RetiredDecode += M->vm().decodeCacheStats();
     const SpecializationStats &SM = M->memo();
     RetiredMemo.GeneratorRuns += SM.GeneratorRuns;
     RetiredMemo.MemoHits += SM.MemoHits;
@@ -184,6 +186,8 @@ void MachinePool::runWorker(unsigned Idx) {
     Local.Recovery.PlainFallbackCalls += M->recovery().PlainFallbackCalls;
     Local.Degraded = M->degraded();
     Local.GenInstrWords = RetiredGenWords + M->instructionsGenerated();
+    Local.DecodeCache = RetiredDecode;
+    Local.DecodeCache += M->vm().decodeCacheStats();
     std::lock_guard<std::mutex> L(W.StatsMutex);
     W.Stats = Local;
   };

@@ -93,6 +93,7 @@ struct WorkerStats {
   SpecCacheStats Cache;
   SpecializationStats Memo;
   RecoveryStats Recovery;
+  DecodeCacheStats DecodeCache; ///< worker VM's predecoded-block engine
 };
 
 class MachinePool {

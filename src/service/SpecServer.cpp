@@ -70,6 +70,7 @@ ServerStats SpecServer::stats() const {
     S.Recovery.RecoveredRetries += W.Recovery.RecoveredRetries;
     S.Recovery.GeneratorFaults += W.Recovery.GeneratorFaults;
     S.Recovery.PlainFallbackCalls += W.Recovery.PlainFallbackCalls;
+    S.DecodeCache += W.DecodeCache;
   }
   return S;
 }

@@ -60,6 +60,7 @@ struct ServerStats {
   SpecCacheStats Cache;        ///< summed over workers
   SpecializationStats Memo;    ///< summed over workers
   RecoveryStats Recovery;      ///< summed over workers
+  DecodeCacheStats DecodeCache;///< summed over workers
 };
 
 class SpecServer {

@@ -27,7 +27,9 @@
 #include "isa/Isa.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -95,6 +97,27 @@ struct FaultInjector {
   bool OneShot = true;
 };
 
+/// Counters for the predecoded basic-block engine (see docs/VM.md).
+/// Host-side only: none of these affect simulated state or VmStats.
+struct DecodeCacheStats {
+  uint64_t BlocksBuilt = 0;   ///< blocks predecoded (including rebuilds)
+  uint64_t BlockRuns = 0;     ///< cached-block executions
+  uint64_t FastInsts = 0;     ///< instructions retired through cached blocks
+  uint64_t SlowInsts = 0;     ///< instructions retired by the slow path
+  uint64_t FusedOps = 0;      ///< fused micro-ops built (lui+ori, cmp+branch)
+  uint64_t Invalidations = 0; ///< cached blocks dropped (code writes, resets)
+
+  DecodeCacheStats &operator+=(const DecodeCacheStats &R) {
+    BlocksBuilt += R.BlocksBuilt;
+    BlockRuns += R.BlockRuns;
+    FastInsts += R.FastInsts;
+    SlowInsts += R.SlowInsts;
+    FusedOps += R.FusedOps;
+    Invalidations += R.Invalidations;
+    return *this;
+  }
+};
+
 /// Configuration for a simulator instance.
 struct VmOptions {
   uint32_t MemBytes = 64u << 20; ///< flat memory size
@@ -113,6 +136,19 @@ struct VmOptions {
   /// Optional deterministic fault injection; see FaultInjector. Can also be
   /// (re)armed on a live machine via Vm::injectFault().
   FaultInjector Injector;
+  /// Two-level interpretation: on first execution of a PC, decode forward
+  /// to the basic-block end into a cached array of predecoded records,
+  /// then dispatch those records on later visits (see docs/VM.md).
+  /// Results, VmStats, fault PCs, and trap values are bit-identical with
+  /// this off; only host-side speed changes. The FAB_DECODE_CACHE=0
+  /// environment variable forces it off process-wide (CI runs the test
+  /// suite both ways).
+  bool EnableDecodeCache = true;
+  /// Predecode window: maximum source instructions per cached block.
+  uint32_t MaxBlockInsts = 64;
+  /// Safety cap on distinct cached blocks; the cache is cleared and
+  /// rebuilt on demand when it fills (pathological code only).
+  uint32_t MaxCachedBlocks = 1u << 16;
 };
 
 /// Result of one run()/call() invocation.
@@ -147,8 +183,16 @@ public:
   // -- Memory access from the host -----------------------------------------
 
   uint32_t load32(uint32_t Addr) const;
+  /// Host stores participate in code coherence exactly like guest `sw`:
+  /// writes landing in the dynamic code segment mark the touched I-cache
+  /// lines dirty (execute-after-write requires a flush), and writes into
+  /// either code region drop any cached predecoded blocks they overlap.
   void store32(uint32_t Addr, uint32_t Value);
   void writeBlock(uint32_t Addr, const uint32_t *Words, size_t Count);
+  /// Host-side I-cache invalidation for [Addr, Addr + Len): clears dirty
+  /// lines like the guest `flush` service instruction but charges no
+  /// simulated cycles (a loader/DMA-style operation, not guest work).
+  void flushIcache(uint32_t Addr, uint32_t Len);
   uint32_t memBytes() const { return static_cast<uint32_t>(Mem.size()); }
   /// Raw memory for snapshot/diff assertions (e.g. proving a faulting
   /// emission left adjacent regions untouched).
@@ -174,6 +218,13 @@ public:
 
   const VmStats &stats() const { return Stats; }
   uint64_t coherenceViolations() const { return CoherenceViolations; }
+
+  const DecodeCacheStats &decodeCacheStats() const { return CacheStats; }
+  bool decodeCacheEnabled() const { return Opts.EnableDecodeCache; }
+  /// Drops every cached predecoded block overlapping [Lo, Hi). Stores
+  /// (guest and host) invalidate automatically; this is the hook for
+  /// host-side bulk reclamation such as Machine::resetCodeSpace().
+  void invalidateDecodeCache(uint32_t Lo, uint32_t Hi);
 
   /// Replaces the per-run instruction budget (e.g. to recover a machine
   /// whose generator ran out of fuel mid-emission).
@@ -205,6 +256,71 @@ private:
   uint32_t fetch(uint32_t Addr) const;
   ExecResult stopFault(Fault Kind, uint32_t Pc, uint32_t TrapValue = 0);
 
+  // -- Predecoded basic-block engine (see docs/VM.md) ----------------------
+
+  /// One predecoded record. Tag is an internal dispatch code (one per
+  /// instruction form plus fused variants); Len is the number of source
+  /// instructions the record covers (2 for fused pairs) and is the unit
+  /// of fuel/statistics accounting.
+  struct MicroOp {
+    uint8_t Tag = 0;
+    uint8_t Len = 1;
+    uint8_t Rs = 0, Rt = 0, Rd = 0, Shamt = 0;
+    int32_t Imm = 0;  ///< pre-extended immediate (sign/zero per op)
+    uint32_t Aux = 0; ///< absolute branch/jump target, imm32, lui value
+  };
+
+  /// A decoded basic block: straight-line code from Base to the first
+  /// control transfer / Ext instruction / undecodable word, never
+  /// crossing a code-region boundary.
+  struct Block {
+    uint32_t Base = 0;
+    uint32_t InstCount = 0; ///< source instructions covered
+    uint32_t FirstLine = 0, LastLine = 0; ///< I-cache line index range
+    uint8_t Region = 0;     ///< 0 = neither, 1 = static, 2 = dynamic
+    std::vector<MicroOp> Ops;
+    /// Chained successors for static-target terminators (taken / not
+    /// taken), valid only while the matching epoch equals Vm::CacheEpoch
+    /// (any block retirement stales every cached successor pointer).
+    Block *SuccTaken = nullptr, *SuccFall = nullptr;
+    uint64_t EpochTaken = 0, EpochFall = 0;
+  };
+
+  /// Per-run() mutable state threaded through both execution tiers.
+  struct RunState {
+    uint32_t Pc;
+    uint64_t Budget;
+    uint64_t ExecutedThisRun;
+  };
+
+  enum class BlockExit : uint8_t {
+    Next,   ///< block finished; continue dispatch at RunState::Pc
+    Stopped ///< run ended; ExecResult is filled in
+  };
+
+  Block *lookupOrBuildBlock(uint32_t Pc);
+  void buildBlock(uint32_t Pc, Block &B);
+  BlockExit execBlock(Block &B, RunState &S, ExecResult &R);
+  /// Executes exactly one instruction with the original fetch/decode
+  /// interpreter; the reference semantics both tiers must agree on.
+  /// Returns true when the run ended (R is filled in).
+  bool stepSlow(RunState &S, ExecResult &R);
+
+  bool anyBlockLineDirty(const Block &B) const;
+  /// Drops cached blocks overlapping the I-cache line containing Addr.
+  void invalidateLineBlocks(uint32_t Addr);
+  void invalidateRange(uint32_t Lo, uint32_t Hi);
+  void retireBlock(uint32_t EntryPc);
+  void clearDecodeCache();
+  /// Coherence bookkeeping for host-initiated writes (store32/writeBlock).
+  void noteHostWrite(uint32_t Lo, uint32_t Bytes);
+  uint8_t regionClass(uint32_t Addr) const {
+    return inStaticRegion(Addr) ? 1 : inDynRegion(Addr) ? 2 : 0;
+  }
+  static uint32_t quickSlot(uint32_t Pc) {
+    return (Pc >> 2) & (QuickSlots - 1);
+  }
+
   VmOptions Opts;
   std::vector<uint8_t> Mem;
   uint32_t Regs[32] = {0};
@@ -215,6 +331,22 @@ private:
   uint32_t StaticLo = 0, StaticHi = 0, DynLo = 0, DynHi = 0;
   /// Dirty I-cache lines in the dynamic region (line index = addr / line).
   std::unordered_set<uint32_t> DirtyLines;
+
+  /// Block cache: entry PC -> predecoded block.
+  std::unordered_map<uint32_t, std::unique_ptr<Block>> Blocks;
+  /// Invalidation index: I-cache line index -> entry PCs of cached blocks
+  /// overlapping that line.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> LineOwners;
+  /// Direct-mapped front cache over Blocks (hot dispatch path).
+  static constexpr uint32_t QuickSlots = 1u << 13;
+  std::vector<Block *> Quick;
+  /// Blocks invalidated while possibly still executing; kept alive until
+  /// the next dispatch point so self-modifying code cannot free the block
+  /// it is running from.
+  std::vector<std::unique_ptr<Block>> Retired;
+  /// Bumped on every block retirement; validates chained Succ pointers.
+  uint64_t CacheEpoch = 1;
+  DecodeCacheStats CacheStats;
 };
 
 } // namespace fab

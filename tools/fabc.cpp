@@ -9,6 +9,10 @@
 //   --memoize-self FN  route FN's self tail calls through the memo table
 //                      (needed for cyclic early arguments)
 //   --thread-jumps     enable jumps-to-jumps threading
+//   --no-decode-cache  run the simulator's reference interpreter instead of
+//                      the predecoded basic-block engine (see docs/VM.md);
+//                      results and statistics are identical, only host
+//                      speed changes
 //   --disasm FN        disassemble FN's static code (first 64 words)
 //   --stats            print simulator statistics after the call
 //   --call FN ARG...   call FN; integer args, or [1,2,3] vector literals
@@ -44,7 +48,8 @@ namespace {
     std::fprintf(stderr, "fabc: %s\n", Msg);
   std::fprintf(stderr,
                "usage: fabc FILE.ml [--plain] [--memoize-self FN]\n"
-               "            [--thread-jumps] [--disasm FN] [--dump-staging] [--stats]\n"
+               "            [--thread-jumps] [--no-decode-cache] [--disasm FN]\n"
+               "            [--dump-staging] [--stats]\n"
                "            --call FN ARG...\n"
                "ARG is an integer or a vector literal like [1,2,3]\n");
   std::exit(2);
@@ -76,6 +81,7 @@ int main(int Argc, char **Argv) {
     usage();
   std::string File;
   FabiusOptions Opts = FabiusOptions::deferred();
+  VmOptions VmOpts;
   bool Stats = false;
   bool DumpStaging = false;
   std::string DisasmFn;
@@ -92,6 +98,8 @@ int main(int Argc, char **Argv) {
       Opts.Backend.MemoizedSelfCalls.insert(Argv[I]);
     } else if (A == "--thread-jumps") {
       Opts.Backend.ThreadJumps = true;
+    } else if (A == "--no-decode-cache") {
+      VmOpts.EnableDecodeCache = false;
     } else if (A == "--disasm") {
       if (++I >= Argc)
         usage("--disasm needs a function name");
@@ -142,7 +150,7 @@ int main(int Argc, char **Argv) {
                 ml::printProgram(*C->Ast, PO).c_str());
   }
 
-  Machine M(C->Unit);
+  Machine M(C->Unit, VmOpts);
 
   if (!DisasmFn.empty()) {
     auto It = C->Unit.FnAddr.find(DisasmFn);
@@ -183,6 +191,21 @@ int main(int Argc, char **Argv) {
     std::printf("  icache flushes        : %llu (%llu bytes)\n",
                 static_cast<unsigned long long>(S.Flushes),
                 static_cast<unsigned long long>(S.FlushedBytes));
+
+    const DecodeCacheStats &DC = M.vm().decodeCacheStats();
+    std::printf("decode cache (host-side; off = reference interpreter):\n");
+    std::printf("  enabled               : %s\n",
+                M.vm().decodeCacheEnabled() ? "yes" : "no");
+    std::printf("  blocks built          : %llu (runs %llu, invalidations "
+                "%llu)\n",
+                static_cast<unsigned long long>(DC.BlocksBuilt),
+                static_cast<unsigned long long>(DC.BlockRuns),
+                static_cast<unsigned long long>(DC.Invalidations));
+    std::printf("  instructions          : %llu fast, %llu slow (%llu fused "
+                "pairs)\n",
+                static_cast<unsigned long long>(DC.FastInsts),
+                static_cast<unsigned long long>(DC.SlowInsts),
+                static_cast<unsigned long long>(DC.FusedOps));
 
     const SpecializationStats &Sp = M.memo();
     std::printf("specialization statistics:\n");
