@@ -12,6 +12,7 @@
 
 #include <bit>
 #include <cassert>
+#include <cstdlib>
 
 using namespace fab;
 using namespace fab::backend_detail;
@@ -24,10 +25,24 @@ using namespace fab::ml;
 uint32_t ModuleContext::allocData(uint32_t Words) {
   uint32_t Addr = DataBump;
   DataBump += Words * 4;
-  if (DataBump > layout::StaticDataEnd) {
+  // Ordinary static data must stay below the emission-template region.
+  if (DataBump > layout::TemplateDataBase) {
     Diags.error(SourceLoc(), "static data region overflow (memo tables)");
-    DataBump = layout::StaticDataEnd;
+    DataBump = layout::TemplateDataBase;
   }
+  return Addr;
+}
+
+uint32_t ModuleContext::internTemplate(const std::vector<uint32_t> &Run) {
+  auto It = TemplateIndex.find(Run);
+  if (It != TemplateIndex.end())
+    return It->second;
+  uint32_t Addr =
+      layout::TemplateDataBase + 4 * static_cast<uint32_t>(TemplatePool.size());
+  if (Addr + 4 * static_cast<uint32_t>(Run.size()) > layout::TemplateDataEnd)
+    return 0; // region full: caller falls back to li/sw emission
+  TemplatePool.insert(TemplatePool.end(), Run.begin(), Run.end());
+  TemplateIndex.emplace(Run, Addr);
   return Addr;
 }
 
@@ -205,9 +220,88 @@ void FnCompiler::emitEpilogue() {
 //===----------------------------------------------------------------------===//
 
 Reg FnCompiler::emitPlainBinary(const Expr &E) {
+  bool RealOps = E.OperandsAreReal;
+  // Immediate folds: when one operand is a literal, the I-form instructions
+  // cover the common integer operators without materializing the literal in
+  // a register. Literals are pure, so the skipped evaluation has no effect.
+  if (!RealOps) {
+    auto KL = constEval(*E.Kids[0]);
+    auto KR = constEval(*E.Kids[1]);
+    auto InUImm16 = [](int32_t V) { return V >= 0 && V <= 0xFFFF; };
+    switch (E.BinOp) {
+    case BinOpKind::Add:
+      if (KR && fitsImm16(*KR)) {
+        Reg L = evalPlain(*E.Kids[0]);
+        A.addiu(L, L, *KR);
+        return L;
+      }
+      if (KL && fitsImm16(*KL)) {
+        Reg R = evalPlain(*E.Kids[1]);
+        A.addiu(R, R, *KL);
+        return R;
+      }
+      break;
+    case BinOpKind::Sub:
+      if (KR && *KR != INT32_MIN && fitsImm16(-*KR)) {
+        Reg L = evalPlain(*E.Kids[0]);
+        A.addiu(L, L, -*KR);
+        return L;
+      }
+      break;
+    case BinOpKind::Eq:
+    case BinOpKind::Ne: {
+      const Expr *Var = KR && !KL ? E.Kids[0].get()
+                        : KL && !KR ? E.Kids[1].get()
+                                    : nullptr;
+      std::optional<int32_t> K = KR && !KL ? KR : KL;
+      if (Var && K && InUImm16(*K)) {
+        Reg L = evalPlain(*Var);
+        if (*K != 0)
+          A.xori(L, L, static_cast<uint32_t>(*K));
+        if (E.BinOp == BinOpKind::Eq)
+          A.sltiu(L, L, 1);
+        else
+          A.sltu(L, Zero, L);
+        return L;
+      }
+      break;
+    }
+    case BinOpKind::Lt:
+      if (KR && fitsImm16(*KR)) {
+        Reg L = evalPlain(*E.Kids[0]);
+        A.slti(L, L, *KR);
+        return L;
+      }
+      break;
+    case BinOpKind::Ge:
+      if (KR && fitsImm16(*KR)) {
+        Reg L = evalPlain(*E.Kids[0]);
+        A.slti(L, L, *KR);
+        A.xori(L, L, 1);
+        return L;
+      }
+      break;
+    case BinOpKind::Gt: // K > r  <=>  r < K
+      if (KL && fitsImm16(*KL)) {
+        Reg R = evalPlain(*E.Kids[1]);
+        A.slti(R, R, *KL);
+        return R;
+      }
+      break;
+    case BinOpKind::Le: // K <= r  <=>  !(r < K)
+      if (KL && fitsImm16(*KL)) {
+        Reg R = evalPlain(*E.Kids[1]);
+        A.slti(R, R, *KL);
+        A.xori(R, R, 1);
+        return R;
+      }
+      break;
+    default:
+      break;
+    }
+  }
   Reg L = evalPlain(*E.Kids[0]);
   Reg R = evalPlain(*E.Kids[1]);
-  bool RealOps = E.OperandsAreReal;
   switch (E.BinOp) {
   case BinOpKind::Add:
     RealOps ? A.fadd(L, L, R) : A.addu(L, L, R);
@@ -268,6 +362,90 @@ Reg FnCompiler::emitPlainBinary(const Expr &E) {
   return L;
 }
 
+void FnCompiler::evalPlainCond(const Expr &E, Label Target, bool WhenTrue) {
+  // `not c`: flip the branch sense instead of materializing the negation.
+  if (E.K == Expr::Kind::Unary && E.UnOp == UnOpKind::Not) {
+    evalPlainCond(*E.Kids[0], Target, !WhenTrue);
+    return;
+  }
+  // Literal condition: unconditional jump or plain fall-through.
+  if (auto K = constEval(E)) {
+    if ((*K != 0) == WhenTrue)
+      A.j(Target);
+    return;
+  }
+  if (E.K == Expr::Kind::Binary && !E.OperandsAreReal) {
+    auto KL = constEval(*E.Kids[0]);
+    auto KR = constEval(*E.Kids[1]);
+    switch (E.BinOp) {
+    case BinOpKind::Eq:
+    case BinOpKind::Ne: {
+      bool BranchOnEqual = (E.BinOp == BinOpKind::Eq) == WhenTrue;
+      if (KL && KR) {
+        if ((*KL == *KR) == BranchOnEqual)
+          A.j(Target);
+        return;
+      }
+      if (KL || KR) {
+        int32_t K = KL ? *KL : *KR;
+        Reg C = evalPlain(KL ? *E.Kids[1] : *E.Kids[0]);
+        if (K == 0) {
+          BranchOnEqual ? A.beqz(C, Target) : A.bnez(C, Target);
+        } else {
+          A.li(At, K);
+          BranchOnEqual ? A.beq(C, At, Target) : A.bne(C, At, Target);
+        }
+        releaseTemp(C);
+        return;
+      }
+      Reg L = evalPlain(*E.Kids[0]);
+      Reg R = evalPlain(*E.Kids[1]);
+      BranchOnEqual ? A.beq(L, R, Target) : A.bne(L, R, Target);
+      releaseTemp(R);
+      releaseTemp(L);
+      return;
+    }
+    case BinOpKind::Lt:
+    case BinOpKind::Le:
+    case BinOpKind::Gt:
+    case BinOpKind::Ge: {
+      // Reduce to one slt/slti whose result feeds the branch directly.
+      // Gt/Le test the swapped pair (r < l); Le/Ge negate the slt sense.
+      bool Swap = E.BinOp == BinOpKind::Gt || E.BinOp == BinOpKind::Le;
+      bool Negate = E.BinOp == BinOpKind::Le || E.BinOp == BinOpKind::Ge;
+      if (KL && KR) {
+        bool Lt = Swap ? *KR < *KL : *KL < *KR;
+        if ((Negate ? !Lt : Lt) == WhenTrue)
+          A.j(Target);
+        return;
+      }
+      Reg C;
+      if (!Swap && KR && fitsImm16(*KR)) {
+        C = evalPlain(*E.Kids[0]);
+        A.slti(C, C, *KR);
+      } else if (Swap && KL && fitsImm16(*KL)) {
+        C = evalPlain(*E.Kids[1]);
+        A.slti(C, C, *KL);
+      } else {
+        Reg L = evalPlain(*E.Kids[0]);
+        Reg R = evalPlain(*E.Kids[1]);
+        Swap ? A.slt(L, R, L) : A.slt(L, L, R);
+        releaseTemp(R);
+        C = L;
+      }
+      (WhenTrue != Negate) ? A.bnez(C, Target) : A.beqz(C, Target);
+      releaseTemp(C);
+      return;
+    }
+    default:
+      break;
+    }
+  }
+  Reg C = evalPlain(E);
+  WhenTrue ? A.bnez(C, Target) : A.beqz(C, Target);
+  releaseTemp(C);
+}
+
 Reg FnCompiler::emitPlainVSub(const Expr &E) {
   Reg V = evalPlain(*E.Kids[0]);
   Reg I = evalPlain(*E.Kids[1]);
@@ -298,8 +476,12 @@ void FnCompiler::emitPlainCase(const Expr &E, Reg Result) {
     Label Next = A.newLabel();
     switch (Arm->PK) {
     case CaseArm::PatKind::Con:
-      A.li(At, static_cast<int32_t>(Arm->Con->Tag));
-      A.bne(Tag, At, Next);
+      if (Arm->Con->Tag == 0) {
+        A.bnez(Tag, Next); // tag 0 needs no materialized comparand
+      } else {
+        A.li(At, static_cast<int32_t>(Arm->Con->Tag));
+        A.bne(Tag, At, Next);
+      }
       for (size_t FI = 0; FI < Arm->FieldSlots.size(); ++FI) {
         if (Arm->FieldSlots[FI] == ~0u)
           continue;
@@ -308,8 +490,12 @@ void FnCompiler::emitPlainCase(const Expr &E, Reg Result) {
       }
       break;
     case CaseArm::PatKind::IntLit:
-      A.li(At, Arm->IntValue);
-      A.bne(Tag, At, Next);
+      if (Arm->IntValue == 0) {
+        A.bnez(Tag, Next);
+      } else {
+        A.li(At, Arm->IntValue);
+        A.bne(Tag, At, Next);
+      }
       break;
     case CaseArm::PatKind::Var:
       A.sw(Scrut, static_cast<int32_t>(slotOffset(Arm->VarSlot)), Fp);
@@ -452,10 +638,8 @@ Reg FnCompiler::evalPlain(const Expr &E) {
 
   case Expr::Kind::If: {
     Reg Result = allocTemp(E.Loc);
-    Reg C = evalPlain(*E.Kids[0]);
     Label Else = A.newLabel(), End = A.newLabel();
-    A.beqz(C, Else);
-    releaseTemp(C);
+    evalPlainCond(*E.Kids[0], Else, /*WhenTrue=*/false);
     Reg T = evalPlain(*E.Kids[1]);
     A.move(Result, T);
     releaseTemp(T);
@@ -531,6 +715,33 @@ Reg FnCompiler::evalPlain(const Expr &E) {
     case PrimKind::Xorb:
     case PrimKind::Lsh:
     case PrimKind::Rsh: {
+      // Literal right operands fold to the immediate/shamt forms.
+      if (auto K = constEval(*E.Kids[1])) {
+        bool IsShift = E.Prim == PrimKind::Lsh || E.Prim == PrimKind::Rsh;
+        if (IsShift ? (*K >= 0 && *K < 32) : (*K >= 0 && *K <= 0xFFFF)) {
+          Reg L = evalPlain(*E.Kids[0]);
+          switch (E.Prim) {
+          case PrimKind::Andb:
+            A.andi(L, L, static_cast<uint32_t>(*K));
+            break;
+          case PrimKind::Orb:
+            A.ori(L, L, static_cast<uint32_t>(*K));
+            break;
+          case PrimKind::Xorb:
+            A.xori(L, L, static_cast<uint32_t>(*K));
+            break;
+          case PrimKind::Lsh:
+            A.sll(L, L, static_cast<unsigned>(*K));
+            break;
+          case PrimKind::Rsh:
+            A.srl(L, L, static_cast<unsigned>(*K));
+            break;
+          default:
+            break;
+          }
+          return L;
+        }
+      }
       Reg L = evalPlain(*E.Kids[0]);
       Reg R = evalPlain(*E.Kids[1]);
       switch (E.Prim) {
@@ -655,10 +866,8 @@ void FnCompiler::compilePlainBody() {
 void FnCompiler::evalPlainTail(const Expr &E) {
   switch (E.K) {
   case Expr::Kind::If: {
-    Reg C = evalPlain(*E.Kids[0]);
     Label Else = A.newLabel();
-    A.beqz(C, Else);
-    releaseTemp(C);
+    evalPlainCond(*E.Kids[0], Else, /*WhenTrue=*/false);
     evalPlainTail(*E.Kids[1]);
     A.bind(Else);
     evalPlainTail(*E.Kids[2]);
@@ -684,8 +893,12 @@ void FnCompiler::evalPlainTail(const Expr &E) {
       Label Next = A.newLabel();
       switch (Arm->PK) {
       case ml::CaseArm::PatKind::Con:
-        A.li(At, static_cast<int32_t>(Arm->Con->Tag));
-        A.bne(Tag, At, Next);
+        if (Arm->Con->Tag == 0) {
+          A.bnez(Tag, Next); // tag 0 needs no materialized comparand
+        } else {
+          A.li(At, static_cast<int32_t>(Arm->Con->Tag));
+          A.bne(Tag, At, Next);
+        }
         for (size_t FI = 0; FI < Arm->FieldSlots.size(); ++FI) {
           if (Arm->FieldSlots[FI] == ~0u)
             continue;
@@ -694,8 +907,12 @@ void FnCompiler::evalPlainTail(const Expr &E) {
         }
         break;
       case ml::CaseArm::PatKind::IntLit:
-        A.li(At, Arm->IntValue);
-        A.bne(Tag, At, Next);
+        if (Arm->IntValue == 0) {
+          A.bnez(Tag, Next);
+        } else {
+          A.li(At, Arm->IntValue);
+          A.bne(Tag, At, Next);
+        }
         break;
       case ml::CaseArm::PatKind::Var:
         A.sw(Scrut, static_cast<int32_t>(slotOffset(Arm->VarSlot)), Fp);
@@ -834,7 +1051,13 @@ uint32_t CompiledUnit::genAddr(const std::string &Name) const {
 
 bool fab::compileProgram(const ml::Program &P, const BackendOptions &Opts,
                          CompiledUnit &Out, DiagnosticEngine &Diags) {
-  ModuleContext M(P, Opts, Diags);
+  BackendOptions EffOpts = Opts;
+  // Process-wide escape hatch mirroring FAB_DECODE_CACHE: force word-by-word
+  // li/sw emission without touching every construction site.
+  if (const char *E = std::getenv("FAB_EMIT_TEMPLATES"))
+    if (E[0] == '0' && E[1] == '\0')
+      EffOpts.EmitTemplates = false;
+  ModuleContext M(P, EffOpts, Diags);
 
   // Create labels and memo tables up front so calls can be emitted in any
   // order.
@@ -869,6 +1092,8 @@ bool fab::compileProgram(const ml::Program &P, const BackendOptions &Opts,
   M.Asm.finalize();
   Out.Code = M.Asm.code();
   Out.CodeBase = M.Asm.baseAddr();
+  Out.TemplateData = std::move(M.TemplatePool);
+  Out.TemplateBase = layout::TemplateDataBase;
   for (const auto &F : P.Functions) {
     Out.FnAddr[F->Name] = M.Asm.addrOf(M.FnLabels.at(F.get()));
     if (auto It = M.GenLabels.find(F.get()); It != M.GenLabels.end()) {

@@ -108,6 +108,26 @@ struct BackendOptions {
   /// raise it to trigger code-space pressure quickly on small workloads.
   uint32_t CodeSpaceGuardMargin = layout::CodeSpaceGuardMargin;
 
+  /// Template-burst emission (see docs/INTERNALS.md, "Emission strategy"):
+  /// maximal runs of emission-constant words become read-only templates in
+  /// the static data segment, and the generator copies them with lw/sw
+  /// bursts instead of materializing each word with li/sw. Purely a
+  /// generator-speed optimization: the dynamic code segment is
+  /// byte-identical with templates on or off. Escape hatches mirror the
+  /// decode cache: `fabc --no-templates`, FAB_EMIT_TEMPLATES=0.
+  bool EmitTemplates = true;
+
+  /// Minimum constant-run length (words) worth turning into a template.
+  /// Shorter runs always use li/sw; at-or-above, the generator picks
+  /// whichever of li/sw and template copy costs fewer instructions.
+  uint32_t MinTemplateRun = 4;
+
+  /// Run length at-or-above which the template copy is emitted as a
+  /// compact loop instead of an unrolled lw/sw sequence. The loop executes
+  /// more generator instructions per word than the unrolled form; it
+  /// exists to bound static code size on very long runs.
+  uint32_t TemplateLoopRun = 64;
+
   /// Base address for the static code image. The default places it at the
   /// canonical static code base; a second unit (e.g. a Plain fall-back
   /// image compiled alongside a Deferred one) can be placed above the
@@ -120,6 +140,13 @@ struct BackendOptions {
 struct CompiledUnit {
   std::vector<uint32_t> Code;
   uint32_t CodeBase = layout::StaticCodeBase;
+
+  /// Read-only emission templates (pre-encoded constant runs the
+  /// generators copy into the dynamic code segment), loaded at
+  /// TemplateBase in the static data region. Empty when
+  /// BackendOptions::EmitTemplates is off or no run qualified.
+  std::vector<uint32_t> TemplateData;
+  uint32_t TemplateBase = layout::TemplateDataBase;
 
   /// Entry point per function. In Deferred mode a staged function's entry
   /// is its wrapper (all arguments, two-call sequence).

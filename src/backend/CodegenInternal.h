@@ -55,6 +55,12 @@ struct ModuleContext {
 
   uint32_t DataBump = layout::StaticDataBase;
 
+  /// Read-only emission templates (pre-encoded constant runs copied into
+  /// the dynamic code segment by generators), interned so identical runs
+  /// share one template. Loaded at layout::TemplateDataBase.
+  std::vector<uint32_t> TemplatePool;
+  std::map<std::vector<uint32_t>, uint32_t> TemplateIndex;
+
   ModuleContext(const ml::Program &P, const BackendOptions &O,
                 DiagnosticEngine &D)
       : Prog(P), Opts(O), Diags(D), Asm(O.CodeBase) {}
@@ -65,6 +71,10 @@ struct ModuleContext {
 
   /// Allocates \p Words zero-initialized words in the static data region.
   uint32_t allocData(uint32_t Words);
+
+  /// Interns \p Run in the template pool, returning its absolute address,
+  /// or 0 when the template region is full (caller falls back to li/sw).
+  uint32_t internTemplate(const std::vector<uint32_t> &Run);
 };
 
 /// Emits the in-VM runtime routines (currently __mkvec) and records their
@@ -134,6 +144,10 @@ private:
   Reg emitPlainVSub(const Expr &E);
   Reg emitPlainBinary(const Expr &E);
   void emitPlainCase(const Expr &E, Reg Result);
+  /// Branches to \p Target when E's truth value equals \p WhenTrue,
+  /// fusing comparisons into the branch (beq/bne/slt+bnez) instead of
+  /// materializing a boolean. Falls through otherwise.
+  void evalPlainCond(const Expr &E, Label Target, bool WhenTrue);
 
   // ====================== deferred machinery ==============================
 
@@ -146,29 +160,66 @@ private:
                        unsigned Shr = 0);
   void flushCp();
 
+  // Template-burst emission engine (see docs/INTERNALS.md, "Emission
+  // strategy"). emitWordConst buffers words that are fully known when the
+  // generator is compiled; the buffered run is flushed before anything
+  // that needs the words in memory or $cp advanced.
+
+  /// Flushes the buffered constant run: emits either a greedy li/sw
+  /// sequence (with the T8/T9 peephole) or a template lw/sw copy,
+  /// whichever executes fewer generator instructions. The copy-loop form
+  /// for very long runs advances $cp and is only legal from flushCp();
+  /// all other callers pass false and get position-independent stores.
+  void flushConstRun(bool AllowCpAdvance);
+  /// Loads \p Word into generator T8 with the fewest instructions given
+  /// the tracked peephole state (may route through T9 for lui reuse).
+  void materializeT8(uint32_t Word);
+  /// Invalidates peephole knowledge if generator code was emitted since
+  /// the last notePeephole() (branch targets, calls, or scratch use may
+  /// have changed T8/T9 unpredictably).
+  void syncPeephole();
+  /// Marks the current assembly position as peephole-consistent.
+  void notePeephole();
+
   // Late value plumbing.
   LateReg allocLate(SourceLoc Loc);
   void releaseLate(LateReg R);
   LateReg lateSlotReg(uint32_t Slot, SourceLoc Loc);
   void bindLateSlot(uint32_t Slot, LateReg Value);
 
+  /// Compile-time value of an early expression when it is a literal
+  /// (lets the generator skip run-time instruction-selection tests whose
+  /// outcome is already known when the generator is compiled).
+  static std::optional<int32_t> constEval(const Expr &E);
+
   /// Emits code that loads the generator-time value in \p EarlyVal into
   /// late register \p Target (run-time constant propagation with optional
-  /// run-time instruction selection).
-  void emitResidualize(uint8_t TargetReg, Reg EarlyVal);
+  /// run-time instruction selection). \p Known short-circuits the RTIS
+  /// test when the value is a compile-time literal.
+  void emitResidualize(uint8_t TargetReg, Reg EarlyVal,
+                       std::optional<int32_t> Known = std::nullopt);
 
   /// Generator-side conditional on whether the value in \p Val fits a
   /// 16-bit signed immediate: emits both emission paths and a run-time
   /// branch selecting between them (run-time instruction selection). With
-  /// RTIS disabled only the general path is emitted.
+  /// RTIS disabled only the general path is emitted; with \p Known set
+  /// the test is resolved at generator-compile time and only the matching
+  /// path is compiled (the emitted words are identical either way).
   void genIfFits16(Reg Val, const std::function<void()> &Small,
-                   const std::function<void()> &Big);
+                   const std::function<void()> &Big,
+                   std::optional<int32_t> Known = std::nullopt);
 
   /// Late expression evaluation: emits generated code computing E, returns
   /// the late register holding it.
   LateReg evalLate(const Expr &E);
   LateReg evalLateVSub(const Expr &E);
   LateReg evalLateBinary(const Expr &E);
+  /// Emits the multiply \p MulE reusing the early factor value already in
+  /// \p Fe instead of re-evaluating \p FactorE (single evaluation on the
+  /// run-time strength-reduction fast path). The emitted words are
+  /// identical to evalLate(MulE).
+  LateReg emitLateMulWithFactor(const Expr &MulE, Reg Fe,
+                                const Expr *FactorE);
   LateReg evalLateCase(const Expr &E);
   LateReg evalLateCall(const Expr &E);
   /// Shared emitted-call machinery. If \p StagedCallee is non-null the
@@ -183,6 +234,13 @@ private:
   /// Tail-position generation: every path ends in emitted return or an
   /// emitted/generator-level tail transfer.
   void genTail(const Expr &E);
+  /// Emitted word count of genTail(\p E), when that count is a
+  /// generator-compile-time constant (a literal return or a
+  /// register-resident variable return). A known length lets a late
+  /// conditional emit its skip branch as one constant word instead of a
+  /// reserve-hole/backpatch pair. nullopt for any shape whose length the
+  /// generator cannot know statically; callers then fall back to a hole.
+  std::optional<uint32_t> tailEmitLength(const Expr &E) const;
   void emitLateReturn(LateReg Value);
   void emitGeneratedPrologue();
   void emitRestoreFrame();
@@ -193,6 +251,7 @@ private:
     bool IsEarly;
     uint8_t SrcReg; ///< late source register (if !IsEarly)
     Reg EarlyReg;   ///< generator register holding the early value
+    std::optional<int32_t> Known; ///< literal early value, if any
   };
   void emitParallelMove(std::vector<MoveItem> Moves);
 
@@ -251,6 +310,17 @@ private:
   unsigned LateTempLimit = 0;
   bool LateUsed[11] = {false};
   uint32_t PendingCp = 0;
+
+  // Template-burst emission engine state. RunWords holds buffered
+  // constant words whose stores are still pending; their $cp-relative
+  // offsets are PendingCp - 4*RunWords.size() .. PendingCp - 4. KnownT8
+  // and KnownT9Hi track the emit-time peephole (exact value in T8; T9
+  // holding KnownT9Hi << 16 from a lui), valid only while no generator
+  // code was assembled since GenWatermark.
+  std::vector<uint32_t> RunWords;
+  int64_t KnownT8 = -1;
+  int64_t KnownT9Hi = -1;
+  size_t GenWatermark = 0;
   std::vector<bool> GenSlotUsed;
   Label GenRetLabel;
   Label PlainBodyStart;

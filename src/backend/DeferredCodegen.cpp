@@ -101,18 +101,160 @@ void FnCompiler::scanBody(const Expr &E, bool IsTail, bool UnderLateCond) {
 // Emission primitives
 //===----------------------------------------------------------------------===//
 
+// The engine below buffers emission-constant words (RunWords) so maximal
+// runs can be flushed as one unit: either a greedy li/sw sequence reusing
+// whatever the peephole knows about T8/T9, or — for runs worth it — an
+// lw/sw copy from a read-only template interned in the static data
+// segment. The dynamic segment is byte-identical either way: both forms
+// store the same words at the same $cp offsets; only the number of
+// *generator* instructions executed changes. See docs/INTERNALS.md,
+// "Emission strategy".
+
+void FnCompiler::syncPeephole() {
+  if (GenWatermark != A.sizeWords()) {
+    KnownT8 = -1;
+    KnownT9Hi = -1;
+  }
+}
+
+void FnCompiler::notePeephole() { GenWatermark = A.sizeWords(); }
+
+void FnCompiler::materializeT8(uint32_t Word) {
+  if (KnownT8 == static_cast<int64_t>(Word))
+    return;
+  int32_t SV = static_cast<int32_t>(Word);
+  if (fitsImm16(SV)) {
+    A.addiu(T8, Zero, SV);
+  } else if ((Word & 0xFFFF0000u) == 0) {
+    A.ori(T8, Zero, static_cast<int32_t>(Word));
+  } else if ((Word & 0xFFFFu) == 0) {
+    A.lui(T8, static_cast<int32_t>(Word >> 16));
+  } else if (KnownT9Hi == static_cast<int64_t>(Word >> 16)) {
+    A.ori(T8, T9, static_cast<int32_t>(Word & 0xFFFF));
+  } else {
+    // Route the high half through T9 so a following word with the same
+    // high half costs one ori instead of two instructions.
+    A.lui(T9, static_cast<int32_t>(Word >> 16));
+    A.ori(T8, T9, static_cast<int32_t>(Word & 0xFFFF));
+    KnownT9Hi = static_cast<int64_t>(Word >> 16);
+  }
+  KnownT8 = static_cast<int64_t>(Word);
+}
+
+namespace {
+/// Generator instructions a greedy li/sw flush of \p Words executes,
+/// starting from peephole state (T8Val, T9Hi). Mirrors materializeT8.
+unsigned liSwRunCost(const std::vector<uint32_t> &Words, int64_t T8Val,
+                     int64_t T9Hi) {
+  unsigned Cost = 0;
+  for (uint32_t W : Words) {
+    if (static_cast<int64_t>(W) == T8Val) {
+      Cost += 1; // sw only
+      continue;
+    }
+    if (fitsImm16(static_cast<int32_t>(W)) || (W & 0xFFFF0000u) == 0 ||
+        (W & 0xFFFFu) == 0 || T9Hi == static_cast<int64_t>(W >> 16)) {
+      Cost += 2; // 1-instruction materialization + sw
+    } else {
+      Cost += 3; // lui + ori + sw
+      T9Hi = static_cast<int64_t>(W >> 16);
+    }
+    T8Val = static_cast<int64_t>(W);
+  }
+  return Cost;
+}
+} // namespace
+
+void FnCompiler::flushConstRun(bool AllowCpAdvance) {
+  if (RunWords.empty())
+    return;
+  std::vector<uint32_t> Words = std::move(RunWords);
+  RunWords.clear();
+  const uint32_t N = static_cast<uint32_t>(Words.size());
+  const uint32_t StartOff = PendingCp - 4 * N;
+
+  syncPeephole();
+  bool UseTemplate = false, UseLoop = false;
+  if (M.Opts.EmitTemplates && N >= M.Opts.MinTemplateRun) {
+    unsigned LiSwCost = liSwRunCost(Words, KnownT8, KnownT9Hi);
+    UseLoop = AllowCpAdvance && N >= M.Opts.TemplateLoopRun &&
+              M.Opts.CoalesceCpUpdates;
+    // Unrolled copy: li T9,addr (≤2) + lw/sw per word. The loop form
+    // trades generator speed (~11 instructions per 4 words) for static
+    // code size on very long runs.
+    unsigned R = UseLoop ? N % 4 : 0;
+    unsigned TmplCost = UseLoop ? 6 + 2 * R + (R ? 1 : 0) + 11 * ((N - R) / 4)
+                                : 2 + 2 * N;
+    if (TmplCost < LiSwCost)
+      UseTemplate = M.internTemplate(Words) != 0;
+  }
+
+  if (!UseTemplate) {
+    for (uint32_t I = 0; I < N; ++I) {
+      materializeT8(Words[I]);
+      A.sw(T8, static_cast<int32_t>(StartOff + 4 * I), Cp);
+    }
+    notePeephole();
+    return;
+  }
+
+  uint32_t TmplAddr = M.internTemplate(Words);
+  if (!UseLoop) {
+    A.li(T9, static_cast<int32_t>(TmplAddr));
+    for (uint32_t I = 0; I < N; ++I) {
+      A.lw(T8, static_cast<int32_t>(4 * I), T9);
+      A.sw(T8, static_cast<int32_t>(StartOff + 4 * I), Cp);
+    }
+  } else {
+    // Copy loop, unrolled 4 words per trip; a short unrolled head brings
+    // the remaining count to a multiple of 4. Advances $cp through the
+    // whole pending range (head start offset included), so this form is
+    // only reached from flushCp().
+    uint32_t Head = N % 4;
+    A.li(T9, static_cast<int32_t>(TmplAddr));
+    for (uint32_t I = 0; I < Head; ++I) {
+      A.lw(T8, static_cast<int32_t>(4 * I), T9);
+      A.sw(T8, static_cast<int32_t>(StartOff + 4 * I), Cp);
+    }
+    if (Head)
+      A.addiu(T9, T9, static_cast<int32_t>(4 * Head));
+    A.addiu(Cp, Cp, static_cast<int32_t>(StartOff + 4 * Head));
+    A.li(At, static_cast<int32_t>(TmplAddr + 4 * N));
+    Label LoopL = A.newLabel();
+    A.bind(LoopL);
+    for (uint32_t K = 0; K < 4; ++K) {
+      A.lw(T8, static_cast<int32_t>(4 * K), T9);
+      A.sw(T8, static_cast<int32_t>(4 * K), Cp);
+    }
+    A.addiu(T9, T9, 16);
+    A.addiu(Cp, Cp, 16);
+    A.bne(T9, At, LoopL);
+    PendingCp = 0;
+  }
+  // After either copy form T8 holds the last template word and T9 no
+  // longer holds a lui half.
+  KnownT8 = static_cast<int64_t>(Words[N - 1]);
+  KnownT9Hi = -1;
+  notePeephole();
+}
+
 void FnCompiler::flushCp() {
+  flushConstRun(/*AllowCpAdvance=*/true);
   if (PendingCp == 0)
     return;
+  bool Fresh = GenWatermark == A.sizeWords();
   A.addiu(Cp, Cp, static_cast<int32_t>(PendingCp));
+  // The $cp bump does not touch T8/T9: keep peephole knowledge if it was
+  // current.
+  if (Fresh)
+    notePeephole();
   PendingCp = 0;
 }
 
 void FnCompiler::emitWordConst(uint32_t Word) {
-  if (PendingCp >= 32000)
+  if (PendingCp >= layout::CpCoalesceLimit)
     flushCp();
-  A.li(T8, static_cast<int32_t>(Word));
-  A.sw(T8, static_cast<int32_t>(PendingCp), Cp);
+  RunWords.push_back(Word);
   PendingCp += 4;
   if (!M.Opts.CoalesceCpUpdates)
     flushCp();
@@ -120,9 +262,14 @@ void FnCompiler::emitWordConst(uint32_t Word) {
 
 void FnCompiler::emitWordDynamic(uint32_t ConstPart, Reg FieldReg,
                                  unsigned MaskBits, unsigned Shr) {
-  if (PendingCp >= 32000)
+  if (PendingCp >= layout::CpCoalesceLimit)
     flushCp();
-  A.li(T8, static_cast<int32_t>(ConstPart));
+  flushConstRun(/*AllowCpAdvance=*/false);
+  syncPeephole();
+  materializeT8(ConstPart);
+  // Assemble the completed word in T9 so T8 keeps holding ConstPart: runs
+  // of dynamic words sharing a constant part (sw/lw chains with a
+  // run-time register field) each skip the re-materialization.
   Reg Src = FieldReg;
   if (Shr) {
     A.srl(T9, FieldReg, Shr);
@@ -132,9 +279,11 @@ void FnCompiler::emitWordDynamic(uint32_t ConstPart, Reg FieldReg,
     A.andi(T9, Src, (1u << MaskBits) - 1);
     Src = T9;
   }
-  A.or_(T8, T8, Src);
-  A.sw(T8, static_cast<int32_t>(PendingCp), Cp);
+  A.or_(T9, T8, Src);
+  A.sw(T9, static_cast<int32_t>(PendingCp), Cp);
+  KnownT9Hi = -1;
   PendingCp += 4;
+  notePeephole();
   if (!M.Opts.CoalesceCpUpdates)
     flushCp();
 }
@@ -208,29 +357,75 @@ LateReg FnCompiler::lateBinopDest(LateReg &L, LateReg &R) {
 // Run-time instruction selection and residualization
 //===----------------------------------------------------------------------===//
 
+std::optional<int32_t> FnCompiler::constEval(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return E.IntValue;
+  case Expr::Kind::BoolLit:
+    return E.BoolValue ? 1 : 0;
+  case Expr::Kind::UnitLit:
+    return 0;
+  case Expr::Kind::RealLit:
+    return std::bit_cast<int32_t>(E.RealValue);
+  default:
+    return std::nullopt;
+  }
+}
+
 void FnCompiler::genIfFits16(Reg Val, const std::function<void()> &Small,
-                             const std::function<void()> &Big) {
+                             const std::function<void()> &Big,
+                             std::optional<int32_t> Known) {
   if (!M.Opts.RuntimeInstructionSelection) {
     Big();
     return;
   }
+  if (Known) {
+    // The selection is decided at generator-compile time: only the
+    // matching path is compiled, with no run-time test. The emitted words
+    // are exactly what the run-time test would have produced.
+    if (fitsImm16(*Known))
+      Small();
+    else
+      Big();
+    return;
+  }
   flushCp();
-  Label BigL = A.newLabel(), EndL = A.newLabel();
-  A.li(At, 32768);
-  A.addu(T9, Val, At);
-  A.srl(T9, T9, 16);
-  A.bnez(T9, BigL);
-  Small();
+  Label SmallL = A.newLabel(), EndL = A.newLabel();
+  // T9 = sign-extend(low 16 bits of Val); differs from Val iff the value
+  // does not fit a 16-bit signed immediate. The small form is the common
+  // case, so it sits last and falls through to the join — the rare big
+  // form pays the extra jump.
+  A.sll(T9, Val, 16);
+  A.sra(T9, T9, 16);
+  A.beq(T9, Val, SmallL);
+  Big();
   flushCp();
   A.j(EndL);
-  A.bind(BigL);
-  Big();
+  A.bind(SmallL);
+  Small();
   flushCp();
   A.bind(EndL);
 }
 
-void FnCompiler::emitResidualize(uint8_t TargetReg, Reg EarlyVal) {
+void FnCompiler::emitResidualize(uint8_t TargetReg, Reg EarlyVal,
+                                 std::optional<int32_t> Known) {
   Reg Target = static_cast<Reg>(TargetReg);
+  if (Known) {
+    // Literal early value: the residualized words are fully constant at
+    // generator-compile time (and join buffered template runs) — same
+    // bytes the run-time selection below would store.
+    uint32_t U = static_cast<uint32_t>(*Known);
+    if (M.Opts.RuntimeInstructionSelection && fitsImm16(*Known)) {
+      emitWordConst(encodeI(Opcode::Addiu, Target, Zero,
+                            static_cast<int32_t>(U & 0xFFFF)));
+    } else {
+      emitWordConst(
+          encodeI(Opcode::Lui, Target, Zero, static_cast<int32_t>(U >> 16)));
+      emitWordConst(
+          encodeI(Opcode::Ori, Target, Target, static_cast<int32_t>(U & 0xFFFF)));
+    }
+    return;
+  }
   genIfFits16(
       EarlyVal,
       [&] {
@@ -242,7 +437,8 @@ void FnCompiler::emitResidualize(uint8_t TargetReg, Reg EarlyVal) {
         emitWordDynamic(encodeI(Opcode::Lui, Target, Zero, 0), EarlyVal, 16,
                         16);
         emitWordDynamic(encodeI(Opcode::Ori, Target, Target, 0), EarlyVal, 16);
-      });
+      },
+      Known);
 }
 
 //===----------------------------------------------------------------------===//
@@ -279,7 +475,9 @@ void FnCompiler::patchBranchHole(uint32_t HoleSlot, uint32_t ConstPart) {
   A.subu(T8, Cp, T9);
   A.addiu(T8, T8, -4);
   A.srl(T8, T8, 2);
-  A.andi(T8, T8, 0xFFFF);
+  // No mask: holes are always patched forward, so the word distance is
+  // non-negative, and an encodable branch offset must fit the 16-bit
+  // field anyway — when it does, the high bits are already zero.
   A.li(At, static_cast<int32_t>(ConstPart));
   A.or_(T8, T8, At);
   A.sw(T8, 0, T9);
@@ -351,6 +549,31 @@ static bool matchMulAccumulate(const Expr &E, const Expr *&Acc,
   return false;
 }
 
+LateReg FnCompiler::emitLateMulWithFactor(const Expr &MulE, Reg Fe,
+                                          const Expr *FactorE) {
+  // Mirrors the generic evalLateBinary path for MulE exactly (same late
+  // register allocation order, same emitted words) but residualizes the
+  // factor from Fe instead of re-running its early evaluation.
+  const Expr &K0 = *MulE.Kids[0];
+  const Expr &K1 = *MulE.Kids[1];
+  LateReg L, R;
+  if (&K0 == FactorE) {
+    L = allocLate(K0.Loc);
+    emitResidualize(L.R, Fe, constEval(K0));
+    R = evalLate(K1);
+  } else {
+    L = evalLate(K0);
+    R = allocLate(K1.Loc);
+    emitResidualize(R.R, Fe, constEval(K1));
+  }
+  uint8_t Ls = L.R, Rs = R.R;
+  LateReg D = lateBinopDest(L, R);
+  emitWordConst(encodeR(MulE.OperandsAreReal ? Funct::FMul : Funct::Mul,
+                        static_cast<Reg>(D.R), static_cast<Reg>(Ls),
+                        static_cast<Reg>(Rs)));
+  return D;
+}
+
 LateReg FnCompiler::evalLateBinary(const Expr &E) {
   // Run-time strength reduction (paper section 3.3): in `acc + f * x`
   // with f early, a zero factor at specialization time eliminates the
@@ -369,8 +592,10 @@ LateReg FnCompiler::evalLateBinary(const Expr &E) {
     flushCp();
     Label ZeroL = A.newLabel(), EndL = A.newLabel();
     A.beqz(Fe, ZeroL);
-    releaseTemp(Fe); // the multiply re-evaluates the (pure) early factor
-    LateReg Rm = evalLate(*MulE);
+    // The factor value is reused from Fe on the nonzero path: the early
+    // expression (often a subscript) is evaluated once, not twice.
+    LateReg Rm = emitLateMulWithFactor(*MulE, Fe, FactorE);
+    releaseTemp(Fe);
     emitWordConst(encodeR(E.OperandsAreReal ? Funct::FAdd : Funct::Addu,
                           static_cast<Reg>(D.R), static_cast<Reg>(Acc.R),
                           static_cast<Reg>(Rm.R)));
@@ -492,49 +717,154 @@ LateReg FnCompiler::evalLateVSub(const Expr &E) {
     // run-time instruction selection (Figure 1).
     LateReg Rv = evalLate(VecE);
     Reg IE = evalPlain(IdxE);
+    // A literal index decides both instruction selections at
+    // generator-compile time (the emitted words are unchanged).
+    std::optional<int32_t> KnownIdx = constEval(IdxE);
+    std::optional<int32_t> KnownIp1, KnownOff;
+    if (KnownIdx) {
+      KnownIp1 = *KnownIdx + 1;
+      KnownOff = *KnownIdx * 4 + 4;
+    }
     // Bounds: emitted "len <= i -> trap" using the early i.
     emitWordConst(encodeI(Opcode::Lw, At, static_cast<Reg>(Rv.R), 0));
+
+    if (!KnownIdx && M.Opts.RuntimeInstructionSelection) {
+      // Combined range test: an unsigned index below 8191 guarantees both
+      // i+1 and 4*i+4 fit a signed 16-bit immediate, so one generator
+      // test replaces the two per-value instruction-selection tests of
+      // the fallback. Out-of-range indices take the original nested
+      // tests, which decide each value independently — required for
+      // byte-identical output (a negative index, for instance, still
+      // selects both small forms there).
+      flushCp();
+      Label SlowL = A.newLabel(), DoneL = A.newLabel();
+      Reg Tst = allocTemp(E.Loc);
+      A.sltiu(Tst, IE, 8191);
+      A.beqz(Tst, SlowL);
+      releaseTemp(Tst);
+      // Allocated before the arms so both emit the same register; this is
+      // the pool slot the fallback's Big bounds branch uses for the
+      // residualized index (the original allocated and released it before
+      // allocating the destination, landing on the same slot).
+      LateReg D = Rv.FromPool ? Rv : allocLate(E.Loc);
+
+      // Fast arm: both selections known small.
+      Reg Ip1f = allocTemp(E.Loc);
+      A.addiu(Ip1f, IE, 1);
+      emitWordDynamic(encodeI(Opcode::Sltiu, At, At, 0), Ip1f, 16);
+      emitWordConst(encodeI(Opcode::Beq, Zero, At, 1));
+      emitWordConst(encTrap(TrapCode::Bounds));
+      releaseTemp(Ip1f);
+      Reg OffF = allocTemp(E.Loc);
+      A.sll(OffF, IE, 2);
+      A.addiu(OffF, OffF, 4);
+      emitWordDynamic(encodeI(Opcode::Lw, static_cast<Reg>(D.R),
+                              static_cast<Reg>(Rv.R), 0),
+                      OffF, 16);
+      releaseTemp(OffF);
+      flushCp();
+      A.j(DoneL);
+
+      // Slow arm: the original per-value nested tests, byte for byte.
+      A.bind(SlowL);
+      Reg Ip1s = allocTemp(E.Loc);
+      A.addiu(Ip1s, IE, 1);
+      genIfFits16(
+          Ip1s,
+          [&] {
+            emitWordDynamic(encodeI(Opcode::Sltiu, At, At, 0), Ip1s, 16);
+            emitWordConst(encodeI(Opcode::Beq, Zero, At, 1));
+            emitWordConst(encTrap(TrapCode::Bounds));
+          },
+          [&] {
+            LateReg Li =
+                Rv.FromPool ? allocLate(E.Loc) : LateReg{D.R, false};
+            emitResidualize(Li.R, IE);
+            emitWordConst(
+                encodeR(Funct::Sltu, At, static_cast<Reg>(Li.R), At));
+            emitWordConst(encBoundsOkBranch());
+            emitWordConst(encTrap(TrapCode::Bounds));
+            releaseLate(Li);
+          },
+          std::nullopt);
+      releaseTemp(Ip1s);
+      Reg OffS = allocTemp(E.Loc);
+      A.sll(OffS, IE, 2);
+      A.addiu(OffS, OffS, 4);
+      genIfFits16(
+          OffS,
+          [&] {
+            emitWordDynamic(encodeI(Opcode::Lw, static_cast<Reg>(D.R),
+                                    static_cast<Reg>(Rv.R), 0),
+                            OffS, 16);
+          },
+          [&] {
+            emitResidualize(At, OffS);
+            emitWordConst(
+                encodeR(Funct::Addu, At, static_cast<Reg>(Rv.R), At));
+            emitWordConst(encodeI(Opcode::Lw, static_cast<Reg>(D.R), At, 0));
+          },
+          std::nullopt);
+      releaseTemp(OffS);
+      flushCp();
+      A.bind(DoneL);
+      releaseTemp(IE);
+      return D;
+    }
+
     Reg Ip1 = allocTemp(E.Loc);
-    A.addiu(Ip1, IE, 1);
+    if (!KnownIp1)
+      A.addiu(Ip1, IE, 1);
     genIfFits16(
         Ip1,
         [&] {
           // sltiu At, At, i+1  (At = len < i+1 = out of bounds)
-          emitWordDynamic(encodeI(Opcode::Sltiu, At, At, 0), Ip1, 16);
+          if (KnownIp1)
+            emitWordConst(encodeI(Opcode::Sltiu, At, At, *KnownIp1));
+          else
+            emitWordDynamic(encodeI(Opcode::Sltiu, At, At, 0), Ip1, 16);
           // beq At, zero, +1 skips the trap when in bounds.
           emitWordConst(encodeI(Opcode::Beq, Zero, At, 1));
           emitWordConst(encTrap(TrapCode::Bounds));
         },
         [&] {
           LateReg Li = allocLate(E.Loc);
-          emitResidualize(Li.R, IE);
+          emitResidualize(Li.R, IE, KnownIdx);
           emitWordConst(
               encodeR(Funct::Sltu, At, static_cast<Reg>(Li.R), At));
           // At = i < len: 1 means in bounds.
           emitWordConst(encBoundsOkBranch());
           emitWordConst(encTrap(TrapCode::Bounds));
           releaseLate(Li);
-        });
+        },
+        KnownIp1);
     releaseTemp(Ip1);
     // Load with immediate or computed offset.
     Reg Off = allocTemp(E.Loc);
-    A.sll(Off, IE, 2);
-    A.addiu(Off, Off, 4);
+    if (!KnownOff) {
+      A.sll(Off, IE, 2);
+      A.addiu(Off, Off, 4);
+    }
     LateReg D = Rv.FromPool ? Rv : allocLate(E.Loc);
     genIfFits16(
         Off,
         [&] {
-          emitWordDynamic(
-              encodeI(Opcode::Lw, static_cast<Reg>(D.R),
-                      static_cast<Reg>(Rv.R), 0),
-              Off, 16);
+          if (KnownOff)
+            emitWordConst(encodeI(Opcode::Lw, static_cast<Reg>(D.R),
+                                  static_cast<Reg>(Rv.R), *KnownOff));
+          else
+            emitWordDynamic(
+                encodeI(Opcode::Lw, static_cast<Reg>(D.R),
+                        static_cast<Reg>(Rv.R), 0),
+                Off, 16);
         },
         [&] {
-          emitResidualize(At, Off); // li At, offset (2 instructions)
+          emitResidualize(At, Off, KnownOff); // li At, offset
           emitWordConst(encodeR(Funct::Addu, At, static_cast<Reg>(Rv.R), At));
           emitWordConst(
               encodeI(Opcode::Lw, static_cast<Reg>(D.R), At, 0));
-        });
+        },
+        KnownOff);
     releaseTemp(Off);
     releaseTemp(IE);
     return D;
@@ -600,8 +930,12 @@ LateReg FnCompiler::evalLateCase(const Expr &E) {
       Label Next = A.newLabel();
       switch (Arm->PK) {
       case CaseArm::PatKind::Con:
-        A.li(At, static_cast<int32_t>(Arm->Con->Tag));
-        A.bne(Tag, At, Next);
+        if (Arm->Con->Tag == 0) {
+          A.bnez(Tag, Next); // tag 0 needs no materialized comparand
+        } else {
+          A.li(At, static_cast<int32_t>(Arm->Con->Tag));
+          A.bne(Tag, At, Next);
+        }
         for (size_t FI = 0; FI < Arm->FieldSlots.size(); ++FI) {
           if (Arm->FieldSlots[FI] == ~0u)
             continue;
@@ -610,8 +944,12 @@ LateReg FnCompiler::evalLateCase(const Expr &E) {
         }
         break;
       case CaseArm::PatKind::IntLit:
-        A.li(At, Arm->IntValue);
-        A.bne(Tag, At, Next);
+        if (Arm->IntValue == 0) {
+          A.bnez(Tag, Next);
+        } else {
+          A.li(At, Arm->IntValue);
+          A.bne(Tag, At, Next);
+        }
         break;
       case CaseArm::PatKind::Var:
         A.sw(Scrut, static_cast<int32_t>(slotOffset(Arm->VarSlot)), Fp);
@@ -729,14 +1067,19 @@ LateReg FnCompiler::emitLateCallCommon(const Expr &E,
     bool IsEarly;
     Reg EarlyReg;    // generator register
     LateReg Src;     // late register (if !IsEarly)
+    std::optional<int32_t> Known; // literal early value
   };
   std::vector<ArgInfo> Args;
   for (size_t I = 0; I < NumArgs; ++I) {
     const Expr &AE = *E.Kids[FirstArg + I];
-    if (AE.S == Stage::Early)
-      Args.push_back({true, evalPlain(AE), {}});
-    else
-      Args.push_back({false, Zero, evalLate(AE)});
+    if (AE.S == Stage::Early) {
+      // A literal residualizes from its known value alone: skip the early
+      // evaluation that would only park it in a dead temporary.
+      std::optional<int32_t> K = constEval(AE);
+      Args.push_back({true, K ? Zero : evalPlain(AE), {}, K});
+    } else {
+      Args.push_back({false, Zero, evalLate(AE), std::nullopt});
+    }
   }
 
   // Push every live pool temp (including argument sources).
@@ -763,7 +1106,7 @@ LateReg FnCompiler::emitLateCallCommon(const Expr &E,
   auto loadArg = [&](size_t I, Reg Dst) {
     ArgInfo &AI = Args[I];
     if (AI.IsEarly) {
-      emitResidualize(Dst, AI.EarlyReg);
+      emitResidualize(Dst, AI.EarlyReg, AI.Known);
       return;
     }
     int32_t Off = pushedOffset(AI.Src.R);
@@ -778,10 +1121,14 @@ LateReg FnCompiler::emitLateCallCommon(const Expr &E,
     // then pass the late group to the returned address.
     size_t KE = StagedCallee->Groups[0].size();
     for (size_t I = 0; I < KE; ++I) {
-      Reg V = evalPlain(*E.Kids[I]);
-      emitResidualize(static_cast<uint8_t>(A0 + I), V);
-      releaseTemp(V);
+      std::optional<int32_t> K = constEval(*E.Kids[I]);
+      Reg V = K ? Zero : evalPlain(*E.Kids[I]);
+      emitResidualize(static_cast<uint8_t>(A0 + I), V, K);
+      if (!K)
+        releaseTemp(V);
     }
+    // The buffered-run flush may clobber T9; settle it before la uses T9.
+    flushConstRun(/*AllowCpAdvance=*/false);
     A.la(T9, M.GenLabels.at(StagedCallee));
     emitWordDynamic(static_cast<uint32_t>(Opcode::Jal) << 26, T9, 26, 2);
     emitWordConst(encodeR(Funct::Or, At, V0, Zero)); // At = spec address
@@ -791,15 +1138,20 @@ LateReg FnCompiler::emitLateCallCommon(const Expr &E,
   } else {
     for (size_t I = 0; I < NumArgs; ++I)
       loadArg(I, static_cast<Reg>(A0 + I));
+    // The buffered-run flush may clobber T9; settle it before la uses T9.
+    flushConstRun(/*AllowCpAdvance=*/false);
     A.la(T9, Target);
     emitWordDynamic(static_cast<uint32_t>(Opcode::Jal) << 26, T9, 26, 2);
   }
 
   // Release argument sources, grab a result register (distinct from any
   // pushed register, which all stay allocated), restore, move the result.
-  for (ArgInfo &AI : Args)
+  for (ArgInfo &AI : Args) {
     if (!AI.IsEarly)
       releaseLate(AI.Src);
+    else if (!AI.Known)
+      releaseTemp(AI.EarlyReg);
+  }
   if (!Pushed.empty()) {
     for (size_t I = 0; I < Pushed.size(); ++I)
       emitWordConst(encodeI(Opcode::Lw, static_cast<Reg>(Pushed[I]), Sp,
@@ -825,10 +1177,14 @@ LateReg FnCompiler::evalLateCall(const Expr &E) {
 LateReg FnCompiler::evalLate(const Expr &E) {
   if (E.S == Stage::Early) {
     // Residualization: run-time constant propagation into generated code.
-    Reg V = evalPlain(E);
+    // Literals skip the early evaluation entirely; their words are fully
+    // known at generator-compile time.
+    std::optional<int32_t> K = constEval(E);
+    Reg V = K ? Zero : evalPlain(E);
     LateReg L = allocLate(E.Loc);
-    emitResidualize(L.R, V);
-    releaseTemp(V);
+    emitResidualize(L.R, V, K);
+    if (!K)
+      releaseTemp(V);
     return L;
   }
 
@@ -860,11 +1216,9 @@ LateReg FnCompiler::evalLate(const Expr &E) {
     if (E.Kids[0]->S == Stage::Early) {
       // Unfolded conditional: the generator takes the branch; only the
       // taken arm emits code.
-      Reg C = evalPlain(*E.Kids[0]);
       flushCp();
       Label ElseL = A.newLabel(), EndL = A.newLabel();
-      A.beqz(C, ElseL);
-      releaseTemp(C);
+      evalPlainCond(*E.Kids[0], ElseL, /*WhenTrue=*/false);
       LateReg T = evalLate(*E.Kids[1]);
       emitMoveLate(Res.R, T.R);
       releaseLate(T);
@@ -1070,6 +1424,32 @@ void FnCompiler::emitLateReturn(LateReg Value) {
   emitWordConst(encodeR(Funct::Jr, Zero, Ra, Zero));
 }
 
+std::optional<uint32_t> FnCompiler::tailEmitLength(const Expr &E) const {
+  // Mirrors the default case of genTail word for word; a wrong count here
+  // would mis-aim an emitted skip branch, so only shapes whose emission is
+  // exactly predictable are recognized.
+  uint32_t Ret = (GenNonLeaf ? 2 + NumLateSRegs : 0) + 1; // restore + jr
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::UnitLit:
+  case Expr::Kind::RealLit: {
+    // emitResidualize with a known literal: addiu when run-time
+    // instruction selection would pick the short form, else lui/ori.
+    int32_t K = *constEval(E);
+    return ((M.Opts.RuntimeInstructionSelection && fitsImm16(K)) ? 1u : 2u) +
+           Ret;
+  }
+  case Expr::Kind::Var:
+    // Register-resident late variable: emitLateReturn's move into $v0.
+    if (E.S == Stage::Late && LateSlotReg.count(E.VarSlot))
+      return (LateSlotReg.at(E.VarSlot) == V0 ? 0u : 1u) + Ret;
+    return std::nullopt;
+  default:
+    return std::nullopt;
+  }
+}
+
 void FnCompiler::emitParallelMove(std::vector<MoveItem> Moves) {
   // Register-to-register moves first (they read live registers), then
   // residualized immediates.
@@ -1104,18 +1484,16 @@ void FnCompiler::emitParallelMove(std::vector<MoveItem> Moves) {
     }
   }
   for (MoveItem &Mv : Immediates)
-    emitResidualize(Mv.Dst, Mv.EarlyReg);
+    emitResidualize(Mv.Dst, Mv.EarlyReg, Mv.Known);
 }
 
 void FnCompiler::genTail(const Expr &E) {
   switch (E.K) {
   case Expr::Kind::If: {
     if (E.Kids[0]->S == Stage::Early) {
-      Reg C = evalPlain(*E.Kids[0]);
       flushCp();
       Label ElseL = A.newLabel(), JoinL = A.newLabel();
-      A.beqz(C, ElseL);
-      releaseTemp(C);
+      evalPlainCond(*E.Kids[0], ElseL, /*WhenTrue=*/false);
       genTail(*E.Kids[1]);
       flushCp();
       A.j(JoinL);
@@ -1127,6 +1505,52 @@ void FnCompiler::genTail(const Expr &E) {
     }
     LateReg C = evalLate(*E.Kids[0]);
     uint8_t CondReg = C.R;
+    if (std::optional<uint32_t> N = tailEmitLength(*E.Kids[1])) {
+      // The then arm's emitted length is known at generator-compile time,
+      // so the skip branch needs no hole: the exact word the backpatch
+      // would have assembled is emitted directly, and it can join a
+      // buffered template run instead of forcing a flush on both sides.
+      emitWordConst(encodeI(Opcode::Beq, Zero, static_cast<Reg>(CondReg),
+                            static_cast<int32_t>(*N)));
+      releaseLate(C);
+      genTail(*E.Kids[1]);
+      genTail(*E.Kids[2]);
+      return;
+    }
+    const Expr &Then = *E.Kids[1];
+    if (Then.S == Stage::Early && M.Opts.RuntimeInstructionSelection &&
+        Then.K != Expr::Kind::If && Then.K != Expr::Kind::Let &&
+        Then.K != Expr::Kind::Case && Then.K != Expr::Kind::Call) {
+      // The then arm residualizes an early value: the only unknown in its
+      // emitted length is the 1-vs-2-word form picked by the fits-16 test,
+      // which the generator can run once itself. Each test arm emits the
+      // skip branch with the matching constant offset, so the hole and its
+      // 10-instruction backpatch disappear entirely; the branch word is
+      // bit-identical to what the patch would have assembled.
+      Reg V = evalPlain(Then);
+      const uint32_t Ret = (GenNonLeaf ? 2 + NumLateSRegs : 0) + 1;
+      genIfFits16(
+          V,
+          [&] {
+            emitWordConst(encodeI(Opcode::Beq, Zero, static_cast<Reg>(CondReg),
+                                  static_cast<int32_t>(1 + Ret)));
+            emitWordDynamic(encodeI(Opcode::Addiu, V0, Zero, 0), V, 16);
+          },
+          [&] {
+            emitWordConst(encodeI(Opcode::Beq, Zero, static_cast<Reg>(CondReg),
+                                  static_cast<int32_t>(2 + Ret)));
+            emitWordDynamic(encodeI(Opcode::Lui, V0, Zero, 0), V, 16, 16);
+            emitWordDynamic(encodeI(Opcode::Ori, V0, V0, 0), V, 16);
+          },
+          std::nullopt);
+      releaseTemp(V);
+      releaseLate(C);
+      if (GenNonLeaf)
+        emitRestoreFrame();
+      emitWordConst(encodeR(Funct::Jr, Zero, Ra, Zero));
+      genTail(*E.Kids[2]);
+      return;
+    }
     uint32_t Hole = reserveHole();
     releaseLate(C);
     genTail(*E.Kids[1]); // ends in emitted return/jump: no join needed
@@ -1167,8 +1591,12 @@ void FnCompiler::genTail(const Expr &E) {
         Label Next = A.newLabel();
         switch (Arm->PK) {
         case CaseArm::PatKind::Con:
-          A.li(At, static_cast<int32_t>(Arm->Con->Tag));
-          A.bne(Tag, At, Next);
+          if (Arm->Con->Tag == 0) {
+            A.bnez(Tag, Next); // tag 0 needs no materialized comparand
+          } else {
+            A.li(At, static_cast<int32_t>(Arm->Con->Tag));
+            A.bne(Tag, At, Next);
+          }
           for (size_t FI = 0; FI < Arm->FieldSlots.size(); ++FI) {
             if (Arm->FieldSlots[FI] == ~0u)
               continue;
@@ -1178,8 +1606,12 @@ void FnCompiler::genTail(const Expr &E) {
           }
           break;
         case CaseArm::PatKind::IntLit:
-          A.li(At, Arm->IntValue);
-          A.bne(Tag, At, Next);
+          if (Arm->IntValue == 0) {
+            A.bnez(Tag, Next);
+          } else {
+            A.li(At, Arm->IntValue);
+            A.bne(Tag, At, Next);
+          }
           break;
         case CaseArm::PatKind::Var:
           A.sw(Scrut, static_cast<int32_t>(slotOffset(Arm->VarSlot)), Fp);
@@ -1241,7 +1673,21 @@ void FnCompiler::genTail(const Expr &E) {
         emitWordConst(
             encodeI(Opcode::Ori, At, At, static_cast<int32_t>(U & 0xFFFF)));
       }
-      uint32_t NextHole = reserveHole();
+      uint32_t Fields = 0;
+      if (Arm->PK == CaseArm::PatKind::Con)
+        for (uint32_t S : Arm->FieldSlots)
+          if (S != ~0u)
+            ++Fields;
+      std::optional<uint32_t> BodyLen = tailEmitLength(*Arm->Body);
+      uint32_t NextHole = 0;
+      if (BodyLen) {
+        // Known arm length: the dispatch branch is a constant word (its
+        // offset also skips the field loads below), no hole needed.
+        emitWordConst(encodeI(Opcode::Bne, At, static_cast<Reg>(Tg.R),
+                              static_cast<int32_t>(*BodyLen + Fields)));
+      } else {
+        NextHole = reserveHole();
+      }
       if (Arm->PK == CaseArm::PatKind::Con)
         for (size_t FI = 0; FI < Arm->FieldSlots.size(); ++FI) {
           if (Arm->FieldSlots[FI] == ~0u)
@@ -1252,8 +1698,9 @@ void FnCompiler::genTail(const Expr &E) {
               static_cast<Reg>(Rsc.R), static_cast<int32_t>(4 + 4 * FI)));
         }
       genTail(*Arm->Body);
-      patchBranchHole(NextHole,
-                      encodeI(Opcode::Bne, At, static_cast<Reg>(Tg.R), 0));
+      if (!BodyLen)
+        patchBranchHole(NextHole,
+                        encodeI(Opcode::Bne, At, static_cast<Reg>(Tg.R), 0));
     }
     if (!HasCatchAll)
       emitWordConst(encTrap(TrapCode::MatchFail));
@@ -1312,8 +1759,9 @@ void FnCompiler::genTail(const Expr &E) {
             flushCp();
             Label SkipL = A.newLabel();
             A.beqz(Fe, SkipL);
+            // Reuse the tested factor value; see evalLateBinary.
+            LateReg Rm = emitLateMulWithFactor(*Muls[I], Fe, Factors[I]);
             releaseTemp(Fe);
-            LateReg Rm = evalLate(*Muls[I]);
             emitWordConst(encodeR(E.Kids[KE + I]->OperandsAreReal
                                       ? Funct::FAdd
                                       : Funct::Addu,
@@ -1332,13 +1780,15 @@ void FnCompiler::genTail(const Expr &E) {
             const Expr &AE = *E.Kids[KE + I];
             uint8_t Dst = LateSlotReg.at(F.Groups[1][I].Slot);
             if (AE.S == Stage::Early) {
-              Reg V = evalPlain(AE);
-              EarlyTmps.push_back(V);
-              Moves.push_back({Dst, true, 0, V});
+              std::optional<int32_t> K = constEval(AE);
+              Reg V = K ? Zero : evalPlain(AE);
+              if (!K)
+                EarlyTmps.push_back(V);
+              Moves.push_back({Dst, true, 0, V, K});
             } else {
               LateReg Src = evalLate(AE);
               Srcs.push_back(Src);
-              Moves.push_back({Dst, false, Src.R, Zero});
+              Moves.push_back({Dst, false, Src.R, Zero, std::nullopt});
             }
           }
           emitParallelMove(std::move(Moves));
@@ -1349,13 +1799,21 @@ void FnCompiler::genTail(const Expr &E) {
         }
         if (!NeedsBodyRecursion) {
           // Loop strategy: store the new early arguments and jump back.
-          std::vector<Reg> NewEarly;
-          for (size_t I = 0; I < KE; ++I)
-            NewEarly.push_back(evalPlain(*E.Kids[I]));
-          for (size_t I = 0; I < KE; ++I)
-            A.sw(NewEarly[I],
-                 static_cast<int32_t>(slotOffset(F.Groups[0][I].Slot)), Fp);
-          for (Reg R : NewEarly)
+          // An argument passed through in its own parameter position is
+          // skipped outright — its slot already holds the right value,
+          // and every other argument is evaluated before any slot is
+          // stored, so the skip cannot move a read past a write.
+          std::vector<std::pair<size_t, Reg>> NewEarly;
+          for (size_t I = 0; I < KE; ++I) {
+            const Expr &AE = *E.Kids[I];
+            if (AE.K == Expr::Kind::Var && AE.VarSlot == F.Groups[0][I].Slot)
+              continue;
+            NewEarly.push_back({I, evalPlain(AE)});
+          }
+          for (auto &[I, R] : NewEarly)
+            A.sw(R, static_cast<int32_t>(slotOffset(F.Groups[0][I].Slot)),
+                 Fp);
+          for (auto &[I, R] : NewEarly)
             releaseTemp(R);
           flushCp();
           A.j(BodyStart);
@@ -1380,13 +1838,15 @@ void FnCompiler::genTail(const Expr &E) {
         const Expr &AE = *E.Kids[KE + I];
         uint8_t Dst = static_cast<uint8_t>(A0 + I);
         if (AE.S == Stage::Early) {
-          Reg V = evalPlain(AE);
-          EarlyTmps.push_back(V);
-          Moves.push_back({Dst, true, 0, V});
+          std::optional<int32_t> K = constEval(AE);
+          Reg V = K ? Zero : evalPlain(AE);
+          if (!K)
+            EarlyTmps.push_back(V);
+          Moves.push_back({Dst, true, 0, V, K});
         } else {
           LateReg Src = evalLate(AE);
           Srcs.push_back(Src);
-          Moves.push_back({Dst, false, Src.R, Zero});
+          Moves.push_back({Dst, false, Src.R, Zero, std::nullopt});
         }
       }
       emitParallelMove(std::move(Moves));
@@ -1416,9 +1876,11 @@ void FnCompiler::genTail(const Expr &E) {
 
   // Default: compute the value and return it from the generated code.
   if (E.S == Stage::Early) {
-    Reg V = evalPlain(E);
-    emitResidualize(V0, V);
-    releaseTemp(V);
+    std::optional<int32_t> K = constEval(E);
+    Reg V = K ? Zero : evalPlain(E);
+    emitResidualize(V0, V, K);
+    if (!K)
+      releaseTemp(V);
     if (GenNonLeaf)
       emitRestoreFrame();
     emitWordConst(encodeR(Funct::Jr, Zero, Ra, Zero));
@@ -1448,6 +1910,16 @@ void FnCompiler::emitMemoPrologue() {
   // linear log (section 3.5) and reported memoization "can be expensive";
   // hashing keeps management cost out of the measured kernels.
   Reg TT = Zero, TC = Zero, TP = Zero;
+  // The first four early keys are still live in $a0..$a3 here: the
+  // prologue stored copies into the frame without clobbering them, and
+  // nothing in the lookup below writes an $a register. Reading them
+  // directly saves a load per key on every generator invocation.
+  auto keyReg = [&](size_t J) -> Reg {
+    if (J < 4)
+      return static_cast<Reg>(A0 + J);
+    A.lw(T8, static_cast<int32_t>(slotOffset(F.Groups[0][J].Slot)), Fp);
+    return T8;
+  };
   if (M.Opts.Memoization) {
     TT = allocTemp(F.Loc);
     TC = allocTemp(F.Loc);
@@ -1459,8 +1931,7 @@ void FnCompiler::emitMemoPrologue() {
     A.beqz(TP, HashProbe);
     for (size_t J = 0; J < K; ++J) {
       A.lw(At, static_cast<int32_t>(4 * J), TP);
-      A.lw(T8, static_cast<int32_t>(slotOffset(F.Groups[0][J].Slot)), Fp);
-      A.bne(At, T8, HashProbe);
+      A.bne(At, keyReg(J), HashProbe);
     }
     A.lw(V0, static_cast<int32_t>(4 * K), TP);
     A.j(GenRetLabel);
@@ -1474,27 +1945,28 @@ void FnCompiler::emitMemoPrologue() {
       // No early parameters: a single specialization in slot 0.
       A.li(TH, 0);
     } else {
-      A.lw(TH, static_cast<int32_t>(slotOffset(F.Groups[0][0].Slot)), Fp);
-      A.srl(TH, TH, 4);
-      if (K > 1) {
-        A.lw(At, static_cast<int32_t>(slotOffset(F.Groups[0][1].Slot)), Fp);
-        A.addu(TH, TH, At);
-      }
+      A.srl(TH, keyReg(0), 4);
+      if (K > 1)
+        A.addu(TH, TH, keyReg(1));
       A.andi(TH, TH, Mask);
     }
 
     Label Probe = A.newLabel(), NextSlot = A.newLabel(), Miss = A.newLabel();
     A.bind(Probe);
-    A.li(At, static_cast<int32_t>(EntryBytes));
-    A.mul(TP, TH, At);
+    if ((EntryBytes & (EntryBytes - 1)) == 0) {
+      // Power-of-two entry size (0, 1, or 3 keys): shift instead of li+mul.
+      A.sll(TP, TH, static_cast<unsigned>(std::countr_zero(EntryBytes)));
+    } else {
+      A.li(At, static_cast<int32_t>(EntryBytes));
+      A.mul(TP, TH, At);
+    }
     A.addu(TP, TP, TT);
     A.addiu(TP, TP, 8);
     A.lw(At, static_cast<int32_t>(4 * K), TP); // cached address
     A.beqz(At, Miss);                          // empty slot: insert here
     for (size_t J = 0; J < K; ++J) {
       A.lw(At, static_cast<int32_t>(4 * J), TP);
-      A.lw(T8, static_cast<int32_t>(slotOffset(F.Groups[0][J].Slot)), Fp);
-      A.bne(At, T8, NextSlot);
+      A.bne(At, keyReg(J), NextSlot);
     }
     A.sw(TP, 4, TT); // refresh the last-hit cache
     A.lw(V0, static_cast<int32_t>(4 * K), TP);
@@ -1531,10 +2003,8 @@ void FnCompiler::emitMemoPrologue() {
   if (M.Opts.Memoization) {
     // Insert the in-progress entry before generating the body so cyclic
     // specializations terminate (paper section 3.5).
-    for (size_t J = 0; J < K; ++J) {
-      A.lw(At, static_cast<int32_t>(slotOffset(F.Groups[0][J].Slot)), Fp);
-      A.sw(At, static_cast<int32_t>(4 * J), TP);
-    }
+    for (size_t J = 0; J < K; ++J)
+      A.sw(keyReg(J), static_cast<int32_t>(4 * J), TP);
     A.sw(Cp, static_cast<int32_t>(4 * K), TP);
     A.sw(TP, 4, TT); // new entry becomes the last-hit cache
     A.addiu(TC, TC, 1);
@@ -1605,9 +2075,9 @@ void FnCompiler::compileGenerator() {
   // enclosing late conditionals stay frame-local and survive unrolling.
   emitPrologue();
   emitMemoPrologue();
-  for (size_t I = 0; I < F.Groups[0].size(); ++I)
-    A.lw(static_cast<Reg>(A0 + I),
-         static_cast<int32_t>(slotOffset(F.Groups[0][I].Slot)), Fp);
+  // The early arguments are still live in $a0.. from entry (the memo
+  // prologue reads but never writes them), so they pass straight through
+  // to the body procedure.
   A.jal(BodyStart);
   emitGeneratorFinish();
 

@@ -129,6 +129,9 @@ Compilation fab::compileOrDie(const std::string &Source,
 Machine::Machine(const CompiledUnit &U, VmOptions VmOpts)
     : Unit(U), Sim(VmOpts), Heap(Sim) {
   Sim.writeBlock(U.CodeBase, U.Code.data(), U.Code.size());
+  if (!U.TemplateData.empty())
+    Sim.writeBlock(U.TemplateBase, U.TemplateData.data(),
+                   U.TemplateData.size());
   Sim.setCodeRegions(layout::StaticCodeBase, layout::StaticCodeEnd,
                      layout::DynCodeBase, layout::DynCodeEnd);
   Sim.setReg(Sp, layout::StackTop);
@@ -290,10 +293,13 @@ FabResult<uint32_t> Machine::specialize(const std::string &Name,
   if (!Unit.GenAddr.count(Name))
     return FabError{FabErrc::UnknownFunction, Name, {}};
   uint64_t WordsBefore = Sim.stats().DynWordsWritten;
+  uint64_t ExecBefore = Sim.stats().Executed;
   ExecResult R = runRecovered(Unit.genAddr(Name), EarlyArgs);
   if (!R.ok())
     return makeError(Name, R);
   ++Memo.GeneratorRuns;
+  Memo.GenExecuted += Sim.stats().Executed - ExecBefore;
+  Memo.GenDynWords += Sim.stats().DynWordsWritten - WordsBefore;
   if (Sim.stats().DynWordsWritten == WordsBefore)
     ++Memo.MemoHits;
   else

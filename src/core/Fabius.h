@@ -119,6 +119,12 @@ struct SpecializationStats {
   uint64_t GeneratorRuns = 0; ///< successful specialize() operations
   uint64_t MemoHits = 0;      ///< ... that emitted no code
   uint64_t MemoMisses = 0;    ///< ... that emitted code
+  /// Generator efficiency accounting: guest instructions executed by
+  /// specialize() runs and dynamic code words they emitted. The ratio
+  /// GenExecuted / GenDynWords is the paper's "generator instructions per
+  /// generated instruction" (about 6 in the paper's system).
+  uint64_t GenExecuted = 0;
+  uint64_t GenDynWords = 0;
 };
 
 /// Compiles ML source through the full pipeline. On failure returns

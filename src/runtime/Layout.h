@@ -45,6 +45,14 @@ constexpr uint32_t StaticCodeBase = 0x00001000;
 constexpr uint32_t StaticCodeEnd = 0x00500000;
 constexpr uint32_t StaticDataBase = 0x00500000;
 constexpr uint32_t StaticDataEnd = 0x00900000;
+
+/// Read-only emission templates (pre-encoded constant runs of dynamic
+/// code copied by generating extensions — see docs/INTERNALS.md,
+/// "Emission strategy") live at the top of the static data region.
+/// Ordinary static data (memo tables, globals) bump-allocates from
+/// StaticDataBase and must stay below TemplateDataBase.
+constexpr uint32_t TemplateDataBase = 0x00880000;
+constexpr uint32_t TemplateDataEnd = StaticDataEnd;
 constexpr uint32_t HeapBase = 0x00900000;
 constexpr uint32_t HeapEnd = 0x03000000;
 constexpr uint32_t DynCodeBase = 0x03000000;
@@ -59,6 +67,16 @@ constexpr uint32_t MemoCapacity = 4096;
 /// the guard traps once $cp crosses DynCodeEnd - margin, bounding how much
 /// one specialization iteration may emit between guard checks.
 constexpr uint32_t CodeSpaceGuardMargin = 0x10000;
+
+/// Generators coalesce $cp bumps: emitted words are stored at growing
+/// immediate offsets off an unmoved $cp and one addiu catches $cp up at
+/// control-flow joins. The pending offset must stay representable in the
+/// sw/lw 16-bit signed displacement, so emission flushes once it reaches
+/// this limit.
+constexpr uint32_t CpCoalesceLimit = 32000;
+static_assert(CpCoalesceLimit + 4 <= 32767,
+              "coalesced $cp offsets must fit the sw 16-bit signed "
+              "displacement");
 
 } // namespace layout
 } // namespace fab

@@ -164,6 +164,8 @@ void MachinePool::runWorker(unsigned Idx) {
     RetiredMemo.GeneratorRuns += SM.GeneratorRuns;
     RetiredMemo.MemoHits += SM.MemoHits;
     RetiredMemo.MemoMisses += SM.MemoMisses;
+    RetiredMemo.GenExecuted += SM.GenExecuted;
+    RetiredMemo.GenDynWords += SM.GenDynWords;
     const RecoveryStats &RS = M->recovery();
     RetiredRecovery.WatermarkResets += RS.WatermarkResets;
     RetiredRecovery.FaultResets += RS.FaultResets;
@@ -178,6 +180,8 @@ void MachinePool::runWorker(unsigned Idx) {
     Local.Memo.GeneratorRuns += M->memo().GeneratorRuns;
     Local.Memo.MemoHits += M->memo().MemoHits;
     Local.Memo.MemoMisses += M->memo().MemoMisses;
+    Local.Memo.GenExecuted += M->memo().GenExecuted;
+    Local.Memo.GenDynWords += M->memo().GenDynWords;
     Local.Recovery = RetiredRecovery;
     Local.Recovery.WatermarkResets += M->recovery().WatermarkResets;
     Local.Recovery.FaultResets += M->recovery().FaultResets;

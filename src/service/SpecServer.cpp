@@ -65,6 +65,8 @@ ServerStats SpecServer::stats() const {
     S.Memo.GeneratorRuns += W.Memo.GeneratorRuns;
     S.Memo.MemoHits += W.Memo.MemoHits;
     S.Memo.MemoMisses += W.Memo.MemoMisses;
+    S.Memo.GenExecuted += W.Memo.GenExecuted;
+    S.Memo.GenDynWords += W.Memo.GenDynWords;
     S.Recovery.WatermarkResets += W.Recovery.WatermarkResets;
     S.Recovery.FaultResets += W.Recovery.FaultResets;
     S.Recovery.RecoveredRetries += W.Recovery.RecoveredRetries;

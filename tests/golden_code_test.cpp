@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace fab;
 
 namespace {
@@ -23,6 +25,20 @@ std::vector<std::string> disasmSpec(Machine &M, uint32_t Spec,
     Out.push_back(disassemble(M.vm().load32(Addr), Addr));
   }
   return Out;
+}
+
+std::vector<std::string> disasmUnit(const CompiledUnit &U) {
+  std::vector<std::string> Out;
+  for (size_t I = 0; I < U.Code.size(); ++I)
+    Out.push_back(
+        disassemble(U.Code[I], U.CodeBase + static_cast<uint32_t>(4 * I)));
+  return Out;
+}
+
+bool containsSeq(const std::vector<std::string> &Haystack,
+                 const std::vector<std::string> &Needle) {
+  return std::search(Haystack.begin(), Haystack.end(), Needle.begin(),
+                     Needle.end()) != Haystack.end();
 }
 
 } // namespace
@@ -119,6 +135,50 @@ TEST(GoldenCode, ResidualizationSelectsImmediateForms) {
   };
   ASSERT_EQ(BigWords, ExpectBig.size());
   EXPECT_EQ(disasmSpec(M, SpecBig, BigWords), ExpectBig);
+}
+
+TEST(GoldenCode, GeneratorUsesTemplateCopyForConstantRun) {
+  // The late chain below is emission-constant end to end: with templates
+  // on, the generator's static code must copy it from the interned
+  // template with an unrolled lw/sw burst and one coalesced $cp bump,
+  // not materialize it word by word with li/sw.
+  const char *Src =
+      "fun f (k : int) (x : int) ="
+      " (x + 1) * (x + 2) * (x + 3) * (x + 4) * (x + 5) + k";
+  Compilation C = compileOrDie(Src, FabiusOptions::deferred());
+  ASSERT_EQ(C.Unit.TemplateData.size(), 14u);
+  std::vector<std::string> Gen = disasmUnit(C.Unit);
+
+  // li of the template pool base (0x00880000 = lui 136), then the copy:
+  // 14 words — 5 addiu/mul pairs plus the bounds-free subscript chain —
+  // land via lw/sw pairs, and the $cp update coalesces into one addiu.
+  std::vector<std::string> Expected = {"lui $t9, 136"};
+  for (int I = 0; I < 14; ++I) {
+    Expected.push_back("lw $t8, " + std::to_string(4 * I) + "($t9)");
+    Expected.push_back("sw $t8, " + std::to_string(4 * I) + "($cp)");
+  }
+  Expected.push_back("addiu $cp, $cp, 56");
+  EXPECT_TRUE(containsSeq(Gen, Expected));
+
+  // Templates off: same program, no template pool, no copy bursts — the
+  // run goes back to per-word materialization.
+  FabiusOptions Off = FabiusOptions::deferred();
+  Off.Backend.EmitTemplates = false;
+  Compilation COff = compileOrDie(Src, Off);
+  EXPECT_TRUE(COff.Unit.TemplateData.empty());
+  std::vector<std::string> GenOff = disasmUnit(COff.Unit);
+  EXPECT_FALSE(containsSeq(GenOff, Expected));
+
+  // The specialized code itself is byte-identical either way — lock its
+  // shape here so the static-code golden cannot drift from the dynamic
+  // contract.
+  Machine MOn(C.Unit), MOff(COff.Unit);
+  VmStats B0 = MOn.stats();
+  uint32_t SpecOn = MOn.specializeOrDie("f", {5});
+  uint64_t Words = (MOn.stats() - B0).DynWordsWritten;
+  uint32_t SpecOff = MOff.specializeOrDie("f", {5});
+  ASSERT_GE(Words, 15u);
+  EXPECT_EQ(disasmSpec(MOn, SpecOn, Words), disasmSpec(MOff, SpecOff, Words));
 }
 
 TEST(GoldenCode, UnfoldedConditionalLeavesNoBranch) {

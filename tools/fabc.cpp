@@ -13,6 +13,9 @@
 //                      the predecoded basic-block engine (see docs/VM.md);
 //                      results and statistics are identical, only host
 //                      speed changes
+//   --no-templates     emit dynamic code word-by-word (li/sw) instead of
+//                      copying pre-encoded templates; generated code is
+//                      byte-identical, only generator speed changes
 //   --disasm FN        disassemble FN's static code (first 64 words)
 //   --stats            print simulator statistics after the call
 //   --call FN ARG...   call FN; integer args, or [1,2,3] vector literals
@@ -48,7 +51,8 @@ namespace {
     std::fprintf(stderr, "fabc: %s\n", Msg);
   std::fprintf(stderr,
                "usage: fabc FILE.ml [--plain] [--memoize-self FN]\n"
-               "            [--thread-jumps] [--no-decode-cache] [--disasm FN]\n"
+               "            [--thread-jumps] [--no-decode-cache]\n"
+               "            [--no-templates] [--disasm FN]\n"
                "            [--dump-staging] [--stats]\n"
                "            --call FN ARG...\n"
                "ARG is an integer or a vector literal like [1,2,3]\n");
@@ -100,6 +104,8 @@ int main(int Argc, char **Argv) {
       Opts.Backend.ThreadJumps = true;
     } else if (A == "--no-decode-cache") {
       VmOpts.EnableDecodeCache = false;
+    } else if (A == "--no-templates") {
+      Opts.Backend.EmitTemplates = false;
     } else if (A == "--disasm") {
       if (++I >= Argc)
         usage("--disasm needs a function name");
@@ -166,7 +172,24 @@ int main(int Argc, char **Argv) {
     std::vector<uint32_t> Args;
     for (const std::string &S : CallArgs)
       Args.push_back(parseArg(M, S));
-    ExecResult R = M.call(CallFn, Args);
+    ExecResult R;
+    auto Keys = C->Unit.MemoKeys.find(CallFn);
+    if (Stats && Keys != C->Unit.MemoKeys.end() && Args.size() >= Keys->second) {
+      // Staged entry under --stats: run the explicit two-call sequence
+      // (exactly what the wrapper does internally) so the
+      // per-specialization generator-efficiency counters are populated.
+      std::vector<uint32_t> Early(Args.begin(), Args.begin() + Keys->second);
+      std::vector<uint32_t> Late(Args.begin() + Keys->second, Args.end());
+      FabResult<uint32_t> Spec = M.specialize(CallFn, Early);
+      if (!Spec) {
+        std::printf("%s: %s\n", CallFn.c_str(),
+                    Spec.error().message().c_str());
+        return 1;
+      }
+      R = M.callAt(*Spec, Late);
+    } else {
+      R = M.call(CallFn, Args);
+    }
     if (!R.ok()) {
       std::printf("%s trapped: %s\n", CallFn.c_str(), R.describe().c_str());
       return 1;
@@ -214,6 +237,13 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Sp.GeneratorRuns),
                 static_cast<unsigned long long>(Sp.MemoHits),
                 static_cast<unsigned long long>(Sp.MemoMisses));
+    if (Sp.GenDynWords)
+      std::printf("  generator efficiency  : %.2f instructions per generated "
+                  "instruction (%llu / %llu)\n",
+                  static_cast<double>(Sp.GenExecuted) /
+                      static_cast<double>(Sp.GenDynWords),
+                  static_cast<unsigned long long>(Sp.GenExecuted),
+                  static_cast<unsigned long long>(Sp.GenDynWords));
     std::printf("  specializations live  : %u (code epoch %llu)\n",
                 M.specializationsLive(),
                 static_cast<unsigned long long>(M.codeEpoch()));

@@ -201,6 +201,13 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(St.Memo.MemoHits),
               static_cast<unsigned long long>(St.Memo.MemoMisses),
               static_cast<unsigned long long>(St.GenInstrWords));
+  if (St.Memo.GenDynWords)
+    std::printf("  generator efficiency  : %.2f instructions per generated "
+                "instruction (%llu / %llu)\n",
+                static_cast<double>(St.Memo.GenExecuted) /
+                    static_cast<double>(St.Memo.GenDynWords),
+                static_cast<unsigned long long>(St.Memo.GenExecuted),
+                static_cast<unsigned long long>(St.Memo.GenDynWords));
   std::printf("  heap recycles         : %llu; degraded workers: %u\n",
               static_cast<unsigned long long>(St.HeapRecycles),
               St.DegradedWorkers);
