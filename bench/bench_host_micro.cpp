@@ -48,6 +48,17 @@ void BM_VmDispatchNoCache(benchmark::State &State) {
 }
 BENCHMARK(BM_VmDispatchNoCache);
 
+/// Dispatch with lifecycle tracing armed: the delta to BM_VmDispatch is
+/// the whole-run cost of the telemetry hooks when events actually fire,
+/// while BM_VmDispatch itself measures the disabled path (one predicted
+/// branch per hook site). CI gates on the disabled path only.
+void BM_VmDispatchTraced(benchmark::State &State) {
+  VmOptions VmOpts;
+  VmOpts.EnableTrace = true;
+  dispatchLoop(State, VmOpts);
+}
+BENCHMARK(BM_VmDispatchTraced);
+
 void BM_CompilePipelinePlain(benchmark::State &State) {
   for (auto _ : State) {
     Compilation C = compileOrDie(MatmulSrc, FabiusOptions::plain());

@@ -1,0 +1,14 @@
+(* The paper's section 3.1 staged dot product: dotloop specializes on the
+   left vector (v1, i, n), so repeated products against the same row skip
+   the generator via the in-VM memo table. Try:
+
+     fabc examples/dotprod.ml --stats --call dotprod [1,2,3] [4,5,6]
+     fabc examples/dotprod.ml --trace trace.json \
+         --stats --call dotprod [1,0,3] [4,5,6]
+
+   and load trace.json in chrome://tracing (see docs/TELEMETRY.md). *)
+fun dotloop (v1 : int vector, i, n) (v2 : int vector, sum) =
+  if i = n then sum
+  else dotloop (v1, i + 1, n) (v2, sum + (v1 sub i) * (v2 sub i))
+
+fun dotprod v1 v2 = dotloop (v1, 0, length v1) (v2, 0)

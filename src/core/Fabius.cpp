@@ -129,9 +129,15 @@ Compilation fab::compileOrDie(const std::string &Source,
 Machine::Machine(const CompiledUnit &U, VmOptions VmOpts)
     : Unit(U), Sim(VmOpts), Heap(Sim) {
   Sim.writeBlock(U.CodeBase, U.Code.data(), U.Code.size());
-  if (!U.TemplateData.empty())
+  if (!U.TemplateData.empty()) {
     Sim.writeBlock(U.TemplateBase, U.TemplateData.data(),
                    U.TemplateData.size());
+    // Loads from the written template pool are burst copies; the VM
+    // coalesces them into TemplateFlush trace events.
+    Sim.setTemplateRegion(U.TemplateBase,
+                          U.TemplateBase +
+                              4u * static_cast<uint32_t>(U.TemplateData.size()));
+  }
   Sim.setCodeRegions(layout::StaticCodeBase, layout::StaticCodeEnd,
                      layout::DynCodeBase, layout::DynCodeEnd);
   Sim.setReg(Sp, layout::StackTop);
@@ -164,11 +170,20 @@ void Machine::resetCodeSpace() {
     for (uint32_t I = 0; I < layout::MemoCapacity; ++I)
       Sim.store32(Addr + 8 + (I * EntryWords + Keys) * 4, 0);
   }
+  const uint32_t Used = codeSpaceUsed();
   Sim.setReg(Cp, layout::DynCodeBase);
   // The code segment will be rewritten from DynCodeBase: every predecoded
   // block over it is garbage now, not merely stale.
   Sim.invalidateDecodeCache(layout::DynCodeBase, layout::DynCodeEnd);
   ++CodeEpoch;
+  AddrOwner.clear();
+  // Advance the ring epoch before recording so the reset event (and
+  // everything after it) carries the epoch it opens; Arg0 records how
+  // many bytes the closing epoch had emitted.
+  Sim.trace().setEpoch(static_cast<uint32_t>(CodeEpoch));
+  if (Sim.trace().enabled())
+    Sim.trace().record(telemetry::EventKind::CodeSpaceReset,
+                       Sim.stats().Executed, Used);
 }
 
 uint32_t Machine::specializationsLive() const {
@@ -217,7 +232,21 @@ ExecResult Machine::runRecovered(uint32_t Entry,
     }
   }
 
+  // Trace every pressure stop (guard trap, full memo table, or the VM's
+  // emission hard bound) at the PC that tripped it; Arg1 carries the trap
+  // value, or ~0 for the hard bound.
+  auto NoteTrip = [&](const ExecResult &Stop) {
+    if (Sim.trace().enabled())
+      Sim.trace().record(telemetry::EventKind::CodeGuardTrip,
+                         Sim.stats().Executed, Stop.FaultPc,
+                         Stop.FaultKind == Fault::ProgramTrap
+                             ? Stop.TrapValue
+                             : ~uint64_t(0));
+  };
+
   ExecResult R = runGuarded(Entry, Args);
+  if (!R.ok() && isCodeSpacePressure(R))
+    NoteTrip(R);
   for (unsigned Attempt = 0; !R.ok() && isCodeSpacePressure(R) &&
                              Policy.AutoReset && Attempt < Policy.MaxRetries;
        ++Attempt) {
@@ -226,6 +255,8 @@ ExecResult Machine::runRecovered(uint32_t Entry,
     R = runGuarded(Entry, Args);
     if (R.ok())
       ++Recovery.RecoveredRetries;
+    else if (isCodeSpacePressure(R))
+      NoteTrip(R);
   }
   if (!R.ok() && isCodeSpacePressure(R) && Policy.AutoReset) {
     // Unrecovered pressure: reset once more so the memo tables hold no
@@ -245,8 +276,13 @@ ExecResult Machine::runRecovered(uint32_t Entry,
     ++Recovery.GeneratorFaults;
     ++ConsecutiveGenFaults;
     if (Policy.FallBackToPlain && Plain &&
-        ConsecutiveGenFaults >= Policy.MaxGeneratorFaults)
+        ConsecutiveGenFaults >= Policy.MaxGeneratorFaults) {
+      if (!Degraded && Sim.trace().enabled())
+        Sim.trace().record(telemetry::EventKind::PlainFallback,
+                           Sim.stats().Executed, R.FaultPc,
+                           ConsecutiveGenFaults);
       Degraded = true;
+    }
   }
   return R;
 }
@@ -261,6 +297,7 @@ FabError Machine::makeError(const std::string &Fn, const ExecResult &R) const {
 
 ExecResult Machine::call(const std::string &Name,
                          const std::vector<uint32_t> &Args) {
+  ++Profiles[Name].Calls;
   if (Degraded && Plain && Plain->FnAddr.count(Name)) {
     ++Recovery.PlainFallbackCalls;
     return runGuarded(Plain->fnAddr(Name), Args);
@@ -268,22 +305,25 @@ ExecResult Machine::call(const std::string &Name,
   return runRecovered(Unit.fnAddr(Name), Args);
 }
 
-FabResult<int32_t> Machine::callInt(const std::string &Name,
-                                    const std::vector<uint32_t> &Args) {
+FabResult<uint32_t> Machine::invokeNamedRaw(const std::string &Name,
+                                            const std::vector<uint32_t> &Args) {
   if (!Unit.FnAddr.count(Name) && !(Plain && Plain->FnAddr.count(Name)))
     return FabError{FabErrc::UnknownFunction, Name, {}};
   ExecResult R = call(Name, Args);
   if (!R.ok())
     return makeError(Name, R);
-  return static_cast<int32_t>(R.V0);
+  return R.V0;
 }
 
-FabResult<float> Machine::callFloat(const std::string &Name,
-                                    const std::vector<uint32_t> &Args) {
-  FabResult<int32_t> R = callInt(Name, Args);
-  if (!R)
-    return R.error();
-  return std::bit_cast<float>(static_cast<uint32_t>(*R));
+FabResult<uint32_t> Machine::invokeAtRaw(uint32_t Addr,
+                                         const std::vector<uint32_t> &Args) {
+  ExecResult R = callAt(Addr, Args);
+  if (!R.ok()) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "@0x%08x", Addr);
+    return makeError(Buf, R);
+  }
+  return R.V0;
 }
 
 FabResult<uint32_t> Machine::specialize(const std::string &Name,
@@ -292,71 +332,80 @@ FabResult<uint32_t> Machine::specialize(const std::string &Name,
     return FabError{FabErrc::Degraded, Name, {}};
   if (!Unit.GenAddr.count(Name))
     return FabError{FabErrc::UnknownFunction, Name, {}};
+  auto &Ring = Sim.trace();
+  const bool Tracing = Ring.enabled();
+  uint16_t NameId = 0;
+  if (Tracing) {
+    NameId = telemetry::internName(Name);
+    Ring.record(telemetry::EventKind::SpecializeBegin, Sim.stats().Executed, 0,
+                0, NameId);
+  }
   uint64_t WordsBefore = Sim.stats().DynWordsWritten;
   uint64_t ExecBefore = Sim.stats().Executed;
   ExecResult R = runRecovered(Unit.genAddr(Name), EarlyArgs);
-  if (!R.ok())
+  if (!R.ok()) {
+    if (Tracing)
+      Ring.record(telemetry::EventKind::SpecializeEnd, Sim.stats().Executed, 0,
+                  Sim.stats().DynWordsWritten - WordsBefore, NameId);
     return makeError(Name, R);
+  }
   ++Memo.GeneratorRuns;
-  Memo.GenExecuted += Sim.stats().Executed - ExecBefore;
-  Memo.GenDynWords += Sim.stats().DynWordsWritten - WordsBefore;
-  if (Sim.stats().DynWordsWritten == WordsBefore)
+  const uint64_t GenExec = Sim.stats().Executed - ExecBefore;
+  const uint64_t GenWords = Sim.stats().DynWordsWritten - WordsBefore;
+  Memo.GenExecuted += GenExec;
+  Memo.GenDynWords += GenWords;
+  EntryPointProfile &P = Profiles[Name];
+  ++P.Specializations;
+  P.GenInstrs += GenExec;
+  P.DynWords += GenWords;
+  if (GenWords == 0) {
     ++Memo.MemoHits;
-  else
+    ++P.MemoHits;
+    if (Tracing)
+      Ring.record(telemetry::EventKind::MemoHit, Sim.stats().Executed, R.V0, 0,
+                  NameId);
+  } else {
     ++Memo.MemoMisses;
+    if (Tracing)
+      Ring.record(telemetry::EventKind::MemoMiss, Sim.stats().Executed, R.V0,
+                  GenWords, NameId);
+  }
+  if (Tracing)
+    Ring.record(telemetry::EventKind::SpecializeEnd, Sim.stats().Executed,
+                R.V0, GenWords, NameId);
+  AddrOwner[R.V0] = Name;
   return R.V0;
 }
 
 ExecResult Machine::callAt(uint32_t Addr, const std::vector<uint32_t> &Args) {
+  // Attribute the call to the entry point that produced Addr (this
+  // epoch's specializations only; the map clears on reset).
+  if (auto It = AddrOwner.find(Addr); It != AddrOwner.end())
+    ++Profiles[It->second].Calls;
   return runGuarded(Addr, Args);
 }
 
-FabResult<int32_t> Machine::callAtInt(uint32_t Addr,
-                                      const std::vector<uint32_t> &Args) {
-  ExecResult R = callAt(Addr, Args);
-  if (!R.ok()) {
-    char Buf[32];
-    std::snprintf(Buf, sizeof(Buf), "@0x%08x", Addr);
-    return makeError(Buf, R);
+TelemetrySnapshot Machine::telemetry() const {
+  TelemetrySnapshot T;
+  T.Vm = Sim.stats();
+  T.Memo = Memo;
+  T.Recovery = Recovery;
+  T.DecodeCache = Sim.decodeCacheStats();
+  T.CodeEpoch = CodeEpoch;
+  T.SpecializationsLive = specializationsLive();
+  T.CodeSpaceUsed = codeSpaceUsed();
+  T.DegradedMachines = Degraded ? 1u : 0u;
+  T.TraceRecorded = Sim.trace().recorded();
+  T.TraceDropped = Sim.trace().dropped();
+  T.Entries.reserve(Profiles.size());
+  for (const auto &[Fn, P] : Profiles) {
+    T.Entries.push_back(P);
+    T.Entries.back().Fn = Fn;
   }
-  return static_cast<int32_t>(R.V0);
+  return T;
 }
 
-namespace {
-[[noreturn]] void dieOn(const FabError &E) {
+void fab::dieOnError(const FabError &E) {
   std::fprintf(stderr, "FABIUS: %s\n", E.message().c_str());
   std::exit(1);
-}
-} // namespace
-
-int32_t Machine::callIntOrDie(const std::string &Name,
-                              const std::vector<uint32_t> &Args) {
-  FabResult<int32_t> R = callInt(Name, Args);
-  if (!R)
-    dieOn(R.error());
-  return *R;
-}
-
-float Machine::callFloatOrDie(const std::string &Name,
-                              const std::vector<uint32_t> &Args) {
-  FabResult<float> R = callFloat(Name, Args);
-  if (!R)
-    dieOn(R.error());
-  return *R;
-}
-
-uint32_t Machine::specializeOrDie(const std::string &Name,
-                                  const std::vector<uint32_t> &EarlyArgs) {
-  FabResult<uint32_t> R = specialize(Name, EarlyArgs);
-  if (!R)
-    dieOn(R.error());
-  return *R;
-}
-
-int32_t Machine::callAtIntOrDie(uint32_t Addr,
-                                const std::vector<uint32_t> &Args) {
-  FabResult<int32_t> R = callAtInt(Addr, Args);
-  if (!R)
-    dieOn(R.error());
-  return *R;
 }

@@ -31,11 +31,15 @@
 #include "core/FabError.h"
 #include "ml/Ast.h"
 #include "runtime/HeapImage.h"
+#include "telemetry/Telemetry.h"
 #include "vm/Vm.h"
 
+#include <bit>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 namespace fab {
 
@@ -101,31 +105,27 @@ struct CodeSpacePolicy {
   unsigned MaxGeneratorFaults = 3;
 };
 
-/// Counters describing recovery activity; see Machine::recovery().
-struct RecoveryStats {
-  uint64_t WatermarkResets = 0;    ///< preemptive resets at high watermark
-  uint64_t FaultResets = 0;        ///< resets in response to pressure traps
-  uint64_t RecoveredRetries = 0;   ///< retries that then succeeded
-  uint64_t GeneratorFaults = 0;    ///< unrecovered generator failures
-  uint64_t PlainFallbackCalls = 0; ///< calls served by the Plain image
-};
+// RecoveryStats and SpecializationStats moved to telemetry/Stats.h
+// (included via telemetry/Telemetry.h above) so the telemetry layer can
+// aggregate them; both names are still exported from fab unchanged.
 
-/// Host-visible memoization behaviour of the in-VM memo tables; see
-/// Machine::memo(). A "hit" is a successful specialize() that emitted no
-/// dynamic code (the generator was answered entirely from its memo
-/// table), so callers can prove a cached path skipped the generator by
-/// checking instructionsGenerated() stayed constant.
-struct SpecializationStats {
-  uint64_t GeneratorRuns = 0; ///< successful specialize() operations
-  uint64_t MemoHits = 0;      ///< ... that emitted no code
-  uint64_t MemoMisses = 0;    ///< ... that emitted code
-  /// Generator efficiency accounting: guest instructions executed by
-  /// specialize() runs and dynamic code words they emitted. The ratio
-  /// GenExecuted / GenDynWords is the paper's "generator instructions per
-  /// generated instruction" (about 6 in the paper's system).
-  uint64_t GenExecuted = 0;
-  uint64_t GenDynWords = 0;
-};
+/// Prints \p E and exits; shared by every *OrDie convenience.
+[[noreturn]] void dieOnError(const FabError &E);
+
+namespace detail {
+/// Maps the raw $v0 bits of a completed run onto a host return type.
+/// invoke<T> is defined for exactly these specializations.
+template <typename T> T decodeReturn(uint32_t Raw) = delete;
+template <> inline int32_t decodeReturn<int32_t>(uint32_t Raw) {
+  return static_cast<int32_t>(Raw);
+}
+template <> inline uint32_t decodeReturn<uint32_t>(uint32_t Raw) {
+  return Raw;
+}
+template <> inline float decodeReturn<float>(uint32_t Raw) {
+  return std::bit_cast<float>(Raw);
+}
+} // namespace detail
 
 /// Compiles ML source through the full pipeline. On failure returns
 /// std::nullopt and fills \p Diags.
@@ -160,10 +160,53 @@ public:
   /// is its wrapper). Applies the recovery policy; once degraded, routes
   /// to the Plain fall-back image.
   ExecResult call(const std::string &Name, const std::vector<uint32_t> &Args);
+
+  /// The typed call surface: one implementation, two targets. By name the
+  /// full recovery policy applies (unknown-name check, watermark resets,
+  /// reset-and-retry, degradation routing); by address there is no
+  /// retry/fallback, because a reset would invalidate the address. T is
+  /// one of int32_t, uint32_t, float (see detail::decodeReturn).
+  template <typename T>
+  FabResult<T> invoke(const std::string &Name,
+                      const std::vector<uint32_t> &Args) {
+    FabResult<uint32_t> R = invokeNamedRaw(Name, Args);
+    if (!R)
+      return R.error();
+    return detail::decodeReturn<T>(*R);
+  }
+  template <typename T>
+  FabResult<T> invoke(uint32_t Addr, const std::vector<uint32_t> &Args) {
+    FabResult<uint32_t> R = invokeAtRaw(Addr, Args);
+    if (!R)
+      return R.error();
+    return detail::decodeReturn<T>(*R);
+  }
+  /// Crash-on-error invoke (print the error and exit).
+  template <typename T>
+  T invokeOrDie(const std::string &Name, const std::vector<uint32_t> &Args) {
+    FabResult<T> R = invoke<T>(Name, Args);
+    if (!R)
+      dieOnError(R.error());
+    return *R;
+  }
+  template <typename T>
+  T invokeOrDie(uint32_t Addr, const std::vector<uint32_t> &Args) {
+    FabResult<T> R = invoke<T>(Addr, Args);
+    if (!R)
+      dieOnError(R.error());
+    return *R;
+  }
+
+  // Named call conveniences, kept as one-line wrappers over invoke<T> for
+  // source compatibility with pre-telemetry callers.
   FabResult<int32_t> callInt(const std::string &Name,
-                             const std::vector<uint32_t> &Args);
+                             const std::vector<uint32_t> &Args) {
+    return invoke<int32_t>(Name, Args);
+  }
   FabResult<float> callFloat(const std::string &Name,
-                             const std::vector<uint32_t> &Args);
+                             const std::vector<uint32_t> &Args) {
+    return invoke<float>(Name, Args);
+  }
 
   /// Runs the generating extension of staged function \p Name on the early
   /// arguments; returns the address of the specialized code, or a
@@ -177,29 +220,60 @@ public:
   /// invalidate \p Addr, so failures are reported as-is.
   ExecResult callAt(uint32_t Addr, const std::vector<uint32_t> &Args);
   FabResult<int32_t> callAtInt(uint32_t Addr,
-                               const std::vector<uint32_t> &Args);
+                               const std::vector<uint32_t> &Args) {
+    return invoke<int32_t>(Addr, Args);
+  }
 
   // Crash-on-error conveniences (print the error and exit).
   int32_t callIntOrDie(const std::string &Name,
-                       const std::vector<uint32_t> &Args);
+                       const std::vector<uint32_t> &Args) {
+    return invokeOrDie<int32_t>(Name, Args);
+  }
   float callFloatOrDie(const std::string &Name,
-                       const std::vector<uint32_t> &Args);
+                       const std::vector<uint32_t> &Args) {
+    return invokeOrDie<float>(Name, Args);
+  }
   uint32_t specializeOrDie(const std::string &Name,
-                           const std::vector<uint32_t> &EarlyArgs);
-  int32_t callAtIntOrDie(uint32_t Addr, const std::vector<uint32_t> &Args);
+                           const std::vector<uint32_t> &EarlyArgs) {
+    FabResult<uint32_t> R = specialize(Name, EarlyArgs);
+    if (!R)
+      dieOnError(R.error());
+    return *R;
+  }
+  int32_t callAtIntOrDie(uint32_t Addr, const std::vector<uint32_t> &Args) {
+    return invokeOrDie<int32_t>(Addr, Args);
+  }
 
   // -- Recovery policy -------------------------------------------------------
 
   void setPolicy(const CodeSpacePolicy &P) { Policy = P; }
   const CodeSpacePolicy &policy() const { return Policy; }
-  const RecoveryStats &recovery() const { return Recovery; }
   /// True once name-based calls are served by the Plain fall-back image.
   bool degraded() const { return Degraded; }
   /// Whether a Plain fall-back image is loaded.
   bool hasPlainFallback() const { return Plain != nullptr; }
 
+  // -- Telemetry -------------------------------------------------------------
+
+  /// The unified stats snapshot: every counter struct below plus the
+  /// machine gauges (code epoch, live specializations, code-space bytes)
+  /// and per-entry-point profiles. Prefer this over the individual
+  /// accessors; see docs/TELEMETRY.md.
+  TelemetrySnapshot telemetry() const;
+
+  /// The lifecycle event ring (owned by the VM; the facade records
+  /// specialize/memo/reset/fallback events into it).
+  fab::telemetry::TraceRing &trace() { return Sim.trace(); }
+  const fab::telemetry::TraceRing &trace() const { return Sim.trace(); }
+  void setTraceEnabled(bool On) { Sim.trace().setEnabled(On); }
+
+  // Legacy per-struct accessors. Retained as thin views for callers that
+  // want one counter block without materializing a snapshot — benchmarks
+  // use stats() for the before/after subtraction idiom — but new code
+  // should read through telemetry().
   const VmStats &stats() const { return Sim.stats(); }
   const SpecializationStats &memo() const { return Memo; }
+  const RecoveryStats &recovery() const { return Recovery; }
 
   /// Dynamic-code words emitted so far (== instructions generated).
   uint64_t instructionsGenerated() const {
@@ -239,6 +313,12 @@ private:
   /// retry on code-space pressure, fault accounting + degradation after.
   ExecResult runRecovered(uint32_t Entry, const std::vector<uint32_t> &Args);
   FabError makeError(const std::string &Fn, const ExecResult &R) const;
+  /// The single implementations behind invoke<T>: raw $v0 bits or a
+  /// structured error.
+  FabResult<uint32_t> invokeNamedRaw(const std::string &Name,
+                                     const std::vector<uint32_t> &Args);
+  FabResult<uint32_t> invokeAtRaw(uint32_t Addr,
+                                  const std::vector<uint32_t> &Args);
 
   const CompiledUnit &Unit;
   const CompiledUnit *Plain = nullptr; ///< degradation target, optional
@@ -247,6 +327,14 @@ private:
   CodeSpacePolicy Policy;
   RecoveryStats Recovery;
   SpecializationStats Memo;
+  /// Per-entry-point accounting for telemetry(). Specialization counters
+  /// accumulate in specialize() alongside Memo (so summing Entries
+  /// reproduces the Memo totals exactly); Calls count call() by name and
+  /// callAt() through AddrOwner.
+  std::map<std::string, EntryPointProfile> Profiles;
+  /// Specialized address -> owning entry point, valid within the current
+  /// code epoch only (cleared by resetCodeSpace()).
+  std::unordered_map<uint32_t, std::string> AddrOwner;
   uint64_t CodeEpoch = 0;
   unsigned ConsecutiveGenFaults = 0;
   bool Degraded = false;

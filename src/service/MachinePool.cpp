@@ -58,6 +58,14 @@ WorkerStats MachinePool::workerStats(unsigned W) const {
   return Wk.Stats;
 }
 
+std::vector<telemetry::TraceEvent> MachinePool::drainTrace(unsigned W) {
+  Worker &Wk = *Ws.at(W);
+  std::lock_guard<std::mutex> L(Wk.StatsMutex);
+  std::vector<telemetry::TraceEvent> Out;
+  Out.swap(Wk.TraceLog);
+  return Out;
+}
+
 namespace {
 
 /// Lays the request values out in the worker heap; vectors go through the
@@ -151,47 +159,55 @@ void MachinePool::runWorker(unsigned Idx) {
   std::map<std::vector<int32_t>, uint32_t> Intern;
   WorkerStats Local;
 
+  // Moves everything buffered in the machine's trace ring into the
+  // worker's log (the cross-thread hand-off point: the ring is written
+  // only here on the worker thread; readers take the log under
+  // StatsMutex via drainTrace()).
+  constexpr size_t MaxTraceLog = 1u << 16;
+  auto drainRing = [&] {
+    if (!M->trace().size())
+      return;
+    std::vector<telemetry::TraceEvent> Ev = M->trace().drain();
+    std::lock_guard<std::mutex> L(W.StatsMutex);
+    W.TraceLog.insert(W.TraceLog.end(), Ev.begin(), Ev.end());
+    if (W.TraceLog.size() > MaxTraceLog)
+      W.TraceLog.erase(W.TraceLog.begin(),
+                       W.TraceLog.end() - MaxTraceLog);
+  };
+
   // Counters carried over from machines retired by heap recycling (a
-  // fresh Machine restarts its statistics from zero).
-  uint64_t RetiredGenWords = 0;
-  SpecializationStats RetiredMemo;
-  RecoveryStats RetiredRecovery;
-  DecodeCacheStats RetiredDecode;
+  // fresh Machine restarts its statistics from zero). Gauges describe
+  // the live machine only, so they are zeroed before folding in.
+  TelemetrySnapshot Retired;
   auto retire = [&] {
-    RetiredGenWords += M->instructionsGenerated();
-    RetiredDecode += M->vm().decodeCacheStats();
-    const SpecializationStats &SM = M->memo();
-    RetiredMemo.GeneratorRuns += SM.GeneratorRuns;
-    RetiredMemo.MemoHits += SM.MemoHits;
-    RetiredMemo.MemoMisses += SM.MemoMisses;
-    RetiredMemo.GenExecuted += SM.GenExecuted;
-    RetiredMemo.GenDynWords += SM.GenDynWords;
-    const RecoveryStats &RS = M->recovery();
-    RetiredRecovery.WatermarkResets += RS.WatermarkResets;
-    RetiredRecovery.FaultResets += RS.FaultResets;
-    RetiredRecovery.RecoveredRetries += RS.RecoveredRetries;
-    RetiredRecovery.GeneratorFaults += RS.GeneratorFaults;
-    RetiredRecovery.PlainFallbackCalls += RS.PlainFallbackCalls;
+    drainRing();
+    TelemetrySnapshot T = M->telemetry();
+    T.SpecializationsLive = 0;
+    T.CodeSpaceUsed = 0;
+    T.DegradedMachines = 0;
+    T.CodeEpoch = 0;
+    Retired += T;
   };
 
   auto publish = [&] {
-    Local.Cache = Cache.stats();
-    Local.Memo = RetiredMemo;
-    Local.Memo.GeneratorRuns += M->memo().GeneratorRuns;
-    Local.Memo.MemoHits += M->memo().MemoHits;
-    Local.Memo.MemoMisses += M->memo().MemoMisses;
-    Local.Memo.GenExecuted += M->memo().GenExecuted;
-    Local.Memo.GenDynWords += M->memo().GenDynWords;
-    Local.Recovery = RetiredRecovery;
-    Local.Recovery.WatermarkResets += M->recovery().WatermarkResets;
-    Local.Recovery.FaultResets += M->recovery().FaultResets;
-    Local.Recovery.RecoveredRetries += M->recovery().RecoveredRetries;
-    Local.Recovery.GeneratorFaults += M->recovery().GeneratorFaults;
-    Local.Recovery.PlainFallbackCalls += M->recovery().PlainFallbackCalls;
+    TelemetrySnapshot T = Retired;
+    T += M->telemetry();
+    T.Workers = 1;
+    T.Cache = Cache.stats();
+    T.Served = Local.Served;
+    T.Errors = Local.Errors;
+    T.Coalesced = Local.Coalesced;
+    T.QueueHighWater = Local.QueueHighWater;
+    T.BusyCyclesTotal = T.BusyCyclesMax = Local.BusyCycles;
+    T.HeapRecycles = Local.HeapRecycles;
+    // Mirror the snapshot into the legacy per-struct fields.
+    Local.Cache = T.Cache;
+    Local.Memo = T.Memo;
+    Local.Recovery = T.Recovery;
+    Local.DecodeCache = T.DecodeCache;
     Local.Degraded = M->degraded();
-    Local.GenInstrWords = RetiredGenWords + M->instructionsGenerated();
-    Local.DecodeCache = RetiredDecode;
-    Local.DecodeCache += M->vm().decodeCacheStats();
+    Local.GenInstrWords = T.Vm.DynWordsWritten;
+    Local.Telemetry = std::move(T);
     std::lock_guard<std::mutex> L(W.StatsMutex);
     W.Stats = Local;
   };
@@ -219,7 +235,17 @@ void MachinePool::runWorker(unsigned Idx) {
         BatchSpecs.clear();
         ++Local.HeapRecycles;
       }
+      const bool Tracing = M->trace().enabled();
+      if (Tracing)
+        M->trace().record(telemetry::EventKind::WorkerBegin,
+                          M->stats().Executed, 0, 0,
+                          telemetry::internName(R.Key.Fn));
       FabResult<int32_t> Res = serve(*M, Cache, Intern, R, BatchSpecs, Local);
+      if (Tracing)
+        M->trace().record(telemetry::EventKind::WorkerComplete,
+                          M->stats().Executed, Res ? 1 : 0, 0,
+                          telemetry::internName(R.Key.Fn));
+      drainRing();
       // Publish before resolving the future: once a caller observes a
       // result, stats() already accounts for the request that produced
       // it (tests and benches rely on this ordering).
@@ -227,5 +253,6 @@ void MachinePool::runWorker(unsigned Idx) {
       R.Promise.set_value(std::move(Res));
     }
   }
+  drainRing();
   publish();
 }

@@ -94,6 +94,10 @@ struct WorkerStats {
   SpecializationStats Memo;
   RecoveryStats Recovery;
   DecodeCacheStats DecodeCache; ///< worker VM's predecoded-block engine
+  /// The full per-worker snapshot (carries everything above plus the VM
+  /// counters, gauges, and entry-point profiles; counters retired by heap
+  /// recycling are folded in). SpecServer::telemetry() sums these.
+  TelemetrySnapshot Telemetry;
 };
 
 class MachinePool {
@@ -119,6 +123,12 @@ public:
 
   WorkerStats workerStats(unsigned W) const;
 
+  /// Takes (and clears) worker \p W's accumulated trace events. The
+  /// worker drains its machine's ring into this log after every request
+  /// and on exit, so after shutdown() the log is complete; while the
+  /// worker is live, events still sitting in the ring are not included.
+  std::vector<telemetry::TraceEvent> drainTrace(unsigned W);
+
 private:
   struct Worker {
     std::mutex QueueMutex;
@@ -129,6 +139,9 @@ private:
 
     mutable std::mutex StatsMutex;
     WorkerStats Stats; // guarded by StatsMutex
+    /// Trace events drained from the worker machine's ring (bounded;
+    /// oldest dropped). Guarded by StatsMutex.
+    std::vector<telemetry::TraceEvent> TraceLog;
 
     std::thread Thread;
   };

@@ -28,6 +28,7 @@
 #define FAB_SERVICE_SPECCACHE_H
 
 #include "runtime/HeapImage.h"
+#include "telemetry/Stats.h"
 
 #include <cstdint>
 #include <list>
@@ -98,21 +99,9 @@ struct SpecKeyHash {
   }
 };
 
-/// Hit/miss/eviction counters; hitRate() is hits over all lookups.
-struct SpecCacheStats {
-  uint64_t Hits = 0;
-  uint64_t Misses = 0;
-  uint64_t Evictions = 0;
-  /// Lookups that found an entry from an earlier code epoch: the address
-  /// died in a resetCodeSpace(), so the caller re-specialized. Counted in
-  /// Misses as well.
-  uint64_t Rehydrations = 0;
-
-  double hitRate() const {
-    uint64_t Total = Hits + Misses;
-    return Total ? static_cast<double>(Hits) / static_cast<double>(Total) : 0.0;
-  }
-};
+// SpecCacheStats moved to telemetry/Stats.h (included above) so the
+// telemetry layer can aggregate it; fab::SpecCacheStats is still found
+// here unqualified through the enclosing namespace.
 
 /// The cache proper. Single-threaded by design: each pool worker owns
 /// one, alongside its Machine (the sharding model — see MachinePool.h).

@@ -3,12 +3,54 @@
 #include "service/SpecServer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 using namespace fab;
 using namespace fab::service;
 
 SpecServer::SpecServer(const Compilation &C, const ServerOptions &Opts)
-    : Pool(C, Opts.Pool) {}
+    : Pool(C, Opts.Pool), ReportIntervalMs(Opts.ReportIntervalMs),
+      ReportSink(Opts.ReportSink) {
+  if (ReportIntervalMs) {
+    if (!ReportSink)
+      ReportSink = [](const TelemetrySnapshot &T) {
+        std::fprintf(stderr, "fabserve: %s\n", T.summaryLine().c_str());
+      };
+    Reporter = std::thread([this] { runReporter(); });
+  }
+}
+
+SpecServer::~SpecServer() { shutdown(); }
+
+void SpecServer::runReporter() {
+  std::unique_lock<std::mutex> L(ReporterMutex);
+  while (!ReporterStop) {
+    ReporterCv.wait_for(L, std::chrono::milliseconds(ReportIntervalMs));
+    if (ReporterStop)
+      break;
+    // telemetry() only touches published worker snapshots (mutex-guarded
+    // copies), so reporting never blocks the serving path.
+    L.unlock();
+    ReportSink(telemetry());
+    L.lock();
+  }
+}
+
+void SpecServer::shutdown() {
+  Pool.shutdown();
+  {
+    std::lock_guard<std::mutex> L(ReporterMutex);
+    ReporterStop = true;
+  }
+  ReporterCv.notify_all();
+  if (Reporter.joinable()) {
+    Reporter.join();
+    // Final report over the drained pool: even a server shut down before
+    // the first interval elapsed gets one complete line.
+    ReportSink(telemetry());
+  }
+}
 
 unsigned SpecServer::workerFor(const std::string &Fn,
                                const std::vector<Value> &Early) const {
@@ -42,37 +84,36 @@ FabResult<int32_t> SpecServer::call(const std::string &Fn,
   return submit(Fn, std::move(Early), std::move(Late)).get();
 }
 
+TelemetrySnapshot SpecServer::telemetry() const {
+  TelemetrySnapshot T;
+  for (unsigned I = 0; I < Pool.workers(); ++I)
+    T += Pool.workerStats(I).Telemetry;
+  // A worker publishes only after its first request; count every worker
+  // regardless, and add the server-side intake counters.
+  T.Workers = Pool.workers();
+  T.Submitted = Submitted.load(std::memory_order_relaxed);
+  T.Rejected += RejectedCount.load(std::memory_order_relaxed);
+  return T;
+}
+
 ServerStats SpecServer::stats() const {
+  TelemetrySnapshot T = telemetry();
   ServerStats S;
-  S.Workers = Pool.workers();
-  S.Submitted = Submitted.load(std::memory_order_relaxed);
-  S.Rejected = RejectedCount.load(std::memory_order_relaxed);
-  for (unsigned I = 0; I < Pool.workers(); ++I) {
-    WorkerStats W = Pool.workerStats(I);
-    S.Served += W.Served;
-    S.Errors += W.Errors;
-    S.Coalesced += W.Coalesced;
-    S.QueueHighWater = std::max(S.QueueHighWater, W.QueueHighWater);
-    S.BusyCyclesTotal += W.BusyCycles;
-    S.BusyCyclesMax = std::max(S.BusyCyclesMax, W.BusyCycles);
-    S.GenInstrWords += W.GenInstrWords;
-    S.HeapRecycles += W.HeapRecycles;
-    S.DegradedWorkers += W.Degraded ? 1u : 0u;
-    S.Cache.Hits += W.Cache.Hits;
-    S.Cache.Misses += W.Cache.Misses;
-    S.Cache.Evictions += W.Cache.Evictions;
-    S.Cache.Rehydrations += W.Cache.Rehydrations;
-    S.Memo.GeneratorRuns += W.Memo.GeneratorRuns;
-    S.Memo.MemoHits += W.Memo.MemoHits;
-    S.Memo.MemoMisses += W.Memo.MemoMisses;
-    S.Memo.GenExecuted += W.Memo.GenExecuted;
-    S.Memo.GenDynWords += W.Memo.GenDynWords;
-    S.Recovery.WatermarkResets += W.Recovery.WatermarkResets;
-    S.Recovery.FaultResets += W.Recovery.FaultResets;
-    S.Recovery.RecoveredRetries += W.Recovery.RecoveredRetries;
-    S.Recovery.GeneratorFaults += W.Recovery.GeneratorFaults;
-    S.Recovery.PlainFallbackCalls += W.Recovery.PlainFallbackCalls;
-    S.DecodeCache += W.DecodeCache;
-  }
+  S.Workers = T.Workers;
+  S.Submitted = T.Submitted;
+  S.Served = T.Served;
+  S.Errors = T.Errors;
+  S.Rejected = T.Rejected;
+  S.Coalesced = T.Coalesced;
+  S.QueueHighWater = T.QueueHighWater;
+  S.BusyCyclesTotal = T.BusyCyclesTotal;
+  S.BusyCyclesMax = T.BusyCyclesMax;
+  S.GenInstrWords = T.Vm.DynWordsWritten;
+  S.HeapRecycles = T.HeapRecycles;
+  S.DegradedWorkers = T.DegradedMachines;
+  S.Cache = T.Cache;
+  S.Memo = T.Memo;
+  S.Recovery = T.Recovery;
+  S.DecodeCache = T.DecodeCache;
   return S;
 }

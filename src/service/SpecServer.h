@@ -37,9 +37,17 @@ namespace service {
 
 struct ServerOptions {
   PoolOptions Pool;
+  /// When nonzero, a reporter thread emits an aggregated telemetry()
+  /// snapshot every interval (fabserve --report-interval). shutdown()
+  /// emits one final report, so even a short-lived server produces at
+  /// least one line.
+  unsigned ReportIntervalMs = 0;
+  /// Where periodic reports go; defaults to a summaryLine() on stderr.
+  std::function<void(const TelemetrySnapshot &)> ReportSink;
 };
 
-/// Aggregate view across the pool; see SpecServer::stats().
+/// Aggregate view across the pool. Legacy shape: stats() now derives it
+/// from telemetry(); new code should read the snapshot directly.
 struct ServerStats {
   unsigned Workers = 0;
   uint64_t Submitted = 0;
@@ -67,6 +75,7 @@ class SpecServer {
 public:
   /// \p C must outlive the server.
   explicit SpecServer(const Compilation &C, const ServerOptions &Opts = {});
+  ~SpecServer();
 
   /// Enqueues one call of staged function \p Fn. The future resolves
   /// once a worker has specialized (or found cached code for) the early
@@ -85,17 +94,41 @@ public:
   unsigned workerFor(const std::string &Fn,
                      const std::vector<Value> &Early) const;
 
-  /// Graceful: stops intake, drains every queue, joins the workers.
-  void shutdown() { Pool.shutdown(); }
+  /// Graceful: stops intake, drains every queue, joins the workers, then
+  /// stops the reporter thread (emitting one final report when periodic
+  /// reporting was configured). Idempotent.
+  void shutdown();
 
   unsigned workers() const { return Pool.workers(); }
   WorkerStats workerStats(unsigned W) const { return Pool.workerStats(W); }
+
+  /// The unified snapshot summed across workers (counters add, high-water
+  /// marks take the max, entry profiles merge by name) plus the
+  /// server-side Submitted/Rejected counters. See docs/TELEMETRY.md.
+  TelemetrySnapshot telemetry() const;
+
+  /// Takes worker \p W's accumulated trace events (complete after
+  /// shutdown()); fabserve merges these into one multi-track export.
+  std::vector<fab::telemetry::TraceEvent> drainWorkerTrace(unsigned W) {
+    return Pool.drainTrace(W);
+  }
+
+  /// Legacy aggregate, derived from telemetry().
   ServerStats stats() const;
 
 private:
+  void runReporter();
+
   MachinePool Pool;
   std::atomic<uint64_t> Submitted{0};
   std::atomic<uint64_t> RejectedCount{0};
+
+  unsigned ReportIntervalMs = 0;
+  std::function<void(const TelemetrySnapshot &)> ReportSink;
+  std::mutex ReporterMutex;
+  std::condition_variable ReporterCv;
+  bool ReporterStop = false; // guarded by ReporterMutex
+  std::thread Reporter;
 };
 
 } // namespace service

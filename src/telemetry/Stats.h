@@ -1,0 +1,160 @@
+//===- Stats.h - Counter structs shared across layers -----------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counter structs every layer publishes — simulator execution,
+/// decode-cache activity, specialization/memo behaviour, recovery
+/// activity, and the host-side specialization cache. They live here, at
+/// the bottom of the dependency stack, so the telemetry layer can
+/// aggregate all of them into one TelemetrySnapshot without pulling in
+/// the VM, Machine, or service headers. Each struct has operator+= so
+/// per-worker and retired-machine counters sum mechanically instead of
+/// field-by-field at every aggregation site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_TELEMETRY_STATS_H
+#define FAB_TELEMETRY_STATS_H
+
+#include <cstdint>
+
+namespace fab {
+
+/// Execution statistics. All counters are cumulative over the life of the
+/// machine; benchmarks snapshot-and-subtract around regions of interest.
+struct VmStats {
+  uint64_t Executed = 0;        ///< instructions executed, total
+  uint64_t ExecutedStatic = 0;  ///< ... with PC in the static code region
+  uint64_t ExecutedDynamic = 0; ///< ... with PC in the dynamic code region
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t DynWordsWritten = 0; ///< words stored into the dynamic code
+                                ///< segment == instructions generated
+  uint64_t Flushes = 0;
+  uint64_t FlushedBytes = 0;
+  uint64_t Cycles = 0; ///< Executed + modeled flush penalties
+
+  VmStats operator-(const VmStats &Rhs) const {
+    VmStats D;
+    D.Executed = Executed - Rhs.Executed;
+    D.ExecutedStatic = ExecutedStatic - Rhs.ExecutedStatic;
+    D.ExecutedDynamic = ExecutedDynamic - Rhs.ExecutedDynamic;
+    D.Loads = Loads - Rhs.Loads;
+    D.Stores = Stores - Rhs.Stores;
+    D.DynWordsWritten = DynWordsWritten - Rhs.DynWordsWritten;
+    D.Flushes = Flushes - Rhs.Flushes;
+    D.FlushedBytes = FlushedBytes - Rhs.FlushedBytes;
+    D.Cycles = Cycles - Rhs.Cycles;
+    return D;
+  }
+
+  VmStats &operator+=(const VmStats &R) {
+    Executed += R.Executed;
+    ExecutedStatic += R.ExecutedStatic;
+    ExecutedDynamic += R.ExecutedDynamic;
+    Loads += R.Loads;
+    Stores += R.Stores;
+    DynWordsWritten += R.DynWordsWritten;
+    Flushes += R.Flushes;
+    FlushedBytes += R.FlushedBytes;
+    Cycles += R.Cycles;
+    return *this;
+  }
+};
+
+/// Counters for the predecoded basic-block engine (see docs/VM.md).
+/// Host-side only: none of these affect simulated state or VmStats.
+struct DecodeCacheStats {
+  uint64_t BlocksBuilt = 0;   ///< blocks predecoded (including rebuilds)
+  uint64_t BlockRuns = 0;     ///< cached-block executions
+  uint64_t FastInsts = 0;     ///< instructions retired through cached blocks
+  uint64_t SlowInsts = 0;     ///< instructions retired by the slow path
+  uint64_t FusedOps = 0;      ///< fused micro-ops built (lui+ori, cmp+branch)
+  uint64_t Invalidations = 0; ///< cached blocks dropped (code writes, resets)
+
+  DecodeCacheStats &operator+=(const DecodeCacheStats &R) {
+    BlocksBuilt += R.BlocksBuilt;
+    BlockRuns += R.BlockRuns;
+    FastInsts += R.FastInsts;
+    SlowInsts += R.SlowInsts;
+    FusedOps += R.FusedOps;
+    Invalidations += R.Invalidations;
+    return *this;
+  }
+};
+
+/// Host-visible memoization behaviour of the in-VM memo tables; see
+/// Machine::memo(). A "hit" is a successful specialize() that emitted no
+/// dynamic code (the generator was answered entirely from its memo
+/// table), so callers can prove a cached path skipped the generator by
+/// checking instructionsGenerated() stayed constant.
+struct SpecializationStats {
+  uint64_t GeneratorRuns = 0; ///< successful specialize() operations
+  uint64_t MemoHits = 0;      ///< ... that emitted no code
+  uint64_t MemoMisses = 0;    ///< ... that emitted code
+  /// Generator efficiency accounting: guest instructions executed by
+  /// specialize() runs and dynamic code words they emitted. The ratio
+  /// GenExecuted / GenDynWords is the paper's "generator instructions per
+  /// generated instruction" (about 6 in the paper's system).
+  uint64_t GenExecuted = 0;
+  uint64_t GenDynWords = 0;
+
+  SpecializationStats &operator+=(const SpecializationStats &R) {
+    GeneratorRuns += R.GeneratorRuns;
+    MemoHits += R.MemoHits;
+    MemoMisses += R.MemoMisses;
+    GenExecuted += R.GenExecuted;
+    GenDynWords += R.GenDynWords;
+    return *this;
+  }
+};
+
+/// Counters describing recovery activity; see Machine::recovery().
+struct RecoveryStats {
+  uint64_t WatermarkResets = 0;    ///< preemptive resets at high watermark
+  uint64_t FaultResets = 0;        ///< resets in response to pressure traps
+  uint64_t RecoveredRetries = 0;   ///< retries that then succeeded
+  uint64_t GeneratorFaults = 0;    ///< unrecovered generator failures
+  uint64_t PlainFallbackCalls = 0; ///< calls served by the Plain image
+
+  RecoveryStats &operator+=(const RecoveryStats &R) {
+    WatermarkResets += R.WatermarkResets;
+    FaultResets += R.FaultResets;
+    RecoveredRetries += R.RecoveredRetries;
+    GeneratorFaults += R.GeneratorFaults;
+    PlainFallbackCalls += R.PlainFallbackCalls;
+    return *this;
+  }
+};
+
+/// Hit/miss/eviction counters for the host-side specialization cache
+/// (service layer); hitRate() is hits over all lookups.
+struct SpecCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  /// Lookups that found an entry from an earlier code epoch: the address
+  /// died in a resetCodeSpace(), so the caller re-specialized. Counted in
+  /// Misses as well.
+  uint64_t Rehydrations = 0;
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total) : 0.0;
+  }
+
+  SpecCacheStats &operator+=(const SpecCacheStats &R) {
+    Hits += R.Hits;
+    Misses += R.Misses;
+    Evictions += R.Evictions;
+    Rehydrations += R.Rehydrations;
+    return *this;
+  }
+};
+
+} // namespace fab
+
+#endif // FAB_TELEMETRY_STATS_H

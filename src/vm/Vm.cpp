@@ -23,20 +23,6 @@
 
 using namespace fab;
 
-VmStats VmStats::operator-(const VmStats &Rhs) const {
-  VmStats D;
-  D.Executed = Executed - Rhs.Executed;
-  D.ExecutedStatic = ExecutedStatic - Rhs.ExecutedStatic;
-  D.ExecutedDynamic = ExecutedDynamic - Rhs.ExecutedDynamic;
-  D.Loads = Loads - Rhs.Loads;
-  D.Stores = Stores - Rhs.Stores;
-  D.DynWordsWritten = DynWordsWritten - Rhs.DynWordsWritten;
-  D.Flushes = Flushes - Rhs.Flushes;
-  D.FlushedBytes = FlushedBytes - Rhs.FlushedBytes;
-  D.Cycles = Cycles - Rhs.Cycles;
-  return D;
-}
-
 std::string ExecResult::describe() const {
   std::ostringstream OS;
   switch (Reason) {
@@ -257,6 +243,13 @@ Vm::Vm(VmOptions Options) : Opts(Options) {
   if (const char *E = std::getenv("FAB_DECODE_CACHE"))
     if (E[0] == '0' && E[1] == '\0')
       Opts.EnableDecodeCache = false;
+  // Same hatch for lifecycle tracing (forces it off even when a
+  // construction site requested it).
+  if (const char *E = std::getenv("FAB_TRACE"))
+    if (E[0] == '0' && E[1] == '\0')
+      Opts.EnableTrace = false;
+  Ring.reset(Opts.TraceCapacity);
+  Ring.setEnabled(Opts.EnableTrace);
   Mem.resize(Opts.MemBytes, 0);
   if (Opts.EnableDecodeCache)
     Quick.assign(QuickSlots, nullptr);
@@ -338,6 +331,9 @@ ExecResult Vm::stopFault(Fault Kind, uint32_t Pc, uint32_t TrapValue) {
 //===----------------------------------------------------------------------===//
 
 void Vm::clearDecodeCache() {
+  if (Ring.enabled() && !Blocks.empty())
+    Ring.record(telemetry::EventKind::BlockInvalidate, Stats.Executed,
+                Blocks.begin()->first, Blocks.size());
   CacheStats.Invalidations += Blocks.size();
   ++CacheEpoch;
   // Move storage to Retired rather than destroying it: the capacity clear
@@ -355,6 +351,11 @@ void Vm::retireBlock(uint32_t EntryPc) {
   auto It = Blocks.find(EntryPc);
   if (It == Blocks.end())
     return;
+  // Window 0: only back-to-back retirements (an invalidation flood from
+  // one host write) coalesce into a single event with a count.
+  if (Ring.enabled())
+    Ring.recordMerged(telemetry::EventKind::BlockInvalidate, Stats.Executed,
+                      /*Window=*/0, EntryPc, 1);
   Block *B = It->second.get();
   for (uint32_t L = B->FirstLine; L <= B->LastLine; ++L) {
     auto OIt = LineOwners.find(L);
@@ -583,6 +584,9 @@ Vm::Block *Vm::lookupOrBuildBlock(uint32_t Pc) {
     for (uint32_t L = Owned->FirstLine; L <= Owned->LastLine; ++L)
       LineOwners[L].push_back(Pc);
     ++CacheStats.BlocksBuilt;
+    if (TraceLive)
+      Ring.record(telemetry::EventKind::BlockBuild, Stats.Executed, Pc,
+                  Owned->InstCount);
     It = Blocks.emplace(Pc, std::move(Owned)).first;
   }
   Quick[Slot] = It->second.get();
@@ -866,6 +870,12 @@ bool Vm::stepSlow(RunState &S, ExecResult &R) {
       return true;
     }
     ++Stats.Loads;
+    // Loads from the read-only template pool are template-burst copies;
+    // coalesce the per-word loads of one burst (the copy loop runs ~4
+    // instructions per word, hence the window) into a single event.
+    if (TraceLive && Addr >= TmplLo && Addr < TmplHi)
+      Ring.recordMerged(telemetry::EventKind::TemplateFlush, Stats.Executed,
+                        /*Window=*/16, Addr, 1);
     if (I.Rt != 0)
       Regs[I.Rt] = fetch(Addr);
     break;
@@ -1094,6 +1104,11 @@ for (;;) {
         return BlockExit::Stopped;
       }
       ++Stats.Loads;
+      // Template-burst copy detection; Stats.Executed is committed in
+      // batches here, so add the local Done count for an exact stamp.
+      if (TraceLive && Addr >= TmplLo && Addr < TmplHi)
+        Ring.recordMerged(telemetry::EventKind::TemplateFlush,
+                          Stats.Executed + Done, /*Window=*/16, Addr, 1);
       if (Op.Rt)
         Regs[Op.Rt] = fetch(Addr);
       break;
@@ -1261,6 +1276,9 @@ ExecResult Vm::run(uint32_t EntryPc) {
   RunState S{EntryPc, Opts.Fuel, 0};
   ExecResult R;
   const bool Fast = Opts.EnableDecodeCache;
+  // Sample the atomic enable flag once per run; the per-instruction
+  // instrumentation branches on this plain bool.
+  TraceLive = Ring.enabled();
 
   while (true) {
     if (S.Pc == HostReturnAddr) {

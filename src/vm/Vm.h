@@ -25,6 +25,8 @@
 #define FAB_VM_VM_H
 
 #include "isa/Isa.h"
+#include "telemetry/Stats.h"
+#include "telemetry/TraceRing.h"
 
 #include <cstdint>
 #include <memory>
@@ -55,22 +57,9 @@ enum class Fault {
   CodeSpaceExhausted, ///< dynamic-code emission past [DynLo, DynHi)
 };
 
-/// Execution statistics. All counters are cumulative over the life of the
-/// machine; benchmarks snapshot-and-subtract around regions of interest.
-struct VmStats {
-  uint64_t Executed = 0;        ///< instructions executed, total
-  uint64_t ExecutedStatic = 0;  ///< ... with PC in the static code region
-  uint64_t ExecutedDynamic = 0; ///< ... with PC in the dynamic code region
-  uint64_t Loads = 0;
-  uint64_t Stores = 0;
-  uint64_t DynWordsWritten = 0; ///< words stored into the dynamic code
-                                ///< segment == instructions generated
-  uint64_t Flushes = 0;
-  uint64_t FlushedBytes = 0;
-  uint64_t Cycles = 0; ///< Executed + modeled flush penalties
-
-  VmStats operator-(const VmStats &Rhs) const;
-};
+// VmStats and DecodeCacheStats moved to telemetry/Stats.h (included
+// above) so the telemetry layer can aggregate them without depending on
+// the VM; this header keeps exporting both names unchanged.
 
 /// Deterministic fault injection for testing failure paths (the machine
 /// layer's recovery logic, harness error reporting, benchmark guard rails).
@@ -95,27 +84,6 @@ struct FaultInjector {
   uint32_t TrapValue = 0;
   /// Disarm automatically after firing once (so a retry runs clean).
   bool OneShot = true;
-};
-
-/// Counters for the predecoded basic-block engine (see docs/VM.md).
-/// Host-side only: none of these affect simulated state or VmStats.
-struct DecodeCacheStats {
-  uint64_t BlocksBuilt = 0;   ///< blocks predecoded (including rebuilds)
-  uint64_t BlockRuns = 0;     ///< cached-block executions
-  uint64_t FastInsts = 0;     ///< instructions retired through cached blocks
-  uint64_t SlowInsts = 0;     ///< instructions retired by the slow path
-  uint64_t FusedOps = 0;      ///< fused micro-ops built (lui+ori, cmp+branch)
-  uint64_t Invalidations = 0; ///< cached blocks dropped (code writes, resets)
-
-  DecodeCacheStats &operator+=(const DecodeCacheStats &R) {
-    BlocksBuilt += R.BlocksBuilt;
-    BlockRuns += R.BlockRuns;
-    FastInsts += R.FastInsts;
-    SlowInsts += R.SlowInsts;
-    FusedOps += R.FusedOps;
-    Invalidations += R.Invalidations;
-    return *this;
-  }
 };
 
 /// Configuration for a simulator instance.
@@ -149,6 +117,17 @@ struct VmOptions {
   /// Safety cap on distinct cached blocks; the cache is cleared and
   /// rebuilt on demand when it fills (pathological code only).
   uint32_t MaxCachedBlocks = 1u << 16;
+  /// Lifecycle tracing into the per-machine TraceRing (see
+  /// docs/TELEMETRY.md). Compiled in but default-off; when disabled the
+  /// only cost is one predictable branch per instrumented site
+  /// (bench_host_micro's BM_VmDispatchTraced measures the enabled cost).
+  /// The FAB_TRACE=0 environment variable forces it off process-wide,
+  /// mirroring FAB_DECODE_CACHE. Can also be flipped on a live machine
+  /// via Vm::trace().setEnabled().
+  bool EnableTrace = false;
+  /// TraceRing capacity in events; when full the oldest event is dropped
+  /// (and counted in TraceRing::dropped()).
+  uint32_t TraceCapacity = 4096;
 };
 
 /// Result of one run()/call() invocation.
@@ -221,6 +200,18 @@ public:
 
   const DecodeCacheStats &decodeCacheStats() const { return CacheStats; }
   bool decodeCacheEnabled() const { return Opts.EnableDecodeCache; }
+
+  /// The lifecycle event ring (see telemetry/TraceRing.h). The VM records
+  /// decode-cache and template-copy events; the Machine facade layers
+  /// specialize/memo/reset events on top through the same ring.
+  telemetry::TraceRing &trace() { return Ring; }
+  const telemetry::TraceRing &trace() const { return Ring; }
+  /// Declares [Lo, Hi) as the read-only template pool: guest loads from
+  /// it are template-burst copies and recorded (coalesced) when tracing.
+  void setTemplateRegion(uint32_t Lo, uint32_t Hi) {
+    TmplLo = Lo;
+    TmplHi = Hi;
+  }
   /// Drops every cached predecoded block overlapping [Lo, Hi). Stores
   /// (guest and host) invalidate automatically; this is the hook for
   /// host-side bulk reclamation such as Machine::resetCodeSpace().
@@ -347,6 +338,13 @@ private:
   /// Bumped on every block retirement; validates chained Succ pointers.
   uint64_t CacheEpoch = 1;
   DecodeCacheStats CacheStats;
+
+  telemetry::TraceRing Ring;
+  /// Ring.enabled() cached at run() entry: the per-instruction
+  /// instrumentation (template-copy loads) branches on a plain bool
+  /// instead of an atomic load.
+  bool TraceLive = false;
+  uint32_t TmplLo = 0, TmplHi = 0; ///< template pool, [TmplLo, TmplHi)
 };
 
 } // namespace fab

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_host_micro.json.
+
+Raw instr/s numbers are hardware-dependent, so CI cannot assert on them
+directly. Instead the gate checks the *normalized dispatch ratio*
+
+    BM_VmDispatch.instr/s / BM_VmDispatchNoCache.instr/s
+
+i.e. the predecoded-block engine's speedup over the reference
+interpreter measured within one run on one machine. Host speed cancels
+out of the ratio, so a drop can only mean the cached dispatch path
+itself got slower relative to the (hook-free by construction) slow
+path — exactly the regression the trace-disabled telemetry hooks must
+not introduce. The committed baseline lives in
+bench/baselines/host_micro.json; refresh it with --write-baseline after
+an intentional engine change.
+
+The traced/disabled ratio (BM_VmDispatchTraced vs BM_VmDispatch) is
+reported for the log but not gated: with tracing armed, events really
+are recorded, and that cost is allowed.
+
+stdlib only — no pip installs in CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        report = json.load(f)
+    return report.get("metrics", {})
+
+
+def dispatch_ratio(metrics, path):
+    try:
+        cached = metrics["BM_VmDispatch.instr/s"]
+        slow = metrics["BM_VmDispatchNoCache.instr/s"]
+    except KeyError as k:
+        sys.exit(f"error: {path} is missing metric {k}")
+    if slow <= 0:
+        sys.exit(f"error: {path} has non-positive BM_VmDispatchNoCache rate")
+    return cached / slow
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", required=True,
+                    help="BENCH_host_micro.json from this run")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=0.03,
+                    help="allowed fractional drop in the dispatch ratio "
+                         "(default 0.03)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite the baseline from --current instead of "
+                         "checking")
+    args = ap.parse_args()
+
+    metrics = load_metrics(args.current)
+    ratio = dispatch_ratio(metrics, args.current)
+
+    if args.write_baseline:
+        baseline = {
+            "comment": "Perf baseline for tools/check_perf_baseline.py. "
+                       "Refresh with --write-baseline after intentional "
+                       "dispatch-engine changes.",
+            "dispatch_ratio": ratio,
+            "metrics": {k: v for k, v in sorted(metrics.items())
+                        if k.startswith("BM_VmDispatch")},
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"wrote baseline dispatch_ratio={ratio:.3f} to {args.baseline}")
+        return
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    base_ratio = base["dispatch_ratio"]
+    floor = base_ratio * (1.0 - args.tolerance)
+
+    print(f"dispatch ratio (cached/reference): current {ratio:.3f}, "
+          f"baseline {base_ratio:.3f}, floor {floor:.3f} "
+          f"(tolerance {args.tolerance:.0%})")
+
+    traced = metrics.get("BM_VmDispatchTraced.instr/s")
+    disabled = metrics.get("BM_VmDispatch.instr/s")
+    if traced and disabled:
+        print(f"trace-armed overhead (informational): "
+              f"{disabled / traced:.3f}x slower than trace-disabled")
+
+    if ratio < floor:
+        sys.exit(f"FAIL: dispatch ratio {ratio:.3f} is more than "
+                 f"{args.tolerance:.0%} below baseline {base_ratio:.3f} — "
+                 f"the trace-disabled dispatch path regressed")
+    print("OK: trace-disabled dispatch within tolerance of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,10 @@
 //                      byte-identical, only generator speed changes
 //   --disasm FN        disassemble FN's static code (first 64 words)
 //   --stats            print simulator statistics after the call
+//   --trace FILE       record lifecycle events (specialize/memo/reset/...)
+//                      and write them as Chrome trace_event JSON, loadable
+//                      in chrome://tracing or Perfetto (docs/TELEMETRY.md)
+//   --no-trace         force tracing off (same as FAB_TRACE=0)
 //   --call FN ARG...   call FN; integer args, or [1,2,3] vector literals
 //
 // Example:
@@ -54,6 +58,7 @@ namespace {
                "            [--thread-jumps] [--no-decode-cache]\n"
                "            [--no-templates] [--disasm FN]\n"
                "            [--dump-staging] [--stats]\n"
+               "            [--trace FILE] [--no-trace]\n"
                "            --call FN ARG...\n"
                "ARG is an integer or a vector literal like [1,2,3]\n");
   std::exit(2);
@@ -88,6 +93,7 @@ int main(int Argc, char **Argv) {
   VmOptions VmOpts;
   bool Stats = false;
   bool DumpStaging = false;
+  std::string TraceFile;
   std::string DisasmFn;
   std::string CallFn;
   std::vector<std::string> CallArgs;
@@ -114,6 +120,14 @@ int main(int Argc, char **Argv) {
       DumpStaging = true;
     } else if (A == "--stats") {
       Stats = true;
+    } else if (A == "--trace") {
+      if (++I >= Argc)
+        usage("--trace needs an output file");
+      TraceFile = Argv[I];
+      VmOpts.EnableTrace = true;
+    } else if (A == "--no-trace") {
+      VmOpts.EnableTrace = false;
+      TraceFile.clear();
     } else if (A == "--call") {
       if (++I >= Argc)
         usage("--call needs a function name");
@@ -199,7 +213,10 @@ int main(int Argc, char **Argv) {
   }
 
   if (Stats) {
-    const VmStats &S = M.stats();
+    // One read through the unified snapshot (docs/TELEMETRY.md); the
+    // human layout below is unchanged from the per-struct era.
+    const TelemetrySnapshot T = M.telemetry();
+    const VmStats &S = T.Vm;
     std::printf("\nsimulator statistics:\n");
     std::printf("  instructions executed : %llu (static %llu, generated "
                 "%llu)\n",
@@ -215,7 +232,7 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.Flushes),
                 static_cast<unsigned long long>(S.FlushedBytes));
 
-    const DecodeCacheStats &DC = M.vm().decodeCacheStats();
+    const DecodeCacheStats &DC = T.DecodeCache;
     std::printf("decode cache (host-side; off = reference interpreter):\n");
     std::printf("  enabled               : %s\n",
                 M.vm().decodeCacheEnabled() ? "yes" : "no");
@@ -230,7 +247,7 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(DC.SlowInsts),
                 static_cast<unsigned long long>(DC.FusedOps));
 
-    const SpecializationStats &Sp = M.memo();
+    const SpecializationStats &Sp = T.Memo;
     std::printf("specialization statistics:\n");
     std::printf("  generator runs        : %llu (memo hits %llu, misses "
                 "%llu)\n",
@@ -240,15 +257,14 @@ int main(int Argc, char **Argv) {
     if (Sp.GenDynWords)
       std::printf("  generator efficiency  : %.2f instructions per generated "
                   "instruction (%llu / %llu)\n",
-                  static_cast<double>(Sp.GenExecuted) /
-                      static_cast<double>(Sp.GenDynWords),
+                  T.generatorEfficiency(),
                   static_cast<unsigned long long>(Sp.GenExecuted),
                   static_cast<unsigned long long>(Sp.GenDynWords));
-    std::printf("  specializations live  : %u (code epoch %llu)\n",
-                M.specializationsLive(),
-                static_cast<unsigned long long>(M.codeEpoch()));
+    std::printf("  specializations live  : %llu (code epoch %llu)\n",
+                static_cast<unsigned long long>(T.SpecializationsLive),
+                static_cast<unsigned long long>(T.CodeEpoch));
 
-    const RecoveryStats &R = M.recovery();
+    const RecoveryStats &R = T.Recovery;
     std::printf("recovery statistics:\n");
     std::printf("  watermark resets      : %llu\n",
                 static_cast<unsigned long long>(R.WatermarkResets));
@@ -260,6 +276,32 @@ int main(int Argc, char **Argv) {
     std::printf("  plain fallback calls  : %llu%s\n",
                 static_cast<unsigned long long>(R.PlainFallbackCalls),
                 M.degraded() ? " (machine degraded)" : "");
+
+    if (!T.Entries.empty()) {
+      std::printf("per entry point:\n");
+      for (const EntryPointProfile &P : T.Entries)
+        std::printf("  %-20s: %llu calls, %llu specializations "
+                    "(%llu memo hits), %llu words emitted\n",
+                    P.Fn.c_str(), static_cast<unsigned long long>(P.Calls),
+                    static_cast<unsigned long long>(P.Specializations),
+                    static_cast<unsigned long long>(P.MemoHits),
+                    static_cast<unsigned long long>(P.DynWords));
+    }
+  }
+
+  if (!TraceFile.empty()) {
+    std::ofstream Out(TraceFile);
+    if (!Out) {
+      std::fprintf(stderr, "fabc: cannot write %s\n", TraceFile.c_str());
+      return 1;
+    }
+    std::vector<telemetry::TraceTrack> Tracks(1);
+    Tracks[0].Tid = 0;
+    Tracks[0].Label = "machine";
+    Tracks[0].Events = M.trace().snapshot();
+    telemetry::writeChromeTrace(Out, Tracks);
+    std::printf("wrote %zu trace events to %s (load in chrome://tracing)\n",
+                Tracks[0].Events.size(), TraceFile.c_str());
   }
   return 0;
 }

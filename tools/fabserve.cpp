@@ -9,8 +9,15 @@
 //
 // Usage: fabserve [--workers N] [--requests N] [--rows N] [--len N]
 //                 [--seed S] [--no-cache] [--cache-capacity N]
+//                 [--report-interval MS] [--trace FILE]
 //
-//   fabserve --workers 4 --requests 1000
+//   fabserve --workers 4 --requests 1000 --report-interval 200
+//
+// --report-interval starts the server's reporter thread: an aggregated
+// TelemetrySnapshot summary line every MS milliseconds (plus one final
+// line at shutdown). --trace enables per-worker lifecycle tracing and
+// merges every worker's events into one Chrome trace_event JSON file,
+// one track per worker (see docs/TELEMETRY.md).
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -36,7 +44,8 @@ namespace {
   std::fprintf(stderr,
                "usage: fabserve [--workers N] [--requests N] [--rows N]\n"
                "                [--len N] [--seed S] [--no-cache]\n"
-               "                [--cache-capacity N]\n");
+               "                [--cache-capacity N]\n"
+               "                [--report-interval MS] [--trace FILE]\n");
   std::exit(2);
 }
 
@@ -63,6 +72,8 @@ int main(int argc, char **argv) {
   uint64_t Seed = 1;
   size_t CacheCapacity = 1024;
   bool Cache = true;
+  unsigned ReportIntervalMs = 0;
+  std::string TraceFile;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     auto next = [&]() -> const char * {
@@ -84,6 +95,10 @@ int main(int argc, char **argv) {
       CacheCapacity = parseNum(next());
     else if (A == "--no-cache")
       Cache = false;
+    else if (A == "--report-interval")
+      ReportIntervalMs = static_cast<unsigned>(parseNum(next()));
+    else if (A == "--trace")
+      TraceFile = next();
     else
       usage(("unknown option " + A).c_str());
   }
@@ -140,6 +155,9 @@ int main(int argc, char **argv) {
   SO.Pool.EnableCache = Cache;
   SO.Pool.InternEarlyArgs = Cache;
   SO.Pool.CacheCapacity = CacheCapacity;
+  SO.ReportIntervalMs = ReportIntervalMs;
+  if (!TraceFile.empty())
+    SO.Pool.Vm.EnableTrace = true;
   SpecServer S(C, SO);
 
   std::printf("fabserve: %zu requests (%zu dot-product keys of length %u + "
@@ -167,49 +185,79 @@ int main(int argc, char **argv) {
   }
   S.shutdown();
 
-  ServerStats St = S.stats();
+  // The unified snapshot replaces the old hand-summed ServerStats; the
+  // human layout is unchanged.
+  TelemetrySnapshot T = S.telemetry();
   std::printf("\nall %llu results validated against host oracles (%zu "
               "mismatches)\n",
-              static_cast<unsigned long long>(St.Served), Mismatches);
+              static_cast<unsigned long long>(T.Served), Mismatches);
   std::printf("\nserver statistics:\n");
   std::printf("  served / errors       : %llu / %llu\n",
-              static_cast<unsigned long long>(St.Served),
-              static_cast<unsigned long long>(St.Errors));
+              static_cast<unsigned long long>(T.Served),
+              static_cast<unsigned long long>(T.Errors));
   std::printf("  pool makespan         : %llu cycles (%.3f ms at 25 MHz, "
               "%.0f req/sim-second)\n",
-              static_cast<unsigned long long>(St.BusyCyclesMax),
-              static_cast<double>(St.BusyCyclesMax) / 25000.0,
-              St.BusyCyclesMax ? static_cast<double>(St.Served) * 25e6 /
-                                     static_cast<double>(St.BusyCyclesMax)
-                               : 0.0);
+              static_cast<unsigned long long>(T.BusyCyclesMax),
+              static_cast<double>(T.BusyCyclesMax) / 25000.0,
+              T.BusyCyclesMax ? static_cast<double>(T.Served) * 25e6 /
+                                    static_cast<double>(T.BusyCyclesMax)
+                              : 0.0);
   std::printf("  busy cycles (total)   : %llu across %u workers\n",
-              static_cast<unsigned long long>(St.BusyCyclesTotal), St.Workers);
+              static_cast<unsigned long long>(T.BusyCyclesTotal), T.Workers);
   std::printf("  queue high water      : %llu\n",
-              static_cast<unsigned long long>(St.QueueHighWater));
+              static_cast<unsigned long long>(T.QueueHighWater));
   std::printf("  cache                 : %llu hits, %llu misses, %llu "
               "evictions, %llu rehydrations (%.1f%% hit rate), %llu "
               "coalesced\n",
-              static_cast<unsigned long long>(St.Cache.Hits),
-              static_cast<unsigned long long>(St.Cache.Misses),
-              static_cast<unsigned long long>(St.Cache.Evictions),
-              static_cast<unsigned long long>(St.Cache.Rehydrations),
-              100.0 * St.Cache.hitRate(),
-              static_cast<unsigned long long>(St.Coalesced));
+              static_cast<unsigned long long>(T.Cache.Hits),
+              static_cast<unsigned long long>(T.Cache.Misses),
+              static_cast<unsigned long long>(T.Cache.Evictions),
+              static_cast<unsigned long long>(T.Cache.Rehydrations),
+              100.0 * T.Cache.hitRate(),
+              static_cast<unsigned long long>(T.Coalesced));
   std::printf("  generator             : %llu runs (in-VM memo %llu hits, "
               "%llu misses), %llu instr words\n",
-              static_cast<unsigned long long>(St.Memo.GeneratorRuns),
-              static_cast<unsigned long long>(St.Memo.MemoHits),
-              static_cast<unsigned long long>(St.Memo.MemoMisses),
-              static_cast<unsigned long long>(St.GenInstrWords));
-  if (St.Memo.GenDynWords)
+              static_cast<unsigned long long>(T.Memo.GeneratorRuns),
+              static_cast<unsigned long long>(T.Memo.MemoHits),
+              static_cast<unsigned long long>(T.Memo.MemoMisses),
+              static_cast<unsigned long long>(T.Vm.DynWordsWritten));
+  if (T.Memo.GenDynWords)
     std::printf("  generator efficiency  : %.2f instructions per generated "
                 "instruction (%llu / %llu)\n",
-                static_cast<double>(St.Memo.GenExecuted) /
-                    static_cast<double>(St.Memo.GenDynWords),
-                static_cast<unsigned long long>(St.Memo.GenExecuted),
-                static_cast<unsigned long long>(St.Memo.GenDynWords));
+                T.generatorEfficiency(),
+                static_cast<unsigned long long>(T.Memo.GenExecuted),
+                static_cast<unsigned long long>(T.Memo.GenDynWords));
   std::printf("  heap recycles         : %llu; degraded workers: %u\n",
-              static_cast<unsigned long long>(St.HeapRecycles),
-              St.DegradedWorkers);
+              static_cast<unsigned long long>(T.HeapRecycles),
+              T.DegradedMachines);
+  for (const EntryPointProfile &P : T.Entries)
+    std::printf("  entry %-15s: %llu calls, %llu specializations "
+                "(%llu memo hits)\n",
+                P.Fn.c_str(), static_cast<unsigned long long>(P.Calls),
+                static_cast<unsigned long long>(P.Specializations),
+                static_cast<unsigned long long>(P.MemoHits));
+
+  if (!TraceFile.empty()) {
+    std::ofstream Out(TraceFile);
+    if (!Out) {
+      std::fprintf(stderr, "fabserve: cannot write %s\n", TraceFile.c_str());
+      return 1;
+    }
+    // One Chrome trace track per worker; the shared process clock keeps
+    // concurrent tracks aligned.
+    std::vector<fab::telemetry::TraceTrack> Tracks;
+    size_t Total = 0;
+    for (unsigned W = 0; W < S.workers(); ++W) {
+      fab::telemetry::TraceTrack Tk;
+      Tk.Tid = static_cast<int>(W);
+      Tk.Label = "worker " + std::to_string(W);
+      Tk.Events = S.drainWorkerTrace(W);
+      Total += Tk.Events.size();
+      Tracks.push_back(std::move(Tk));
+    }
+    fab::telemetry::writeChromeTrace(Out, Tracks);
+    std::printf("wrote %zu trace events (%u tracks) to %s\n", Total,
+                S.workers(), TraceFile.c_str());
+  }
   return Mismatches ? 1 : 0;
 }
