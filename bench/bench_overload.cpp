@@ -1,0 +1,215 @@
+//===- bench_overload.cpp - Admission control under saturation ------------===//
+//
+// Measures what the bounded-queue admission layer buys under overload: a
+// burst of the mixed serving workload (Figure 2 dot products + Figure 4
+// packet-filter runs) at roughly 2x what two workers can absorb, played
+// against
+//   * an unbounded pool (every request queues, nothing is refused), and
+//   * a bounded pool (per-worker queue depth 16, excess shed at submit).
+// The unbounded pool serves everything but its tail latency is the whole
+// backlog; the bounded pool answers a predictable fraction immediately
+// with Rejected and keeps the p99 of *accepted* work bounded by the
+// queue depth. The headline assertion is exactly that: bounded p99 <=
+// unbounded p99.
+//
+// Also checks the robustness features are free when idle: the same
+// stream served serially (no overload, no deadlines, no faults) with
+// breaker+bounds on versus everything off must cost the same simulated
+// cycles to within 2% (the features live on the host side of the serving
+// path; they add no simulated instructions).
+//
+// Always writes BENCH_overload.json so the perf trajectory is tracked.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "bpf/Bpf.h"
+#include "service/SpecServer.h"
+#include "support/Rng.h"
+#include "workloads/MlPrograms.h"
+
+#include <future>
+
+using namespace fab;
+using namespace fab::bench;
+using namespace fab::service;
+
+namespace {
+
+struct MixedRequest {
+  std::string Fn;
+  std::vector<Value> Early, Late;
+};
+
+/// Same stream shape as bench_service: heavy early-value reuse, one
+/// third packet-filter runs.
+std::vector<MixedRequest> makeWorkload(size_t Count, uint32_t N,
+                                       size_t RowCount, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<std::vector<int32_t>> Rows;
+  for (size_t I = 0; I < RowCount; ++I) {
+    std::vector<int32_t> Row(N);
+    for (uint32_t J = 0; J < N; ++J)
+      Row[J] = static_cast<int32_t>(R.next() % 200) - 50;
+    Rows.push_back(Row);
+  }
+  bpf::Program Filter = bpf::telnetFilter();
+  auto Trace = bpf::makeTrace(32, Seed ^ 0xC0FFEE);
+
+  std::vector<MixedRequest> Reqs;
+  for (size_t I = 0; I < Count; ++I) {
+    if (I % 3 == 2) {
+      Reqs.push_back({"eval",
+                      {Value::ofVec(Filter.Words), Value::ofInt(0)},
+                      {Value::ofInt(0), Value::ofInt(0),
+                       Value::ofVec(std::vector<int32_t>(16, 0)),
+                       Value::ofVec(Trace[I % Trace.size()])}});
+    } else {
+      std::vector<int32_t> Col(N);
+      for (uint32_t J = 0; J < N; ++J)
+        Col[J] = static_cast<int32_t>(R.next() % 100) - 25;
+      Reqs.push_back({"dotloop",
+                      {Value::ofVec(Rows[I % Rows.size()]), Value::ofInt(0),
+                       Value::ofInt(static_cast<int32_t>(N))},
+                      {Value::ofVec(Col), Value::ofInt(0)}});
+    }
+  }
+  return Reqs;
+}
+
+struct BurstResult {
+  size_t Served = 0;
+  size_t Shed = 0;
+  TelemetrySnapshot T;
+};
+
+/// Fires the whole stream at the pool as fast as submit() goes (the
+/// overload: two workers cannot drain at submission speed), then
+/// collects every future.
+BurstResult burst(const Compilation &C, const std::vector<MixedRequest> &Reqs,
+                  size_t QueueDepth) {
+  ServerOptions SO;
+  SO.Pool.Workers = 2;
+  SO.Pool.MaxQueueDepth = QueueDepth;
+  SpecServer S(C, SO);
+  std::vector<std::future<FabResult<int32_t>>> Futures;
+  Futures.reserve(Reqs.size());
+  for (const MixedRequest &Q : Reqs)
+    Futures.push_back(S.submit(Q.Fn, Q.Early, Q.Late));
+  BurstResult B;
+  for (auto &F : Futures) {
+    FabResult<int32_t> V = F.get();
+    if (V.ok()) {
+      ++B.Served;
+    } else if (V.error().Code == FabErrc::Rejected) {
+      ++B.Shed;
+    } else {
+      std::fprintf(stderr, "unexpected error: %s\n",
+                   V.error().message().c_str());
+      std::exit(1);
+    }
+  }
+  S.shutdown();
+  B.T = S.telemetry();
+  return B;
+}
+
+/// Serves the stream serially (one in flight at a time: no queueing, no
+/// overload) and returns the pool makespan in simulated cycles.
+uint64_t serialCycles(const Compilation &C,
+                      const std::vector<MixedRequest> &Reqs, bool Robust) {
+  ServerOptions SO;
+  SO.Pool.Workers = 2;
+  SO.Pool.MaxQueueDepth = Robust ? 1024 : 0;
+  SO.Pool.Breaker.Enabled = Robust;
+  SpecServer S(C, SO);
+  for (const MixedRequest &Q : Reqs)
+    if (!S.call(Q.Fn, Q.Early, Q.Late).ok()) {
+      std::fprintf(stderr, "serial request failed\n");
+      std::exit(1);
+    }
+  S.shutdown();
+  return S.telemetry().BusyCyclesMax;
+}
+
+double ms(uint64_t Ns) { return static_cast<double>(Ns) / 1e6; }
+
+} // namespace
+
+int main() {
+  std::printf("Overload: bounded admission vs unbounded queueing\n");
+
+  FabiusOptions Opts = FabiusOptions::deferred();
+  Opts.Backend.MemoizedSelfCalls.insert("eval");
+  std::string Src =
+      std::string(workloads::MatmulSrc) + "\n" + workloads::EvalSrc;
+  Compilation C = compileOrDie(Src, Opts);
+
+  // Few distinct keys (8 rows): specialization amortizes within the
+  // first handful of requests, so the tail latency being compared is
+  // queue wait, not generator cost.
+  const size_t NumRequests = 600;
+  std::vector<MixedRequest> Reqs = makeWorkload(NumRequests, 64, 8, 4242);
+
+  std::printf("\n%zu-request burst on 2 workers (wall-clock latency, "
+              "submit to resolve)\n\n",
+              NumRequests);
+  std::printf("%12s  %8s  %8s  %10s  %10s  %10s\n", "queue", "served", "shed",
+              "p50 (ms)", "p99 (ms)", "max (ms)");
+
+  BurstResult Unbounded = burst(C, Reqs, 0);
+  BurstResult Bounded = burst(C, Reqs, 16);
+  for (const auto *R : {&Unbounded, &Bounded}) {
+    std::printf("%12s  %8zu  %8zu  %10.3f  %10.3f  %10.3f\n",
+                R == &Unbounded ? "unbounded" : "bounded(16)", R->Served,
+                R->Shed, ms(R->T.Latency.quantileNs(0.50)),
+                ms(R->T.Latency.quantileNs(0.99)), ms(R->T.Latency.MaxNs));
+  }
+  double P99Unbounded = ms(Unbounded.T.Latency.quantileNs(0.99));
+  double P99Bounded = ms(Bounded.T.Latency.quantileNs(0.99));
+  double Goodput =
+      static_cast<double>(Bounded.Served) / static_cast<double>(NumRequests);
+  reportMetric("p99_unbounded_ms", P99Unbounded, "ms");
+  reportMetric("p99_bounded_ms", P99Bounded, "ms");
+  reportMetric("bounded_goodput", Goodput);
+  reportMetric("bounded_shed", static_cast<double>(Bounded.Shed));
+
+  std::printf("\nBounded admission: p99 %.3f ms vs %.3f ms unbounded "
+              "(%.1f%% of the burst served, rest refused instantly)\n",
+              P99Bounded, P99Unbounded, 100.0 * Goodput);
+  if (Unbounded.Served != NumRequests || Unbounded.Shed != 0) {
+    std::fprintf(stderr, "FAIL: unbounded pool refused work\n");
+    return 1;
+  }
+  if (Bounded.Shed == 0) {
+    std::fprintf(stderr,
+                 "FAIL: bounded pool shed nothing; burst did not saturate\n");
+    return 1;
+  }
+  if (P99Bounded > P99Unbounded) {
+    std::fprintf(stderr, "FAIL: bounded p99 above unbounded p99\n");
+    return 1;
+  }
+
+  // Idle-overhead check: robustness machinery priced at zero simulated
+  // cycles when nothing sheds, misses, retries, or breaks.
+  uint64_t CyclesOn = serialCycles(C, Reqs, /*Robust=*/true);
+  uint64_t CyclesOff = serialCycles(C, Reqs, /*Robust=*/false);
+  double Overhead = CyclesOff ? static_cast<double>(CyclesOn) /
+                                        static_cast<double>(CyclesOff) -
+                                    1.0
+                              : 0.0;
+  std::printf("\nIdle overhead: %llu cycles with features on, %llu off "
+              "(%.3f%%; must be <= 2%%)\n",
+              static_cast<unsigned long long>(CyclesOn),
+              static_cast<unsigned long long>(CyclesOff), 100.0 * Overhead);
+  reportMetric("idle_overhead_pct", 100.0 * Overhead, "%");
+  if (Overhead > 0.02) {
+    std::fprintf(stderr, "FAIL: idle robustness overhead above 2%%\n");
+    return 1;
+  }
+
+  writeBenchJson("overload");
+  return 0;
+}

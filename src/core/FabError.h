@@ -33,7 +33,11 @@ enum class FabErrc {
   OutOfFuel,          ///< instruction budget exhausted
   CodeSpaceExhausted, ///< dynamic code segment full and not recoverable
   Degraded,           ///< machine fell back to Plain; staging unavailable
-  Rejected,           ///< serving layer refused the request (shut down)
+  Rejected,           ///< serving layer refused the request (shut down
+                      ///< or queue over its configured depth)
+  DeadlineExceeded,   ///< request deadline passed (in queue or mid-run)
+  CircuitOpen,        ///< entry point's circuit breaker is open and no
+                      ///< plain fallback image exists to serve it
 };
 
 /// One failed Machine operation. Exec carries the underlying VM stop when

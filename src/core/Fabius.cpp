@@ -34,7 +34,13 @@ std::string FabError::message() const {
     OS << Fn << ": machine degraded to plain execution; staging unavailable";
     break;
   case FabErrc::Rejected:
-    OS << Fn << ": request rejected (server shutting down)";
+    OS << Fn << ": request rejected (server shutting down or queue full)";
+    break;
+  case FabErrc::DeadlineExceeded:
+    OS << Fn << ": deadline exceeded";
+    break;
+  case FabErrc::CircuitOpen:
+    OS << Fn << ": circuit breaker open and no plain fallback image";
     break;
   }
   return OS.str();
@@ -303,6 +309,18 @@ ExecResult Machine::call(const std::string &Name,
     return runGuarded(Plain->fnAddr(Name), Args);
   }
   return runRecovered(Unit.fnAddr(Name), Args);
+}
+
+FabResult<int32_t> Machine::callPlainInt(const std::string &Name,
+                                         const std::vector<uint32_t> &Args) {
+  if (!Plain || !Plain->FnAddr.count(Name))
+    return FabError{FabErrc::UnknownFunction, Name, {}};
+  ++Profiles[Name].Calls;
+  ++Recovery.PlainFallbackCalls;
+  ExecResult R = runGuarded(Plain->fnAddr(Name), Args);
+  if (!R.ok())
+    return makeError(Name, R);
+  return static_cast<int32_t>(R.V0);
 }
 
 FabResult<uint32_t> Machine::invokeNamedRaw(const std::string &Name,

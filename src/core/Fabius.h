@@ -224,6 +224,15 @@ public:
     return invoke<int32_t>(Addr, Args);
   }
 
+  /// Calls the Plain fall-back image directly, regardless of degradation
+  /// state, with the *combined* early+late argument list (Plain collapses
+  /// currying). The serving layer uses this to route an entry point whose
+  /// circuit breaker is open around the staged path for a cool-down
+  /// window without degrading the whole machine. Counts toward
+  /// RecoveryStats::PlainFallbackCalls.
+  FabResult<int32_t> callPlainInt(const std::string &Name,
+                                  const std::vector<uint32_t> &Args);
+
   // Crash-on-error conveniences (print the error and exit).
   int32_t callIntOrDie(const std::string &Name,
                        const std::vector<uint32_t> &Args) {

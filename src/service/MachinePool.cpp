@@ -3,12 +3,22 @@
 #include "service/MachinePool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 
 using namespace fab;
 using namespace fab::service;
 
 MachinePool::MachinePool(const Compilation &C, const PoolOptions &O)
     : Comp(C), Opts(O) {
+  // Process-wide robustness vetoes (see docs/INTERNALS.md): the env var
+  // always wins over the options the caller passed.
+  if (const char *E = std::getenv("FAB_QUEUE_DEPTH"))
+    Opts.MaxQueueDepth = static_cast<size_t>(std::strtoull(E, nullptr, 0));
+  if (const char *E = std::getenv("FAB_BREAKER"); E && E[0] == '0' && !E[1])
+    Opts.Breaker.Enabled = false;
+  if (const char *E = std::getenv("FAB_RETRIES"); E && E[0] == '0' && !E[1])
+    RetriesVetoed = true;
   unsigned N = std::max(1u, Opts.Workers);
   Ws.reserve(N);
   for (unsigned I = 0; I < N; ++I)
@@ -19,18 +29,22 @@ MachinePool::MachinePool(const Compilation &C, const PoolOptions &O)
 
 MachinePool::~MachinePool() { shutdown(); }
 
-bool MachinePool::post(unsigned W, Request R) {
+MachinePool::PostStatus MachinePool::post(unsigned W, Request R) {
   Worker &Wk = *Ws.at(W);
   {
     std::lock_guard<std::mutex> L(Wk.QueueMutex);
     if (Wk.Stopped)
-      return false;
+      return PostStatus::Stopped;
+    if (Opts.MaxQueueDepth && Wk.Queue.size() >= Opts.MaxQueueDepth) {
+      ++Wk.Shed;
+      return PostStatus::Full;
+    }
     Wk.Queue.push_back(std::move(R));
     Wk.QueueHighWater = std::max(Wk.QueueHighWater,
                                  static_cast<uint64_t>(Wk.Queue.size()));
   }
   Wk.Ready.notify_one();
-  return true;
+  return PostStatus::Ok;
 }
 
 void MachinePool::shutdown() {
@@ -54,8 +68,24 @@ void MachinePool::shutdown() {
 
 WorkerStats MachinePool::workerStats(unsigned W) const {
   const Worker &Wk = *Ws.at(W);
-  std::lock_guard<std::mutex> L(Wk.StatsMutex);
-  return Wk.Stats;
+  WorkerStats S;
+  {
+    std::lock_guard<std::mutex> L(Wk.StatsMutex);
+    S = Wk.Stats;
+  }
+  // Patch in the intake-side counters that live under the queue lock:
+  // sheds happen in post() without the worker ever seeing the request,
+  // and the high-water mark may have risen since the last publish().
+  // Sequential lock acquisition (never nested).
+  {
+    std::lock_guard<std::mutex> L(Wk.QueueMutex);
+    S.Overload.Shed = Wk.Shed;
+    S.QueueHighWater = std::max(S.QueueHighWater, Wk.QueueHighWater);
+  }
+  S.Telemetry.Overload.Shed = S.Overload.Shed;
+  S.Telemetry.QueueHighWater =
+      std::max(S.Telemetry.QueueHighWater, S.QueueHighWater);
+  return S;
 }
 
 std::vector<telemetry::TraceEvent> MachinePool::drainTrace(unsigned W) {
@@ -99,12 +129,11 @@ MachinePool::serve(Machine &M, SpecCache &Cache,
                    std::map<std::vector<int32_t>, uint32_t> &Intern,
                    Request &R, BatchSpecMap &BatchSpecs, WorkerStats &Local) {
   VmStats Before = M.stats();
+  // Served/Errors are counted once per *request* by the worker loop, not
+  // here: a request may run serve() several times (retries) and must not
+  // be double-counted.
   auto finish = [&](FabResult<int32_t> Res) {
     Local.BusyCycles += (M.stats() - Before).Cycles;
-    if (Res)
-      ++Local.Served;
-    else
-      ++Local.Errors;
     return Res;
   };
 
@@ -200,6 +229,9 @@ void MachinePool::runWorker(unsigned Idx) {
     T.QueueHighWater = Local.QueueHighWater;
     T.BusyCyclesTotal = T.BusyCyclesMax = Local.BusyCycles;
     T.HeapRecycles = Local.HeapRecycles;
+    T.Overload = Local.Overload;
+    T.Latency = Local.Latency;
+    T.BreakersOpen = Local.BreakersOpen;
     // Mirror the snapshot into the legacy per-struct fields.
     Local.Cache = T.Cache;
     Local.Memo = T.Memo;
@@ -212,6 +244,169 @@ void MachinePool::runWorker(unsigned Idx) {
     W.Stats = Local;
   };
 
+  // Per-entry-point circuit breakers: worker-private state, keyed by
+  // function name. OpenLeft counts the remaining cooldown requests; when
+  // it reaches zero the next request probes the staged path.
+  struct BreakerState {
+    unsigned Fails = 0;    ///< consecutive counted failures
+    unsigned OpenLeft = 0; ///< cooldown requests before the next probe
+    bool Open = false;
+  };
+  std::unordered_map<std::string, BreakerState> Breakers;
+  auto breakersOpen = [&] {
+    unsigned N = 0;
+    for (const auto &KV : Breakers)
+      N += KV.second.Open ? 1 : 0;
+    return N;
+  };
+
+  // The Plain image collapses currying, so an open breaker serves the
+  // combined early+late argument list through Machine::callPlainInt.
+  auto servePlain = [&](Request &R) -> FabResult<int32_t> {
+    VmStats Before = M->stats();
+    std::vector<uint32_t> Words =
+        materialize(*M, Opts.InternEarlyArgs ? &Intern : nullptr, R.Early);
+    std::vector<uint32_t> LateW = materialize(*M, nullptr, R.Late);
+    Words.insert(Words.end(), LateW.begin(), LateW.end());
+    FabResult<int32_t> Res = M->callPlainInt(R.Key.Fn, Words);
+    Local.BusyCycles += (M->stats() - Before).Cycles;
+    return Res;
+  };
+
+  // Remaining wall deadline -> VM fuel cap at the modeled clock rate;
+  // .second says the cap came from the deadline (an OutOfFuel stop under
+  // such a cap is reported as DeadlineExceeded, not as a VM error).
+  auto fuelCap = [&](const Request &R) -> std::pair<uint64_t, bool> {
+    uint64_t Cap = Opts.RequestFuel;
+    bool FromDeadline = false;
+    if (R.DeadlineNs) {
+      uint64_t Now = telemetry::traceNowNs();
+      uint64_t RemainNs = R.DeadlineNs > Now ? R.DeadlineNs - Now : 0;
+      uint64_t DFuel =
+          std::max<uint64_t>(1, RemainNs / 1000 * Opts.DeadlineInstrPerUs);
+      if (!Cap || DFuel < Cap) {
+        Cap = DFuel;
+        FromDeadline = true;
+      }
+    }
+    return {Cap, FromDeadline};
+  };
+
+  auto serveRobust = [&](Request &R,
+                         BatchSpecMap &BatchSpecs) -> FabResult<int32_t> {
+    const bool Tracing = M->trace().enabled();
+    const uint16_t NameId =
+        Tracing ? telemetry::internName(R.Key.Fn) : uint16_t(0);
+    // Shed late work at dequeue, before paying any specialization cost.
+    uint64_t Now = telemetry::traceNowNs();
+    if (R.DeadlineNs && Now >= R.DeadlineNs) {
+      ++Local.Overload.DeadlineMisses;
+      if (Tracing)
+        M->trace().record(telemetry::EventKind::RequestShed,
+                          M->stats().Executed, Now - R.DeadlineNs, 0, NameId);
+      return FabError{FabErrc::DeadlineExceeded, R.Key.Fn, {}};
+    }
+
+    BreakerState *B = nullptr;
+    bool Probe = false;
+    if (Opts.Breaker.Enabled) {
+      B = &Breakers[R.Key.Fn];
+      if (B->Open) {
+        if (B->OpenLeft > 0) {
+          // Cooling down: route around the staged path entirely.
+          --B->OpenLeft;
+          auto [Cap, FromDeadline] = fuelCap(R);
+          if (M->hasPlainFallback()) {
+            ++Local.Overload.BreakerFallbacks;
+            ScopedFuelCap FC(M->vm(), Cap);
+            FabResult<int32_t> Res = servePlain(R);
+            if (!Res.ok() && FromDeadline &&
+                Res.error().Code == FabErrc::OutOfFuel) {
+              Res.error().Code = FabErrc::DeadlineExceeded;
+              ++Local.Overload.DeadlineMisses;
+            }
+            return Res;
+          }
+          ++Local.Overload.BreakerFastFails;
+          return FabError{FabErrc::CircuitOpen, R.Key.Fn, {}};
+        }
+        Probe = true;
+        ++Local.Overload.BreakerProbes;
+        if (Tracing)
+          M->trace().record(telemetry::EventKind::BreakerProbe,
+                            M->stats().Executed, 0, 0, NameId);
+      }
+    }
+
+    // Attempt loop: serve, classify, maybe retry with backoff.
+    FabResult<int32_t> Res = FabError{FabErrc::Trapped, R.Key.Fn, {}};
+    unsigned Attempt = 0;
+    for (;;) {
+      auto [Cap, FromDeadline] = fuelCap(R);
+      {
+        ScopedFuelCap FC(M->vm(), Cap);
+        Res = serve(*M, Cache, Intern, R, BatchSpecs, Local);
+      }
+      if (Res.ok())
+        break;
+      if (FromDeadline && Res.error().Code == FabErrc::OutOfFuel) {
+        // The run was cut short by the deadline-derived cap, not by the
+        // caller's own fuel budget.
+        Res.error().Code = FabErrc::DeadlineExceeded;
+        ++Local.Overload.DeadlineMisses;
+        break;
+      }
+      FabErrc C = Res.error().Code;
+      bool Transient = C == FabErrc::Trapped || C == FabErrc::OutOfFuel ||
+                       C == FabErrc::CodeSpaceExhausted;
+      if (!Transient || Attempt >= R.Retries)
+        break;
+      if (R.DeadlineNs && telemetry::traceNowNs() >= R.DeadlineNs)
+        break; // no budget left to retry in
+      ++Attempt;
+      ++Local.Overload.Retried;
+      if (Tracing)
+        M->trace().record(telemetry::EventKind::RequestRetry,
+                          M->stats().Executed, Attempt,
+                          static_cast<uint64_t>(C), NameId);
+      if (Opts.RetryBackoffUs)
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<uint64_t>(Opts.RetryBackoffUs)
+            << std::min(Attempt - 1, 4u)));
+    }
+    if (Res.ok() && Attempt)
+      ++Local.Overload.RetrySuccesses;
+
+    if (B) {
+      // DeadlineExceeded speaks to load, not entry-point health, so it
+      // neither trips nor resets the breaker.
+      bool Counted =
+          !Res.ok() && Res.error().Code != FabErrc::DeadlineExceeded &&
+          Res.error().Code != FabErrc::Rejected;
+      if (Res.ok()) {
+        if (Probe && Tracing)
+          M->trace().record(telemetry::EventKind::BreakerClose,
+                            M->stats().Executed, 0, 0, NameId);
+        B->Open = false;
+        B->Fails = 0;
+      } else if (Counted) {
+        ++B->Fails;
+        if (Probe || (!B->Open && B->Fails >= Opts.Breaker.FailureThreshold)) {
+          B->Open = true;
+          B->OpenLeft = Opts.Breaker.CooldownRequests;
+          ++Local.Overload.BreakerOpens;
+          if (Tracing)
+            M->trace().record(telemetry::EventKind::BreakerOpen,
+                              M->stats().Executed, B->Fails, 0, NameId);
+        }
+      }
+      // A deadline miss during a probe leaves the breaker open with no
+      // cooldown: the next request for this entry point probes again.
+    }
+    return Res;
+  };
+
+  uint64_t Seq = 0;
   for (;;) {
     std::deque<Request> Batch;
     {
@@ -225,6 +420,9 @@ void MachinePool::runWorker(unsigned Idx) {
 
     BatchSpecMap BatchSpecs;
     for (Request &R : Batch) {
+      ++Seq;
+      if (RetriesVetoed)
+        R.Retries = 0;
       uint32_t HeapUsed =
           std::max(M->heap().heapTop(), M->vm().reg(Hp));
       if (HeapUsed > layout::HeapEnd - Opts.HeapRecycleMargin) {
@@ -235,16 +433,25 @@ void MachinePool::runWorker(unsigned Idx) {
         BatchSpecs.clear();
         ++Local.HeapRecycles;
       }
+      if (Opts.BeforeRequest)
+        Opts.BeforeRequest(Idx, *M, Seq);
       const bool Tracing = M->trace().enabled();
       if (Tracing)
         M->trace().record(telemetry::EventKind::WorkerBegin,
                           M->stats().Executed, 0, 0,
                           telemetry::internName(R.Key.Fn));
-      FabResult<int32_t> Res = serve(*M, Cache, Intern, R, BatchSpecs, Local);
+      FabResult<int32_t> Res = serveRobust(R, BatchSpecs);
       if (Tracing)
         M->trace().record(telemetry::EventKind::WorkerComplete,
                           M->stats().Executed, Res ? 1 : 0, 0,
                           telemetry::internName(R.Key.Fn));
+      if (Res)
+        ++Local.Served;
+      else
+        ++Local.Errors;
+      if (R.SubmitNs)
+        Local.Latency.record(telemetry::traceNowNs() - R.SubmitNs);
+      Local.BreakersOpen = breakersOpen();
       drainRing();
       // Publish before resolving the future: once a caller observes a
       // result, stats() already accounts for the request that produced

@@ -50,6 +50,31 @@ struct Request {
   std::vector<Value> Early;
   std::vector<Value> Late;
   std::promise<FabResult<int32_t>> Promise;
+  /// traceNowNs() when the request was accepted (latency accounting;
+  /// 0 = not stamped, latency not recorded).
+  uint64_t SubmitNs = 0;
+  /// Absolute deadline on the traceNowNs() clock; 0 = none. Checked at
+  /// dequeue (late work is shed before paying specialization cost) and
+  /// enforced mid-run by converting the remaining budget into a VM fuel
+  /// cap at the modeled clock rate.
+  uint64_t DeadlineNs = 0;
+  /// Transient-failure retry budget for this request.
+  unsigned Retries = 0;
+};
+
+/// Per-entry-point circuit breaker discipline (state is per worker, since
+/// each worker owns an independent machine whose health is independent).
+/// After FailureThreshold consecutive failures of an entry point, the
+/// worker stops specializing it and serves it from the Plain fall-back
+/// image (when one is compiled; CircuitOpen fast-fail otherwise) for
+/// CooldownRequests requests, then lets one probe request through the
+/// staged path: success closes the breaker, failure re-opens it for
+/// another cooldown window. Cooldown is counted in requests, not wall
+/// time, so breaker behaviour is deterministic under test.
+struct BreakerPolicy {
+  bool Enabled = true; ///< FAB_BREAKER=0 forces off process-wide
+  unsigned FailureThreshold = 3;
+  unsigned CooldownRequests = 8;
 };
 
 struct PoolOptions {
@@ -76,6 +101,30 @@ struct PoolOptions {
   /// Called on the worker thread right after its Machine is (re)built;
   /// tests use it to arm a per-worker fault injector.
   std::function<void(unsigned WorkerIdx, Machine &M)> ConfigureWorker;
+  /// Bounded admission: post() refuses (and SpecServer::submit resolves
+  /// the future immediately with FabErrc::Rejected, counted as Shed) once
+  /// a worker's queue holds this many requests. 0 = unbounded.
+  /// FAB_QUEUE_DEPTH=N overrides at process level (0 forces unbounded).
+  size_t MaxQueueDepth = 1024;
+  /// Fuel ceiling per request served (0 = the VmOptions::Fuel default).
+  /// A request deadline lowers it further (deadline-as-fuel).
+  uint64_t RequestFuel = 0;
+  /// Base host-side backoff between retry attempts; doubles per attempt,
+  /// capped at 16x. 0 disables the sleep (tests).
+  unsigned RetryBackoffUs = 50;
+  /// Simulated instructions a worker may spend per microsecond of
+  /// remaining deadline — the deadline-as-fuel conversion rate. The
+  /// modeled core retires ~25 instructions/us (25 MHz, ~1 CPI), so the
+  /// default models "the deadline is simulated time".
+  uint64_t DeadlineInstrPerUs = 25;
+  BreakerPolicy Breaker;
+  /// Chaos/test hook: runs on the worker thread before each request is
+  /// served (after any heap recycle), with the request sequence number on
+  /// that worker (1-based). The chaos harness uses it to arm injectors
+  /// and force resets from the owning thread, the only thread that may
+  /// touch a worker's machine.
+  std::function<void(unsigned WorkerIdx, Machine &M, uint64_t Seq)>
+      BeforeRequest;
 };
 
 /// Per-worker counters, published by the worker before each request's
@@ -90,6 +139,9 @@ struct WorkerStats {
   uint64_t GenInstrWords = 0;  ///< Machine::instructionsGenerated()
   uint64_t HeapRecycles = 0;   ///< machine rebuilds on heap pressure
   bool Degraded = false;
+  OverloadStats Overload;      ///< shed / deadline / retry / breaker
+  LatencyStats Latency;        ///< submit-to-resolve wall latency
+  unsigned BreakersOpen = 0;   ///< entry-point breakers open right now
   SpecCacheStats Cache;
   SpecializationStats Memo;
   RecoveryStats Recovery;
@@ -113,9 +165,18 @@ public:
 
   unsigned workers() const { return static_cast<unsigned>(Ws.size()); }
 
-  /// Enqueues \p R on worker \p W. Returns false (leaving the promise
-  /// untouched) once shutdown has begun.
-  bool post(unsigned W, Request R);
+  /// Admission verdicts for post(). Full counts toward the worker's Shed
+  /// statistic (under the queue lock, so the count is exact even with
+  /// many submitters racing).
+  enum class PostStatus {
+    Ok,      ///< enqueued; the promise will be resolved by the worker
+    Full,    ///< refused: queue at MaxQueueDepth (promise untouched)
+    Stopped, ///< refused: shutdown has begun (promise untouched)
+  };
+
+  /// Enqueues \p R on worker \p W, or refuses without touching the
+  /// promise (the caller answers Rejected).
+  PostStatus post(unsigned W, Request R);
 
   /// Stops intake, lets every worker drain its queue, joins the threads.
   /// Idempotent; the destructor calls it.
@@ -131,10 +192,11 @@ public:
 
 private:
   struct Worker {
-    std::mutex QueueMutex;
+    mutable std::mutex QueueMutex;
     std::condition_variable Ready;
     std::deque<Request> Queue;       // guarded by QueueMutex
     uint64_t QueueHighWater = 0;     // guarded by QueueMutex
+    uint64_t Shed = 0;               // queue-full refusals; QueueMutex
     bool Stopped = false;            // guarded by QueueMutex
 
     mutable std::mutex StatsMutex;
@@ -159,6 +221,7 @@ private:
 
   const Compilation &Comp;
   PoolOptions Opts;
+  bool RetriesVetoed = false; ///< FAB_RETRIES=0: clamp Request::Retries
   std::vector<std::unique_ptr<Worker>> Ws;
   std::mutex ShutdownMutex;
   bool ShutDown = false; // guarded by ShutdownMutex

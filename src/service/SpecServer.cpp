@@ -61,21 +61,42 @@ unsigned SpecServer::workerFor(const std::string &Fn,
 std::future<FabResult<int32_t>> SpecServer::submit(const std::string &Fn,
                                                    std::vector<Value> Early,
                                                    std::vector<Value> Late) {
+  // Legacy form: no deadline, no retries (unchanged pre-overload
+  // behaviour for existing callers).
+  SubmitOptions O;
+  O.MaxRetries = 0;
+  return submit(Fn, std::move(Early), std::move(Late), O);
+}
+
+std::future<FabResult<int32_t>> SpecServer::submit(const std::string &Fn,
+                                                   std::vector<Value> Early,
+                                                   std::vector<Value> Late,
+                                                   const SubmitOptions &O) {
   Request R;
   R.Key = SpecKey::make(Fn, Early);
   R.Early = std::move(Early);
   R.Late = std::move(Late);
+  R.SubmitNs = telemetry::traceNowNs();
+  R.DeadlineNs = O.DeadlineNs ? R.SubmitNs + O.DeadlineNs : 0;
+  R.Retries = O.MaxRetries;
   std::future<FabResult<int32_t>> F = R.Promise.get_future();
   unsigned W = static_cast<unsigned>(R.Key.Hash % Pool.workers());
   Submitted.fetch_add(1, std::memory_order_relaxed);
-  if (!Pool.post(W, std::move(R))) {
-    // The pool refused (shutdown): hand back an already-resolved future.
+  switch (Pool.post(W, std::move(R))) {
+  case MachinePool::PostStatus::Ok:
+    return F;
+  case MachinePool::PostStatus::Stopped:
     RejectedCount.fetch_add(1, std::memory_order_relaxed);
-    std::promise<FabResult<int32_t>> P;
-    P.set_value(FabError{FabErrc::Rejected, Fn, {}});
-    return P.get_future();
+    break;
+  case MachinePool::PostStatus::Full:
+    // Load shedding: the pool counted the shed under its queue lock; the
+    // caller just gets the immediate structured refusal.
+    break;
   }
-  return F;
+  // The pool refused: hand back an already-resolved future.
+  std::promise<FabResult<int32_t>> P;
+  P.set_value(FabError{FabErrc::Rejected, Fn, {}});
+  return P.get_future();
 }
 
 FabResult<int32_t> SpecServer::call(const std::string &Fn,
@@ -86,8 +107,23 @@ FabResult<int32_t> SpecServer::call(const std::string &Fn,
 
 TelemetrySnapshot SpecServer::telemetry() const {
   TelemetrySnapshot T;
-  for (unsigned I = 0; I < Pool.workers(); ++I)
-    T += Pool.workerStats(I).Telemetry;
+  for (unsigned I = 0; I < Pool.workers(); ++I) {
+    WorkerStats S = Pool.workerStats(I);
+    TelemetrySnapshot Ws = S.Telemetry;
+    // One load row per worker survives aggregation, so a single hot or
+    // failing worker stays visible behind the pool-wide sums.
+    WorkerLoadRow Row;
+    Row.Worker = I;
+    Row.QueueHighWater = Ws.QueueHighWater;
+    Row.Shed = Ws.Overload.Shed;
+    Row.DeadlineMisses = Ws.Overload.DeadlineMisses;
+    Row.Retried = Ws.Overload.Retried;
+    Row.BreakerOpens = Ws.Overload.BreakerOpens;
+    Row.Served = Ws.Served;
+    Row.Errors = Ws.Errors;
+    Ws.WorkerLoads = {Row};
+    T += Ws;
+  }
   // A worker publishes only after its first request; count every worker
   // regardless, and add the server-side intake counters.
   T.Workers = Pool.workers();

@@ -35,6 +35,20 @@
 namespace fab {
 namespace service {
 
+/// Per-request service parameters (the 4-arg submit overload).
+struct SubmitOptions {
+  /// Relative deadline in nanoseconds from submit; 0 = none. Enforced at
+  /// dequeue (late work is shed with DeadlineExceeded before any
+  /// specialization cost is paid) and mid-run through the VM fuel
+  /// mechanism (the remaining budget converts to an instruction cap at
+  /// the modeled clock; see PoolOptions::DeadlineInstrPerUs).
+  uint64_t DeadlineNs = 0;
+  /// Retries after transient failures (traps, fuel exhaustion, code-space
+  /// exhaustion), with bounded exponential host-side backoff between
+  /// attempts. FAB_RETRIES=0 forces 0 process-wide.
+  unsigned MaxRetries = 1;
+};
+
 struct ServerOptions {
   PoolOptions Pool;
   /// When nonzero, a reporter thread emits an aggregated telemetry()
@@ -53,7 +67,8 @@ struct ServerStats {
   uint64_t Submitted = 0;
   uint64_t Served = 0;
   uint64_t Errors = 0;
-  uint64_t Rejected = 0;       ///< refused at submit (shutdown)
+  uint64_t Rejected = 0;       ///< refused at submit (shutdown only;
+                               ///< queue-full refusals count as Shed)
   uint64_t Coalesced = 0;
   uint64_t QueueHighWater = 0; ///< deepest any one worker queue got
   uint64_t BusyCyclesTotal = 0;
@@ -79,11 +94,17 @@ public:
 
   /// Enqueues one call of staged function \p Fn. The future resolves
   /// once a worker has specialized (or found cached code for) the early
-  /// values and run it on the late values. After shutdown() the future
-  /// is already resolved with FabErrc::Rejected.
+  /// values and run it on the late values. After shutdown(), or when the
+  /// routed worker's queue is at PoolOptions::MaxQueueDepth (load
+  /// shedding), the future is already resolved with FabErrc::Rejected.
+  /// The 3-arg form carries no deadline and no retries.
   std::future<FabResult<int32_t>> submit(const std::string &Fn,
                                          std::vector<Value> Early,
                                          std::vector<Value> Late);
+  std::future<FabResult<int32_t>> submit(const std::string &Fn,
+                                         std::vector<Value> Early,
+                                         std::vector<Value> Late,
+                                         const SubmitOptions &O);
 
   /// Synchronous convenience wrapper around submit().get().
   FabResult<int32_t> call(const std::string &Fn, std::vector<Value> Early,

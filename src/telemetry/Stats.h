@@ -155,6 +155,83 @@ struct SpecCacheStats {
   }
 };
 
+/// Admission-control and failure-recovery counters for the serving layer
+/// (bounded queues, deadlines, retry, circuit breaker); see
+/// docs/SERVICE.md "Overload and failure semantics".
+struct OverloadStats {
+  uint64_t Shed = 0;             ///< refused at submit: queue over depth
+  uint64_t DeadlineMisses = 0;   ///< shed at dequeue or stopped mid-run
+  uint64_t Retried = 0;          ///< retry attempts after transient errors
+  uint64_t RetrySuccesses = 0;   ///< requests that succeeded on a retry
+  uint64_t BreakerOpens = 0;     ///< closed/half-open -> open transitions
+  uint64_t BreakerFallbacks = 0; ///< requests served by Plain while open
+  uint64_t BreakerProbes = 0;    ///< half-open specialization probes
+  uint64_t BreakerFastFails = 0; ///< CircuitOpen responses (no fallback)
+
+  OverloadStats &operator+=(const OverloadStats &R) {
+    Shed += R.Shed;
+    DeadlineMisses += R.DeadlineMisses;
+    Retried += R.Retried;
+    RetrySuccesses += R.RetrySuccesses;
+    BreakerOpens += R.BreakerOpens;
+    BreakerFallbacks += R.BreakerFallbacks;
+    BreakerProbes += R.BreakerProbes;
+    BreakerFastFails += R.BreakerFastFails;
+    return *this;
+  }
+};
+
+/// Log2-bucketed wall-clock latency histogram (submit to resolve).
+/// Bucket I covers [2^I, 2^(I+1)) nanoseconds; quantileNs reports the
+/// upper bound of the bucket holding the requested quantile, which is
+/// precise enough for the "p99 stays bounded under overload" assertions
+/// bench_overload makes (adjacent buckets differ by 2x, the latencies
+/// being compared by orders of magnitude).
+struct LatencyStats {
+  static constexpr unsigned Buckets = 40;
+  uint64_t Count = 0;
+  uint64_t MaxNs = 0;
+  uint64_t Hist[Buckets] = {};
+
+  void record(uint64_t Ns) {
+    ++Count;
+    if (Ns > MaxNs)
+      MaxNs = Ns;
+    unsigned B = 0;
+    while (B + 1 < Buckets && Ns >= (uint64_t(1) << (B + 1)))
+      ++B;
+    ++Hist[B];
+  }
+
+  /// Upper bound of the bucket containing quantile \p Q in [0, 1];
+  /// 0 when empty.
+  uint64_t quantileNs(double Q) const {
+    if (!Count)
+      return 0;
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count - 1));
+    uint64_t Seen = 0;
+    for (unsigned B = 0; B < Buckets; ++B) {
+      Seen += Hist[B];
+      if (Seen > Rank) {
+        // The observed max is a tighter bound than the bucket ceiling
+        // whenever the quantile lands in the max's own bucket.
+        uint64_t Ceil = uint64_t(1) << (B + 1);
+        return Ceil < MaxNs ? Ceil : MaxNs;
+      }
+    }
+    return MaxNs;
+  }
+
+  LatencyStats &operator+=(const LatencyStats &R) {
+    Count += R.Count;
+    if (R.MaxNs > MaxNs)
+      MaxNs = R.MaxNs;
+    for (unsigned B = 0; B < Buckets; ++B)
+      Hist[B] += R.Hist[B];
+    return *this;
+  }
+};
+
 } // namespace fab
 
 #endif // FAB_TELEMETRY_STATS_H

@@ -91,6 +91,16 @@ const char *fab::telemetry::eventName(EventKind K) {
     return "worker_begin";
   case EventKind::WorkerComplete:
     return "worker_complete";
+  case EventKind::RequestShed:
+    return "request_shed";
+  case EventKind::RequestRetry:
+    return "request_retry";
+  case EventKind::BreakerOpen:
+    return "breaker_open";
+  case EventKind::BreakerProbe:
+    return "breaker_probe";
+  case EventKind::BreakerClose:
+    return "breaker_close";
   }
   return "unknown";
 }
@@ -122,6 +132,11 @@ TelemetrySnapshot &TelemetrySnapshot::operator+=(const TelemetrySnapshot &R) {
   BusyCyclesMax = std::max(BusyCyclesMax, R.BusyCyclesMax);
   HeapRecycles += R.HeapRecycles;
   Cache += R.Cache;
+  Overload += R.Overload;
+  Latency += R.Latency;
+  BreakersOpen += R.BreakersOpen;
+  WorkerLoads.insert(WorkerLoads.end(), R.WorkerLoads.begin(),
+                     R.WorkerLoads.end());
 
   // Merge profiles by function name, keeping Entries sorted.
   std::map<std::string, EntryPointProfile> ByFn;
@@ -190,10 +205,36 @@ void TelemetrySnapshot::writeText(std::ostream &OS,
     Line("server.busy_cycles_total", BusyCyclesTotal);
     Line("server.busy_cycles_max", BusyCyclesMax);
     Line("server.heap_recycles", HeapRecycles);
+    Line("server.shed", Overload.Shed);
+    Line("server.deadline_misses", Overload.DeadlineMisses);
+    Line("server.retried", Overload.Retried);
+    Line("server.retry_successes", Overload.RetrySuccesses);
+    Line("server.breaker_opens", Overload.BreakerOpens);
+    Line("server.breaker_fallbacks", Overload.BreakerFallbacks);
+    Line("server.breaker_probes", Overload.BreakerProbes);
+    Line("server.breaker_fast_fails", Overload.BreakerFastFails);
+    Line("server.breakers_open", BreakersOpen);
+    Line("server.latency_count", Latency.Count);
+    Line("server.latency_p50_ns", Latency.quantileNs(0.50));
+    Line("server.latency_p99_ns", Latency.quantileNs(0.99));
+    Line("server.latency_max_ns", Latency.MaxNs);
     Line("cache.hits", Cache.Hits);
     Line("cache.misses", Cache.Misses);
     Line("cache.evictions", Cache.Evictions);
     Line("cache.rehydrations", Cache.Rehydrations);
+    for (const WorkerLoadRow &W : WorkerLoads) {
+      auto WLine = [&](const char *Path, uint64_t V) {
+        OS << Prefix << ".worker." << W.Worker << '.' << Path << ' ' << V
+           << '\n';
+      };
+      WLine("queue_high_water", W.QueueHighWater);
+      WLine("shed", W.Shed);
+      WLine("deadline_misses", W.DeadlineMisses);
+      WLine("retried", W.Retried);
+      WLine("breaker_opens", W.BreakerOpens);
+      WLine("served", W.Served);
+      WLine("errors", W.Errors);
+    }
   }
   for (const EntryPointProfile &P : Entries) {
     auto Entry = [&](const char *Path, uint64_t V) {
@@ -215,11 +256,23 @@ std::string TelemetrySnapshot::text(const std::string &Prefix) const {
 
 std::string TelemetrySnapshot::summaryLine() const {
   std::ostringstream OS;
-  if (Workers)
+  if (Workers) {
     OS << "workers=" << Workers << " served=" << Served
        << " errors=" << Errors << " coalesced=" << Coalesced
        << " cache_hit=" << Cache.Hits << "/" << (Cache.Hits + Cache.Misses)
-       << ' ';
+       << " shed=" << Overload.Shed << " dl_miss=" << Overload.DeadlineMisses
+       << " retried=" << Overload.Retried
+       << " brk_open=" << Overload.BreakerOpens;
+    if (!WorkerLoads.empty()) {
+      // Per-worker queue high-water marks, in worker order, so a single
+      // backed-up worker is visible in the live reporter line.
+      OS << " q_hw=[";
+      for (size_t I = 0; I < WorkerLoads.size(); ++I)
+        OS << (I ? "," : "") << WorkerLoads[I].QueueHighWater;
+      OS << ']';
+    }
+    OS << ' ';
+  }
   OS << "exec=" << Vm.Executed << " gen_runs=" << Memo.GeneratorRuns
      << " memo_hits=" << Memo.MemoHits << " gen_words=" << Memo.GenDynWords
      << " eff=" << generatorEfficiency() << " resets="

@@ -50,6 +50,20 @@ struct EntryPointProfile {
   }
 };
 
+/// One worker's load/robustness row, preserved through aggregation so
+/// operators can spot a single hot or failing worker that a pool-wide
+/// sum would hide (fabserve prints one line per row).
+struct WorkerLoadRow {
+  unsigned Worker = 0;
+  uint64_t QueueHighWater = 0;
+  uint64_t Shed = 0;
+  uint64_t DeadlineMisses = 0;
+  uint64_t Retried = 0;
+  uint64_t BreakerOpens = 0;
+  uint64_t Served = 0;
+  uint64_t Errors = 0;
+};
+
 /// The unified stats snapshot. Machine-level fields are filled for a
 /// bare Machine; the service-level block stays zero outside a pool.
 /// operator+= aggregates across workers: counters add, high-water marks
@@ -79,6 +93,11 @@ struct TelemetrySnapshot {
   uint64_t BusyCyclesMax = 0;  ///< pool makespan in simulated cycles
   uint64_t HeapRecycles = 0;
   SpecCacheStats Cache;
+  OverloadStats Overload;     ///< shedding / deadline / retry / breaker
+  LatencyStats Latency;       ///< wall-clock submit-to-resolve histogram
+  unsigned BreakersOpen = 0;  ///< gauge: entry-point breakers open now
+  /// One row per aggregated worker (operator+= concatenates).
+  std::vector<WorkerLoadRow> WorkerLoads;
 
   // -- Per entry point -------------------------------------------------------
   std::vector<EntryPointProfile> Entries; ///< sorted by Fn

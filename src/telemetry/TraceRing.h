@@ -62,6 +62,13 @@ enum class EventKind : uint8_t {
                     ///< Arg1 = blocks dropped (coalesced)
   WorkerBegin,      ///< pool worker starts serving a request; Name = fn
   WorkerComplete,   ///< ... finished; Arg0 = 1 on success, 0 on error
+  RequestShed,      ///< deadline passed before serving; Arg0 = ns late
+  RequestRetry,     ///< transient failure being retried; Arg0 = attempt
+                    ///< number, Arg1 = FabErrc of the failure
+  BreakerOpen,      ///< entry-point breaker opened; Name = fn,
+                    ///< Arg0 = consecutive failures
+  BreakerProbe,     ///< half-open specialization probe; Name = fn
+  BreakerClose,     ///< breaker closed after a successful probe; Name = fn
 };
 
 /// Stable lower-case token for an event kind (exporters, text dumps).

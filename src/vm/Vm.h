@@ -225,6 +225,7 @@ public:
   /// Arms (or, with Armed=false, disarms) the fault injector for subsequent
   /// run()/call() invocations.
   void injectFault(const FaultInjector &FI) { Opts.Injector = FI; }
+  const FaultInjector &injector() const { return Opts.Injector; }
 
   /// Debug output accumulated from PutInt/PutCh.
   const std::string &output() const { return Output; }
@@ -345,6 +346,27 @@ private:
   /// instead of an atomic load.
   bool TraceLive = false;
   uint32_t TmplLo = 0, TmplHi = 0; ///< template pool, [TmplLo, TmplHi)
+};
+
+/// RAII fuel cap: while in scope, every run() on \p V gets at most \p Cap
+/// instructions (0 = leave the budget unchanged); the previous budget is
+/// restored on exit. The serving layer converts a request's remaining
+/// wall-clock deadline into such a cap at the modeled clock rate, so a
+/// runaway specialized function stops with StopReason::OutOfFuel instead
+/// of wedging its worker (deadline-as-fuel; see docs/SERVICE.md).
+class ScopedFuelCap {
+public:
+  ScopedFuelCap(Vm &V, uint64_t Cap) : V(V), Saved(V.fuel()) {
+    if (Cap && Cap < Saved)
+      V.setFuel(Cap);
+  }
+  ~ScopedFuelCap() { V.setFuel(Saved); }
+  ScopedFuelCap(const ScopedFuelCap &) = delete;
+  ScopedFuelCap &operator=(const ScopedFuelCap &) = delete;
+
+private:
+  Vm &V;
+  uint64_t Saved;
 };
 
 } // namespace fab

@@ -20,6 +20,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <thread>
 
 using namespace fab;
@@ -400,6 +402,266 @@ TEST(SpecServer, FaultInjectedWorkerDegradesWithoutStallingPool) {
   WorkerStats W1 = S.workerStats(1);
   EXPECT_FALSE(W1.Degraded);
   EXPECT_EQ(W1.Served, Healthy);
+}
+
+TEST(SpecServer, SubmitsRacingStopAllResolve) {
+  // Submitter threads race shutdown(): every future must resolve — a
+  // value for drained work, FabErrc::Rejected for refused work — and
+  // none may hang. (Covers the shutdown path of the admission contract:
+  // accepted work is never dropped, refused work is answered
+  // immediately.)
+  Compilation C = compileOrDie(SimpleSrc, FabiusOptions::deferred());
+  ServerOptions SO;
+  SO.Pool.Workers = 2;
+  SpecServer S(C, SO);
+
+  constexpr int Threads = 4, PerThread = 200;
+  std::vector<std::vector<std::future<FabResult<int32_t>>>> All(Threads);
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Submitters;
+  for (int T = 0; T < Threads; ++T)
+    Submitters.emplace_back([&, T] {
+      All[T].reserve(PerThread);
+      while (!Go.load())
+        std::this_thread::yield();
+      for (int I = 0; I < PerThread; ++I) {
+        int32_t K = (T * PerThread + I) % 32 + 1;
+        All[T].push_back(
+            S.submit("f", {Value::ofInt(K)}, {Value::ofInt(5)}));
+      }
+    });
+  Go.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  S.shutdown(); // races the submitters
+  for (std::thread &T : Submitters)
+    T.join();
+
+  size_t Ok = 0, Refused = 0;
+  for (int T = 0; T < Threads; ++T)
+    for (size_t I = 0; I < All[T].size(); ++I) {
+      FabResult<int32_t> R = All[T][I].get(); // must not hang
+      int32_t K = static_cast<int32_t>(T * PerThread + I) % 32 + 1;
+      if (R.ok()) {
+        EXPECT_EQ(*R, 5 * K + K);
+        ++Ok;
+      } else {
+        EXPECT_EQ(R.error().Code, FabErrc::Rejected);
+        ++Refused;
+      }
+    }
+  EXPECT_EQ(Ok + Refused, static_cast<size_t>(Threads * PerThread));
+  TelemetrySnapshot T = S.telemetry();
+  EXPECT_EQ(T.Served, Ok);
+  EXPECT_EQ(T.Rejected + T.Overload.Shed, Refused);
+}
+
+TEST(SpecServer, BoundedQueueShedsWithRejected) {
+  // One worker, queue depth 2, the in-flight request parked on a latch:
+  // submissions beyond the depth resolve immediately with Rejected and
+  // are counted as Shed, while everything accepted is still served.
+  Compilation C = compileOrDie(SimpleSrc, FabiusOptions::deferred());
+  ServerOptions SO;
+  SO.Pool.Workers = 1;
+  SO.Pool.MaxQueueDepth = 2;
+  std::promise<void> EnteredP, ReleaseP;
+  std::future<void> Entered = EnteredP.get_future();
+  std::shared_future<void> Release = ReleaseP.get_future().share();
+  SO.Pool.BeforeRequest = [&, Signalled = false](unsigned, Machine &,
+                                                 uint64_t Seq) mutable {
+    if (Seq == 1 && !Signalled) {
+      Signalled = true;
+      EnteredP.set_value();
+      Release.wait();
+    }
+  };
+  SpecServer S(C, SO);
+
+  // First request: dequeued (the batch swap empties the queue), then
+  // parked in the hook — so the worker is busy and the queue is empty.
+  auto F0 = S.submit("f", {Value::ofInt(1)}, {Value::ofInt(5)});
+  Entered.wait();
+  // Fill the queue to its depth, then two more that must shed.
+  auto F1 = S.submit("f", {Value::ofInt(2)}, {Value::ofInt(5)});
+  auto F2 = S.submit("f", {Value::ofInt(3)}, {Value::ofInt(5)});
+  auto F3 = S.submit("f", {Value::ofInt(4)}, {Value::ofInt(5)});
+  auto F4 = S.submit("f", {Value::ofInt(5)}, {Value::ofInt(5)});
+  // Shed futures are already resolved, before the worker moves at all.
+  ASSERT_EQ(F3.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  ASSERT_EQ(F4.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  FabResult<int32_t> R3 = F3.get(), R4 = F4.get();
+  ASSERT_FALSE(R3.ok());
+  ASSERT_FALSE(R4.ok());
+  EXPECT_EQ(R3.error().Code, FabErrc::Rejected);
+  EXPECT_EQ(R4.error().Code, FabErrc::Rejected);
+
+  ReleaseP.set_value();
+  for (auto *F : {&F0, &F1, &F2}) {
+    FabResult<int32_t> R = F->get();
+    ASSERT_TRUE(R.ok());
+  }
+  S.shutdown();
+
+  TelemetrySnapshot T = S.telemetry();
+  EXPECT_EQ(T.Overload.Shed, 2u);
+  EXPECT_EQ(T.Served, 3u);
+  EXPECT_EQ(T.Rejected, 0u); // sheds are not shutdown rejections
+  // The new counters surface in the text exporter, the per-worker rows
+  // included, and in the live reporter's summary line.
+  std::string Text = T.text();
+  EXPECT_NE(Text.find("fab.server.shed 2\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("fab.worker.0.shed 2\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("fab.worker.0.queue_high_water"), std::string::npos);
+  EXPECT_NE(T.summaryLine().find("shed=2"), std::string::npos)
+      << T.summaryLine();
+}
+
+TEST(SpecServer, DeadlineShedsLateWorkAtDequeue) {
+  // A request whose deadline passes while it waits in the queue is shed
+  // at dequeue with DeadlineExceeded — before any specialization cost.
+  Compilation C = compileOrDie(SimpleSrc, FabiusOptions::deferred());
+  ServerOptions SO;
+  SO.Pool.Workers = 1;
+  std::promise<void> EnteredP, ReleaseP;
+  std::future<void> Entered = EnteredP.get_future();
+  std::shared_future<void> Release = ReleaseP.get_future().share();
+  SO.Pool.BeforeRequest = [&, Signalled = false](unsigned, Machine &,
+                                                 uint64_t Seq) mutable {
+    if (Seq == 1 && !Signalled) {
+      Signalled = true;
+      EnteredP.set_value();
+      Release.wait();
+    }
+  };
+  SpecServer S(C, SO);
+
+  auto F0 = S.submit("f", {Value::ofInt(1)}, {Value::ofInt(5)});
+  Entered.wait();
+  SubmitOptions O;
+  O.DeadlineNs = 2'000'000; // 2 ms
+  auto F1 = S.submit("f", {Value::ofInt(2)}, {Value::ofInt(5)}, O);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ReleaseP.set_value();
+
+  ASSERT_TRUE(F0.get().ok());
+  FabResult<int32_t> R1 = F1.get();
+  ASSERT_FALSE(R1.ok());
+  EXPECT_EQ(R1.error().Code, FabErrc::DeadlineExceeded);
+  S.shutdown();
+  EXPECT_GE(S.telemetry().Overload.DeadlineMisses, 1u);
+}
+
+TEST(SpecServer, DeadlineCapsRunawayExecutionAsFuel) {
+  // Deadline-as-fuel: a specialized function that would run for billions
+  // of simulated instructions is stopped by the fuel cap derived from the
+  // request deadline and reported as DeadlineExceeded — the worker is
+  // not wedged and keeps serving.
+  const char *SpinSrc =
+      "fun spin (k : int) (n : int) = if n < 1 then k else spin k (n - 1)";
+  FabiusOptions Opts = FabiusOptions::deferred();
+  // The self-call recurses on a *late* argument: memoize it so the
+  // residual code loops at run time instead of the generator unrolling.
+  Opts.Backend.MemoizedSelfCalls.insert("spin");
+  Compilation C = compileOrDie(SpinSrc, Opts);
+  ServerOptions SO;
+  SO.Pool.Workers = 1;
+  SpecServer S(C, SO);
+
+  SubmitOptions O;
+  O.DeadlineNs = 20'000'000; // 20 ms -> ~500k simulated instructions
+  O.MaxRetries = 1;          // OutOfFuel under a deadline must NOT retry
+  FabResult<int32_t> R =
+      S.submit("spin", {Value::ofInt(7)}, {Value::ofInt(2'000'000'000)}, O)
+          .get();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Code, FabErrc::DeadlineExceeded);
+
+  // The worker survives: a bounded run of the same entry point succeeds.
+  FabResult<int32_t> R2 =
+      S.submit("spin", {Value::ofInt(7)}, {Value::ofInt(10)}).get();
+  ASSERT_TRUE(R2.ok()) << R2.error().message();
+  EXPECT_EQ(*R2, 7);
+  S.shutdown();
+  TelemetrySnapshot T = S.telemetry();
+  EXPECT_GE(T.Overload.DeadlineMisses, 1u);
+  EXPECT_EQ(T.Overload.Retried, 0u);
+}
+
+TEST(SpecServer, BreakerOpensRoutesToPlainThenRecloses) {
+  // Per-entry-point circuit breaker: three consecutive generator faults
+  // open the breaker for "f"; during cooldown requests are served by the
+  // Plain fall-back image (correct values, no staged path); the first
+  // probe fails and re-opens it; once the injector is disarmed the next
+  // probe succeeds and the breaker closes for good.
+  Compilation C =
+      compileOrDie(SimpleSrc, FabiusOptions::deferredWithFallback());
+  ServerOptions SO;
+  SO.Pool.Workers = 1;
+  SO.Pool.RetryBackoffUs = 0;
+  SO.Pool.Breaker.FailureThreshold = 3;
+  SO.Pool.Breaker.CooldownRequests = 4;
+  SO.Pool.Policy.MaxRetries = 0;
+  // The breaker, not machine-level degradation, must carry the episode.
+  SO.Pool.Policy.MaxGeneratorFaults = 1u << 30;
+  std::atomic<bool> Disarm{false};
+  uint32_t GenEntry = C.Unit.genAddr("f");
+  SO.Pool.ConfigureWorker = [&](unsigned, Machine &M) {
+    // Faults the moment the generator entry runs; the Plain image lives
+    // at different addresses, so fallback calls run clean.
+    FaultInjector FI;
+    FI.Armed = true;
+    FI.AtPc = GenEntry;
+    FI.Kind = Fault::BadAccess;
+    FI.OneShot = false;
+    M.vm().injectFault(FI);
+  };
+  SO.Pool.BeforeRequest = [&](unsigned, Machine &M, uint64_t) {
+    if (Disarm.load(std::memory_order_relaxed) && M.vm().injector().Armed)
+      M.vm().injectFault(FaultInjector{});
+  };
+  SpecServer S(C, SO);
+
+  auto call = [&](int32_t K) {
+    return S.call("f", {Value::ofInt(K)}, {Value::ofInt(5)});
+  };
+  // Requests 1-3: generator faults -> errors; breaker opens at the 3rd.
+  for (int32_t K = 1; K <= 3; ++K) {
+    FabResult<int32_t> R = call(K);
+    ASSERT_FALSE(R.ok()) << "request " << K;
+    EXPECT_EQ(R.error().Code, FabErrc::Trapped);
+  }
+  // Requests 4-7 (cooldown): served by the Plain image, correct values.
+  for (int32_t K = 4; K <= 7; ++K) {
+    FabResult<int32_t> R = call(K);
+    ASSERT_TRUE(R.ok()) << "request " << K << ": " << R.error().message();
+    EXPECT_EQ(*R, 5 * K + K);
+  }
+  // Request 8: the probe runs the still-faulting generator -> re-open.
+  ASSERT_FALSE(call(8).ok());
+  // Requests 9-12: second cooldown window, Plain again.
+  for (int32_t K = 9; K <= 12; ++K) {
+    FabResult<int32_t> R = call(K);
+    ASSERT_TRUE(R.ok()) << "request " << K;
+    EXPECT_EQ(*R, 5 * K + K);
+  }
+  // Disarm, then the next probe succeeds and the breaker closes.
+  Disarm.store(true, std::memory_order_relaxed);
+  for (int32_t K = 13; K <= 15; ++K) {
+    FabResult<int32_t> R = call(K);
+    ASSERT_TRUE(R.ok()) << "request " << K;
+    EXPECT_EQ(*R, 5 * K + K);
+  }
+  S.shutdown();
+
+  TelemetrySnapshot T = S.telemetry();
+  EXPECT_EQ(T.Overload.BreakerOpens, 2u);
+  EXPECT_EQ(T.Overload.BreakerFallbacks, 8u);
+  EXPECT_EQ(T.Overload.BreakerProbes, 2u);
+  EXPECT_EQ(T.Errors, 4u);  // requests 1, 2, 3, 8
+  EXPECT_EQ(T.Served, 11u); // 4-7, 9-12, 13-15
+  EXPECT_EQ(T.BreakersOpen, 0u);
+  // Requests 13+ went back through the staged path.
+  EXPECT_GT(T.Memo.GeneratorRuns, 0u);
+  EXPECT_EQ(T.DegradedMachines, 0u); // the machine itself never degraded
 }
 
 TEST(SpecServer, GracefulShutdownDrainsThenRejects) {

@@ -10,14 +10,31 @@
 // Usage: fabserve [--workers N] [--requests N] [--rows N] [--len N]
 //                 [--seed S] [--no-cache] [--cache-capacity N]
 //                 [--report-interval MS] [--trace FILE]
+//                 [--queue-depth N] [--deadline-ms N] [--retries N]
+//                 [--no-breaker] [--chaos]
 //
 //   fabserve --workers 4 --requests 1000 --report-interval 200
+//   fabserve --chaos --seed 7 --workers 4
 //
 // --report-interval starts the server's reporter thread: an aggregated
 // TelemetrySnapshot summary line every MS milliseconds (plus one final
 // line at shutdown). --trace enables per-worker lifecycle tracing and
 // merges every worker's events into one Chrome trace_event JSON file,
 // one track per worker (see docs/TELEMETRY.md).
+//
+// Overload controls (see docs/SERVICE.md "Overload and failure
+// semantics"): --queue-depth bounds each worker queue (0 = unbounded;
+// excess submissions shed with Rejected), --deadline-ms attaches a
+// per-request deadline, --retries sets the transient-failure retry
+// budget, --no-breaker disables the per-entry-point circuit breaker.
+//
+// --chaos turns the driver into a deterministic chaos harness seeded by
+// --seed: every worker randomly arms one-shot fault injectors and forces
+// mid-flight code-space resets, requests are blasted from several
+// submitter threads through a deliberately small queue, and a third of
+// them carry tight deadlines. The run asserts the service invariants —
+// every future resolves, and every resolved value matches the host
+// oracle — and prints the seed so failures reproduce exactly.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,11 +43,13 @@
 #include "support/Rng.h"
 #include "workloads/MlPrograms.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace fab;
@@ -45,7 +64,9 @@ namespace {
                "usage: fabserve [--workers N] [--requests N] [--rows N]\n"
                "                [--len N] [--seed S] [--no-cache]\n"
                "                [--cache-capacity N]\n"
-               "                [--report-interval MS] [--trace FILE]\n");
+               "                [--report-interval MS] [--trace FILE]\n"
+               "                [--queue-depth N] [--deadline-ms N]\n"
+               "                [--retries N] [--no-breaker] [--chaos]\n");
   std::exit(2);
 }
 
@@ -74,6 +95,12 @@ int main(int argc, char **argv) {
   bool Cache = true;
   unsigned ReportIntervalMs = 0;
   std::string TraceFile;
+  size_t QueueDepth = 1024;
+  bool QueueDepthSet = false;
+  uint64_t DeadlineMs = 0;
+  unsigned Retries = 1;
+  bool Breaker = true;
+  bool Chaos = false;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     auto next = [&]() -> const char * {
@@ -99,6 +126,17 @@ int main(int argc, char **argv) {
       ReportIntervalMs = static_cast<unsigned>(parseNum(next()));
     else if (A == "--trace")
       TraceFile = next();
+    else if (A == "--queue-depth") {
+      QueueDepth = parseNum(next());
+      QueueDepthSet = true;
+    } else if (A == "--deadline-ms")
+      DeadlineMs = parseNum(next());
+    else if (A == "--retries")
+      Retries = static_cast<unsigned>(parseNum(next()));
+    else if (A == "--no-breaker")
+      Breaker = false;
+    else if (A == "--chaos")
+      Chaos = true;
     else
       usage(("unknown option " + A).c_str());
   }
@@ -106,7 +144,10 @@ int main(int argc, char **argv) {
     usage("counts must be nonzero");
 
   // The mixed program: matmul's dotloop plus the staged BPF interpreter.
-  FabiusOptions Opts = FabiusOptions::deferred();
+  // Chaos mode compiles the Plain fall-back image too, so circuit-broken
+  // entry points keep producing correct answers while cooling down.
+  FabiusOptions Opts = Chaos ? FabiusOptions::deferredWithFallback()
+                             : FabiusOptions::deferred();
   Opts.Backend.MemoizedSelfCalls.insert("eval");
   std::string Src =
       std::string(workloads::MatmulSrc) + "\n" + workloads::EvalSrc;
@@ -155,28 +196,123 @@ int main(int argc, char **argv) {
   SO.Pool.EnableCache = Cache;
   SO.Pool.InternEarlyArgs = Cache;
   SO.Pool.CacheCapacity = CacheCapacity;
+  // Chaos defaults to a deliberately small queue so overload bursts
+  // actually shed; an explicit --queue-depth always wins. The pool
+  // applies the FAB_QUEUE_DEPTH veto itself; mirror it here so the
+  // banner prints the depth actually in effect.
+  SO.Pool.MaxQueueDepth = (Chaos && !QueueDepthSet) ? 16 : QueueDepth;
+  if (const char *Env = std::getenv("FAB_QUEUE_DEPTH"))
+    SO.Pool.MaxQueueDepth = std::strtoull(Env, nullptr, 0);
+  SO.Pool.Breaker.Enabled = Breaker;
   SO.ReportIntervalMs = ReportIntervalMs;
   if (!TraceFile.empty())
     SO.Pool.Vm.EnableTrace = true;
+
+  // Chaos fault injection: each worker carries its own deterministic
+  // stream (seeded from --seed and the worker index) and perturbs only
+  // its own machine, from its own thread, right before serving a
+  // request: one-shot injected faults of every recoverable flavour, and
+  // occasional mid-flight code-space resets.
+  std::vector<Rng> ChaosRng;
+  for (unsigned W = 0; W < Workers; ++W)
+    ChaosRng.emplace_back(Seed * 0x9E3779B97F4A7C15ull + W + 1);
+  if (Chaos)
+    SO.Pool.BeforeRequest = [&ChaosRng](unsigned W, Machine &M, uint64_t) {
+      Rng &R = ChaosRng[W];
+      uint64_t Roll = R.next() % 100;
+      if (Roll < 12) {
+        FaultInjector FI;
+        FI.Armed = true;
+        FI.OneShot = true;
+        FI.AfterInstructions = 1 + R.next() % 5000;
+        switch (R.next() % 3) {
+        case 0:
+          FI.Kind = Fault::BadAccess;
+          break;
+        case 1:
+          FI.Kind = Fault::CodeSpaceExhausted;
+          break;
+        default:
+          FI.Reason = StopReason::OutOfFuel;
+          break;
+        }
+        M.vm().injectFault(FI);
+      } else if (Roll < 16) {
+        M.resetCodeSpace();
+      }
+    };
   SpecServer S(C, SO);
 
+  if (Chaos)
+    std::printf("fabserve: chaos seed=%llu\n",
+                static_cast<unsigned long long>(Seed));
   std::printf("fabserve: %zu requests (%zu dot-product keys of length %u + "
-              "telnet filter) on %u worker(s), cache %s\n",
-              NumRequests, NumRows, Len, Workers, Cache ? "on" : "off");
+              "telnet filter) on %u worker(s), cache %s, queue depth %zu\n",
+              NumRequests, NumRows, Len, Workers, Cache ? "on" : "off",
+              SO.Pool.MaxQueueDepth);
 
-  std::vector<std::future<FabResult<int32_t>>> Futures;
-  Futures.reserve(Reqs.size());
-  for (const MixedRequest &Q : Reqs)
-    Futures.push_back(S.submit(Q.Fn, Q.Early, Q.Late));
+  SubmitOptions Submit;
+  Submit.MaxRetries = Retries;
+  std::vector<std::future<FabResult<int32_t>>> Futures(Reqs.size());
+  if (Chaos) {
+    // Overload burst: several submitter threads race the queues; every
+    // third request carries a tight deadline.
+    const uint64_t ChaosDeadlineNs =
+        (DeadlineMs ? DeadlineMs : 50) * 1'000'000ull;
+    std::vector<std::thread> Submitters;
+    std::atomic<size_t> NextIdx{0};
+    for (int T = 0; T < 3; ++T)
+      Submitters.emplace_back([&] {
+        for (;;) {
+          size_t I = NextIdx.fetch_add(1);
+          if (I >= Reqs.size())
+            return;
+          SubmitOptions O = Submit;
+          if (I % 3 == 1)
+            O.DeadlineNs = ChaosDeadlineNs;
+          Futures[I] = S.submit(Reqs[I].Fn, Reqs[I].Early, Reqs[I].Late, O);
+        }
+      });
+    for (std::thread &T : Submitters)
+      T.join();
+  } else {
+    Submit.DeadlineNs = DeadlineMs * 1'000'000ull;
+    for (size_t I = 0; I < Reqs.size(); ++I)
+      Futures[I] =
+          S.submit(Reqs[I].Fn, Reqs[I].Early, Reqs[I].Late, Submit);
+  }
 
-  size_t Mismatches = 0;
+  // Collect: every future must resolve. Shedding outcomes (Rejected,
+  // DeadlineExceeded, CircuitOpen) are part of the overload contract and
+  // are counted, not fatal; in chaos mode injected faults surface as
+  // other structured errors and are counted too. A resolved value that
+  // disagrees with the host oracle is always fatal.
+  size_t Mismatches = 0, Ok = 0, ShedCount = 0, Missed = 0, Broken = 0,
+         Faulted = 0;
   for (size_t I = 0; I < Reqs.size(); ++I) {
     FabResult<int32_t> Res = Futures[I].get();
     if (!Res.ok()) {
-      std::fprintf(stderr, "request %zu failed: %s\n", I,
-                   Res.error().message().c_str());
-      return 1;
+      switch (Res.error().Code) {
+      case FabErrc::Rejected:
+        ++ShedCount;
+        continue;
+      case FabErrc::DeadlineExceeded:
+        ++Missed;
+        continue;
+      case FabErrc::CircuitOpen:
+        ++Broken;
+        continue;
+      default:
+        if (Chaos) {
+          ++Faulted;
+          continue;
+        }
+        std::fprintf(stderr, "request %zu failed: %s\n", I,
+                     Res.error().message().c_str());
+        return 1;
+      }
     }
+    ++Ok;
     if (*Res != Reqs[I].Oracle) {
       std::fprintf(stderr, "request %zu: got %d, oracle says %d\n", I, *Res,
                    Reqs[I].Oracle);
@@ -230,6 +366,37 @@ int main(int argc, char **argv) {
   std::printf("  heap recycles         : %llu; degraded workers: %u\n",
               static_cast<unsigned long long>(T.HeapRecycles),
               T.DegradedMachines);
+  std::printf("  overload              : %llu shed, %llu deadline misses, "
+              "%llu retried (%llu recovered)\n",
+              static_cast<unsigned long long>(T.Overload.Shed),
+              static_cast<unsigned long long>(T.Overload.DeadlineMisses),
+              static_cast<unsigned long long>(T.Overload.Retried),
+              static_cast<unsigned long long>(T.Overload.RetrySuccesses));
+  std::printf("  breaker               : %llu opens, %llu fallback calls, "
+              "%llu probes, %llu fast fails (%u open now)\n",
+              static_cast<unsigned long long>(T.Overload.BreakerOpens),
+              static_cast<unsigned long long>(T.Overload.BreakerFallbacks),
+              static_cast<unsigned long long>(T.Overload.BreakerProbes),
+              static_cast<unsigned long long>(T.Overload.BreakerFastFails),
+              T.BreakersOpen);
+  if (T.Latency.Count)
+    std::printf("  latency               : p50 %.3f ms, p99 %.3f ms, max "
+                "%.3f ms (%llu samples)\n",
+                static_cast<double>(T.Latency.quantileNs(0.50)) / 1e6,
+                static_cast<double>(T.Latency.quantileNs(0.99)) / 1e6,
+                static_cast<double>(T.Latency.MaxNs) / 1e6,
+                static_cast<unsigned long long>(T.Latency.Count));
+  for (const WorkerLoadRow &W : T.WorkerLoads)
+    std::printf("  worker %-2u             : q_hw %llu, shed %llu, dl_miss "
+                "%llu, retried %llu, brk_opens %llu, served %llu, errors "
+                "%llu\n",
+                W.Worker, static_cast<unsigned long long>(W.QueueHighWater),
+                static_cast<unsigned long long>(W.Shed),
+                static_cast<unsigned long long>(W.DeadlineMisses),
+                static_cast<unsigned long long>(W.Retried),
+                static_cast<unsigned long long>(W.BreakerOpens),
+                static_cast<unsigned long long>(W.Served),
+                static_cast<unsigned long long>(W.Errors));
   for (const EntryPointProfile &P : T.Entries)
     std::printf("  entry %-15s: %llu calls, %llu specializations "
                 "(%llu memo hits)\n",
@@ -258,6 +425,16 @@ int main(int argc, char **argv) {
     fab::telemetry::writeChromeTrace(Out, Tracks);
     std::printf("wrote %zu trace events (%u tracks) to %s\n", Total,
                 S.workers(), TraceFile.c_str());
+  }
+  if (Chaos) {
+    bool AllResolved =
+        Ok + ShedCount + Missed + Broken + Faulted == Reqs.size();
+    bool Pass = AllResolved && !Mismatches;
+    std::printf("fabserve: CHAOS %s seed=%llu (ok=%zu shed=%zu dl_miss=%zu "
+                "circuit=%zu faulted=%zu mismatches=%zu)\n",
+                Pass ? "OK" : "FAIL", static_cast<unsigned long long>(Seed),
+                Ok, ShedCount, Missed, Broken, Faulted, Mismatches);
+    return Pass ? 0 : 1;
   }
   return Mismatches ? 1 : 0;
 }
