@@ -1,0 +1,217 @@
+//===- bench_wire.cpp - Wire front-end latency and throughput -------------===//
+//
+// Measures what putting the specialization service on the wire costs
+// (docs/WIRE.md): loopback round-trip latency for Ping (pure protocol
+// stack) and for cached dotloop Calls (protocol + serving path), and
+// pipelined throughput — one connection keeping a deep window of
+// requests in flight — against the in-process SpecServer baseline
+// serving the identical request stream through futures. The gap between
+// the serial-RTT rate and the pipelined rate is the whole argument for
+// tagged out-of-order completion; the gap between pipelined and
+// in-process is the true protocol overhead.
+//
+// Unlike the simulated-cycle benchmarks, everything here is host
+// wall-clock: the wire is host-side machinery, invisible to the FAB-32
+// clock. Always writes BENCH_wire.json so the perf trajectory is
+// tracked.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "net/FabClient.h"
+#include "net/WireServer.h"
+#include "service/SpecServer.h"
+#include "support/Rng.h"
+#include "workloads/MlPrograms.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+
+using namespace fab;
+using namespace fab::bench;
+using namespace fab::net;
+using fab::service::ServerOptions;
+using fab::service::SpecServer;
+using fab::service::Value;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double usSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - T0).count();
+}
+
+struct Req {
+  std::vector<Value> Early, Late;
+};
+
+/// Dot-product stream over a handful of reused rows: mostly cache hits,
+/// the serving mix the wire will actually carry.
+std::vector<Req> makeStream(size_t Count, uint64_t Seed) {
+  Rng R(Seed);
+  const uint32_t N = 16;
+  std::vector<std::vector<int32_t>> Rows;
+  for (int I = 0; I < 8; ++I) {
+    std::vector<int32_t> Row(N);
+    for (uint32_t J = 0; J < N; ++J)
+      Row[J] = static_cast<int32_t>(R.next() % 100) - 20;
+    Rows.push_back(Row);
+  }
+  std::vector<Req> Reqs;
+  for (size_t I = 0; I < Count; ++I) {
+    std::vector<int32_t> Col(N);
+    for (uint32_t J = 0; J < N; ++J)
+      Col[J] = static_cast<int32_t>(R.next() % 50) - 10;
+    Reqs.push_back({{Value::ofVec(Rows[I % Rows.size()]), Value::ofInt(0),
+                     Value::ofInt(static_cast<int32_t>(N))},
+                    {Value::ofVec(Col), Value::ofInt(0)}});
+  }
+  return Reqs;
+}
+
+double median(std::vector<double> &V) {
+  std::sort(V.begin(), V.end());
+  return V.empty() ? 0.0 : V[V.size() / 2];
+}
+
+} // namespace
+
+int main() {
+  Compilation C = compileOrDie(workloads::MatmulSrc, FabiusOptions::deferred());
+
+  ServerOptions SO;
+  SO.Pool.Workers = 2;
+  SpecServer Server(C, SO);
+  WireServer Wire(Server);
+  std::string Err;
+  if (!Wire.start(&Err)) {
+    std::fprintf(stderr, "bench_wire: %s\n", Err.c_str());
+    return 1;
+  }
+
+  FabClient Cl;
+  if (!Cl.connect("127.0.0.1", Wire.port(), &Err)) {
+    std::fprintf(stderr, "bench_wire: %s\n", Err.c_str());
+    return 1;
+  }
+
+  const size_t Count = 2000;
+  std::vector<Req> Stream = makeStream(Count, 42);
+
+  // -- Ping RTT: the protocol stack with a zero-cost request.
+  const int PingRounds = 400;
+  std::vector<double> PingUs;
+  for (int I = 0; I < PingRounds; ++I) {
+    auto T0 = Clock::now();
+    if (!Cl.ping())
+      return 1;
+    PingUs.push_back(usSince(T0));
+  }
+
+  // -- Serial call RTT: one request at a time, cache warm after the
+  //    first few.
+  std::vector<double> CallUs;
+  for (size_t I = 0; I < 400; ++I) {
+    const Req &Q = Stream[I % Stream.size()];
+    auto T0 = Clock::now();
+    WireReply R = Cl.call("dotloop", Q.Early, Q.Late);
+    if (!R.Ok)
+      return 1;
+    CallUs.push_back(usSince(T0));
+  }
+
+  // -- Pipelined throughput: a 32-deep window over one connection.
+  const size_t Window = 32;
+  auto TPipe0 = Clock::now();
+  {
+    std::vector<uint64_t> Tags;
+    size_t Next = 0, Done = 0;
+    while (Done < Stream.size()) {
+      while (Next < Stream.size() && Tags.size() < Window) {
+        uint64_t T =
+            Cl.submit("dotloop", Stream[Next].Early, Stream[Next].Late);
+        if (!T)
+          return 1;
+        Tags.push_back(T);
+        ++Next;
+      }
+      WireReply R = Cl.wait(Tags.front());
+      Tags.erase(Tags.begin());
+      if (!R.Ok)
+        return 1;
+      ++Done;
+    }
+  }
+  double PipeUs = usSince(TPipe0);
+
+  // -- In-process baseline: the identical stream through SpecServer
+  //    futures, same window depth.
+  auto TProc0 = Clock::now();
+  {
+    std::vector<std::future<FabResult<int32_t>>> Fut;
+    size_t Next = 0, Done = 0;
+    while (Done < Stream.size()) {
+      while (Next < Stream.size() && Fut.size() < Window) {
+        Fut.push_back(Server.submit("dotloop", Stream[Next].Early,
+                                    Stream[Next].Late));
+        ++Next;
+      }
+      FabResult<int32_t> R = Fut.front().get();
+      Fut.erase(Fut.begin());
+      if (!R.ok())
+        return 1;
+      ++Done;
+    }
+  }
+  double ProcUs = usSince(TProc0);
+
+  double PingRtt = median(PingUs);
+  double CallRtt = median(CallUs);
+  double SerialRps = CallRtt ? 1e6 / CallRtt : 0.0;
+  double PipeRps = PipeUs ? static_cast<double>(Count) * 1e6 / PipeUs : 0.0;
+  double ProcRps = ProcUs ? static_cast<double>(Count) * 1e6 / ProcUs : 0.0;
+  double PipeSpeedup = SerialRps ? PipeRps / SerialRps : 0.0;
+  double WireCost = PipeRps ? ProcRps / PipeRps : 0.0;
+
+  std::printf("bench_wire: loopback, 2 workers, %zu requests, window %zu\n\n",
+              Count, Window);
+  std::printf("  ping RTT (median)        : %8.1f us\n", PingRtt);
+  std::printf("  call RTT (median, warm)  : %8.1f us\n", CallRtt);
+  std::printf("  serial call rate         : %8.0f req/s\n", SerialRps);
+  std::printf("  pipelined throughput     : %8.0f req/s  (%.1fx serial)\n",
+              PipeRps, PipeSpeedup);
+  std::printf("  in-process throughput    : %8.0f req/s\n", ProcRps);
+  std::printf("  wire overhead factor     : %8.2fx  (in-process / pipelined)\n",
+              WireCost);
+
+  TelemetrySnapshot T = Wire.telemetry();
+  std::printf("\n  read batches %llu, batched frames %llu, pipeline high "
+              "water %llu\n",
+              static_cast<unsigned long long>(T.Net.ReadBatches),
+              static_cast<unsigned long long>(T.Net.BatchedFrames),
+              static_cast<unsigned long long>(T.Net.PipelineHighWater));
+
+  reportMetric("ping_rtt_us", PingRtt, "us");
+  reportMetric("call_rtt_us", CallRtt, "us");
+  reportMetric("serial_call_rps", SerialRps, "req/s");
+  reportMetric("pipelined_rps", PipeRps, "req/s");
+  reportMetric("inprocess_rps", ProcRps, "req/s");
+  reportMetric("pipeline_speedup_vs_serial", PipeSpeedup, "x");
+  reportMetric("wire_overhead_factor", WireCost, "x");
+  writeBenchJson("wire");
+
+  Cl.close();
+  Wire.stop();
+  Server.shutdown();
+
+  // Sanity: pipelining must actually beat one-at-a-time round trips.
+  if (PipeRps <= SerialRps) {
+    std::fprintf(stderr,
+                 "bench_wire: pipelined rate did not beat serial RTTs\n");
+    return 1;
+  }
+  return 0;
+}

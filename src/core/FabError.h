@@ -27,18 +27,38 @@ namespace fab {
 
 /// Machine-layer error categories (coarser than vm::Fault: the policy
 /// layer keys recovery decisions on these).
+///
+/// The numeric values are part of the wire protocol (docs/WIRE.md):
+/// Error frames carry them verbatim, so remote clients built against an
+/// older server must keep decoding them correctly. They are therefore
+/// assigned explicitly, locked by the static_asserts below, and must
+/// never be renumbered — add new enumerators at the end with the next
+/// free value. Values 100 and up are reserved for the wire layer's own
+/// protocol errors (net::WireErrc).
 enum class FabErrc {
-  UnknownFunction,    ///< name not in the compiled unit's symbol table
-  Trapped,            ///< the VM stopped on a fault or program trap
-  OutOfFuel,          ///< instruction budget exhausted
-  CodeSpaceExhausted, ///< dynamic code segment full and not recoverable
-  Degraded,           ///< machine fell back to Plain; staging unavailable
-  Rejected,           ///< serving layer refused the request (shut down
-                      ///< or queue over its configured depth)
-  DeadlineExceeded,   ///< request deadline passed (in queue or mid-run)
-  CircuitOpen,        ///< entry point's circuit breaker is open and no
-                      ///< plain fallback image exists to serve it
+  UnknownFunction = 0,    ///< name not in the compiled unit's symbol table
+  Trapped = 1,            ///< the VM stopped on a fault or program trap
+  OutOfFuel = 2,          ///< instruction budget exhausted
+  CodeSpaceExhausted = 3, ///< dynamic code segment full and not recoverable
+  Degraded = 4,           ///< machine fell back to Plain; staging unavailable
+  Rejected = 5,           ///< serving layer refused the request (shut down
+                          ///< or queue over its configured depth)
+  DeadlineExceeded = 6,   ///< request deadline passed (in queue or mid-run)
+  CircuitOpen = 7,        ///< entry point's circuit breaker is open and no
+                          ///< plain fallback image exists to serve it
 };
+
+// ABI lock: these values travel in wire Error frames. Renumbering is a
+// protocol break; this assert is the tripwire.
+static_assert(static_cast<int>(FabErrc::UnknownFunction) == 0 &&
+                  static_cast<int>(FabErrc::Trapped) == 1 &&
+                  static_cast<int>(FabErrc::OutOfFuel) == 2 &&
+                  static_cast<int>(FabErrc::CodeSpaceExhausted) == 3 &&
+                  static_cast<int>(FabErrc::Degraded) == 4 &&
+                  static_cast<int>(FabErrc::Rejected) == 5 &&
+                  static_cast<int>(FabErrc::DeadlineExceeded) == 6 &&
+                  static_cast<int>(FabErrc::CircuitOpen) == 7,
+              "FabErrc values are wire ABI (docs/WIRE.md); never renumber");
 
 /// One failed Machine operation. Exec carries the underlying VM stop when
 /// there is one (Reason == Halted means "no VM run is associated").

@@ -1,0 +1,237 @@
+//===- FabClient.cpp - Blocking wire-protocol client ----------------------===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/FabClient.h"
+
+using namespace fab;
+using namespace fab::net;
+
+bool FabClient::connect(const std::string &Host, uint16_t Port,
+                        std::string *Err) {
+  close();
+  Sock = Socket::connectTcp(Host, Port, Err);
+  if (!Sock.valid())
+    return false;
+  std::vector<uint8_t> Pre = encodePreamble();
+  if (!Sock.sendAll(Pre.data(), Pre.size())) {
+    if (Err)
+      *Err = "connection closed during handshake";
+    close();
+    return false;
+  }
+  uint8_t Their[PreambleBytes];
+  if (!Sock.recvAll(Their, sizeof(Their))) {
+    if (Err)
+      *Err = "no preamble from server";
+    close();
+    return false;
+  }
+  switch (decodePreamble(Their, sizeof(Their))) {
+  case PreambleStatus::Ok:
+    Dead = false;
+    return true;
+  case PreambleStatus::BadMagic:
+    if (Err)
+      *Err = "peer is not a fabwire server (bad magic)";
+    break;
+  case PreambleStatus::BadVersion:
+    if (Err)
+      *Err = "wire version mismatch";
+    break;
+  }
+  close();
+  return false;
+}
+
+void FabClient::close() {
+  Sock.close();
+  Dead = true;
+  PendingByTag.clear();
+  FR = FrameReader();
+}
+
+WireReply FabClient::lost() {
+  Dead = true;
+  WireReply R;
+  R.Ok = false;
+  R.ErrCode = wireCode(WireErrc::ConnectionLost);
+  R.Message = "connection lost before the reply arrived";
+  return R;
+}
+
+uint64_t FabClient::sendFrame(const std::vector<uint8_t> &Bytes) {
+  if (!connected())
+    return 0;
+  uint64_t Tag = NextTag++;
+  if (!Sock.sendAll(Bytes.data(), Bytes.size())) {
+    Dead = true;
+    return 0;
+  }
+  return Tag;
+}
+
+uint64_t FabClient::submit(const std::string &Fn,
+                           const std::vector<service::Value> &Early,
+                           const std::vector<service::Value> &Late,
+                           uint64_t DeadlineNs, uint32_t MaxRetries) {
+  if (!connected())
+    return 0;
+  SubmitBody B;
+  B.Fn = Fn;
+  B.Early = Early;
+  B.Late = Late;
+  B.DeadlineNs = DeadlineNs;
+  B.MaxRetries = MaxRetries;
+  std::vector<uint8_t> F = encodeSubmit(NextTag, B);
+  return sendFrame(F);
+}
+
+uint64_t FabClient::submitCall(const std::string &Fn,
+                               const std::vector<service::Value> &Early,
+                               const std::vector<service::Value> &Late) {
+  if (!connected())
+    return 0;
+  SubmitBody B;
+  B.Fn = Fn;
+  B.Early = Early;
+  B.Late = Late;
+  std::vector<uint8_t> F = encodeCall(NextTag, B);
+  return sendFrame(F);
+}
+
+uint64_t FabClient::submitInvalidate(const std::string &Fn) {
+  if (!connected())
+    return 0;
+  std::vector<uint8_t> F = encodeInvalidate(NextTag, Fn);
+  return sendFrame(F);
+}
+
+bool FabClient::readFrame(Frame &Out) {
+  uint8_t Chunk[16 * 1024];
+  for (;;) {
+    FrameReader::Status St = FR.next(Out);
+    if (St == FrameReader::Status::Ready)
+      return true;
+    if (St == FrameReader::Status::TooLarge)
+      return false; // a server reply should never trip the ceiling
+    long N = Sock.recvSome(Chunk, sizeof(Chunk));
+    if (N <= 0)
+      return false;
+    FR.feed(Chunk, static_cast<size_t>(N));
+  }
+}
+
+WireReply FabClient::toReply(const Frame &F) {
+  WireReply R;
+  switch (F.H.Type) {
+  case FrameType::Result: {
+    int32_t V = 0;
+    if (!decodeResult(F, V))
+      return lost();
+    R.Ok = true;
+    R.Value = V;
+    R.ErrCode = 0;
+    return R;
+  }
+  case FrameType::InvalidateReply: {
+    uint64_t Dropped = 0;
+    if (!decodeInvalidateReply(F, Dropped))
+      return lost();
+    R.Ok = true;
+    R.Value = static_cast<int32_t>(Dropped);
+    R.ErrCode = 0;
+    return R;
+  }
+  case FrameType::Error: {
+    ErrorBody E;
+    if (!decodeError(F, E))
+      return lost();
+    R.Ok = false;
+    R.ErrCode = E.Code;
+    R.RetryAfterUs = E.RetryAfterUs;
+    R.Message = E.Message;
+    return R;
+  }
+  case FrameType::Pong:
+    R.Ok = true;
+    R.ErrCode = 0;
+    return R;
+  default:
+    // A reply kind this client does not model (StatsReply is handled by
+    // stats()); treat as a protocol breakdown.
+    return lost();
+  }
+}
+
+WireReply FabClient::wait(uint64_t Tag) {
+  if (Tag == 0)
+    return lost();
+  for (;;) {
+    auto It = PendingByTag.find(Tag);
+    if (It != PendingByTag.end()) {
+      Frame F = std::move(It->second);
+      PendingByTag.erase(It);
+      return toReply(F);
+    }
+    if (Dead)
+      return lost();
+    Frame F;
+    if (!readFrame(F))
+      return lost();
+    ++Replies;
+    if (F.H.Tag == Tag)
+      return toReply(F);
+    PendingByTag.emplace(F.H.Tag, std::move(F));
+  }
+}
+
+WireReply FabClient::call(const std::string &Fn,
+                          const std::vector<service::Value> &Early,
+                          const std::vector<service::Value> &Late,
+                          uint64_t DeadlineNs, uint32_t MaxRetries) {
+  return wait(submit(Fn, Early, Late, DeadlineNs, MaxRetries));
+}
+
+WireReply FabClient::invalidate(const std::string &Fn) {
+  return wait(submitInvalidate(Fn));
+}
+
+bool FabClient::ping() {
+  if (!connected())
+    return false;
+  uint64_t Tag = sendFrame(encodePing(NextTag));
+  if (!Tag)
+    return false;
+  return wait(Tag).Ok;
+}
+
+bool FabClient::stats(StatsPairs &Out) {
+  if (!connected())
+    return false;
+  uint64_t Tag = sendFrame(encodeStats(NextTag));
+  if (!Tag)
+    return false;
+  // StatsReply carries pairs, not a WireReply; wait for the raw frame.
+  for (;;) {
+    auto It = PendingByTag.find(Tag);
+    Frame F;
+    if (It != PendingByTag.end()) {
+      F = std::move(It->second);
+      PendingByTag.erase(It);
+    } else {
+      if (Dead || !readFrame(F)) {
+        Dead = true;
+        return false;
+      }
+      ++Replies;
+      if (F.H.Tag != Tag) {
+        PendingByTag.emplace(F.H.Tag, std::move(F));
+        continue;
+      }
+    }
+    return F.H.Type == FrameType::StatsReply && decodeStatsReply(F, Out);
+  }
+}

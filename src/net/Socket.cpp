@@ -1,0 +1,181 @@
+//===- Socket.cpp ---------------------------------------------------------===//
+
+#include "net/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace fab;
+using namespace fab::net;
+
+namespace {
+
+void fillErr(std::string *Err, const char *What) {
+  if (Err)
+    *Err = std::string(What) + ": " + std::strerror(errno);
+}
+
+bool parseAddr(const std::string &Host, uint16_t Port, sockaddr_in &SA) {
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sin_family = AF_INET;
+  SA.sin_port = htons(Port);
+  const char *H = (Host.empty() || Host == "localhost") ? "127.0.0.1"
+                                                        : Host.c_str();
+  return inet_pton(AF_INET, H, &SA.sin_addr) == 1;
+}
+
+} // namespace
+
+Socket Socket::connectTcp(const std::string &Host, uint16_t Port,
+                          std::string *Err) {
+  sockaddr_in SA;
+  if (!parseAddr(Host, Port, SA)) {
+    if (Err)
+      *Err = "bad address: " + Host;
+    return Socket();
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    fillErr(Err, "socket");
+    return Socket();
+  }
+  int Rc;
+  do {
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA));
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc < 0) {
+    fillErr(Err, "connect");
+    ::close(Fd);
+    return Socket();
+  }
+  Socket S(Fd);
+  S.setNoDelay();
+  return S;
+}
+
+void Socket::setNoDelay() {
+  if (Fd < 0)
+    return;
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
+bool Socket::sendAll(const void *Buf, size_t N) {
+  const char *P = static_cast<const char *>(Buf);
+  while (N) {
+    long W;
+    do {
+      W = ::send(Fd, P, N, MSG_NOSIGNAL);
+    } while (W < 0 && errno == EINTR);
+    if (W <= 0)
+      return false;
+    P += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+long Socket::recvSome(void *Buf, size_t N) {
+  long R;
+  do {
+    R = ::recv(Fd, Buf, N, 0);
+  } while (R < 0 && errno == EINTR);
+  return R;
+}
+
+bool Socket::recvAll(void *Buf, size_t N) {
+  char *P = static_cast<char *>(Buf);
+  while (N) {
+    long R = recvSome(P, N);
+    if (R <= 0)
+      return false;
+    P += R;
+    N -= static_cast<size_t>(R);
+  }
+  return true;
+}
+
+void Socket::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Listener::listen(const std::string &BindAddr, uint16_t Port, int Backlog,
+                      std::string *Err) {
+  close();
+  sockaddr_in SA;
+  if (!parseAddr(BindAddr, Port, SA)) {
+    if (Err)
+      *Err = "bad bind address: " + BindAddr;
+    return false;
+  }
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    fillErr(Err, "socket");
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+    fillErr(Err, "bind");
+    close();
+    return false;
+  }
+  if (::listen(Fd, Backlog) < 0) {
+    fillErr(Err, "listen");
+    close();
+    return false;
+  }
+  socklen_t Len = sizeof(SA);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&SA), &Len) == 0)
+    BoundPort = ntohs(SA.sin_port);
+  return true;
+}
+
+Socket Listener::accept(int TimeoutMs, bool *TimedOut) {
+  if (TimedOut)
+    *TimedOut = false;
+  if (Fd < 0)
+    return Socket();
+  pollfd P{Fd, POLLIN, 0};
+  int Rc;
+  do {
+    Rc = ::poll(&P, 1, TimeoutMs);
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc == 0) {
+    if (TimedOut)
+      *TimedOut = true;
+    return Socket();
+  }
+  if (Rc < 0)
+    return Socket();
+  int CFd;
+  do {
+    CFd = ::accept(Fd, nullptr, nullptr);
+  } while (CFd < 0 && errno == EINTR);
+  if (CFd < 0)
+    return Socket();
+  Socket S(CFd);
+  S.setNoDelay();
+  return S;
+}
+
+void Listener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

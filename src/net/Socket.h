@@ -1,0 +1,113 @@
+//===- Socket.h - Minimal RAII TCP socket helpers ---------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin POSIX socket layer under the wire protocol (docs/WIRE.md):
+/// an owning fd wrapper with EINTR-safe full-buffer send/recv, and a
+/// poll-based TCP listener whose accept loop can be stopped promptly
+/// without signals. Everything above this file (Wire.h framing,
+/// WireServer, FabClient) is byte-oriented and never sees an fd.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_NET_SOCKET_H
+#define FAB_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fab {
+namespace net {
+
+/// Owning TCP socket. Movable, closes on destruction. All operations
+/// are EINTR-safe; writes use MSG_NOSIGNAL so a peer reset surfaces as
+/// an error return, never SIGPIPE.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+  Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Socket &operator=(Socket &&O) noexcept {
+    if (this != &O) {
+      close();
+      Fd = O.Fd;
+      O.Fd = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Blocking connect to host:port (IPv4 dotted quad or "localhost").
+  /// On failure returns an invalid socket and fills \p Err.
+  static Socket connectTcp(const std::string &Host, uint16_t Port,
+                           std::string *Err = nullptr);
+
+  /// Disables Nagle so pipelined small frames are not batched into
+  /// 40ms-delayed segments; round-trip latency tests rely on this.
+  void setNoDelay();
+
+  /// Sends the whole buffer; false on any error (the connection is then
+  /// unusable for writing).
+  bool sendAll(const void *Buf, size_t N);
+
+  /// One recv() of up to \p N bytes. >0 = bytes read, 0 = orderly EOF,
+  /// -1 = error.
+  long recvSome(void *Buf, size_t N);
+
+  /// Reads exactly \p N bytes; false on EOF or error before that.
+  bool recvAll(void *Buf, size_t N);
+
+  /// shutdown(SHUT_RDWR): wakes a thread blocked in recv on this fd
+  /// (the close discipline for reader threads; close() alone does not
+  /// reliably interrupt a blocked syscall).
+  void shutdownBoth();
+
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+/// Listening TCP socket bound to an address. accept() uses a short poll
+/// so the loop can observe a stop flag between waits instead of parking
+/// forever in the kernel.
+class Listener {
+public:
+  Listener() = default;
+  ~Listener() { close(); }
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+
+  /// Binds and listens. \p Port 0 picks an ephemeral port; port()
+  /// reports the one actually bound. False + \p Err on failure.
+  bool listen(const std::string &BindAddr, uint16_t Port, int Backlog,
+              std::string *Err = nullptr);
+
+  /// Waits up to \p TimeoutMs for a connection. Returns an invalid
+  /// socket on timeout or listener close; \p *TimedOut distinguishes
+  /// the two.
+  Socket accept(int TimeoutMs, bool *TimedOut = nullptr);
+
+  bool valid() const { return Fd >= 0; }
+  uint16_t port() const { return BoundPort; }
+  void close();
+
+private:
+  int Fd = -1;
+  uint16_t BoundPort = 0;
+};
+
+} // namespace net
+} // namespace fab
+
+#endif // FAB_NET_SOCKET_H

@@ -1,0 +1,516 @@
+//===- WireServer.cpp - TCP front-end over SpecServer ---------------------===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/WireServer.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace fab;
+using namespace fab::net;
+using fab::telemetry::EventKind;
+
+namespace {
+
+/// The per-read scratch size. One recv() of this many bytes can carry
+/// hundreds of pipelined small frames — exactly the batches the reader
+/// drains in one pass so they land together in the worker queues.
+constexpr size_t ReadChunk = 64 * 1024;
+
+/// How often the accept loop wakes to check the stop flag and reap
+/// finished connections.
+constexpr int AcceptPollMs = 50;
+
+std::string clip(std::string S) {
+  if (S.size() > MaxStringBytes)
+    S.resize(MaxStringBytes);
+  return S;
+}
+
+} // namespace
+
+WireServer::WireServer(service::SpecServer &S, const WireOptions &O)
+    : Server(S), Opts(O), Trace(O.TraceCapacity, O.EnableTrace) {}
+
+WireServer::~WireServer() { stop(); }
+
+bool WireServer::start(std::string *Err) {
+  if (Running.load(std::memory_order_acquire))
+    return true;
+  if (!Lst.listen(Opts.BindAddr, Opts.Port, Opts.Backlog, Err))
+    return false;
+  StopFlag.store(false, std::memory_order_release);
+  Running.store(true, std::memory_order_release);
+  Acceptor = std::thread([this] { runAccept(); });
+  return true;
+}
+
+void WireServer::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel))
+    return;
+  StopFlag.store(true, std::memory_order_release);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  Lst.close();
+
+  // Wake every reader blocked in recv(); their writers then flush
+  // whatever replies are still in flight and exit. Copy the registry
+  // first — joins must not run under ConnsMutex (a connection thread
+  // serving a Stats frame takes it).
+  std::vector<ConnPtr> Open;
+  {
+    std::lock_guard<std::mutex> L(ConnsMutex);
+    Open = Conns;
+  }
+  for (auto &C : Open)
+    C->Sock.shutdownBoth();
+  for (auto &C : Open) {
+    if (C->Reader.joinable())
+      C->Reader.join();
+    if (C->Writer.joinable())
+      C->Writer.join();
+  }
+  reap(/*Final=*/true);
+}
+
+void WireServer::trace(EventKind K, uint64_t Arg0, uint64_t Arg1) {
+  if (!Opts.EnableTrace)
+    return;
+  std::lock_guard<std::mutex> L(TraceMutex);
+  Trace.record(K, /*SimInstr=*/0, Arg0, Arg1);
+}
+
+std::vector<telemetry::TraceEvent> WireServer::drainTrace() {
+  std::lock_guard<std::mutex> L(TraceMutex);
+  return Trace.drain();
+}
+
+uint32_t WireServer::retryHint(FabErrc C) const {
+  switch (C) {
+  case FabErrc::Rejected:
+    return Opts.RetryAfterRejectedUs;
+  case FabErrc::CircuitOpen:
+    return Opts.RetryAfterCircuitUs;
+  default:
+    return 0; // not an overload refusal; retrying soon will not help
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Accept loop + connection registry
+//===----------------------------------------------------------------------===//
+
+void WireServer::runAccept() {
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    bool TimedOut = false;
+    Socket S = Lst.accept(AcceptPollMs, &TimedOut);
+    if (!S.valid()) {
+      if (TimedOut)
+        reap(/*Final=*/false);
+      continue;
+    }
+    auto C = std::make_shared<Conn>();
+    C->Sock = std::move(S);
+    {
+      std::lock_guard<std::mutex> L(ConnsMutex);
+      C->Id = NextConnId++;
+      Conns.push_back(C);
+    }
+    {
+      std::lock_guard<std::mutex> L(C->StatsMutex);
+      C->Stats.Connections = 1;
+    }
+    trace(EventKind::ConnOpen, C->Id, 0);
+    C->Reader = std::thread([this, C] { runReader(C); });
+    C->Writer = std::thread([this, C] { runWriter(C); });
+  }
+}
+
+void WireServer::reap(bool Final) {
+  std::vector<ConnPtr> Done;
+  {
+    std::lock_guard<std::mutex> L(ConnsMutex);
+    auto Split = std::partition(Conns.begin(), Conns.end(), [&](const ConnPtr &C) {
+      return !Final && !C->Finished.load(std::memory_order_acquire);
+    });
+    Done.assign(Split, Conns.end());
+    Conns.erase(Split, Conns.end());
+  }
+  for (auto &C : Done) {
+    if (C->Reader.joinable())
+      C->Reader.join();
+    if (C->Writer.joinable())
+      C->Writer.join();
+    ConnStatsRow Row;
+    Row.ConnId = C->Id;
+    Row.Live = false;
+    {
+      std::lock_guard<std::mutex> L(C->StatsMutex);
+      C->Stats.Disconnects = 1;
+      Row.Net = C->Stats;
+    }
+    trace(EventKind::ConnClose, C->Id, Row.Net.FramesIn);
+    std::lock_guard<std::mutex> L(ConnsMutex);
+    Retired.push_back(std::move(Row));
+  }
+}
+
+unsigned WireServer::liveConnections() const {
+  std::lock_guard<std::mutex> L(ConnsMutex);
+  unsigned N = 0;
+  for (const auto &C : Conns)
+    if (!C->Finished.load(std::memory_order_acquire))
+      ++N;
+  return N;
+}
+
+std::vector<ConnStatsRow> WireServer::connectionStats() const {
+  std::vector<ConnStatsRow> Out;
+  std::lock_guard<std::mutex> L(ConnsMutex);
+  Out = Retired;
+  for (const auto &C : Conns) {
+    ConnStatsRow Row;
+    Row.ConnId = C->Id;
+    Row.Live = true;
+    std::lock_guard<std::mutex> SL(C->StatsMutex);
+    Row.Net = C->Stats;
+    Out.push_back(std::move(Row));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const ConnStatsRow &A, const ConnStatsRow &B) {
+              return A.ConnId < B.ConnId;
+            });
+  return Out;
+}
+
+TelemetrySnapshot WireServer::telemetry() const {
+  TelemetrySnapshot T = Server.telemetry();
+  for (const ConnStatsRow &Row : connectionStats())
+    T.Net += Row.Net;
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-connection reader
+//===----------------------------------------------------------------------===//
+
+void WireServer::runReader(const ConnPtr &C) {
+  // Handshake: the server announces its preamble immediately; the
+  // client's must arrive before any frame. A wrong magic is not this
+  // protocol at all — drop silently. A wrong version is a FABW peer we
+  // cannot serve — tell it so with a typed Error (tag 0: no request to
+  // attribute it to), then close.
+  enqueue(C, encodePreamble(), /*IsError=*/false);
+
+  uint8_t Pre[PreambleBytes];
+  bool CloseNow = false;
+  if (!C->Sock.recvAll(Pre, sizeof(Pre))) {
+    std::lock_guard<std::mutex> L(C->StatsMutex);
+    C->Stats.ProtocolErrors++;
+    CloseNow = true;
+  } else {
+    switch (decodePreamble(Pre, sizeof(Pre))) {
+    case PreambleStatus::Ok: {
+      std::lock_guard<std::mutex> L(C->StatsMutex);
+      C->Stats.BytesIn += PreambleBytes;
+      break;
+    }
+    case PreambleStatus::BadMagic: {
+      std::lock_guard<std::mutex> L(C->StatsMutex);
+      C->Stats.ProtocolErrors++;
+      CloseNow = true;
+      break;
+    }
+    case PreambleStatus::BadVersion:
+      {
+        std::lock_guard<std::mutex> L(C->StatsMutex);
+        C->Stats.ProtocolErrors++;
+      }
+      sendError(C, 0, wireCode(WireErrc::BadVersion),
+                "unsupported wire version", /*CloseConn=*/true);
+      break;
+    }
+  }
+
+  FrameReader FR(Opts.MaxFrameBytes);
+  std::vector<uint8_t> Chunk(ReadChunk);
+  bool Closing = CloseNow;
+  {
+    std::lock_guard<std::mutex> L(C->WriteMutex);
+    Closing = Closing || C->CloseAfterFlush;
+  }
+
+  while (!Closing) {
+    long N = C->Sock.recvSome(Chunk.data(), Chunk.size());
+    if (N <= 0) {
+      // Orderly EOF or reset. Bytes of a half-received frame are a
+      // protocol violation worth counting (the fuzz tests cut
+      // connections mid-frame on purpose).
+      if (FR.pendingBytes() > 0) {
+        std::lock_guard<std::mutex> L(C->StatsMutex);
+        C->Stats.ProtocolErrors++;
+      }
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> L(C->StatsMutex);
+      C->Stats.BytesIn += static_cast<uint64_t>(N);
+    }
+
+    // Drain every complete frame this read produced before recv()ing
+    // again — the socket-read batch that feeds the pool coalescer.
+    FR.feed(Chunk.data(), static_cast<size_t>(N));
+    unsigned Batch = 0;
+    Frame F;
+    for (;;) {
+      FrameReader::Status St = FR.next(F);
+      if (St == FrameReader::Status::NeedMore)
+        break;
+      if (St == FrameReader::Status::TooLarge) {
+        {
+          std::lock_guard<std::mutex> L(C->StatsMutex);
+          C->Stats.ProtocolErrors++;
+        }
+        // The stream cannot be resynchronized past an oversized length
+        // prefix; refuse with the offending tag and hang up.
+        sendError(C, FR.offendingTag(), wireCode(WireErrc::FrameTooLarge),
+                  "frame exceeds the server's size ceiling",
+                  /*CloseConn=*/true);
+        Closing = true;
+        break;
+      }
+      ++Batch;
+      handleFrame(C, std::move(F));
+      std::lock_guard<std::mutex> L(C->WriteMutex);
+      if (C->CloseAfterFlush || C->WriteFailed) {
+        Closing = true;
+        break;
+      }
+    }
+    if (Batch) {
+      std::lock_guard<std::mutex> L(C->StatsMutex);
+      C->Stats.FramesIn += Batch;
+      C->Stats.ReadBatches++;
+      if (Batch > 1)
+        C->Stats.BatchedFrames += Batch;
+      trace(EventKind::FrameRecv, C->Id, Batch);
+    }
+  }
+
+  // Let the writer flush replies for everything still in flight, then
+  // close. The writer owns the socket teardown.
+  {
+    std::lock_guard<std::mutex> L(C->WriteMutex);
+    C->ReaderDone = true;
+  }
+  C->WriteCv.notify_all();
+  if (C->ThreadsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    C->Finished.store(true, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// Frame dispatch
+//===----------------------------------------------------------------------===//
+
+void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
+  const uint64_t Tag = F.H.Tag;
+  switch (F.H.Type) {
+  case FrameType::SubmitSpecialize:
+  case FrameType::Call: {
+    SubmitBody B;
+    if (!decodeSubmit(F, B)) {
+      sendError(C, Tag, wireCode(WireErrc::BadFrame),
+                "malformed submit payload", /*CloseConn=*/false);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> L(C->WriteMutex);
+      std::lock_guard<std::mutex> SL(C->StatsMutex);
+      C->Stats.Submits++;
+      C->InFlight++;
+      if (C->InFlight > C->Stats.PipelineHighWater)
+        C->Stats.PipelineHighWater = C->InFlight;
+    }
+    service::SubmitOptions O;
+    O.DeadlineNs = B.DeadlineNs;
+    O.MaxRetries = B.MaxRetries;
+    // The completion runs on the serving worker's thread (or inline on
+    // a refusal); C is kept alive by the capture until the reply is
+    // queued.
+    Server.submitAsync(
+        B.Fn, std::move(B.Early), std::move(B.Late), O,
+        [this, C, Tag](FabResult<int32_t> R) {
+          std::vector<uint8_t> Reply;
+          bool IsError = !R.ok();
+          if (R.ok())
+            Reply = encodeResult(Tag, *R);
+          else
+            Reply = encodeError(Tag, wireCode(R.error().Code),
+                                retryHint(R.error().Code),
+                                clip(R.error().message()));
+          enqueue(C, std::move(Reply), IsError, /*DecInFlight=*/true);
+        });
+    return;
+  }
+  case FrameType::Invalidate: {
+    std::string Fn;
+    if (!decodeInvalidate(F, Fn)) {
+      sendError(C, Tag, wireCode(WireErrc::BadFrame),
+                "malformed invalidate payload", /*CloseConn=*/false);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> L(C->WriteMutex);
+      std::lock_guard<std::mutex> SL(C->StatsMutex);
+      C->Stats.Invalidates++;
+      C->InFlight++;
+      if (C->InFlight > C->Stats.PipelineHighWater)
+        C->Stats.PipelineHighWater = C->InFlight;
+    }
+    Server.invalidateAsync(Fn, [this, C, Tag](FabResult<int32_t> R) {
+      std::vector<uint8_t> Reply;
+      bool IsError = !R.ok();
+      if (R.ok())
+        Reply = encodeInvalidateReply(Tag, static_cast<uint64_t>(*R));
+      else
+        Reply = encodeError(Tag, wireCode(R.error().Code),
+                            retryHint(R.error().Code),
+                            clip(R.error().message()));
+      enqueue(C, std::move(Reply), IsError, /*DecInFlight=*/true);
+    });
+    return;
+  }
+  case FrameType::Stats: {
+    {
+      std::lock_guard<std::mutex> L(C->StatsMutex);
+      C->Stats.StatsRequests++;
+    }
+    TelemetrySnapshot T = telemetry();
+    StatsPairs P;
+    P.reserve(32);
+    P.emplace_back("workers", T.Workers);
+    P.emplace_back("submitted", T.Submitted);
+    P.emplace_back("served", T.Served);
+    P.emplace_back("errors", T.Errors);
+    P.emplace_back("rejected", T.Rejected);
+    P.emplace_back("coalesced", T.Coalesced);
+    P.emplace_back("queue_high_water", T.QueueHighWater);
+    P.emplace_back("shed", T.Overload.Shed);
+    P.emplace_back("deadline_misses", T.Overload.DeadlineMisses);
+    P.emplace_back("retried", T.Overload.Retried);
+    P.emplace_back("breaker_opens", T.Overload.BreakerOpens);
+    P.emplace_back("breakers_open_now", T.BreakersOpen);
+    P.emplace_back("cache_hits", T.Cache.Hits);
+    P.emplace_back("cache_misses", T.Cache.Misses);
+    P.emplace_back("cache_invalidated", T.Cache.Invalidated);
+    P.emplace_back("memo_generator_runs", T.Memo.GeneratorRuns);
+    P.emplace_back("memo_hits", T.Memo.MemoHits);
+    P.emplace_back("gen_executed", T.Memo.GenExecuted);
+    P.emplace_back("gen_dyn_words", T.Memo.GenDynWords);
+    P.emplace_back("net_connections", T.Net.Connections);
+    P.emplace_back("net_frames_in", T.Net.FramesIn);
+    P.emplace_back("net_frames_out", T.Net.FramesOut);
+    P.emplace_back("net_bytes_in", T.Net.BytesIn);
+    P.emplace_back("net_bytes_out", T.Net.BytesOut);
+    P.emplace_back("net_read_batches", T.Net.ReadBatches);
+    P.emplace_back("net_batched_frames", T.Net.BatchedFrames);
+    P.emplace_back("net_errors_out", T.Net.ErrorsOut);
+    P.emplace_back("net_protocol_errors", T.Net.ProtocolErrors);
+    P.emplace_back("net_pipeline_high_water", T.Net.PipelineHighWater);
+    enqueue(C, encodeStatsReply(Tag, P), /*IsError=*/false);
+    return;
+  }
+  case FrameType::Ping:
+    enqueue(C, encodePong(Tag), /*IsError=*/false);
+    return;
+  default:
+    // Well-framed but unknown: the connection stays usable (forward
+    // compatibility — an old server refuses new request types politely).
+    sendError(C, Tag, wireCode(WireErrc::UnknownType),
+              "unknown frame type", /*CloseConn=*/false);
+    return;
+  }
+}
+
+void WireServer::sendError(const ConnPtr &C, uint64_t Tag, uint16_t Code,
+                           const std::string &Msg, bool CloseConn) {
+  if (CloseConn) {
+    std::lock_guard<std::mutex> L(C->WriteMutex);
+    C->CloseAfterFlush = true;
+  }
+  enqueue(C, encodeError(Tag, Code, 0, Msg), /*IsError=*/true);
+}
+
+void WireServer::enqueue(const ConnPtr &C, std::vector<uint8_t> Bytes,
+                         bool IsError, bool DecInFlight) {
+  {
+    std::lock_guard<std::mutex> L(C->StatsMutex);
+    C->Stats.BytesOut += Bytes.size();
+    // The preamble is the only queued buffer that is not a frame.
+    if (Bytes.size() != PreambleBytes ||
+        std::memcmp(Bytes.data(), "FABW", 4) != 0) {
+      C->Stats.FramesOut++;
+      if (IsError)
+        C->Stats.ErrorsOut++;
+    }
+  }
+  {
+    // An in-flight completion must decrement and push under one lock
+    // hold: if the writer observed InFlight == 0 with an empty queue in
+    // between, it could exit before this reply was queued.
+    std::lock_guard<std::mutex> L(C->WriteMutex);
+    if (DecInFlight)
+      C->InFlight--;
+    C->WriteQ.push_back(std::move(Bytes));
+  }
+  C->WriteCv.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// Per-connection writer
+//===----------------------------------------------------------------------===//
+
+void WireServer::runWriter(const ConnPtr &C) {
+  unsigned SentFrames = 0;
+  for (;;) {
+    std::vector<uint8_t> Buf;
+    {
+      std::unique_lock<std::mutex> L(C->WriteMutex);
+      C->WriteCv.wait(L, [&] {
+        return !C->WriteQ.empty() || C->WriteFailed ||
+               (C->ReaderDone && C->InFlight == 0) ||
+               (C->CloseAfterFlush && C->InFlight == 0 && C->WriteQ.empty());
+      });
+      if (C->WriteFailed) {
+        C->WriteQ.clear();
+        break;
+      }
+      if (C->WriteQ.empty()) {
+        // ReaderDone/CloseAfterFlush with nothing in flight: all replies
+        // owed to this peer have been flushed.
+        break;
+      }
+      Buf = std::move(C->WriteQ.front());
+      C->WriteQ.pop_front();
+    }
+    if (!C->Sock.sendAll(Buf.data(), Buf.size())) {
+      std::lock_guard<std::mutex> L(C->WriteMutex);
+      C->WriteFailed = true;
+      // The peer is gone; nothing more can be delivered, and the reader
+      // should stop feeding requests it will never answer.
+      C->Sock.shutdownBoth();
+      break;
+    }
+    ++SentFrames;
+  }
+  if (SentFrames)
+    trace(EventKind::FrameSend, C->Id, SentFrames);
+  C->Sock.shutdownBoth();
+  if (C->ThreadsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    C->Finished.store(true, std::memory_order_release);
+}

@@ -1,0 +1,168 @@
+//===- WireServer.h - TCP front-end over SpecServer -------------*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network front-end that puts the specialization service on the
+/// wire (docs/WIRE.md): a TCP listener speaking the Wire.h frame
+/// protocol over a SpecServer. One reader and one writer thread per
+/// connection; requests pipeline freely because replies are completed
+/// out of order — each SubmitSpecialize/Call turns into
+/// SpecServer::submitAsync, whose completion (running on the serving
+/// worker's thread) encodes the reply and hands it to the connection's
+/// writer. The reader drains everything recv() returned before reading
+/// again, so a burst of pipelined same-key requests lands in one worker
+/// queue batch and hits the MachinePool coalescer.
+///
+/// All overload refusals from PR 6 — queue sheds, deadline misses,
+/// breaker fast-fails — surface as typed Error frames carrying the
+/// ABI-locked FabErrc code and an advisory retry-after hint; the
+/// connection itself stays healthy. Only protocol violations (bad
+/// magic/version, oversized or unparseable framing) cost the client its
+/// connection, and even then every other connection is unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_NET_WIRESERVER_H
+#define FAB_NET_WIRESERVER_H
+
+#include "net/Socket.h"
+#include "net/Wire.h"
+#include "service/SpecServer.h"
+#include "telemetry/TraceRing.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace fab {
+namespace net {
+
+struct WireOptions {
+  std::string BindAddr = "127.0.0.1";
+  uint16_t Port = 0; ///< 0 = ephemeral; port() reports the bound one
+  int Backlog = 64;
+  uint32_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// Advisory retry-after hints attached to overload refusals
+  /// (microseconds): Rejected means "a queue slot frees within a batch
+  /// drain", CircuitOpen means "the breaker cools down over
+  /// CooldownRequests requests". Both are coarse by design — the point
+  /// is to give remote clients *some* pacing signal instead of a naked
+  /// error.
+  uint32_t RetryAfterRejectedUs = 200;
+  uint32_t RetryAfterCircuitUs = 5000;
+  /// Arms the server-side TraceRing (conn open/close, frame batches);
+  /// drainTrace() empties it. Worker-side tracing is configured on the
+  /// pool as before.
+  bool EnableTrace = false;
+  size_t TraceCapacity = 4096;
+};
+
+/// Aggregate + per-connection wire counters (connectionStats()).
+struct ConnStatsRow {
+  uint64_t ConnId = 0;
+  bool Live = false;
+  NetStats Net;
+};
+
+class WireServer {
+public:
+  /// \p S must outlive the server. stop() (or destruction) closes every
+  /// connection but does not shut the SpecServer down — callers
+  /// typically stop the wire first, then SpecServer::shutdown().
+  WireServer(service::SpecServer &S, const WireOptions &Opts = {});
+  ~WireServer();
+
+  WireServer(const WireServer &) = delete;
+  WireServer &operator=(const WireServer &) = delete;
+
+  /// Binds, listens, and starts the accept thread. False + \p Err when
+  /// the port cannot be bound.
+  bool start(std::string *Err = nullptr);
+
+  /// Stops intake, closes every connection (in-flight requests still
+  /// complete and their replies are flushed where the socket allows),
+  /// joins all threads. Idempotent.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+  uint16_t port() const { return Lst.port(); }
+
+  /// SpecServer::telemetry() with the Net block filled in: the sum over
+  /// every connection ever accepted (live and closed). The sum is exact
+  /// against connectionStats() — net_test asserts it.
+  TelemetrySnapshot telemetry() const;
+
+  /// One row per connection, live connections included.
+  std::vector<ConnStatsRow> connectionStats() const;
+
+  /// Connections currently open.
+  unsigned liveConnections() const;
+
+  /// Takes the server's accumulated net trace events (ConnOpen,
+  /// ConnClose, FrameRecv, FrameSend).
+  std::vector<telemetry::TraceEvent> drainTrace();
+
+private:
+  struct Conn {
+    uint64_t Id = 0;
+    Socket Sock;
+
+    std::mutex WriteMutex;
+    std::condition_variable WriteCv;
+    std::deque<std::vector<uint8_t>> WriteQ; // guarded by WriteMutex
+    bool ReaderDone = false;                 // guarded by WriteMutex
+    bool WriteFailed = false;                // guarded by WriteMutex
+    unsigned InFlight = 0;                   // guarded by WriteMutex
+    bool CloseAfterFlush = false;            // guarded by WriteMutex
+
+    mutable std::mutex StatsMutex;
+    NetStats Stats; // guarded by StatsMutex
+
+    std::thread Reader, Writer;
+    std::atomic<bool> Finished{false}; ///< both threads exited
+    std::atomic<unsigned> ThreadsLeft{2};
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  void runAccept();
+  void runReader(const ConnPtr &C);
+  void runWriter(const ConnPtr &C);
+  void handleFrame(const ConnPtr &C, Frame &&F);
+  void enqueue(const ConnPtr &C, std::vector<uint8_t> Bytes, bool IsError,
+               bool DecInFlight = false);
+  void sendError(const ConnPtr &C, uint64_t Tag, uint16_t Code,
+                 const std::string &Msg, bool CloseConn);
+  uint32_t retryHint(FabErrc C) const;
+  void reap(bool Final);
+  void trace(telemetry::EventKind K, uint64_t Arg0, uint64_t Arg1);
+
+  service::SpecServer &Server;
+  WireOptions Opts;
+  Listener Lst;
+  std::thread Acceptor;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> StopFlag{false};
+
+  mutable std::mutex ConnsMutex;
+  std::vector<ConnPtr> Conns;          // guarded by ConnsMutex
+  std::vector<ConnStatsRow> Retired;   // guarded by ConnsMutex
+  uint64_t NextConnId = 1;             // guarded by ConnsMutex
+
+  /// The ring is single-writer by contract; the wire layer has many
+  /// writers (one per connection thread), so all recording goes through
+  /// TraceMutex. Rates here are per-batch, not per-instruction, so the
+  /// lock is cold.
+  std::mutex TraceMutex;
+  telemetry::TraceRing Trace;
+};
+
+} // namespace net
+} // namespace fab
+
+#endif // FAB_NET_WIRESERVER_H

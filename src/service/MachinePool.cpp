@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <iterator>
 
 using namespace fab;
 using namespace fab::service;
@@ -35,7 +36,8 @@ MachinePool::PostStatus MachinePool::post(unsigned W, Request R) {
     std::lock_guard<std::mutex> L(Wk.QueueMutex);
     if (Wk.Stopped)
       return PostStatus::Stopped;
-    if (Opts.MaxQueueDepth && Wk.Queue.size() >= Opts.MaxQueueDepth) {
+    if (R.K == Request::Kind::Serve && Opts.MaxQueueDepth &&
+        Wk.Queue.size() >= Opts.MaxQueueDepth) {
       ++Wk.Shed;
       return PostStatus::Full;
     }
@@ -433,14 +435,32 @@ void MachinePool::runWorker(unsigned Idx) {
         BatchSpecs.clear();
         ++Local.HeapRecycles;
       }
-      if (Opts.BeforeRequest)
+      if (Opts.BeforeRequest && R.K == Request::Kind::Serve)
         Opts.BeforeRequest(Idx, *M, Seq);
       const bool Tracing = M->trace().enabled();
       if (Tracing)
         M->trace().record(telemetry::EventKind::WorkerBegin,
                           M->stats().Executed, 0, 0,
                           telemetry::internName(R.Key.Fn));
-      FabResult<int32_t> Res = serveRobust(R, BatchSpecs);
+      FabResult<int32_t> Res = FabError{FabErrc::Trapped, R.Key.Fn, {}};
+      if (R.K == Request::Kind::Invalidate) {
+        // Control request: drop this worker's cached addresses for the
+        // named entry point (all of them when unnamed) and answer with
+        // the count. Batch peers produced before the invalidate must not
+        // be reused after it, so the in-batch spec map is purged too.
+        // The in-VM memo table is left alone: its entries key on
+        // interned early data whose content never changes, so anything
+        // it answers is still value-correct.
+        Res = static_cast<int32_t>(Cache.invalidate(R.Key.Fn));
+        if (R.Key.Fn.empty())
+          BatchSpecs.clear();
+        else
+          for (auto It = BatchSpecs.begin(); It != BatchSpecs.end();)
+            It = It->first.Fn == R.Key.Fn ? BatchSpecs.erase(It)
+                                          : std::next(It);
+      } else {
+        Res = serveRobust(R, BatchSpecs);
+      }
       if (Tracing)
         M->trace().record(telemetry::EventKind::WorkerComplete,
                           M->stats().Executed, Res ? 1 : 0, 0,
@@ -457,7 +477,10 @@ void MachinePool::runWorker(unsigned Idx) {
       // result, stats() already accounts for the request that produced
       // it (tests and benches rely on this ordering).
       publish();
-      R.Promise.set_value(std::move(Res));
+      if (R.Completion)
+        R.Completion(std::move(Res));
+      else
+        R.Promise.set_value(std::move(Res));
     }
   }
   drainRing();

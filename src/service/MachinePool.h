@@ -43,13 +43,29 @@ namespace fab {
 namespace service {
 
 /// One unit of work: run `Fn` specialized on `Early` with the late
-/// arguments `Late`, answering through `Promise`. `Key` is precomputed
-/// by the front-end (it also routes the request).
+/// arguments `Late`, answering through `Promise` (or `Completion` when
+/// set). `Key` is precomputed by the front-end (it also routes the
+/// request).
 struct Request {
+  /// Serve is the normal specialize-and-call path. Invalidate is a
+  /// control request: the worker drops its SpecCache entries for
+  /// Key.Fn (all entries when the name is empty) and answers with the
+  /// number dropped. Control requests ride the same queue so they are
+  /// ordered with the serve traffic around them, but bypass the
+  /// MaxQueueDepth admission check (they are rare, caller-bounded, and
+  /// shedding one would silently skip one worker's shard).
+  enum class Kind : uint8_t { Serve, Invalidate };
+  Kind K = Kind::Serve;
   SpecKey Key;
   std::vector<Value> Early;
   std::vector<Value> Late;
   std::promise<FabResult<int32_t>> Promise;
+  /// When set, the worker invokes this — on the worker thread, after
+  /// publishing stats — instead of resolving Promise. The wire layer
+  /// uses it to write replies out of submission order without a thread
+  /// parked per future. Must not block for long and must not touch the
+  /// worker's machine.
+  std::function<void(FabResult<int32_t>)> Completion;
   /// traceNowNs() when the request was accepted (latency accounting;
   /// 0 = not stamped, latency not recorded).
   uint64_t SubmitNs = 0;
@@ -175,7 +191,8 @@ public:
   };
 
   /// Enqueues \p R on worker \p W, or refuses without touching the
-  /// promise (the caller answers Rejected).
+  /// promise/completion (the caller answers Rejected). Control requests
+  /// (Kind::Invalidate) are never refused as Full, only as Stopped.
   PostStatus post(unsigned W, Request R);
 
   /// Stops intake, lets every worker drain its queue, joins the threads.

@@ -120,6 +120,27 @@ bool SpecCache::pin(const SpecKey &K, bool On) {
   return true;
 }
 
+size_t SpecCache::invalidate(const std::string &Fn) {
+  size_t Dropped = 0;
+  if (Fn.empty()) {
+    Dropped = Map.size();
+    Map.clear();
+    Lru.clear();
+  } else {
+    for (auto It = Map.begin(); It != Map.end();) {
+      if (It->first.Fn == Fn) {
+        Lru.erase(It->second.LruIt);
+        It = Map.erase(It);
+        ++Dropped;
+      } else {
+        ++It;
+      }
+    }
+  }
+  Stats.Invalidated += Dropped;
+  return Dropped;
+}
+
 void SpecCache::clear() {
   Map.clear();
   Lru.clear();

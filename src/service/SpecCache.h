@@ -122,6 +122,14 @@ public:
   /// Marks an entry as (un)evictable; returns false when absent.
   bool pin(const SpecKey &K, bool On);
 
+  /// Drops every entry for function \p Fn — or every entry outright when
+  /// \p Fn is empty — regardless of pinning, counting the drops as
+  /// Invalidated (not Evictions). Returns the number dropped. This is
+  /// the service-level invalidation primitive behind the wire
+  /// Invalidate frame: the next request for a dropped key
+  /// re-specializes.
+  size_t invalidate(const std::string &Fn);
+
   /// Drops every entry without touching the eviction counter (used when
   /// the backing machine itself is replaced).
   void clear();

@@ -99,10 +99,91 @@ std::future<FabResult<int32_t>> SpecServer::submit(const std::string &Fn,
   return P.get_future();
 }
 
+void SpecServer::submitAsync(const std::string &Fn, std::vector<Value> Early,
+                             std::vector<Value> Late, const SubmitOptions &O,
+                             std::function<void(FabResult<int32_t>)> Done) {
+  Request R;
+  R.Key = SpecKey::make(Fn, Early);
+  R.Early = std::move(Early);
+  R.Late = std::move(Late);
+  R.SubmitNs = telemetry::traceNowNs();
+  R.DeadlineNs = O.DeadlineNs ? R.SubmitNs + O.DeadlineNs : 0;
+  R.Retries = O.MaxRetries;
+  // post() consumes the request whether or not it admits it, so the
+  // refusal path needs its own handle on the completion.
+  R.Completion = Done;
+  unsigned W = static_cast<unsigned>(R.Key.Hash % Pool.workers());
+  Submitted.fetch_add(1, std::memory_order_relaxed);
+  switch (Pool.post(W, std::move(R))) {
+  case MachinePool::PostStatus::Ok:
+    return;
+  case MachinePool::PostStatus::Stopped:
+    RejectedCount.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case MachinePool::PostStatus::Full:
+    break;
+  }
+  Done(FabError{FabErrc::Rejected, Fn, {}});
+}
+
 FabResult<int32_t> SpecServer::call(const std::string &Fn,
                                     std::vector<Value> Early,
                                     std::vector<Value> Late) {
   return submit(Fn, std::move(Early), std::move(Late)).get();
+}
+
+void SpecServer::invalidateAsync(
+    const std::string &Fn, std::function<void(FabResult<int32_t>)> Done) {
+  // One control request per worker; the last shard to finish reports the
+  // pool-wide total. Refusals (shutdown mid-fan-out) surface as Rejected
+  // but still wait for the shards that were accepted.
+  struct FanOut {
+    std::atomic<unsigned> Left;
+    std::atomic<int64_t> Dropped{0};
+    std::atomic<bool> Refused{false};
+    std::string Fn;
+    std::function<void(FabResult<int32_t>)> Done;
+  };
+  auto S = std::make_shared<FanOut>();
+  S->Left = Pool.workers();
+  S->Fn = Fn;
+  S->Done = std::move(Done);
+  auto finishOne = [](const std::shared_ptr<FanOut> &S) {
+    if (S->Left.fetch_sub(1, std::memory_order_acq_rel) != 1)
+      return;
+    if (S->Refused.load(std::memory_order_acquire))
+      S->Done(FabError{FabErrc::Rejected, S->Fn, {}});
+    else
+      S->Done(static_cast<int32_t>(
+          S->Dropped.load(std::memory_order_acquire)));
+  };
+  for (unsigned W = 0; W < Pool.workers(); ++W) {
+    Request R;
+    R.K = Request::Kind::Invalidate;
+    R.Key.Fn = Fn;
+    R.SubmitNs = telemetry::traceNowNs();
+    R.Completion = [S, finishOne](FabResult<int32_t> Res) {
+      if (Res.ok())
+        S->Dropped.fetch_add(*Res, std::memory_order_acq_rel);
+      else
+        S->Refused.store(true, std::memory_order_release);
+      finishOne(S);
+    };
+    Submitted.fetch_add(1, std::memory_order_relaxed);
+    if (Pool.post(W, std::move(R)) != MachinePool::PostStatus::Ok) {
+      RejectedCount.fetch_add(1, std::memory_order_relaxed);
+      S->Refused.store(true, std::memory_order_release);
+      finishOne(S);
+    }
+  }
+}
+
+FabResult<int32_t> SpecServer::invalidate(const std::string &Fn) {
+  std::promise<FabResult<int32_t>> P;
+  std::future<FabResult<int32_t>> F = P.get_future();
+  invalidateAsync(Fn,
+                  [&P](FabResult<int32_t> R) { P.set_value(std::move(R)); });
+  return F.get();
 }
 
 TelemetrySnapshot SpecServer::telemetry() const {

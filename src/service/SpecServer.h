@@ -106,9 +106,30 @@ public:
                                          std::vector<Value> Late,
                                          const SubmitOptions &O);
 
+  /// Callback form of submit() for callers that complete requests out of
+  /// submission order without parking a thread per future (the wire
+  /// front-end). \p Done runs exactly once: on the serving worker's
+  /// thread after it publishes stats, or synchronously on the caller's
+  /// thread when the request is refused at submit (Rejected). It must
+  /// not block for long.
+  void submitAsync(const std::string &Fn, std::vector<Value> Early,
+                   std::vector<Value> Late, const SubmitOptions &O,
+                   std::function<void(FabResult<int32_t>)> Done);
+
   /// Synchronous convenience wrapper around submit().get().
   FabResult<int32_t> call(const std::string &Fn, std::vector<Value> Early,
                           std::vector<Value> Late);
+
+  /// Drops every worker's cached specialization addresses for \p Fn
+  /// (every entry point when empty). The drop rides each worker's queue
+  /// as a control request, so it is ordered with the serve traffic
+  /// around it and the next request per dropped key re-specializes.
+  /// Resolves with the total number of entries dropped across the pool,
+  /// or Rejected after shutdown. \p Done runs after the last worker has
+  /// processed its shard (worker thread, or synchronously on refusal).
+  void invalidateAsync(const std::string &Fn,
+                       std::function<void(FabResult<int32_t>)> Done);
+  FabResult<int32_t> invalidate(const std::string &Fn);
 
   /// The worker a request with these early values routes to (stable;
   /// exposed for tests and load inspection).

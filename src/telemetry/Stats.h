@@ -140,6 +140,9 @@ struct SpecCacheStats {
   /// died in a resetCodeSpace(), so the caller re-specialized. Counted in
   /// Misses as well.
   uint64_t Rehydrations = 0;
+  /// Entries dropped by an explicit invalidate() (wire Invalidate frames
+  /// and SpecServer::invalidate); not counted as evictions.
+  uint64_t Invalidated = 0;
 
   double hitRate() const {
     uint64_t Total = Hits + Misses;
@@ -151,6 +154,7 @@ struct SpecCacheStats {
     Misses += R.Misses;
     Evictions += R.Evictions;
     Rehydrations += R.Rehydrations;
+    Invalidated += R.Invalidated;
     return *this;
   }
 };
@@ -177,6 +181,51 @@ struct OverloadStats {
     BreakerFallbacks += R.BreakerFallbacks;
     BreakerProbes += R.BreakerProbes;
     BreakerFastFails += R.BreakerFastFails;
+    return *this;
+  }
+};
+
+/// Wire front-end counters (src/net/). One instance per connection,
+/// accumulated by its reader/writer threads and summed — together with
+/// the listener-level fields — into TelemetrySnapshot::Net, so the
+/// pool-wide totals are exactly the per-connection sums (net_test
+/// asserts this).
+struct NetStats {
+  uint64_t Connections = 0;    ///< connections accepted (listener) / 1 (conn)
+  uint64_t Disconnects = 0;    ///< connections fully closed
+  uint64_t FramesIn = 0;       ///< complete request frames decoded
+  uint64_t FramesOut = 0;      ///< reply frames written
+  uint64_t BytesIn = 0;        ///< payload + header bytes received
+  uint64_t BytesOut = 0;       ///< payload + header bytes sent
+  uint64_t ReadBatches = 0;    ///< recv() calls that yielded >=1 frame
+  uint64_t BatchedFrames = 0;  ///< frames that arrived sharing a recv()
+                               ///< with at least one other frame (the
+                               ///< socket-read batching feeding the
+                               ///< MachinePool coalescer)
+  uint64_t Submits = 0;        ///< SubmitSpecialize/Call frames accepted
+  uint64_t Invalidates = 0;    ///< Invalidate frames served
+  uint64_t StatsRequests = 0;  ///< Stats frames served
+  uint64_t ErrorsOut = 0;      ///< Error frames sent (typed refusals)
+  uint64_t ProtocolErrors = 0; ///< malformed input (bad magic/version/
+                               ///< frame); usually followed by a close
+  uint64_t PipelineHighWater = 0; ///< max submits in flight on one conn
+
+  NetStats &operator+=(const NetStats &R) {
+    Connections += R.Connections;
+    Disconnects += R.Disconnects;
+    FramesIn += R.FramesIn;
+    FramesOut += R.FramesOut;
+    BytesIn += R.BytesIn;
+    BytesOut += R.BytesOut;
+    ReadBatches += R.ReadBatches;
+    BatchedFrames += R.BatchedFrames;
+    Submits += R.Submits;
+    Invalidates += R.Invalidates;
+    StatsRequests += R.StatsRequests;
+    ErrorsOut += R.ErrorsOut;
+    ProtocolErrors += R.ProtocolErrors;
+    if (R.PipelineHighWater > PipelineHighWater)
+      PipelineHighWater = R.PipelineHighWater;
     return *this;
   }
 };

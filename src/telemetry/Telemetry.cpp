@@ -101,6 +101,14 @@ const char *fab::telemetry::eventName(EventKind K) {
     return "breaker_probe";
   case EventKind::BreakerClose:
     return "breaker_close";
+  case EventKind::ConnOpen:
+    return "conn_open";
+  case EventKind::ConnClose:
+    return "conn_close";
+  case EventKind::FrameRecv:
+    return "frame_recv";
+  case EventKind::FrameSend:
+    return "frame_send";
   }
   return "unknown";
 }
@@ -137,6 +145,7 @@ TelemetrySnapshot &TelemetrySnapshot::operator+=(const TelemetrySnapshot &R) {
   BreakersOpen += R.BreakersOpen;
   WorkerLoads.insert(WorkerLoads.end(), R.WorkerLoads.begin(),
                      R.WorkerLoads.end());
+  Net += R.Net;
 
   // Merge profiles by function name, keeping Entries sorted.
   std::map<std::string, EntryPointProfile> ByFn;
@@ -222,6 +231,7 @@ void TelemetrySnapshot::writeText(std::ostream &OS,
     Line("cache.misses", Cache.Misses);
     Line("cache.evictions", Cache.Evictions);
     Line("cache.rehydrations", Cache.Rehydrations);
+    Line("cache.invalidated", Cache.Invalidated);
     for (const WorkerLoadRow &W : WorkerLoads) {
       auto WLine = [&](const char *Path, uint64_t V) {
         OS << Prefix << ".worker." << W.Worker << '.' << Path << ' ' << V
@@ -235,6 +245,22 @@ void TelemetrySnapshot::writeText(std::ostream &OS,
       WLine("served", W.Served);
       WLine("errors", W.Errors);
     }
+  }
+  if (Net.Connections || Net.FramesIn) {
+    Line("net.connections", Net.Connections);
+    Line("net.disconnects", Net.Disconnects);
+    Line("net.frames_in", Net.FramesIn);
+    Line("net.frames_out", Net.FramesOut);
+    Line("net.bytes_in", Net.BytesIn);
+    Line("net.bytes_out", Net.BytesOut);
+    Line("net.read_batches", Net.ReadBatches);
+    Line("net.batched_frames", Net.BatchedFrames);
+    Line("net.submits", Net.Submits);
+    Line("net.invalidates", Net.Invalidates);
+    Line("net.stats_requests", Net.StatsRequests);
+    Line("net.errors_out", Net.ErrorsOut);
+    Line("net.protocol_errors", Net.ProtocolErrors);
+    Line("net.pipeline_high_water", Net.PipelineHighWater);
   }
   for (const EntryPointProfile &P : Entries) {
     auto Entry = [&](const char *Path, uint64_t V) {

@@ -99,6 +99,12 @@ struct TelemetrySnapshot {
   /// One row per aggregated worker (operator+= concatenates).
   std::vector<WorkerLoadRow> WorkerLoads;
 
+  // -- Wire front-end (zero unless a WireServer fills it in) -----------------
+  /// Totals across the listener and every connection, live and closed.
+  /// WireServer::telemetry() guarantees these are exactly the sum of the
+  /// per-connection counters it also exposes.
+  NetStats Net;
+
   // -- Per entry point -------------------------------------------------------
   std::vector<EntryPointProfile> Entries; ///< sorted by Fn
 

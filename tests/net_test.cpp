@@ -1,0 +1,565 @@
+//===- net_test.cpp - Wire protocol + TCP front-end tests -----------------===//
+//
+// Covers src/net/ (docs/WIRE.md): the pure codec (frame round trips,
+// preamble validation, incremental FrameReader over fragmented input,
+// decode limits), and the loopback integration of WireServer +
+// FabClient over a real SpecServer — pipelined out-of-order completion,
+// four concurrent clients running mixed submit/call/invalidate traffic
+// validated byte-for-byte against an in-process SpecServer oracle,
+// overload refusals arriving as typed Error frames with retry-after
+// hints (never disconnects), and TelemetrySnapshot::Net summing exactly
+// across connections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/FabClient.h"
+#include "net/WireServer.h"
+
+#include "bpf/Bpf.h"
+#include "support/Rng.h"
+#include "workloads/MlPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace fab;
+using namespace fab::net;
+using fab::service::ServerOptions;
+using fab::service::SpecServer;
+using fab::service::Value;
+
+namespace {
+
+std::string mixedSrc() {
+  return std::string(workloads::MatmulSrc) + "\n" + workloads::EvalSrc;
+}
+
+FabiusOptions mixedOptions() {
+  FabiusOptions Opts = FabiusOptions::deferred();
+  Opts.Backend.MemoizedSelfCalls.insert("eval");
+  return Opts;
+}
+
+struct MixedRequest {
+  std::string Fn;
+  std::vector<Value> Early, Late;
+};
+
+std::vector<MixedRequest> mixedWorkload(size_t Count, uint64_t Seed) {
+  Rng R(Seed);
+  const uint32_t N = 16;
+  std::vector<std::vector<int32_t>> Rows;
+  for (int I = 0; I < 6; ++I) {
+    std::vector<int32_t> Row(N);
+    for (uint32_t J = 0; J < N; ++J)
+      Row[J] = static_cast<int32_t>(R.next() % 100) - 20;
+    Rows.push_back(Row);
+  }
+  bpf::Program Filter = bpf::telnetFilter();
+  auto Trace = bpf::makeTrace(16, Seed ^ 0x9E3779B9u);
+
+  std::vector<MixedRequest> Reqs;
+  for (size_t I = 0; I < Count; ++I) {
+    if (I % 3 == 2) {
+      MixedRequest Q;
+      Q.Fn = "eval";
+      Q.Early = {Value::ofVec(Filter.Words), Value::ofInt(0)};
+      Q.Late = {Value::ofInt(0), Value::ofInt(0),
+                Value::ofVec(std::vector<int32_t>(16, 0)),
+                Value::ofVec(Trace[I % Trace.size()])};
+      Reqs.push_back(std::move(Q));
+    } else {
+      std::vector<int32_t> Col(N);
+      for (uint32_t J = 0; J < N; ++J)
+        Col[J] = static_cast<int32_t>(R.next() % 50) - 10;
+      MixedRequest Q;
+      Q.Fn = "dotloop";
+      Q.Early = {Value::ofVec(Rows[I % Rows.size()]), Value::ofInt(0),
+                 Value::ofInt(static_cast<int32_t>(N))};
+      Q.Late = {Value::ofVec(Col), Value::ofInt(0)};
+      Reqs.push_back(std::move(Q));
+    }
+  }
+  return Reqs;
+}
+
+/// A WireServer over a fresh SpecServer on an ephemeral loopback port.
+struct LoopbackServer {
+  explicit LoopbackServer(const Compilation &C, unsigned Workers = 2,
+                          WireOptions WO = {}) {
+    ServerOptions SO;
+    SO.Pool.Workers = Workers;
+    Server = std::make_unique<SpecServer>(C, SO);
+    Wire = std::make_unique<WireServer>(*Server, WO);
+    std::string Err;
+    Started = Wire->start(&Err);
+    EXPECT_TRUE(Started) << Err;
+  }
+  ~LoopbackServer() {
+    Wire->stop();
+    Server->shutdown();
+  }
+  FabClient client() {
+    FabClient Cl;
+    std::string Err;
+    EXPECT_TRUE(Cl.connect("127.0.0.1", Wire->port(), &Err)) << Err;
+    return Cl;
+  }
+
+  std::unique_ptr<SpecServer> Server;
+  std::unique_ptr<WireServer> Wire;
+  bool Started = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Codec
+//===----------------------------------------------------------------------===//
+
+TEST(WireCodec, PreambleRoundTrip) {
+  std::vector<uint8_t> P = encodePreamble();
+  ASSERT_EQ(P.size(), PreambleBytes);
+  EXPECT_EQ(decodePreamble(P.data(), P.size()), PreambleStatus::Ok);
+
+  std::vector<uint8_t> Bad = P;
+  Bad[0] ^= 0xFF;
+  EXPECT_EQ(decodePreamble(Bad.data(), Bad.size()), PreambleStatus::BadMagic);
+
+  std::vector<uint8_t> Ver = P;
+  Ver[4] = 0x63; // version 99
+  Ver[5] = 0x00;
+  EXPECT_EQ(decodePreamble(Ver.data(), Ver.size()),
+            PreambleStatus::BadVersion);
+}
+
+TEST(WireCodec, SubmitRoundTrip) {
+  SubmitBody In;
+  In.Fn = "dotloop";
+  In.Early = {Value::ofVec({1, -2, 3}), Value::ofInt(0), Value::ofInt(3)};
+  In.Late = {Value::ofVec({}), Value::ofInt(-7)};
+  In.DeadlineNs = 123456789;
+  In.MaxRetries = 2;
+
+  std::vector<uint8_t> Bytes = encodeSubmit(0xDEADBEEFCAFEull, In);
+  FrameReader FR;
+  FR.feed(Bytes.data(), Bytes.size());
+  Frame F;
+  ASSERT_EQ(FR.next(F), FrameReader::Status::Ready);
+  EXPECT_EQ(F.H.Type, FrameType::SubmitSpecialize);
+  EXPECT_EQ(F.H.Tag, 0xDEADBEEFCAFEull);
+
+  SubmitBody Out;
+  ASSERT_TRUE(decodeSubmit(F, Out));
+  EXPECT_EQ(Out.Fn, In.Fn);
+  ASSERT_EQ(Out.Early.size(), 3u);
+  EXPECT_EQ(Out.Early[0].Vec, (std::vector<int32_t>{1, -2, 3}));
+  EXPECT_EQ(Out.Early[2].I, 3);
+  ASSERT_EQ(Out.Late.size(), 2u);
+  EXPECT_TRUE(Out.Late[0].Vec.empty());
+  EXPECT_EQ(Out.Late[1].I, -7);
+  EXPECT_EQ(Out.DeadlineNs, In.DeadlineNs);
+  EXPECT_EQ(Out.MaxRetries, In.MaxRetries);
+}
+
+TEST(WireCodec, ReplyRoundTrips) {
+  Frame F;
+  FrameReader FR;
+
+  std::vector<uint8_t> R = encodeResult(7, -123);
+  FR.feed(R.data(), R.size());
+  ASSERT_EQ(FR.next(F), FrameReader::Status::Ready);
+  int32_t V = 0;
+  ASSERT_TRUE(decodeResult(F, V));
+  EXPECT_EQ(V, -123);
+
+  std::vector<uint8_t> E =
+      encodeError(9, wireCode(FabErrc::Rejected), 250, "queue full");
+  FR.feed(E.data(), E.size());
+  ASSERT_EQ(FR.next(F), FrameReader::Status::Ready);
+  ErrorBody EB;
+  ASSERT_TRUE(decodeError(F, EB));
+  EXPECT_EQ(EB.Code, 5u); // FabErrc::Rejected is ABI-locked to 5
+  EXPECT_EQ(EB.RetryAfterUs, 250u);
+  EXPECT_EQ(EB.Message, "queue full");
+
+  StatsPairs Pairs = {{"served", 41}, {"errors", 1}};
+  std::vector<uint8_t> S = encodeStatsReply(11, Pairs);
+  FR.feed(S.data(), S.size());
+  ASSERT_EQ(FR.next(F), FrameReader::Status::Ready);
+  StatsPairs Out;
+  ASSERT_TRUE(decodeStatsReply(F, Out));
+  EXPECT_EQ(Out, Pairs);
+
+  std::vector<uint8_t> I = encodeInvalidateReply(13, 99);
+  FR.feed(I.data(), I.size());
+  ASSERT_EQ(FR.next(F), FrameReader::Status::Ready);
+  uint64_t Dropped = 0;
+  ASSERT_TRUE(decodeInvalidateReply(F, Dropped));
+  EXPECT_EQ(Dropped, 99u);
+}
+
+TEST(WireCodec, FrameReaderHandlesFragmentation) {
+  // Three frames delivered one byte at a time must still parse exactly.
+  std::vector<uint8_t> Stream;
+  for (uint64_t T = 1; T <= 3; ++T) {
+    std::vector<uint8_t> F = encodePing(T);
+    Stream.insert(Stream.end(), F.begin(), F.end());
+  }
+  FrameReader FR;
+  Frame F;
+  unsigned Got = 0;
+  for (uint8_t B : Stream) {
+    FR.feed(&B, 1);
+    while (FR.next(F) == FrameReader::Status::Ready) {
+      ++Got;
+      EXPECT_EQ(F.H.Type, FrameType::Ping);
+      EXPECT_EQ(F.H.Tag, Got);
+    }
+  }
+  EXPECT_EQ(Got, 3u);
+  EXPECT_EQ(FR.pendingBytes(), 0u);
+}
+
+TEST(WireCodec, DecodeRejectsMalformedPayloads) {
+  // Trailing garbage after a valid payload is a framing bug.
+  SubmitBody B;
+  B.Fn = "f";
+  std::vector<uint8_t> Bytes = encodeSubmit(1, B);
+  Frame F;
+  FrameReader FR;
+  FR.feed(Bytes.data(), Bytes.size());
+  ASSERT_EQ(FR.next(F), FrameReader::Status::Ready);
+  F.Payload.push_back(0);
+  F.H.Len++;
+  SubmitBody Out;
+  EXPECT_FALSE(decodeSubmit(F, Out));
+
+  // Truncated payload.
+  FR.feed(Bytes.data(), Bytes.size());
+  ASSERT_EQ(FR.next(F), FrameReader::Status::Ready);
+  F.Payload.pop_back();
+  EXPECT_FALSE(decodeSubmit(F, Out));
+
+  // A value list longer than the ceiling is refused without allocating.
+  std::vector<uint8_t> P;
+  putStr(P, "f");
+  putU16(P, 0xFFFF); // 65535 values
+  Frame Big;
+  Big.H.Type = FrameType::Call;
+  Big.Payload = P;
+  Big.H.Len = static_cast<uint32_t>(P.size());
+  EXPECT_FALSE(decodeSubmit(Big, Out));
+}
+
+TEST(WireCodec, OversizedFrameRefusedBeforeAllocation) {
+  FrameReader FR(/*MaxFrameBytes=*/1024);
+  std::vector<uint8_t> Hdr;
+  putU32(Hdr, 1u << 30); // 1 GiB length prefix
+  Hdr.push_back(static_cast<uint8_t>(FrameType::Call));
+  Hdr.push_back(0);
+  putU16(Hdr, 0);
+  putU64(Hdr, 42); // tag
+  FR.feed(Hdr.data(), Hdr.size());
+  Frame F;
+  EXPECT_EQ(FR.next(F), FrameReader::Status::TooLarge);
+  EXPECT_EQ(FR.offendingTag(), 42u);
+}
+
+//===----------------------------------------------------------------------===//
+// Loopback integration
+//===----------------------------------------------------------------------===//
+
+TEST(WireLoopback, PingCallInvalidateStats) {
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  LoopbackServer S(C);
+  FabClient Cl = S.client();
+
+  EXPECT_TRUE(Cl.ping());
+
+  // dotloop([1,2,3], 0, 3) . ([4,5,6], 0) = 32, against the host oracle.
+  WireReply R = Cl.call(
+      "dotloop", {Value::ofVec({1, 2, 3}), Value::ofInt(0), Value::ofInt(3)},
+      {Value::ofVec({4, 5, 6}), Value::ofInt(0)});
+  ASSERT_TRUE(R.Ok) << R.Message;
+  EXPECT_EQ(R.Value, 32);
+
+  // Same key again: served from cache, same value.
+  R = Cl.call("dotloop",
+              {Value::ofVec({1, 2, 3}), Value::ofInt(0), Value::ofInt(3)},
+              {Value::ofVec({4, 5, 6}), Value::ofInt(0)});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value, 32);
+
+  // Invalidate drops the cached specialization; the next call still
+  // returns the right answer (it re-specializes).
+  WireReply Inv = Cl.invalidate("dotloop");
+  ASSERT_TRUE(Inv.Ok) << Inv.Message;
+  EXPECT_EQ(Inv.Value, 1);
+  R = Cl.call("dotloop",
+              {Value::ofVec({1, 2, 3}), Value::ofInt(0), Value::ofInt(3)},
+              {Value::ofVec({4, 5, 6}), Value::ofInt(0)});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Value, 32);
+
+  StatsPairs P;
+  ASSERT_TRUE(Cl.stats(P));
+  auto get = [&](const std::string &K) -> uint64_t {
+    for (const auto &KV : P)
+      if (KV.first == K)
+        return KV.second;
+    ADD_FAILURE() << "missing stats key " << K;
+    return 0;
+  };
+  EXPECT_EQ(get("cache_invalidated"), 1u);
+  EXPECT_GE(get("served"), 3u);
+  EXPECT_GE(get("net_frames_in"), 5u);
+}
+
+TEST(WireLoopback, PipelinedRepliesArriveOutOfOrderSafely) {
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  LoopbackServer S(C, /*Workers=*/4);
+  FabClient Cl = S.client();
+
+  // Issue a window of submits with distinct keys (they fan out across
+  // workers and complete in arbitrary order), then wait newest-first —
+  // the reverse of submission order.
+  const int K = 24;
+  std::vector<uint64_t> Tags;
+  std::vector<int32_t> Expect;
+  for (int I = 0; I < K; ++I) {
+    std::vector<int32_t> Row = {I + 1, I + 2, I + 3};
+    std::vector<int32_t> Col = {2, 3, 4};
+    int32_t Dot = 0;
+    for (int J = 0; J < 3; ++J)
+      Dot += Row[J] * Col[J];
+    Tags.push_back(Cl.submit(
+        "dotloop", {Value::ofVec(Row), Value::ofInt(0), Value::ofInt(3)},
+        {Value::ofVec(Col), Value::ofInt(0)}));
+    ASSERT_NE(Tags.back(), 0u);
+    Expect.push_back(Dot);
+  }
+  for (int I = K - 1; I >= 0; --I) {
+    WireReply R = Cl.wait(Tags[I]);
+    ASSERT_TRUE(R.Ok) << R.Message;
+    EXPECT_EQ(R.Value, Expect[I]) << "request " << I;
+  }
+
+  TelemetrySnapshot T = S.Wire->telemetry();
+  EXPECT_GE(T.Net.PipelineHighWater, 2u);
+}
+
+TEST(WireLoopback, FourConcurrentClientsMatchInProcessOracle) {
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+
+  // The oracle: the same requests through an in-process SpecServer.
+  ServerOptions OracleSO;
+  OracleSO.Pool.Workers = 2;
+  SpecServer Oracle(C, OracleSO);
+
+  LoopbackServer S(C, /*Workers=*/4);
+
+  const unsigned NumClients = 4;
+  const size_t PerClient = 90;
+  const size_t Window = 12; // pipelining depth
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  std::vector<uint64_t> FramesSent(NumClients, 0);
+
+  for (unsigned Ci = 0; Ci < NumClients; ++Ci)
+    Threads.emplace_back([&, Ci] {
+      std::vector<MixedRequest> Reqs = mixedWorkload(PerClient, 1000 + Ci);
+      FabClient Cl;
+      std::string Err;
+      if (!Cl.connect("127.0.0.1", S.Wire->port(), &Err)) {
+        ++Failures;
+        return;
+      }
+      size_t Next = 0;
+      std::vector<std::pair<uint64_t, size_t>> InFlight;
+      uint64_t Sent = 0;
+      while (Next < Reqs.size() || !InFlight.empty()) {
+        while (Next < Reqs.size() && InFlight.size() < Window) {
+          uint64_t Tag;
+          if (Next % 10 == 9) {
+            // Mixed-in invalidate traffic, pipelined like everything else.
+            Tag = Cl.submitInvalidate(Reqs[Next].Fn);
+          } else {
+            Tag = Cl.submit(Reqs[Next].Fn, Reqs[Next].Early,
+                            Reqs[Next].Late);
+          }
+          if (Tag == 0) {
+            ++Failures;
+            return;
+          }
+          ++Sent;
+          InFlight.emplace_back(Tag, Next);
+          ++Next;
+        }
+        auto Oldest = InFlight.front();
+        InFlight.erase(InFlight.begin());
+        WireReply R = Cl.wait(Oldest.first);
+        if (!R.Ok) {
+          ++Failures;
+          continue;
+        }
+        if (Oldest.second % 10 == 9)
+          continue; // invalidate reply: a drop count, no oracle value
+        auto F = Oracle.submit(Reqs[Oldest.second].Fn,
+                               Reqs[Oldest.second].Early,
+                               Reqs[Oldest.second].Late);
+        FabResult<int32_t> Want = F.get();
+        if (!Want.ok() || *Want != R.Value)
+          ++Failures;
+      }
+      FramesSent[Ci] = Sent;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+
+  // Exact accounting: the pool-wide Net block equals the sum of the
+  // per-connection rows, and the request counters equal what the
+  // clients actually sent.
+  TelemetrySnapshot T = S.Wire->telemetry();
+  NetStats Sum;
+  for (const ConnStatsRow &Row : S.Wire->connectionStats())
+    Sum += Row.Net;
+  EXPECT_EQ(T.Net.FramesIn, Sum.FramesIn);
+  EXPECT_EQ(T.Net.FramesOut, Sum.FramesOut);
+  EXPECT_EQ(T.Net.BytesIn, Sum.BytesIn);
+  EXPECT_EQ(T.Net.BytesOut, Sum.BytesOut);
+  EXPECT_EQ(T.Net.Submits, Sum.Submits);
+  EXPECT_EQ(T.Net.Connections, NumClients);
+
+  uint64_t TotalSent = 0;
+  for (uint64_t N : FramesSent)
+    TotalSent += N;
+  EXPECT_EQ(T.Net.FramesIn, TotalSent);
+  EXPECT_EQ(T.Net.FramesOut, TotalSent); // one reply per request
+  EXPECT_EQ(T.Net.Submits + T.Net.Invalidates, TotalSent);
+  EXPECT_EQ(T.Net.ProtocolErrors, 0u);
+}
+
+TEST(WireLoopback, OverloadSurfacesAsTypedErrorsNotDisconnects) {
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  LoopbackServer S(C);
+  FabClient Cl = S.client();
+
+  // Unknown function: typed error, ABI code 0, connection stays up.
+  WireReply R = Cl.call("nosuchfn", {Value::ofInt(1)}, {Value::ofInt(2)});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.ErrCode, wireCode(FabErrc::UnknownFunction));
+  EXPECT_TRUE(Cl.ping()) << "connection must survive a typed error";
+
+  // A 1ns deadline is always already exceeded at dequeue: typed
+  // DeadlineExceeded, no disconnect.
+  R = Cl.call("dotloop",
+              {Value::ofVec({1, 2, 3}), Value::ofInt(0), Value::ofInt(3)},
+              {Value::ofVec({4, 5, 6}), Value::ofInt(0)},
+              /*DeadlineNs=*/1, /*MaxRetries=*/0);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.ErrCode, wireCode(FabErrc::DeadlineExceeded));
+  EXPECT_TRUE(Cl.ping());
+
+  // Shut the SpecServer down underneath the wire: every further submit
+  // is refused with Rejected plus the configured retry-after hint —
+  // still over a healthy connection.
+  S.Server->shutdown();
+  R = Cl.call("dotloop",
+              {Value::ofVec({1, 2, 3}), Value::ofInt(0), Value::ofInt(3)},
+              {Value::ofVec({4, 5, 6}), Value::ofInt(0)});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.ErrCode, wireCode(FabErrc::Rejected));
+  EXPECT_GT(R.RetryAfterUs, 0u) << "Rejected must carry a retry hint";
+  EXPECT_TRUE(Cl.ping());
+
+  TelemetrySnapshot T = S.Wire->telemetry();
+  EXPECT_GE(T.Net.ErrorsOut, 3u);
+  EXPECT_EQ(T.Net.ProtocolErrors, 0u);
+}
+
+TEST(WireLoopback, CircuitOpenArrivesAsTypedError) {
+  // Force the breaker open: every dotloop request trips an injected
+  // fault, so after FailureThreshold consecutive failures the entry
+  // point fast-fails with CircuitOpen (deferred image: no Plain
+  // fallback), which the wire must carry as a typed error with the
+  // breaker's retry hint.
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  ServerOptions SO;
+  SO.Pool.Workers = 1;
+  SO.Pool.Breaker.Enabled = true;
+  SO.Pool.Breaker.FailureThreshold = 3;
+  SO.Pool.BeforeRequest = [](unsigned, Machine &M, uint64_t) {
+    FaultInjector FI;
+    FI.Armed = true;
+    FI.OneShot = true;
+    FI.AfterInstructions = 1;
+    FI.Kind = Fault::BadAccess;
+    M.vm().injectFault(FI);
+  };
+  SpecServer Server(C, SO);
+  WireServer Wire(Server);
+  std::string Err;
+  ASSERT_TRUE(Wire.start(&Err)) << Err;
+
+  FabClient Cl;
+  ASSERT_TRUE(Cl.connect("127.0.0.1", Wire.port(), &Err)) << Err;
+
+  WireReply R;
+  bool SawCircuitOpen = false;
+  for (int I = 0; I < 10 && !SawCircuitOpen; ++I) {
+    R = Cl.call("dotloop",
+                {Value::ofVec({1, 2, 3}), Value::ofInt(0), Value::ofInt(3)},
+                {Value::ofVec({4, 5, 6}), Value::ofInt(0)},
+                /*DeadlineNs=*/0, /*MaxRetries=*/0);
+    EXPECT_FALSE(R.Ok);
+    if (R.ErrCode == wireCode(FabErrc::CircuitOpen)) {
+      SawCircuitOpen = true;
+      EXPECT_GT(R.RetryAfterUs, 0u) << "CircuitOpen must carry a retry hint";
+    }
+  }
+  EXPECT_TRUE(SawCircuitOpen);
+  EXPECT_TRUE(Cl.ping()) << "breaker refusals must not cost the connection";
+
+  Cl.close();
+  Wire.stop();
+  Server.shutdown();
+}
+
+TEST(WireLoopback, ReadBatchingCoalescesPipelinedFrames) {
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  LoopbackServer S(C);
+
+  // A burst of pings written as ONE send() almost always lands in one
+  // server-side recv(); retry a few bursts so a scheduler hiccup cannot
+  // flake the assertion.
+  bool Batched = false;
+  for (int Attempt = 0; Attempt < 20 && !Batched; ++Attempt) {
+    // 32 ping frames in one buffer, one sendAll: one wire burst.
+    std::vector<uint8_t> Burst;
+    for (uint64_t T = 1; T <= 32; ++T) {
+      std::vector<uint8_t> F = encodePing(T);
+      Burst.insert(Burst.end(), F.begin(), F.end());
+    }
+    Socket Raw = Socket::connectTcp("127.0.0.1", S.Wire->port());
+    ASSERT_TRUE(Raw.valid());
+    std::vector<uint8_t> Pre = encodePreamble();
+    ASSERT_TRUE(Raw.sendAll(Pre.data(), Pre.size()));
+    uint8_t Their[PreambleBytes];
+    ASSERT_TRUE(Raw.recvAll(Their, sizeof(Their)));
+    ASSERT_TRUE(Raw.sendAll(Burst.data(), Burst.size()));
+    // Drain the 32 pongs.
+    size_t Want = 32 * FrameHeaderBytes;
+    std::vector<uint8_t> Got(Want);
+    ASSERT_TRUE(Raw.recvAll(Got.data(), Want));
+    Raw.close();
+
+    TelemetrySnapshot T = S.Wire->telemetry();
+    Batched = T.Net.BatchedFrames >= 2;
+  }
+  EXPECT_TRUE(Batched)
+      << "pipelined frames never shared a read batch across 20 bursts";
+}

@@ -1,25 +1,37 @@
 #!/usr/bin/env python3
-"""Perf regression gate over BENCH_host_micro.json.
+"""Perf regression gates over the bench JSON reports.
 
-Raw instr/s numbers are hardware-dependent, so CI cannot assert on them
-directly. Instead the gate checks the *normalized dispatch ratio*
+Two modes, selected with --mode:
 
-    BM_VmDispatch.instr/s / BM_VmDispatchNoCache.instr/s
+dispatch (default, over BENCH_host_micro.json)
+    Raw instr/s numbers are hardware-dependent, so CI cannot assert on
+    them directly. Instead the gate checks the *normalized dispatch
+    ratio*
 
-i.e. the predecoded-block engine's speedup over the reference
-interpreter measured within one run on one machine. Host speed cancels
-out of the ratio, so a drop can only mean the cached dispatch path
-itself got slower relative to the (hook-free by construction) slow
-path — exactly the regression the trace-disabled telemetry hooks must
-not introduce. The committed baseline lives in
-bench/baselines/host_micro.json; refresh it with --write-baseline after
-an intentional engine change.
+        BM_VmDispatch.instr/s / BM_VmDispatchNoCache.instr/s
 
-The traced/disabled ratio (BM_VmDispatchTraced vs BM_VmDispatch) is
-reported for the log but not gated: with tracing armed, events really
-are recorded, and that cost is allowed.
+    i.e. the predecoded-block engine's speedup over the reference
+    interpreter measured within one run on one machine. Host speed
+    cancels out of the ratio, so a drop can only mean the cached
+    dispatch path itself got slower relative to the (hook-free by
+    construction) slow path. Baseline:
+    bench/baselines/host_micro.json.
 
-stdlib only — no pip installs in CI.
+    The traced/disabled ratio (BM_VmDispatchTraced vs BM_VmDispatch) is
+    reported for the log but not gated: with tracing armed, events
+    really are recorded, and that cost is allowed.
+
+codegen-cost (over BENCH_table_codegen_cost.json)
+    Gates the paper's headline "AVERAGE instrs/instr" — generator
+    instructions executed per instruction generated, measured in
+    simulated cycles, so it is deterministic across hosts and any
+    change is a real specializer regression. The metric regresses
+    UPWARD (more generator work per emitted instruction), so the gate
+    fails when the current average exceeds baseline * (1 + tolerance).
+    Baseline: bench/baselines/table_codegen_cost.json.
+
+Refresh either baseline with --write-baseline after an intentional
+change. stdlib only — no pip installs in CI.
 """
 
 import argparse
@@ -44,21 +56,82 @@ def dispatch_ratio(metrics, path):
     return cached / slow
 
 
+AVERAGE_KEY = "AVERAGE instrs/instr"
+
+
+def check_codegen_cost(args, metrics):
+    try:
+        avg = metrics[AVERAGE_KEY]
+    except KeyError:
+        sys.exit(f"error: {args.current} is missing metric "
+                 f"'{AVERAGE_KEY}'")
+
+    if args.write_baseline:
+        baseline = {
+            "comment": "Codegen-cost baseline for "
+                       "tools/check_perf_baseline.py --mode codegen-cost. "
+                       "Refresh with --write-baseline after intentional "
+                       "specializer changes.",
+            "average_instrs_per_instr": avg,
+            "metrics": dict(sorted(metrics.items())),
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"wrote baseline average_instrs_per_instr={avg:.3f} "
+              f"to {args.baseline}")
+        return
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    base_avg = base["average_instrs_per_instr"]
+    ceiling = base_avg * (1.0 + args.tolerance)
+
+    print(f"codegen cost (generator instrs per generated instr): "
+          f"current {avg:.3f}, baseline {base_avg:.3f}, "
+          f"ceiling {ceiling:.3f} (tolerance {args.tolerance:.0%})")
+
+    # Per-workload deltas for the log: the average can hide one workload
+    # regressing while another improves.
+    for key, base_val in sorted(base.get("metrics", {}).items()):
+        if key == AVERAGE_KEY or key not in metrics:
+            continue
+        cur = metrics[key]
+        if base_val:
+            print(f"  {key}: {cur:.3f} (baseline {base_val:.3f}, "
+                  f"{(cur / base_val - 1.0):+.1%})")
+
+    if avg > ceiling:
+        sys.exit(f"FAIL: average codegen cost {avg:.3f} is more than "
+                 f"{args.tolerance:.0%} above baseline {base_avg:.3f} — "
+                 f"the specializer got more expensive per generated "
+                 f"instruction")
+    print("OK: codegen cost within tolerance of baseline")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--current", required=True,
-                    help="BENCH_host_micro.json from this run")
+                    help="bench JSON from this run (BENCH_host_micro.json "
+                         "or BENCH_table_codegen_cost.json)")
     ap.add_argument("--baseline", required=True,
                     help="committed baseline JSON")
+    ap.add_argument("--mode", choices=["dispatch", "codegen-cost"],
+                    default="dispatch",
+                    help="which gate to run (default: dispatch)")
     ap.add_argument("--tolerance", type=float, default=0.03,
-                    help="allowed fractional drop in the dispatch ratio "
-                         "(default 0.03)")
+                    help="allowed fractional regression (default 0.03)")
     ap.add_argument("--write-baseline", action="store_true",
                     help="rewrite the baseline from --current instead of "
                          "checking")
     args = ap.parse_args()
 
     metrics = load_metrics(args.current)
+
+    if args.mode == "codegen-cost":
+        check_codegen_cost(args, metrics)
+        return
+
     ratio = dispatch_ratio(metrics, args.current)
 
     if args.write_baseline:

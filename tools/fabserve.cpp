@@ -12,9 +12,17 @@
 //                 [--report-interval MS] [--trace FILE]
 //                 [--queue-depth N] [--deadline-ms N] [--retries N]
 //                 [--no-breaker] [--chaos]
+//                 [--listen PORT] [--bind ADDR]
 //
 //   fabserve --workers 4 --requests 1000 --report-interval 200
 //   fabserve --chaos --seed 7 --workers 4
+//   fabserve --workers 4 --listen 7432        # wire server (docs/WIRE.md)
+//
+// --listen puts the service on the wire instead of replaying the
+// built-in workload: a WireServer accepts fabctl/FabClient connections
+// on PORT (0 = ephemeral; the bound port is printed either way) until
+// SIGINT/SIGTERM, then prints the unified telemetry snapshot. All pool
+// and overload options apply unchanged.
 //
 // --report-interval starts the server's reporter thread: an aggregated
 // TelemetrySnapshot summary line every MS milliseconds (plus one final
@@ -39,15 +47,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "bpf/Bpf.h"
+#include "net/WireServer.h"
 #include "service/SpecServer.h"
 #include "support/Rng.h"
 #include "workloads/MlPrograms.h"
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -66,7 +78,8 @@ namespace {
                "                [--cache-capacity N]\n"
                "                [--report-interval MS] [--trace FILE]\n"
                "                [--queue-depth N] [--deadline-ms N]\n"
-               "                [--retries N] [--no-breaker] [--chaos]\n");
+               "                [--retries N] [--no-breaker] [--chaos]\n"
+               "                [--listen PORT] [--bind ADDR]\n");
   std::exit(2);
 }
 
@@ -83,6 +96,10 @@ struct MixedRequest {
   std::vector<Value> Early, Late;
   int32_t Oracle; // host-side expected result
 };
+
+std::atomic<bool> StopServing{false};
+
+void onSignal(int) { StopServing.store(true, std::memory_order_release); }
 
 } // namespace
 
@@ -101,6 +118,8 @@ int main(int argc, char **argv) {
   unsigned Retries = 1;
   bool Breaker = true;
   bool Chaos = false;
+  long ListenPort = -1; ///< -1 = off, 0 = ephemeral
+  std::string BindAddr = "127.0.0.1";
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     auto next = [&]() -> const char * {
@@ -137,6 +156,10 @@ int main(int argc, char **argv) {
       Breaker = false;
     else if (A == "--chaos")
       Chaos = true;
+    else if (A == "--listen")
+      ListenPort = static_cast<long>(parseNum(next()));
+    else if (A == "--bind")
+      BindAddr = next();
     else
       usage(("unknown option " + A).c_str());
   }
@@ -242,6 +265,36 @@ int main(int argc, char **argv) {
       }
     };
   SpecServer S(C, SO);
+
+  if (ListenPort >= 0) {
+    // Wire mode: serve remote clients instead of replaying the built-in
+    // workload. SIGINT/SIGTERM stop intake, flush in-flight replies, and
+    // print the unified snapshot (net block included).
+    if (ListenPort > 65535)
+      usage("--listen port out of range");
+    net::WireOptions WO;
+    WO.BindAddr = BindAddr;
+    WO.Port = static_cast<uint16_t>(ListenPort);
+    net::WireServer WS(S, WO);
+    std::string Err;
+    if (!WS.start(&Err)) {
+      std::fprintf(stderr, "fabserve: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("fabserve: listening on %s:%u (%u workers, wire version %u)\n",
+                BindAddr.c_str(), WS.port(), Workers, net::WireVersion);
+    std::fflush(stdout);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!StopServing.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::printf("fabserve: shutting down\n");
+    WS.stop(); // quiesce the wire first so the snapshot counts every frame
+    TelemetrySnapshot T = WS.telemetry();
+    S.shutdown();
+    T.writeText(std::cout);
+    return 0;
+  }
 
   if (Chaos)
     std::printf("fabserve: chaos seed=%llu\n",
