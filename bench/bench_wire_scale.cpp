@@ -1,0 +1,376 @@
+//===- bench_wire_scale.cpp - Reactor scalability under 1000 conns --------===//
+//
+// The tentpole claim of the reactor front-end (docs/WIRE.md): one epoll
+// loop serves thousands of concurrent connections with a FIXED thread
+// count — acceptor + reactor + pool workers — where the old
+// thread-per-connection design would have needed two threads per
+// socket. This driver forks client processes BEFORE the server spawns
+// any threads (fork and threads do not mix), has each child hold a
+// slice of the connection load with blocking FabClients, and then:
+//
+//   1. verifies the server really holds all 1000 connections live,
+//   2. reads /proc/self/status to prove the thread count did not move
+//      between zero connections and one thousand,
+//   3. lets every child drive a pipelined dotloop stream over all of
+//      its connections at once and aggregates the request rate.
+//
+// Idle timeouts stay armed throughout (1000 entries in the timer
+// wheel) to show busy connections are never reaped at scale. Numbers
+// are host wall-clock; always writes BENCH_wire_scale.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "net/FabClient.h"
+#include "net/WireServer.h"
+#include "service/SpecServer.h"
+#include "support/Rng.h"
+#include "workloads/MlPrograms.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace fab;
+using namespace fab::bench;
+using namespace fab::net;
+using fab::service::ServerOptions;
+using fab::service::SpecServer;
+using fab::service::Value;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int NumChildren = 8;
+constexpr int ConnsPerChild = 125; // 8 x 125 = 1000 connections
+constexpr int TotalConns = NumChildren * ConnsPerChild;
+// Window x conns bounds global in-flight at 2000 — far below the pool's
+// shed threshold, so every request should be served, not refused.
+constexpr int Window = 2;
+constexpr int Rounds = 16;
+constexpr unsigned PoolWorkers = 4;
+
+/// What each child reports back up its pipe.
+struct ChildResult {
+  uint64_t Ok = 0;
+  uint64_t Refused = 0; // typed Rejected/CircuitOpen replies
+  double Secs = 0.0;
+};
+
+bool readAll(int Fd, void *Buf, size_t Len) {
+  auto *P = static_cast<char *>(Buf);
+  while (Len) {
+    ssize_t N = ::read(Fd, P, Len);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool writeAll(int Fd, const void *Buf, size_t Len) {
+  const auto *P = static_cast<const char *>(Buf);
+  while (Len) {
+    ssize_t N = ::write(Fd, P, Len);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// "Threads:" line from /proc/self/status — the whole fixed-thread-count
+/// argument rests on this number.
+int threadCount() {
+  std::ifstream In("/proc/self/status");
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.rfind("Threads:", 0) == 0)
+      return std::atoi(Line.c_str() + 8);
+  return -1;
+}
+
+/// Child body: connect ConnsPerChild blocking clients, signal readiness,
+/// wait for go, then keep a Window-deep pipeline on every connection at
+/// once for Rounds rounds. Exits nonzero on any transport failure.
+int childMain(int CtlRd, int ResWr, int Index) {
+  uint16_t Port = 0;
+  if (!readAll(CtlRd, &Port, sizeof(Port)))
+    return 10;
+
+  std::vector<FabClient> Clients(ConnsPerChild);
+  for (auto &Cl : Clients) {
+    bool Up = false;
+    // The accept queue takes a beating when eight processes dial 125
+    // sockets each at once; a few paced retries absorb transient
+    // refusals without hiding real failures.
+    for (int Try = 0; Try < 50 && !Up; ++Try) {
+      Up = Cl.connect("127.0.0.1", Port);
+      if (!Up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!Up)
+      return 11;
+  }
+
+  char Ready = 'R';
+  if (!writeAll(ResWr, &Ready, 1))
+    return 12;
+  char Go = 0;
+  if (!readAll(CtlRd, &Go, 1) || Go != 'G')
+    return 13;
+
+  // Per-child early rows give the pool 64 distinct cache keys across the
+  // fleet, spreading the key-routed queues over every worker.
+  Rng R(1000 + static_cast<uint64_t>(Index));
+  const uint32_t N = 16;
+  std::vector<std::vector<Value>> Earlies;
+  for (int I = 0; I < 8; ++I) {
+    std::vector<int32_t> Row(N);
+    for (uint32_t J = 0; J < N; ++J)
+      Row[J] = static_cast<int32_t>(R.next() % 100) - 20;
+    Earlies.push_back({Value::ofVec(Row), Value::ofInt(0),
+                       Value::ofInt(static_cast<int32_t>(N))});
+  }
+  std::vector<int32_t> Col(N);
+  for (uint32_t J = 0; J < N; ++J)
+    Col[J] = static_cast<int32_t>(R.next() % 50) - 10;
+  std::vector<Value> Late = {Value::ofVec(Col), Value::ofInt(0)};
+
+  ChildResult Res;
+  std::vector<std::vector<uint64_t>> Tags(Clients.size());
+  auto T0 = Clock::now();
+  for (int Round = 0; Round < Rounds; ++Round) {
+    for (size_t CI = 0; CI < Clients.size(); ++CI) {
+      Tags[CI].clear();
+      for (int W = 0; W < Window; ++W) {
+        uint64_t T = Clients[CI].submit(
+            "dotloop", Earlies[(CI + static_cast<size_t>(W)) % Earlies.size()],
+            Late);
+        if (!T)
+          return 14;
+        Tags[CI].push_back(T);
+      }
+    }
+    for (size_t CI = 0; CI < Clients.size(); ++CI) {
+      for (uint64_t T : Tags[CI]) {
+        WireReply Reply = Clients[CI].wait(T);
+        if (Reply.Ok)
+          ++Res.Ok;
+        else if (Reply.ErrCode == wireCode(FabErrc::Rejected) ||
+                 Reply.ErrCode == wireCode(FabErrc::CircuitOpen))
+          ++Res.Refused;
+        else
+          return 15;
+      }
+    }
+  }
+  Res.Secs = std::chrono::duration<double>(Clock::now() - T0).count();
+
+  if (!writeAll(ResWr, &Res, sizeof(Res)))
+    return 16;
+  // Hold the connections until the parent has sampled liveConnections()
+  // one last time, then exit cleanly.
+  char Fin = 0;
+  if (!readAll(CtlRd, &Fin, 1) || Fin != 'F')
+    return 17;
+  for (auto &Cl : Clients)
+    Cl.close();
+  return 0;
+}
+
+} // namespace
+
+int main() {
+  // Pipe/socket teardown races are reported as read/write failures, not
+  // process death (children inherit this across fork).
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // Fork the whole client fleet before anything in this process starts a
+  // thread; each child gets a control pipe (port, go, finish) and a
+  // result pipe back.
+  int Ctl[NumChildren][2], Resp[NumChildren][2];
+  pid_t Pids[NumChildren];
+  std::fflush(stdout);
+  for (int I = 0; I < NumChildren; ++I) {
+    if (::pipe(Ctl[I]) != 0 || ::pipe(Resp[I]) != 0) {
+      std::fprintf(stderr, "bench_wire_scale: pipe failed\n");
+      return 1;
+    }
+    Pids[I] = ::fork();
+    if (Pids[I] < 0) {
+      std::fprintf(stderr, "bench_wire_scale: fork failed\n");
+      return 1;
+    }
+    if (Pids[I] == 0) {
+      // Close the parent-side ends this child inherited. The child-side
+      // ends of EARLIER children's pipes were closed by the parent
+      // before this fork, so those fd numbers are stale (and by now
+      // reused for this child's own pipes) — touching them would close
+      // the wrong fd.
+      for (int J = 0; J <= I; ++J) {
+        ::close(Ctl[J][1]);
+        ::close(Resp[J][0]);
+      }
+      ::_exit(childMain(Ctl[I][0], Resp[I][1], I));
+    }
+    ::close(Ctl[I][0]);
+    ::close(Resp[I][1]);
+  }
+
+  // Only now is it safe to bring up the threaded server.
+  Compilation C = compileOrDie(workloads::MatmulSrc, FabiusOptions::deferred());
+  ServerOptions SO;
+  SO.Pool.Workers = PoolWorkers;
+  SpecServer Server(C, SO);
+
+  WireOptions WO;
+  WO.Backlog = 512;
+  WO.MaxConns = TotalConns + 100; // admission armed but never binding
+  WO.IdleTimeoutMs = 10000;       // 1000 armed timers, none may fire
+  WireServer Wire(Server, WO);
+  std::string Err;
+  if (!Wire.start(&Err)) {
+    std::fprintf(stderr, "bench_wire_scale: %s\n", Err.c_str());
+    return 1;
+  }
+
+  int ThreadsBase = threadCount();
+  uint16_t Port = Wire.port();
+  for (int I = 0; I < NumChildren; ++I)
+    if (!writeAll(Ctl[I][1], &Port, sizeof(Port))) {
+      std::fprintf(stderr, "bench_wire_scale: child %d control pipe died\n", I);
+      return 1;
+    }
+
+  for (int I = 0; I < NumChildren; ++I) {
+    char Ready = 0;
+    if (!readAll(Resp[I][0], &Ready, 1) || Ready != 'R') {
+      std::fprintf(stderr, "bench_wire_scale: child %d failed to connect\n", I);
+      return 1;
+    }
+  }
+
+  unsigned Live = Wire.liveConnections();
+  int ThreadsLoaded = threadCount();
+
+  auto TRun0 = Clock::now();
+  for (int I = 0; I < NumChildren; ++I) {
+    char Go = 'G';
+    if (!writeAll(Ctl[I][1], &Go, 1))
+      return 1;
+  }
+
+  ChildResult Results[NumChildren];
+  for (int I = 0; I < NumChildren; ++I)
+    if (!readAll(Resp[I][0], &Results[I], sizeof(Results[I]))) {
+      std::fprintf(stderr, "bench_wire_scale: child %d died mid-run\n", I);
+      return 1;
+    }
+  double WallSecs = std::chrono::duration<double>(Clock::now() - TRun0).count();
+
+  // Children still hold every connection: sample once more after the
+  // full workload to show nothing was reaped or dropped under load.
+  unsigned LiveAfter = Wire.liveConnections();
+  int ThreadsAfter = threadCount();
+
+  for (int I = 0; I < NumChildren; ++I) {
+    char Fin = 'F';
+    writeAll(Ctl[I][1], &Fin, 1);
+  }
+  bool ChildrenOk = true;
+  for (int I = 0; I < NumChildren; ++I) {
+    int St = 0;
+    ::waitpid(Pids[I], &St, 0);
+    if (!WIFEXITED(St) || WEXITSTATUS(St) != 0) {
+      std::fprintf(stderr, "bench_wire_scale: child %d exit status %d\n", I,
+                   WIFEXITED(St) ? WEXITSTATUS(St) : -1);
+      ChildrenOk = false;
+    }
+  }
+
+  uint64_t Ok = 0, Refused = 0;
+  double SlowestChild = 0.0;
+  for (const ChildResult &R : Results) {
+    Ok += R.Ok;
+    Refused += R.Refused;
+    SlowestChild = std::max(SlowestChild, R.Secs);
+  }
+  double Rps = WallSecs > 0 ? static_cast<double>(Ok) / WallSecs : 0.0;
+
+  TelemetrySnapshot T = Wire.telemetry();
+  Wire.stop();
+  Server.shutdown();
+
+  std::printf("bench_wire_scale: %d connections (%d children x %d), "
+              "window %d, %d rounds, %u workers\n\n",
+              TotalConns, NumChildren, ConnsPerChild, Window, Rounds,
+              PoolWorkers);
+  std::printf("  live connections         : %8u / %d  (after run: %u)\n", Live,
+              TotalConns, LiveAfter);
+  std::printf("  server threads           : %8d before conns, %d at %d conns, "
+              "%d after run\n",
+              ThreadsBase, ThreadsLoaded, TotalConns, ThreadsAfter);
+  std::printf("  requests served          : %8llu  (refused: %llu)\n",
+              static_cast<unsigned long long>(Ok),
+              static_cast<unsigned long long>(Refused));
+  std::printf("  aggregate throughput     : %8.0f req/s over %.2f s\n", Rps,
+              WallSecs);
+  std::printf("  reactor                  : %s, %llu wakeups, %llu events, "
+              "%llu idle-closed\n",
+              Wire.reactorUsingEpoll() ? "epoll" : "poll",
+              static_cast<unsigned long long>(T.Reactor.Wakeups),
+              static_cast<unsigned long long>(T.Reactor.EventsDispatched),
+              static_cast<unsigned long long>(T.Reactor.IdleClosed));
+
+  reportMetric("connections", Live, "conns");
+  reportMetric("threads_before_conns", ThreadsBase, "threads");
+  reportMetric("threads_at_full_load", ThreadsLoaded, "threads");
+  reportMetric("requests_ok", static_cast<double>(Ok), "reqs");
+  reportMetric("requests_refused", static_cast<double>(Refused), "reqs");
+  reportMetric("aggregate_rps", Rps, "req/s");
+  reportMetric("slowest_child_s", SlowestChild, "s");
+  reportMetric("idle_closed", static_cast<double>(T.Reactor.IdleClosed),
+               "conns");
+  writeBenchJson("wire_scale");
+
+  // The tentpole acceptance: every connection live at once, and the
+  // thread count pinned at main + acceptor + reactor + workers no
+  // matter how many sockets are open.
+  if (!ChildrenOk)
+    return 1;
+  if (Live < static_cast<unsigned>(TotalConns) ||
+      LiveAfter < static_cast<unsigned>(TotalConns)) {
+    std::fprintf(stderr, "bench_wire_scale: expected %d live connections\n",
+                 TotalConns);
+    return 1;
+  }
+  if (ThreadsLoaded != ThreadsBase || ThreadsAfter != ThreadsBase) {
+    std::fprintf(stderr,
+                 "bench_wire_scale: thread count moved with connection "
+                 "count (%d -> %d -> %d)\n",
+                 ThreadsBase, ThreadsLoaded, ThreadsAfter);
+    return 1;
+  }
+  if (T.Reactor.IdleClosed != 0) {
+    std::fprintf(stderr,
+                 "bench_wire_scale: idle reaper closed busy connections\n");
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -30,6 +31,21 @@ bool parseAddr(const std::string &Host, uint16_t Port, sockaddr_in &SA) {
   return inet_pton(AF_INET, H, &SA.sin_addr) == 1;
 }
 
+/// Blocks until \p Fd is ready for \p Events (EINTR-safe, no timeout).
+/// True unless poll itself failed or the fd raised an error condition
+/// with no readiness — readable/writable-with-POLLERR still returns
+/// true so the caller's recv/send surfaces the real errno.
+bool waitReady(int Fd, short Events) {
+  pollfd P{Fd, Events, 0};
+  int Rc;
+  do {
+    Rc = ::poll(&P, 1, -1);
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc <= 0)
+    return false;
+  return (P.revents & (Events | POLLERR | POLLHUP)) != 0;
+}
+
 } // namespace
 
 Socket Socket::connectTcp(const std::string &Host, uint16_t Port,
@@ -45,10 +61,27 @@ Socket Socket::connectTcp(const std::string &Host, uint16_t Port,
     fillErr(Err, "socket");
     return Socket();
   }
-  int Rc;
-  do {
-    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA));
-  } while (Rc < 0 && errno == EINTR);
+  // A connect() interrupted by a signal keeps completing in the
+  // background; calling connect() again returns EALREADY/EISCONN, not
+  // the result. The POSIX-correct recovery is to wait for writability
+  // and read the outcome from SO_ERROR.
+  int Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA));
+  if (Rc < 0 && errno == EINTR) {
+    if (!waitReady(Fd, POLLOUT)) {
+      fillErr(Err, "connect");
+      ::close(Fd);
+      return Socket();
+    }
+    int SoErr = 0;
+    socklen_t Len = sizeof(SoErr);
+    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len) < 0 || SoErr) {
+      errno = SoErr ? SoErr : errno;
+      fillErr(Err, "connect");
+      ::close(Fd);
+      return Socket();
+    }
+    Rc = 0;
+  }
   if (Rc < 0) {
     fillErr(Err, "connect");
     ::close(Fd);
@@ -66,6 +99,16 @@ void Socket::setNoDelay() {
   ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
 }
 
+bool Socket::setNonBlocking(bool On) {
+  if (Fd < 0)
+    return false;
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  int Want = On ? (Flags | O_NONBLOCK) : (Flags & ~O_NONBLOCK);
+  return Flags == Want || ::fcntl(Fd, F_SETFL, Want) == 0;
+}
+
 bool Socket::sendAll(const void *Buf, size_t N) {
   const char *P = static_cast<const char *>(Buf);
   while (N) {
@@ -73,6 +116,14 @@ bool Socket::sendAll(const void *Buf, size_t N) {
     do {
       W = ::send(Fd, P, N, MSG_NOSIGNAL);
     } while (W < 0 && errno == EINTR);
+    if (W < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Non-blocking fd with a full kernel buffer: a short write here is
+      // not an error, the rest of the buffer is still owed. Wait for
+      // writability and continue exactly where the short write stopped.
+      if (!waitReady(Fd, POLLOUT))
+        return false;
+      continue;
+    }
     if (W <= 0)
       return false;
     P += W;
@@ -82,10 +133,43 @@ bool Socket::sendAll(const void *Buf, size_t N) {
 }
 
 long Socket::recvSome(void *Buf, size_t N) {
+  for (;;) {
+    long R;
+    do {
+      R = ::recv(Fd, Buf, N, 0);
+    } while (R < 0 && errno == EINTR);
+    if (R < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Blocking semantics on a non-blocking fd: wait for data.
+      if (!waitReady(Fd, POLLIN))
+        return -1;
+      continue;
+    }
+    return R;
+  }
+}
+
+long Socket::sendNb(const void *Buf, size_t N) {
+  long W;
+  do {
+    W = ::send(Fd, Buf, N, MSG_NOSIGNAL);
+  } while (W < 0 && errno == EINTR);
+  if (W < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+    return 0;
+  return W < 0 ? -1 : W;
+}
+
+long Socket::recvNb(void *Buf, size_t N, bool &Eof) {
+  Eof = false;
   long R;
   do {
     R = ::recv(Fd, Buf, N, 0);
   } while (R < 0 && errno == EINTR);
+  if (R == 0) {
+    Eof = true;
+    return 0;
+  }
+  if (R < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+    return 0;
   return R;
 }
 

@@ -56,16 +56,33 @@ public:
   /// 40ms-delayed segments; round-trip latency tests rely on this.
   void setNoDelay();
 
+  /// O_NONBLOCK on/off. The reactor runs every connection non-blocking;
+  /// the blocking helpers below stay correct either way (they poll for
+  /// readiness on EAGAIN instead of failing on a short write).
+  bool setNonBlocking(bool On);
+
   /// Sends the whole buffer; false on any error (the connection is then
-  /// unusable for writing).
+  /// unusable for writing). EINTR is retried and EAGAIN on a
+  /// non-blocking fd waits for POLLOUT, so a short write never drops
+  /// the tail of the buffer.
   bool sendAll(const void *Buf, size_t N);
 
   /// One recv() of up to \p N bytes. >0 = bytes read, 0 = orderly EOF,
-  /// -1 = error.
+  /// -1 = error. On a non-blocking fd with nothing buffered this waits
+  /// for POLLIN first (blocking semantics for the blocking client).
   long recvSome(void *Buf, size_t N);
 
   /// Reads exactly \p N bytes; false on EOF or error before that.
   bool recvAll(void *Buf, size_t N);
+
+  /// Non-blocking single send: bytes written (0 = kernel buffer full,
+  /// try again on writability), -1 = fatal error. EINTR retried.
+  long sendNb(const void *Buf, size_t N);
+
+  /// Non-blocking single recv: >0 = bytes read; 0 with \p Eof true =
+  /// orderly EOF; 0 with \p Eof false = nothing buffered (wait for
+  /// readability); -1 = fatal error. EINTR retried.
+  long recvNb(void *Buf, size_t N, bool &Eof);
 
   /// shutdown(SHUT_RDWR): wakes a thread blocked in recv on this fd
   /// (the close discipline for reader threads; close() alone does not

@@ -1,0 +1,106 @@
+//===- Transport.h - Byte transport under the framing layer -----*- C++ -*-===//
+//
+// Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seam between a Socket and the wire framing (docs/WIRE.md
+/// "Connection lifecycle and limits"): the reactor and WireServer talk
+/// to a Transport, never to a Socket directly, so a TLS (or any other
+/// stream-transforming) implementation can slot in under the frame
+/// protocol without the reactor changing. The contract is non-blocking
+/// byte I/O with explicit would-block outcomes: a Transport never
+/// parks the calling thread — the reactor owns the waiting.
+///
+/// fd() exposes the readiness handle the reactor registers; for a
+/// future TLS transport this is still the underlying socket fd (TLS
+/// readiness is socket readiness plus buffered plaintext, which the
+/// implementation reports by returning Ok from read() without a new
+/// kernel read).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAB_NET_TRANSPORT_H
+#define FAB_NET_TRANSPORT_H
+
+#include "net/Socket.h"
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace fab {
+namespace net {
+
+class Transport {
+public:
+  /// One I/O attempt's outcome. WouldBlock is a normal state, not an
+  /// error: retry when the reactor reports readiness again.
+  enum class Io {
+    Ok,         ///< some bytes moved (count in the out-parameter)
+    WouldBlock, ///< no bytes could move without blocking
+    Eof,        ///< peer closed its write side (read only)
+    Error,      ///< the stream is dead in this direction
+  };
+
+  virtual ~Transport() = default;
+
+  /// The fd whose readiness gates this transport (reactor registration).
+  virtual int fd() const = 0;
+
+  /// Reads up to \p N bytes into \p Buf; \p Got is the count on Ok.
+  virtual Io read(void *Buf, size_t N, size_t &Got) = 0;
+
+  /// Writes up to \p N bytes from \p Buf; \p Put is the count on Ok.
+  /// A short write is Ok with Put < N — the caller keeps the tail.
+  virtual Io write(const void *Buf, size_t N, size_t &Put) = 0;
+
+  /// True when the transport has buffered input that read() can return
+  /// without the fd being readable (a TLS record decrypted more than
+  /// the caller consumed). Plain TCP never buffers.
+  virtual bool hasBufferedInput() const { return false; }
+
+  virtual void shutdownBoth() = 0;
+  virtual void close() = 0;
+};
+
+/// Plain TCP: a 1:1 pass-through to the non-blocking Socket helpers.
+class TcpTransport final : public Transport {
+public:
+  explicit TcpTransport(Socket S) : Sock(std::move(S)) {}
+
+  int fd() const override { return Sock.fd(); }
+
+  Io read(void *Buf, size_t N, size_t &Got) override {
+    bool Eof = false;
+    long R = Sock.recvNb(Buf, N, Eof);
+    if (R > 0) {
+      Got = static_cast<size_t>(R);
+      return Io::Ok;
+    }
+    if (Eof)
+      return Io::Eof;
+    return R == 0 ? Io::WouldBlock : Io::Error;
+  }
+
+  Io write(const void *Buf, size_t N, size_t &Put) override {
+    long W = Sock.sendNb(Buf, N);
+    if (W > 0) {
+      Put = static_cast<size_t>(W);
+      return Io::Ok;
+    }
+    return W == 0 ? Io::WouldBlock : Io::Error;
+  }
+
+  void shutdownBoth() override { Sock.shutdownBoth(); }
+  void close() override { Sock.close(); }
+
+private:
+  Socket Sock;
+};
+
+} // namespace net
+} // namespace fab
+
+#endif // FAB_NET_TRANSPORT_H

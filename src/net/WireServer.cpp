@@ -1,4 +1,4 @@
-//===- WireServer.cpp - TCP front-end over SpecServer ---------------------===//
+//===- WireServer.cpp - reactor-driven TCP front-end over SpecServer ------===//
 //
 // Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
 //
@@ -9,6 +9,7 @@
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 using namespace fab;
@@ -18,12 +19,11 @@ using fab::telemetry::EventKind;
 namespace {
 
 /// The per-read scratch size. One recv() of this many bytes can carry
-/// hundreds of pipelined small frames — exactly the batches the reader
+/// hundreds of pipelined small frames — exactly the batches the reactor
 /// drains in one pass so they land together in the worker queues.
 constexpr size_t ReadChunk = 64 * 1024;
 
-/// How often the accept loop wakes to check the stop flag and reap
-/// finished connections.
+/// How often the accept loop wakes to check the stop flag.
 constexpr int AcceptPollMs = 50;
 
 std::string clip(std::string S) {
@@ -32,21 +32,35 @@ std::string clip(std::string S) {
   return S;
 }
 
+uint64_t steadyMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 } // namespace
 
 WireServer::WireServer(service::SpecServer &S, const WireOptions &O)
-    : Server(S), Opts(O), Trace(O.TraceCapacity, O.EnableTrace) {}
+    : Server(S), Opts(O), Rx(O.ForcePollReactor),
+      Trace(O.TraceCapacity, O.EnableTrace) {}
 
 WireServer::~WireServer() { stop(); }
 
 bool WireServer::start(std::string *Err) {
   if (Running.load(std::memory_order_acquire))
     return true;
+  if (!Rx.valid()) {
+    if (Err)
+      *Err = "reactor setup failed (self-pipe)";
+    return false;
+  }
   if (!Lst.listen(Opts.BindAddr, Opts.Port, Opts.Backlog, Err))
     return false;
   StopFlag.store(false, std::memory_order_release);
   Running.store(true, std::memory_order_release);
   Acceptor = std::thread([this] { runAccept(); });
+  Loop = std::thread([this] { runReactor(); });
   return true;
 }
 
@@ -57,25 +71,15 @@ void WireServer::stop() {
   if (Acceptor.joinable())
     Acceptor.join();
   Lst.close();
-
-  // Wake every reader blocked in recv(); their writers then flush
-  // whatever replies are still in flight and exit. Copy the registry
-  // first — joins must not run under ConnsMutex (a connection thread
-  // serving a Stats frame takes it).
-  std::vector<ConnPtr> Open;
+  Rx.wakeup();
+  if (Loop.joinable())
+    Loop.join();
+  // Completions that raced past the reactor's exit hold ConnPtrs; the
+  // conns are already retired, so the payloads are undeliverable.
   {
-    std::lock_guard<std::mutex> L(ConnsMutex);
-    Open = Conns;
+    std::lock_guard<std::mutex> L(DoneMutex);
+    DoneQ.clear();
   }
-  for (auto &C : Open)
-    C->Sock.shutdownBoth();
-  for (auto &C : Open) {
-    if (C->Reader.joinable())
-      C->Reader.join();
-    if (C->Writer.joinable())
-      C->Writer.join();
-  }
-  reap(/*Final=*/true);
 }
 
 void WireServer::trace(EventKind K, uint64_t Arg0, uint64_t Arg1) {
@@ -102,20 +106,35 @@ uint32_t WireServer::retryHint(FabErrc C) const {
 }
 
 //===----------------------------------------------------------------------===//
-// Accept loop + connection registry
+// Accept loop: admission control, then handoff to the reactor
 //===----------------------------------------------------------------------===//
 
 void WireServer::runAccept() {
   while (!StopFlag.load(std::memory_order_acquire)) {
     bool TimedOut = false;
     Socket S = Lst.accept(AcceptPollMs, &TimedOut);
-    if (!S.valid()) {
-      if (TimedOut)
-        reap(/*Final=*/false);
+    if (!S.valid())
+      continue;
+
+    if (Opts.MaxConns && liveConnections() >= Opts.MaxConns) {
+      // Refuse while the socket is still blocking and private to this
+      // thread: preamble + typed Rejected (tag 0 — no request to
+      // attribute it to), then hang up. The reactor never sees it.
+      std::vector<uint8_t> Bye = encodePreamble();
+      std::vector<uint8_t> Err =
+          encodeError(0, wireCode(FabErrc::Rejected), Opts.RetryAfterRejectedUs,
+                      "connection limit reached");
+      Bye.insert(Bye.end(), Err.begin(), Err.end());
+      S.sendAll(Bye.data(), Bye.size());
+      S.close();
+      std::lock_guard<std::mutex> L(RStatsMutex);
+      RStats.AcceptRejects++;
       continue;
     }
-    auto C = std::make_shared<Conn>();
-    C->Sock = std::move(S);
+
+    auto C = std::make_shared<Conn>(Opts.MaxFrameBytes);
+    S.setNonBlocking(true);
+    C->Tr.reset(new TcpTransport(std::move(S)));
     {
       std::lock_guard<std::mutex> L(ConnsMutex);
       C->Id = NextConnId++;
@@ -126,196 +145,284 @@ void WireServer::runAccept() {
       C->Stats.Connections = 1;
     }
     trace(EventKind::ConnOpen, C->Id, 0);
-    C->Reader = std::thread([this, C] { runReader(C); });
-    C->Writer = std::thread([this, C] { runWriter(C); });
-  }
-}
-
-void WireServer::reap(bool Final) {
-  std::vector<ConnPtr> Done;
-  {
-    std::lock_guard<std::mutex> L(ConnsMutex);
-    auto Split = std::partition(Conns.begin(), Conns.end(), [&](const ConnPtr &C) {
-      return !Final && !C->Finished.load(std::memory_order_acquire);
-    });
-    Done.assign(Split, Conns.end());
-    Conns.erase(Split, Conns.end());
-  }
-  for (auto &C : Done) {
-    if (C->Reader.joinable())
-      C->Reader.join();
-    if (C->Writer.joinable())
-      C->Writer.join();
-    ConnStatsRow Row;
-    Row.ConnId = C->Id;
-    Row.Live = false;
     {
-      std::lock_guard<std::mutex> L(C->StatsMutex);
-      C->Stats.Disconnects = 1;
-      Row.Net = C->Stats;
+      std::lock_guard<std::mutex> L(IntakeMutex);
+      IntakeQ.push_back(std::move(C));
     }
-    trace(EventKind::ConnClose, C->Id, Row.Net.FramesIn);
-    std::lock_guard<std::mutex> L(ConnsMutex);
-    Retired.push_back(std::move(Row));
+    Rx.wakeup();
   }
 }
 
-unsigned WireServer::liveConnections() const {
-  std::lock_guard<std::mutex> L(ConnsMutex);
-  unsigned N = 0;
-  for (const auto &C : Conns)
-    if (!C->Finished.load(std::memory_order_acquire))
-      ++N;
-  return N;
-}
+//===----------------------------------------------------------------------===//
+// Reactor loop
+//===----------------------------------------------------------------------===//
 
-std::vector<ConnStatsRow> WireServer::connectionStats() const {
-  std::vector<ConnStatsRow> Out;
-  std::lock_guard<std::mutex> L(ConnsMutex);
-  Out = Retired;
-  for (const auto &C : Conns) {
-    ConnStatsRow Row;
-    Row.ConnId = C->Id;
-    Row.Live = true;
-    std::lock_guard<std::mutex> SL(C->StatsMutex);
-    Row.Net = C->Stats;
-    Out.push_back(std::move(Row));
+void WireServer::runReactor() {
+  std::unordered_map<uint64_t, ConnPtr> ById;
+  std::vector<ReactorEvent> Events;
+  std::vector<uint8_t> Buf(ReadChunk);
+
+  for (;;) {
+    uint64_t NowMs = steadyMs();
+    int TimeoutMs = Wheel.msUntilNext(NowMs);
+    Events.clear();
+    size_t N = Rx.wait(Events, TimeoutMs);
+
+    // Clear the coalescing flag before looking at the queues: a
+    // completion arriving after this store re-arms the pipe, so nothing
+    // pushed after the sweep below can be missed.
+    WakePending.store(false, std::memory_order_seq_cst);
+    NowMs = steadyMs();
+
+    bool Stopping = StopFlag.load(std::memory_order_acquire);
+
+    intake(ById, NowMs);
+    drainDone(ById, NowMs);
+
+    for (const ReactorEvent &Ev : Events) {
+      auto It = ById.find(Ev.Cookie);
+      if (It == ById.end())
+        continue; // closed earlier in this sweep
+      ConnPtr C = It->second;
+      if (Ev.Mask & (EvRead | EvError))
+        readReady(C, Buf, NowMs);
+      if (!C->Closed && (Ev.Mask & EvWrite))
+        flushOut(C);
+    }
+
+    onTimer(ById, NowMs);
+
+    if (N || !Events.empty()) {
+      std::lock_guard<std::mutex> L(RStatsMutex);
+      RStats.Wakeups++;
+      RStats.EventsDispatched += Events.size();
+    }
+
+    if (Stopping) {
+      // Best-effort final flush, then teardown. Replies whose requests
+      // are still in a worker queue are abandoned — the sockets are
+      // closing anyway (same contract as the thread-pair front-end).
+      std::vector<ConnPtr> Open;
+      Open.reserve(ById.size());
+      for (auto &KV : ById)
+        Open.push_back(KV.second);
+      for (auto &C : Open) {
+        if (!C->Closed)
+          flushOut(C);
+        if (!C->Closed)
+          closeConn(C);
+      }
+      ById.clear();
+      // Conns accepted but never drained from intake still need rows.
+      intake(ById, NowMs);
+      for (auto &KV : ById)
+        closeConn(KV.second);
+      return;
+    }
+
+    // Reactor-thread-only cleanup of the cookie map: drop conns closed
+    // during this sweep.
+    for (auto It = ById.begin(); It != ById.end();) {
+      if (It->second->Closed)
+        It = ById.erase(It);
+      else
+        ++It;
+    }
   }
-  std::sort(Out.begin(), Out.end(),
-            [](const ConnStatsRow &A, const ConnStatsRow &B) {
-              return A.ConnId < B.ConnId;
-            });
-  return Out;
 }
 
-TelemetrySnapshot WireServer::telemetry() const {
-  TelemetrySnapshot T = Server.telemetry();
-  for (const ConnStatsRow &Row : connectionStats())
-    T.Net += Row.Net;
-  return T;
+void WireServer::intake(std::unordered_map<uint64_t, ConnPtr> &ById,
+                        uint64_t NowMs) {
+  std::vector<ConnPtr> Fresh;
+  {
+    std::lock_guard<std::mutex> L(IntakeMutex);
+    Fresh.swap(IntakeQ);
+  }
+  if (Fresh.empty())
+    return;
+  for (auto &C : Fresh) {
+    C->LastActivityMs = NowMs;
+    ById[C->Id] = C;
+    if (!Rx.add(C->Tr->fd(), EvRead, C->Id)) {
+      closeConn(C);
+      ById.erase(C->Id);
+      continue;
+    }
+    appendOut(C, encodePreamble(), /*IsFrame=*/false, /*IsError=*/false);
+    if (!flushOut(C))
+      continue;
+    if (Opts.IdleTimeoutMs)
+      Wheel.schedule(C->Id, NowMs + Opts.IdleTimeoutMs);
+  }
+  std::lock_guard<std::mutex> L(RStatsMutex);
+  uint64_t Open = 0;
+  {
+    std::lock_guard<std::mutex> CL(ConnsMutex);
+    Open = Conns.size();
+  }
+  if (Open > RStats.PeakConns)
+    RStats.PeakConns = Open;
+}
+
+void WireServer::drainDone(std::unordered_map<uint64_t, ConnPtr> &ById,
+                           uint64_t NowMs) {
+  std::vector<DoneItem> Items;
+  {
+    std::lock_guard<std::mutex> L(DoneMutex);
+    Items.swap(DoneQ);
+  }
+  // Append every reply first, flush each connection once: a pipelined
+  // window completing together leaves in one send(), not one per reply.
+  std::vector<ConnPtr> Touched;
+  for (DoneItem &D : Items) {
+    // Every item is one dispatched request coming home, whether or not
+    // its connection survived to hear the answer.
+    if (GlobalInFlight)
+      GlobalInFlight--;
+    if (D.C->Closed)
+      continue;
+    D.C->InFlight--;
+    D.C->LastActivityMs = NowMs;
+    if (!D.C->DirtyOut) {
+      D.C->DirtyOut = true;
+      Touched.push_back(D.C);
+    }
+    appendOut(D.C, D.Bytes, /*IsFrame=*/true, D.IsError);
+  }
+  for (const ConnPtr &C : Touched) {
+    C->DirtyOut = false;
+    if (!C->Closed)
+      flushOut(C);
+  }
+  (void)ById;
 }
 
 //===----------------------------------------------------------------------===//
-// Per-connection reader
+// Read path: preamble state machine, frame batching, dispatch
 //===----------------------------------------------------------------------===//
 
-void WireServer::runReader(const ConnPtr &C) {
-  // Handshake: the server announces its preamble immediately; the
-  // client's must arrive before any frame. A wrong magic is not this
-  // protocol at all — drop silently. A wrong version is a FABW peer we
-  // cannot serve — tell it so with a typed Error (tag 0: no request to
-  // attribute it to), then close.
-  enqueue(C, encodePreamble(), /*IsError=*/false);
+void WireServer::readReady(const ConnPtr &C, std::vector<uint8_t> &Buf,
+                           uint64_t NowMs) {
+  if (C->Closed || C->CloseAfterFlush || C->ReadClosed)
+    return;
 
-  uint8_t Pre[PreambleBytes];
-  bool CloseNow = false;
-  if (!C->Sock.recvAll(Pre, sizeof(Pre))) {
-    std::lock_guard<std::mutex> L(C->StatsMutex);
-    C->Stats.ProtocolErrors++;
-    CloseNow = true;
-  } else {
-    switch (decodePreamble(Pre, sizeof(Pre))) {
+  size_t Got = 0;
+  Transport::Io R = C->Tr->read(Buf.data(), Buf.size(), Got);
+  if (R == Transport::Io::WouldBlock)
+    return;
+  if (R == Transport::Io::Eof || R == Transport::Io::Error) {
+    // Bytes of a half-received frame — or a half-received preamble —
+    // are a protocol violation worth counting (the fuzz tests cut
+    // connections mid-frame on purpose).
+    if (!C->PreambleDone || C->FR.pendingBytes() > 0) {
+      std::lock_guard<std::mutex> L(C->StatsMutex);
+      C->Stats.ProtocolErrors++;
+    }
+    C->ReadClosed = true;
+    flushOut(C); // closes now if nothing is owed
+    return;
+  }
+
+  size_t Off = 0;
+  if (!C->PreambleDone) {
+    size_t Take = std::min(PreambleBytes - C->PreGot, Got);
+    std::memcpy(C->Pre + C->PreGot, Buf.data(), Take);
+    C->PreGot += Take;
+    Off = Take;
+    if (C->PreGot < PreambleBytes)
+      return; // dripped preamble bytes are not activity — loris food
+    C->PreambleDone = true;
+    switch (decodePreamble(C->Pre, PreambleBytes)) {
     case PreambleStatus::Ok: {
+      C->LastActivityMs = NowMs;
       std::lock_guard<std::mutex> L(C->StatsMutex);
       C->Stats.BytesIn += PreambleBytes;
       break;
     }
     case PreambleStatus::BadMagic: {
-      std::lock_guard<std::mutex> L(C->StatsMutex);
-      C->Stats.ProtocolErrors++;
-      CloseNow = true;
-      break;
+      // Not this protocol at all — flush our own preamble (already
+      // queued at intake) and drop silently: no Error frame.
+      {
+        std::lock_guard<std::mutex> L(C->StatsMutex);
+        C->Stats.ProtocolErrors++;
+      }
+      C->CloseAfterFlush = true;
+      flushOut(C);
+      return;
     }
-    case PreambleStatus::BadVersion:
+    case PreambleStatus::BadVersion: {
       {
         std::lock_guard<std::mutex> L(C->StatsMutex);
         C->Stats.ProtocolErrors++;
       }
       sendError(C, 0, wireCode(WireErrc::BadVersion),
-                "unsupported wire version", /*CloseConn=*/true);
-      break;
+                /*RetryUs=*/0, "unsupported wire version", /*CloseConn=*/true);
+      flushOut(C);
+      return;
+    }
     }
   }
 
-  FrameReader FR(Opts.MaxFrameBytes);
-  std::vector<uint8_t> Chunk(ReadChunk);
-  bool Closing = CloseNow;
-  {
-    std::lock_guard<std::mutex> L(C->WriteMutex);
-    Closing = Closing || C->CloseAfterFlush;
+  size_t Rest = Got - Off;
+  if (Rest) {
+    {
+      std::lock_guard<std::mutex> L(C->StatsMutex);
+      C->Stats.BytesIn += Rest;
+    }
+    C->FR.feed(Buf.data() + Off, Rest);
   }
 
-  while (!Closing) {
-    long N = C->Sock.recvSome(Chunk.data(), Chunk.size());
-    if (N <= 0) {
-      // Orderly EOF or reset. Bytes of a half-received frame are a
-      // protocol violation worth counting (the fuzz tests cut
-      // connections mid-frame on purpose).
-      if (FR.pendingBytes() > 0) {
+  // Drain every complete frame this read produced before returning to
+  // the event loop — the socket-read batch that feeds the pool
+  // coalescer. Level-triggered readiness re-arms us if the socket still
+  // holds more than one ReadChunk.
+  unsigned Batch = 0;
+  Frame F;
+  while (!C->CloseAfterFlush && !C->Closed) {
+    FrameReader::Status St = C->FR.next(F);
+    if (St == FrameReader::Status::NeedMore)
+      break;
+    if (St == FrameReader::Status::TooLarge) {
+      {
         std::lock_guard<std::mutex> L(C->StatsMutex);
         C->Stats.ProtocolErrors++;
       }
+      // The stream cannot be resynchronized past an oversized length
+      // prefix; refuse with the offending tag and hang up.
+      sendError(C, C->FR.offendingTag(), wireCode(WireErrc::FrameTooLarge),
+                /*RetryUs=*/0, "frame exceeds the server's size ceiling",
+                /*CloseConn=*/true);
       break;
     }
+    ++Batch;
+    C->LastActivityMs = NowMs; // a complete frame is real activity
+    handleFrame(C, std::move(F));
+  }
+  if (Batch) {
     {
-      std::lock_guard<std::mutex> L(C->StatsMutex);
-      C->Stats.BytesIn += static_cast<uint64_t>(N);
-    }
-
-    // Drain every complete frame this read produced before recv()ing
-    // again — the socket-read batch that feeds the pool coalescer.
-    FR.feed(Chunk.data(), static_cast<size_t>(N));
-    unsigned Batch = 0;
-    Frame F;
-    for (;;) {
-      FrameReader::Status St = FR.next(F);
-      if (St == FrameReader::Status::NeedMore)
-        break;
-      if (St == FrameReader::Status::TooLarge) {
-        {
-          std::lock_guard<std::mutex> L(C->StatsMutex);
-          C->Stats.ProtocolErrors++;
-        }
-        // The stream cannot be resynchronized past an oversized length
-        // prefix; refuse with the offending tag and hang up.
-        sendError(C, FR.offendingTag(), wireCode(WireErrc::FrameTooLarge),
-                  "frame exceeds the server's size ceiling",
-                  /*CloseConn=*/true);
-        Closing = true;
-        break;
-      }
-      ++Batch;
-      handleFrame(C, std::move(F));
-      std::lock_guard<std::mutex> L(C->WriteMutex);
-      if (C->CloseAfterFlush || C->WriteFailed) {
-        Closing = true;
-        break;
-      }
-    }
-    if (Batch) {
       std::lock_guard<std::mutex> L(C->StatsMutex);
       C->Stats.FramesIn += Batch;
       C->Stats.ReadBatches++;
       if (Batch > 1)
         C->Stats.BatchedFrames += Batch;
-      trace(EventKind::FrameRecv, C->Id, Batch);
     }
+    trace(EventKind::FrameRecv, C->Id, Batch);
   }
-
-  // Let the writer flush replies for everything still in flight, then
-  // close. The writer owns the socket teardown.
-  {
-    std::lock_guard<std::mutex> L(C->WriteMutex);
-    C->ReaderDone = true;
-  }
-  C->WriteCv.notify_all();
-  if (C->ThreadsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
-    C->Finished.store(true, std::memory_order_release);
+  if (!C->Closed)
+    flushOut(C);
 }
 
 //===----------------------------------------------------------------------===//
 // Frame dispatch
 //===----------------------------------------------------------------------===//
+
+bool WireServer::overCap(const ConnPtr &C) const {
+  if (Opts.MaxInFlightPerConn && C->InFlight >= Opts.MaxInFlightPerConn)
+    return true;
+  if (Opts.MaxInFlightGlobal && GlobalInFlight >= Opts.MaxInFlightGlobal)
+    return true;
+  return false;
+}
 
 void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
   const uint64_t Tag = F.H.Tag;
@@ -324,15 +431,24 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
   case FrameType::Call: {
     SubmitBody B;
     if (!decodeSubmit(F, B)) {
-      sendError(C, Tag, wireCode(WireErrc::BadFrame),
+      sendError(C, Tag, wireCode(WireErrc::BadFrame), /*RetryUs=*/0,
                 "malformed submit payload", /*CloseConn=*/false);
       return;
     }
+    if (overCap(C)) {
+      {
+        std::lock_guard<std::mutex> L(C->StatsMutex);
+        C->Stats.CapRejects++;
+      }
+      sendError(C, Tag, wireCode(FabErrc::Rejected), Opts.RetryAfterRejectedUs,
+                "in-flight cap reached", /*CloseConn=*/false);
+      return;
+    }
+    C->InFlight++;
+    GlobalInFlight++;
     {
-      std::lock_guard<std::mutex> L(C->WriteMutex);
-      std::lock_guard<std::mutex> SL(C->StatsMutex);
+      std::lock_guard<std::mutex> L(C->StatsMutex);
       C->Stats.Submits++;
-      C->InFlight++;
       if (C->InFlight > C->Stats.PipelineHighWater)
         C->Stats.PipelineHighWater = C->InFlight;
     }
@@ -340,48 +456,69 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
     O.DeadlineNs = B.DeadlineNs;
     O.MaxRetries = B.MaxRetries;
     // The completion runs on the serving worker's thread (or inline on
-    // a refusal); C is kept alive by the capture until the reply is
-    // queued.
+    // a refusal); C is kept alive by the capture until the reply lands
+    // in DoneQ. Encoding happens off the reactor thread on purpose.
     Server.submitAsync(
         B.Fn, std::move(B.Early), std::move(B.Late), O,
         [this, C, Tag](FabResult<int32_t> R) {
-          std::vector<uint8_t> Reply;
-          bool IsError = !R.ok();
+          DoneItem D;
+          D.C = C;
+          D.IsError = !R.ok();
           if (R.ok())
-            Reply = encodeResult(Tag, *R);
+            D.Bytes = encodeResult(Tag, *R);
           else
-            Reply = encodeError(Tag, wireCode(R.error().Code),
-                                retryHint(R.error().Code),
-                                clip(R.error().message()));
-          enqueue(C, std::move(Reply), IsError, /*DecInFlight=*/true);
+            D.Bytes = encodeError(Tag, wireCode(R.error().Code),
+                                  retryHint(R.error().Code),
+                                  clip(R.error().message()));
+          {
+            std::lock_guard<std::mutex> L(DoneMutex);
+            DoneQ.push_back(std::move(D));
+          }
+          if (!WakePending.exchange(true, std::memory_order_seq_cst))
+            Rx.wakeup();
         });
     return;
   }
   case FrameType::Invalidate: {
     std::string Fn;
     if (!decodeInvalidate(F, Fn)) {
-      sendError(C, Tag, wireCode(WireErrc::BadFrame),
+      sendError(C, Tag, wireCode(WireErrc::BadFrame), /*RetryUs=*/0,
                 "malformed invalidate payload", /*CloseConn=*/false);
       return;
     }
+    if (overCap(C)) {
+      {
+        std::lock_guard<std::mutex> L(C->StatsMutex);
+        C->Stats.CapRejects++;
+      }
+      sendError(C, Tag, wireCode(FabErrc::Rejected), Opts.RetryAfterRejectedUs,
+                "in-flight cap reached", /*CloseConn=*/false);
+      return;
+    }
+    C->InFlight++;
+    GlobalInFlight++;
     {
-      std::lock_guard<std::mutex> L(C->WriteMutex);
-      std::lock_guard<std::mutex> SL(C->StatsMutex);
+      std::lock_guard<std::mutex> L(C->StatsMutex);
       C->Stats.Invalidates++;
-      C->InFlight++;
       if (C->InFlight > C->Stats.PipelineHighWater)
         C->Stats.PipelineHighWater = C->InFlight;
     }
     Server.invalidateAsync(Fn, [this, C, Tag](FabResult<int32_t> R) {
-      std::vector<uint8_t> Reply;
-      bool IsError = !R.ok();
+      DoneItem D;
+      D.C = C;
+      D.IsError = !R.ok();
       if (R.ok())
-        Reply = encodeInvalidateReply(Tag, static_cast<uint64_t>(*R));
+        D.Bytes = encodeInvalidateReply(Tag, static_cast<uint64_t>(*R));
       else
-        Reply = encodeError(Tag, wireCode(R.error().Code),
-                            retryHint(R.error().Code),
-                            clip(R.error().message()));
-      enqueue(C, std::move(Reply), IsError, /*DecInFlight=*/true);
+        D.Bytes = encodeError(Tag, wireCode(R.error().Code),
+                              retryHint(R.error().Code),
+                              clip(R.error().message()));
+      {
+        std::lock_guard<std::mutex> L(DoneMutex);
+        DoneQ.push_back(std::move(D));
+      }
+      if (!WakePending.exchange(true, std::memory_order_seq_cst))
+        Rx.wakeup();
     });
     return;
   }
@@ -392,7 +529,7 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
     }
     TelemetrySnapshot T = telemetry();
     StatsPairs P;
-    P.reserve(32);
+    P.reserve(36);
     P.emplace_back("workers", T.Workers);
     P.emplace_back("submitted", T.Submitted);
     P.emplace_back("served", T.Served);
@@ -422,95 +559,203 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
     P.emplace_back("net_errors_out", T.Net.ErrorsOut);
     P.emplace_back("net_protocol_errors", T.Net.ProtocolErrors);
     P.emplace_back("net_pipeline_high_water", T.Net.PipelineHighWater);
-    enqueue(C, encodeStatsReply(Tag, P), /*IsError=*/false);
+    P.emplace_back("net_cap_rejects", T.Net.CapRejects);
+    P.emplace_back("reactor_open_conns", T.Reactor.OpenConns);
+    P.emplace_back("reactor_peak_conns", T.Reactor.PeakConns);
+    P.emplace_back("reactor_idle_closed", T.Reactor.IdleClosed);
+    P.emplace_back("reactor_accept_rejects", T.Reactor.AcceptRejects);
+    appendOut(C, encodeStatsReply(Tag, P), /*IsFrame=*/true,
+              /*IsError=*/false);
     return;
   }
   case FrameType::Ping:
-    enqueue(C, encodePong(Tag), /*IsError=*/false);
+    appendOut(C, encodePong(Tag), /*IsFrame=*/true, /*IsError=*/false);
     return;
   default:
     // Well-framed but unknown: the connection stays usable (forward
     // compatibility — an old server refuses new request types politely).
-    sendError(C, Tag, wireCode(WireErrc::UnknownType),
+    sendError(C, Tag, wireCode(WireErrc::UnknownType), /*RetryUs=*/0,
               "unknown frame type", /*CloseConn=*/false);
     return;
   }
 }
 
 void WireServer::sendError(const ConnPtr &C, uint64_t Tag, uint16_t Code,
-                           const std::string &Msg, bool CloseConn) {
-  if (CloseConn) {
-    std::lock_guard<std::mutex> L(C->WriteMutex);
+                           uint32_t RetryUs, const std::string &Msg,
+                           bool CloseConn) {
+  if (CloseConn)
     C->CloseAfterFlush = true;
-  }
-  enqueue(C, encodeError(Tag, Code, 0, Msg), /*IsError=*/true);
+  // Append only — no flush here. A flush can close and retire the
+  // connection, and callers inside the read loop still have batch
+  // counters to record; they flush once the batch is accounted.
+  appendOut(C, encodeError(Tag, Code, RetryUs, Msg), /*IsFrame=*/true,
+            /*IsError=*/true);
 }
 
-void WireServer::enqueue(const ConnPtr &C, std::vector<uint8_t> Bytes,
-                         bool IsError, bool DecInFlight) {
+//===----------------------------------------------------------------------===//
+// Write path: flat output buffer, EPOLLOUT arming, close eligibility
+//===----------------------------------------------------------------------===//
+
+void WireServer::appendOut(const ConnPtr &C, const std::vector<uint8_t> &Bytes,
+                           bool IsFrame, bool IsError) {
+  if (C->Closed)
+    return;
   {
     std::lock_guard<std::mutex> L(C->StatsMutex);
     C->Stats.BytesOut += Bytes.size();
-    // The preamble is the only queued buffer that is not a frame.
-    if (Bytes.size() != PreambleBytes ||
-        std::memcmp(Bytes.data(), "FABW", 4) != 0) {
+    if (IsFrame) {
       C->Stats.FramesOut++;
       if (IsError)
         C->Stats.ErrorsOut++;
     }
   }
-  {
-    // An in-flight completion must decrement and push under one lock
-    // hold: if the writer observed InFlight == 0 with an empty queue in
-    // between, it could exit before this reply was queued.
-    std::lock_guard<std::mutex> L(C->WriteMutex);
-    if (DecInFlight)
-      C->InFlight--;
-    C->WriteQ.push_back(std::move(Bytes));
+  // Compact the consumed prefix before growing: a healthy connection
+  // keeps flushing to empty, so this usually resets to offset zero.
+  if (C->OutPos == C->Out.size()) {
+    C->Out.clear();
+    C->OutPos = 0;
+  } else if (C->OutPos > ReadChunk && C->OutPos > C->Out.size() / 2) {
+    C->Out.erase(C->Out.begin(),
+                 C->Out.begin() + static_cast<long>(C->OutPos));
+    C->OutPos = 0;
   }
-  C->WriteCv.notify_all();
+  C->Out.insert(C->Out.end(), Bytes.begin(), Bytes.end());
+}
+
+bool WireServer::flushOut(const ConnPtr &C) {
+  if (C->Closed)
+    return false;
+  while (C->OutPos < C->Out.size()) {
+    size_t Put = 0;
+    Transport::Io R = C->Tr->write(C->Out.data() + C->OutPos,
+                                   C->Out.size() - C->OutPos, Put);
+    if (R == Transport::Io::Ok) {
+      C->OutPos += Put;
+      continue;
+    }
+    if (R == Transport::Io::WouldBlock) {
+      uint64_t Backlog = C->Out.size() - C->OutPos;
+      if (!C->WantWrite) {
+        C->WantWrite = true;
+        Rx.modify(C->Tr->fd(), EvRead | EvWrite);
+      }
+      std::lock_guard<std::mutex> L(RStatsMutex);
+      RStats.WriteStalls++;
+      if (Backlog > RStats.WriteStallPeakBytes)
+        RStats.WriteStallPeakBytes = Backlog;
+      return true;
+    }
+    // The peer is gone; nothing more can be delivered.
+    closeConn(C);
+    return false;
+  }
+  if (C->WantWrite) {
+    C->WantWrite = false;
+    Rx.modify(C->Tr->fd(), EvRead);
+  }
+  // Everything owed has been handed to the kernel. Tear down if this
+  // connection is waiting only on the flush.
+  if ((C->CloseAfterFlush || C->ReadClosed) && C->InFlight == 0) {
+    closeConn(C);
+    return false;
+  }
+  return true;
+}
+
+void WireServer::closeConn(const ConnPtr &C) {
+  if (C->Closed)
+    return;
+  C->Closed = true;
+  Rx.remove(C->Tr->fd());
+  C->Tr->shutdownBoth();
+  C->Tr->close();
+
+  ConnStatsRow Row;
+  Row.ConnId = C->Id;
+  Row.Live = false;
+  {
+    std::lock_guard<std::mutex> L(C->StatsMutex);
+    C->Stats.Disconnects = 1;
+    Row.Net = C->Stats;
+  }
+  trace(EventKind::ConnClose, C->Id, Row.Net.FramesIn);
+  if (Row.Net.FramesOut)
+    trace(EventKind::FrameSend, C->Id, Row.Net.FramesOut);
+  std::lock_guard<std::mutex> L(ConnsMutex);
+  Conns.erase(std::remove(Conns.begin(), Conns.end(), C), Conns.end());
+  Retired.push_back(std::move(Row));
 }
 
 //===----------------------------------------------------------------------===//
-// Per-connection writer
+// Idle reaping
 //===----------------------------------------------------------------------===//
 
-void WireServer::runWriter(const ConnPtr &C) {
-  unsigned SentFrames = 0;
-  for (;;) {
-    std::vector<uint8_t> Buf;
-    {
-      std::unique_lock<std::mutex> L(C->WriteMutex);
-      C->WriteCv.wait(L, [&] {
-        return !C->WriteQ.empty() || C->WriteFailed ||
-               (C->ReaderDone && C->InFlight == 0) ||
-               (C->CloseAfterFlush && C->InFlight == 0 && C->WriteQ.empty());
-      });
-      if (C->WriteFailed) {
-        C->WriteQ.clear();
-        break;
-      }
-      if (C->WriteQ.empty()) {
-        // ReaderDone/CloseAfterFlush with nothing in flight: all replies
-        // owed to this peer have been flushed.
-        break;
-      }
-      Buf = std::move(C->WriteQ.front());
-      C->WriteQ.pop_front();
-    }
-    if (!C->Sock.sendAll(Buf.data(), Buf.size())) {
-      std::lock_guard<std::mutex> L(C->WriteMutex);
-      C->WriteFailed = true;
-      // The peer is gone; nothing more can be delivered, and the reader
-      // should stop feeding requests it will never answer.
-      C->Sock.shutdownBoth();
-      break;
-    }
-    ++SentFrames;
+void WireServer::onTimer(std::unordered_map<uint64_t, ConnPtr> &ById,
+                         uint64_t NowMs) {
+  if (!Opts.IdleTimeoutMs || !Wheel.armed())
+    return;
+  std::vector<uint64_t> Fired;
+  if (!Wheel.advance(NowMs, Fired))
+    return;
+  {
+    std::lock_guard<std::mutex> L(RStatsMutex);
+    RStats.TimerTicks++;
   }
-  if (SentFrames)
-    trace(EventKind::FrameSend, C->Id, SentFrames);
-  C->Sock.shutdownBoth();
-  if (C->ThreadsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
-    C->Finished.store(true, std::memory_order_release);
+  for (uint64_t Id : Fired) {
+    auto It = ById.find(Id);
+    if (It == ById.end() || It->second->Closed)
+      continue; // lazily cancelled: the connection is already gone
+    ConnPtr C = It->second;
+    uint64_t IdleAt = C->LastActivityMs + Opts.IdleTimeoutMs;
+    bool Flushed = C->OutPos == C->Out.size();
+    if (NowMs >= IdleAt && C->InFlight == 0 && Flushed) {
+      closeConn(C);
+      std::lock_guard<std::mutex> L(RStatsMutex);
+      RStats.IdleClosed++;
+      continue;
+    }
+    // Activity moved the deadline (or the conn is busy): re-arm at the
+    // earliest moment it could genuinely be idle.
+    Wheel.schedule(Id, IdleAt > NowMs ? IdleAt : NowMs + Opts.IdleTimeoutMs);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Observability
+//===----------------------------------------------------------------------===//
+
+unsigned WireServer::liveConnections() const {
+  std::lock_guard<std::mutex> L(ConnsMutex);
+  return static_cast<unsigned>(Conns.size());
+}
+
+std::vector<ConnStatsRow> WireServer::connectionStats() const {
+  std::vector<ConnStatsRow> Out;
+  std::lock_guard<std::mutex> L(ConnsMutex);
+  Out = Retired;
+  for (const auto &C : Conns) {
+    ConnStatsRow Row;
+    Row.ConnId = C->Id;
+    Row.Live = true;
+    std::lock_guard<std::mutex> SL(C->StatsMutex);
+    Row.Net = C->Stats;
+    Out.push_back(std::move(Row));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const ConnStatsRow &A, const ConnStatsRow &B) {
+              return A.ConnId < B.ConnId;
+            });
+  return Out;
+}
+
+TelemetrySnapshot WireServer::telemetry() const {
+  TelemetrySnapshot T = Server.telemetry();
+  for (const ConnStatsRow &Row : connectionStats())
+    T.Net += Row.Net;
+  {
+    std::lock_guard<std::mutex> L(RStatsMutex);
+    T.Reactor = RStats;
+  }
+  T.Reactor.OpenConns = liveConnections();
+  return T;
 }

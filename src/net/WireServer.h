@@ -7,14 +7,28 @@
 /// \file
 /// The network front-end that puts the specialization service on the
 /// wire (docs/WIRE.md): a TCP listener speaking the Wire.h frame
-/// protocol over a SpecServer. One reader and one writer thread per
-/// connection; requests pipeline freely because replies are completed
-/// out of order — each SubmitSpecialize/Call turns into
-/// SpecServer::submitAsync, whose completion (running on the serving
-/// worker's thread) encodes the reply and hands it to the connection's
-/// writer. The reader drains everything recv() returned before reading
-/// again, so a burst of pipelined same-key requests lands in one worker
-/// queue batch and hits the MachinePool coalescer.
+/// protocol over a SpecServer. Connection I/O is reactor-driven: one
+/// epoll (or poll-fallback) event loop owns every connection socket
+/// non-blocking, so the server's thread count is fixed — acceptor +
+/// reactor + pool workers — no matter how many thousands of clients
+/// connect. Requests pipeline freely because replies complete out of
+/// order: each SubmitSpecialize/Call turns into SpecServer::submitAsync,
+/// whose completion (running on the serving worker's thread) encodes
+/// the reply and hands it to the reactor through a lock-guarded done
+/// queue plus a coalesced wakeup. The reactor drains every complete
+/// frame a readable socket buffered before moving on, so a burst of
+/// pipelined same-key requests lands in one worker queue batch and hits
+/// the MachinePool coalescer.
+///
+/// Limits are enforced where they are cheapest: MaxConns at accept
+/// (refused with a typed Rejected before the connection ever reaches
+/// the reactor), per-connection and global in-flight caps at dispatch
+/// (typed Rejected with a retry-after hint; the connection stays
+/// healthy), and idle timeouts on a coarse timer wheel whose notion of
+/// activity is *complete frames*, not bytes — a slow-loris peer
+/// dripping header bytes is reaped on schedule while busy pipelined
+/// connections are never touched (a connection with requests in flight
+/// or unflushed replies is never reaped).
 ///
 /// All overload refusals from PR 6 — queue sheds, deadline misses,
 /// breaker fast-fails — surface as typed Error frames carrying the
@@ -28,17 +42,19 @@
 #ifndef FAB_NET_WIRESERVER_H
 #define FAB_NET_WIRESERVER_H
 
+#include "net/Reactor.h"
 #include "net/Socket.h"
+#include "net/Transport.h"
 #include "net/Wire.h"
 #include "service/SpecServer.h"
 #include "telemetry/TraceRing.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 namespace fab {
 namespace net {
@@ -56,6 +72,25 @@ struct WireOptions {
   /// error.
   uint32_t RetryAfterRejectedUs = 200;
   uint32_t RetryAfterCircuitUs = 5000;
+  /// Connection admission ceiling: accepts past this many live
+  /// connections are answered with a typed Rejected (tag 0) and closed.
+  /// 0 = unlimited.
+  unsigned MaxConns = 0;
+  /// Reap a connection after this long with no *complete* frame decoded
+  /// and no reply enqueued (dripped bytes do not count as activity, so
+  /// slow-loris peers age out). Connections with requests in flight or
+  /// unflushed replies are never reaped. 0 = disabled.
+  uint64_t IdleTimeoutMs = 0;
+  /// Pipelining ceilings: requests dispatched but not yet answered, per
+  /// connection and across all connections. Excess requests get a typed
+  /// Rejected with the retry-after hint; the connection survives.
+  /// 0 = unlimited.
+  unsigned MaxInFlightPerConn = 0;
+  unsigned MaxInFlightGlobal = 0;
+  /// Forces the poll(2) reactor backend even where epoll is available
+  /// (fallback-path coverage). FAB_REACTOR=poll in the environment does
+  /// the same.
+  bool ForcePollReactor = false;
   /// Arms the server-side TraceRing (conn open/close, frame batches);
   /// drainTrace() empties it. Worker-side tracing is configured on the
   /// pool as before.
@@ -81,21 +116,25 @@ public:
   WireServer(const WireServer &) = delete;
   WireServer &operator=(const WireServer &) = delete;
 
-  /// Binds, listens, and starts the accept thread. False + \p Err when
-  /// the port cannot be bound.
+  /// Binds, listens, and starts the accept + reactor threads. False +
+  /// \p Err when the port cannot be bound or the reactor cannot be set
+  /// up.
   bool start(std::string *Err = nullptr);
 
-  /// Stops intake, closes every connection (in-flight requests still
-  /// complete and their replies are flushed where the socket allows),
-  /// joins all threads. Idempotent.
+  /// Stops intake, closes every connection (replies already encoded are
+  /// flushed where the socket allows), joins both threads. Idempotent.
   void stop();
 
   bool running() const { return Running.load(std::memory_order_acquire); }
   uint16_t port() const { return Lst.port(); }
 
+  /// True when the live reactor is epoll-backed (false = poll fallback).
+  bool reactorUsingEpoll() const { return Rx.usingEpoll(); }
+
   /// SpecServer::telemetry() with the Net block filled in: the sum over
   /// every connection ever accepted (live and closed). The sum is exact
-  /// against connectionStats() — net_test asserts it.
+  /// against connectionStats() — net_test asserts it. The Reactor block
+  /// carries the event-loop gauges.
   TelemetrySnapshot telemetry() const;
 
   /// One row per connection, live connections included.
@@ -109,55 +148,103 @@ public:
   std::vector<telemetry::TraceEvent> drainTrace();
 
 private:
+  /// All fields except Stats and the intake/done handoffs are owned by
+  /// the reactor thread — no locks, by construction.
   struct Conn {
-    uint64_t Id = 0;
-    Socket Sock;
+    explicit Conn(uint32_t MaxFrameBytes) : FR(MaxFrameBytes) {}
 
-    std::mutex WriteMutex;
-    std::condition_variable WriteCv;
-    std::deque<std::vector<uint8_t>> WriteQ; // guarded by WriteMutex
-    bool ReaderDone = false;                 // guarded by WriteMutex
-    bool WriteFailed = false;                // guarded by WriteMutex
-    unsigned InFlight = 0;                   // guarded by WriteMutex
-    bool CloseAfterFlush = false;            // guarded by WriteMutex
+    uint64_t Id = 0;
+    std::unique_ptr<Transport> Tr;
+    FrameReader FR;
+
+    // Preamble state machine: bytes accumulate here until the 8-byte
+    // handshake can be judged; only then does frame decoding start.
+    uint8_t Pre[PreambleBytes] = {0};
+    size_t PreGot = 0;
+    bool PreambleDone = false;
+
+    // Outbound bytes not yet accepted by the kernel. Flat buffer with a
+    // consumed prefix (compacted like FrameReader) so a stalled peer
+    // costs one allocation, not one per reply.
+    std::vector<uint8_t> Out;
+    size_t OutPos = 0;
+
+    bool WantWrite = false;      ///< EPOLLOUT armed
+    bool DirtyOut = false;       ///< batched in the current done-drain
+    bool ReadClosed = false;     ///< peer EOF seen; still flushing
+    bool CloseAfterFlush = false;///< protocol refusal pending teardown
+    bool Closed = false;         ///< torn down and retired
+
+    unsigned InFlight = 0;       ///< dispatched, reply not yet queued
+    uint64_t LastActivityMs = 0; ///< open / frame decoded / reply queued
 
     mutable std::mutex StatsMutex;
-    NetStats Stats; // guarded by StatsMutex
-
-    std::thread Reader, Writer;
-    std::atomic<bool> Finished{false}; ///< both threads exited
-    std::atomic<unsigned> ThreadsLeft{2};
+    NetStats Stats; // guarded by StatsMutex (read by external threads)
   };
   using ConnPtr = std::shared_ptr<Conn>;
 
+  /// One completed request travelling worker -> reactor.
+  struct DoneItem {
+    ConnPtr C;
+    std::vector<uint8_t> Bytes;
+    bool IsError = false;
+  };
+
   void runAccept();
-  void runReader(const ConnPtr &C);
-  void runWriter(const ConnPtr &C);
+  void runReactor();
+  void intake(std::unordered_map<uint64_t, ConnPtr> &ById, uint64_t NowMs);
+  void drainDone(std::unordered_map<uint64_t, ConnPtr> &ById, uint64_t NowMs);
+  void readReady(const ConnPtr &C, std::vector<uint8_t> &Buf, uint64_t NowMs);
   void handleFrame(const ConnPtr &C, Frame &&F);
-  void enqueue(const ConnPtr &C, std::vector<uint8_t> Bytes, bool IsError,
-               bool DecInFlight = false);
+  bool overCap(const ConnPtr &C) const;
+  /// Queues bytes on the connection (reactor thread only), counting
+  /// BytesOut always and FramesOut/ErrorsOut when \p IsFrame.
+  void appendOut(const ConnPtr &C, const std::vector<uint8_t> &Bytes,
+                 bool IsFrame, bool IsError);
   void sendError(const ConnPtr &C, uint64_t Tag, uint16_t Code,
-                 const std::string &Msg, bool CloseConn);
+                 uint32_t RetryUs, const std::string &Msg, bool CloseConn);
+  /// Writes until done or EAGAIN; arms/disarms EPOLLOUT; closes the
+  /// connection when it becomes close-eligible. False = conn was closed.
+  bool flushOut(const ConnPtr &C);
+  void closeConn(const ConnPtr &C);
+  void onTimer(std::unordered_map<uint64_t, ConnPtr> &ById, uint64_t NowMs);
   uint32_t retryHint(FabErrc C) const;
-  void reap(bool Final);
   void trace(telemetry::EventKind K, uint64_t Arg0, uint64_t Arg1);
 
   service::SpecServer &Server;
   WireOptions Opts;
   Listener Lst;
-  std::thread Acceptor;
+  Reactor Rx;
+  TimerWheel Wheel;
+  std::thread Acceptor, Loop;
   std::atomic<bool> Running{false};
   std::atomic<bool> StopFlag{false};
 
-  mutable std::mutex ConnsMutex;
-  std::vector<ConnPtr> Conns;          // guarded by ConnsMutex
-  std::vector<ConnStatsRow> Retired;   // guarded by ConnsMutex
-  uint64_t NextConnId = 1;             // guarded by ConnsMutex
+  /// Worker -> reactor completion handoff. WakePending coalesces pipe
+  /// writes: only the first completion after a reactor sweep pays one.
+  std::mutex DoneMutex;
+  std::vector<DoneItem> DoneQ; // guarded by DoneMutex
+  std::atomic<bool> WakePending{false};
 
-  /// The ring is single-writer by contract; the wire layer has many
-  /// writers (one per connection thread), so all recording goes through
-  /// TraceMutex. Rates here are per-batch, not per-instruction, so the
-  /// lock is cold.
+  /// Acceptor -> reactor new-connection handoff.
+  std::mutex IntakeMutex;
+  std::vector<ConnPtr> IntakeQ; // guarded by IntakeMutex
+
+  /// Total requests dispatched but unanswered, across all connections.
+  /// Reactor thread only (dispatch and done-drain both run there).
+  unsigned GlobalInFlight = 0;
+
+  mutable std::mutex ConnsMutex;
+  std::vector<ConnPtr> Conns;        // open connections; guarded
+  std::vector<ConnStatsRow> Retired; // guarded by ConnsMutex
+  uint64_t NextConnId = 1;           // guarded by ConnsMutex
+
+  mutable std::mutex RStatsMutex;
+  ReactorStats RStats; // guarded by RStatsMutex
+
+  /// The ring is single-writer by contract; the wire layer has two
+  /// writers (acceptor + reactor), so recording goes through TraceMutex.
+  /// Rates here are per-batch, not per-instruction, so the lock is cold.
   std::mutex TraceMutex;
   telemetry::TraceRing Trace;
 };

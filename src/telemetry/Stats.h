@@ -209,6 +209,9 @@ struct NetStats {
   uint64_t ProtocolErrors = 0; ///< malformed input (bad magic/version/
                                ///< frame); usually followed by a close
   uint64_t PipelineHighWater = 0; ///< max submits in flight on one conn
+  uint64_t CapRejects = 0;     ///< requests refused over an in-flight cap
+                               ///< (per-connection or global), answered
+                               ///< with typed rejected + retry hint
 
   NetStats &operator+=(const NetStats &R) {
     Connections += R.Connections;
@@ -226,6 +229,48 @@ struct NetStats {
     ProtocolErrors += R.ProtocolErrors;
     if (R.PipelineHighWater > PipelineHighWater)
       PipelineHighWater = R.PipelineHighWater;
+    CapRejects += R.CapRejects;
+    return *this;
+  }
+};
+
+/// Event-loop counters for the wire front-end's reactor (src/net/): one
+/// epoll/poll-driven thread owns every connection socket, so these are
+/// the scaling gauges — how many connections one loop is carrying, how
+/// much work each kernel wakeup amortizes, and how often writes stall
+/// behind a slow peer. Summed into TelemetrySnapshot::Reactor.
+struct ReactorStats {
+  uint64_t Wakeups = 0;          ///< wait() returns that found work
+  uint64_t EventsDispatched = 0; ///< readiness events handled
+  uint64_t TimerTicks = 0;       ///< timer-wheel advances that fired
+  uint64_t IdleClosed = 0;       ///< connections reaped by idle timeout
+  uint64_t AcceptRejects = 0;    ///< connections refused over MaxConns
+  uint64_t WriteStalls = 0;      ///< flushes that left bytes queued
+                                 ///< (peer's socket buffer full)
+  uint64_t WriteStallPeakBytes = 0; ///< deepest queued-unsent backlog
+  uint64_t OpenConns = 0;        ///< gauge: connections open right now
+  uint64_t PeakConns = 0;        ///< most connections open at once
+
+  /// Readiness events amortized per kernel wakeup — the reactor's whole
+  /// argument; 1.0 means epoll buys nothing over blocking threads.
+  double wakeupBatch() const {
+    return Wakeups ? static_cast<double>(EventsDispatched) /
+                         static_cast<double>(Wakeups)
+                   : 0.0;
+  }
+
+  ReactorStats &operator+=(const ReactorStats &R) {
+    Wakeups += R.Wakeups;
+    EventsDispatched += R.EventsDispatched;
+    TimerTicks += R.TimerTicks;
+    IdleClosed += R.IdleClosed;
+    AcceptRejects += R.AcceptRejects;
+    WriteStalls += R.WriteStalls;
+    if (R.WriteStallPeakBytes > WriteStallPeakBytes)
+      WriteStallPeakBytes = R.WriteStallPeakBytes;
+    OpenConns += R.OpenConns;
+    if (R.PeakConns > PeakConns)
+      PeakConns = R.PeakConns;
     return *this;
   }
 };

@@ -146,6 +146,7 @@ TelemetrySnapshot &TelemetrySnapshot::operator+=(const TelemetrySnapshot &R) {
   WorkerLoads.insert(WorkerLoads.end(), R.WorkerLoads.begin(),
                      R.WorkerLoads.end());
   Net += R.Net;
+  Reactor += R.Reactor;
 
   // Merge profiles by function name, keeping Entries sorted.
   std::map<std::string, EntryPointProfile> ByFn;
@@ -261,6 +262,19 @@ void TelemetrySnapshot::writeText(std::ostream &OS,
     Line("net.errors_out", Net.ErrorsOut);
     Line("net.protocol_errors", Net.ProtocolErrors);
     Line("net.pipeline_high_water", Net.PipelineHighWater);
+    Line("net.cap_rejects", Net.CapRejects);
+  }
+  if (Reactor.Wakeups || Reactor.OpenConns || Reactor.IdleClosed) {
+    Line("reactor.wakeups", Reactor.Wakeups);
+    Line("reactor.events_dispatched", Reactor.EventsDispatched);
+    OS << Prefix << ".reactor.wakeup_batch " << Reactor.wakeupBatch() << '\n';
+    Line("reactor.timer_ticks", Reactor.TimerTicks);
+    Line("reactor.idle_closed", Reactor.IdleClosed);
+    Line("reactor.accept_rejects", Reactor.AcceptRejects);
+    Line("reactor.write_stalls", Reactor.WriteStalls);
+    Line("reactor.write_stall_peak_bytes", Reactor.WriteStallPeakBytes);
+    Line("reactor.open_conns", Reactor.OpenConns);
+    Line("reactor.peak_conns", Reactor.PeakConns);
   }
   for (const EntryPointProfile &P : Entries) {
     auto Entry = [&](const char *Path, uint64_t V) {

@@ -104,6 +104,8 @@ struct TelemetrySnapshot {
   /// WireServer::telemetry() guarantees these are exactly the sum of the
   /// per-connection counters it also exposes.
   NetStats Net;
+  /// Event-loop gauges for the reactor carrying those connections.
+  ReactorStats Reactor;
 
   // -- Per entry point -------------------------------------------------------
   std::vector<EntryPointProfile> Entries; ///< sorted by Fn

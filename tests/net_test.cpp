@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 using namespace fab;
@@ -562,4 +563,302 @@ TEST(WireLoopback, ReadBatchingCoalescesPipelinedFrames) {
   }
   EXPECT_TRUE(Batched)
       << "pipelined frames never shared a read batch across 20 bursts";
+}
+
+//===----------------------------------------------------------------------===//
+// Socket syscall loops on non-blocking fds
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A connected loopback socket pair via a throwaway listener.
+std::pair<Socket, Socket> loopbackPair() {
+  Listener L;
+  EXPECT_TRUE(L.listen("127.0.0.1", 0, 4));
+  Socket A = Socket::connectTcp("127.0.0.1", L.port());
+  Socket B = L.accept(/*TimeoutMs=*/2000);
+  EXPECT_TRUE(A.valid());
+  EXPECT_TRUE(B.valid());
+  return {std::move(A), std::move(B)};
+}
+
+} // namespace
+
+TEST(SocketIo, SendAllRecvAllSurviveNonBlockingFds) {
+  // Regression for the reactor migration: sendAll/recvAll are the
+  // blocking client's primitives, and they must stay short-write and
+  // EAGAIN correct even when someone (a transport, a test, a future TLS
+  // layer) has switched the fd to O_NONBLOCK. A multi-megabyte transfer
+  // overflows every kernel buffer, so the EAGAIN/POLLOUT path runs many
+  // times.
+  auto P = loopbackPair();
+  ASSERT_TRUE(P.first.setNonBlocking(true));
+  ASSERT_TRUE(P.second.setNonBlocking(true));
+
+  const size_t N = 4 << 20;
+  std::vector<uint8_t> Sent(N);
+  for (size_t I = 0; I < N; ++I)
+    Sent[I] = static_cast<uint8_t>((I * 131) ^ (I >> 8));
+
+  std::thread Writer(
+      [&] { EXPECT_TRUE(P.first.sendAll(Sent.data(), Sent.size())); });
+  std::vector<uint8_t> Got(N, 0);
+  EXPECT_TRUE(P.second.recvAll(Got.data(), Got.size()));
+  Writer.join();
+  EXPECT_EQ(Sent, Got) << "non-blocking EAGAIN handling dropped or "
+                          "reordered bytes";
+}
+
+TEST(SocketIo, NonBlockingPrimitivesReportWouldBlockAndEof) {
+  auto P = loopbackPair();
+  ASSERT_TRUE(P.second.setNonBlocking(true));
+
+  // Nothing buffered: recvNb must report would-block, not EOF.
+  uint8_t Byte = 0;
+  bool Eof = true;
+  EXPECT_EQ(P.second.recvNb(&Byte, 1, Eof), 0);
+  EXPECT_FALSE(Eof);
+
+  // Data arrives: recvNb returns it.
+  ASSERT_TRUE(P.first.sendAll("x", 1));
+  for (int Spin = 0; Spin < 1000; ++Spin) {
+    long R = P.second.recvNb(&Byte, 1, Eof);
+    if (R == 1)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(Byte, 'x');
+
+  // Peer closes: recvNb reports orderly EOF, distinct from would-block.
+  P.first.close();
+  for (int Spin = 0; Spin < 1000 && !Eof; ++Spin) {
+    if (P.second.recvNb(&Byte, 1, Eof) < 0)
+      break;
+    if (!Eof)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(Eof);
+}
+
+TEST(SocketIo, SendNbSignalsFullKernelBuffer) {
+  auto P = loopbackPair();
+  ASSERT_TRUE(P.first.setNonBlocking(true));
+
+  // Stuff the pipe until sendNb reports would-block (0). The receiver
+  // is not reading, so a few MB at most gets this there.
+  std::vector<uint8_t> Chunk(64 * 1024, 0xAB);
+  bool SawWouldBlock = false;
+  size_t Total = 0;
+  for (int I = 0; I < 4096 && !SawWouldBlock; ++I) {
+    long W = P.first.sendNb(Chunk.data(), Chunk.size());
+    ASSERT_GE(W, 0) << "healthy socket must not error";
+    if (W == 0)
+      SawWouldBlock = true;
+    else
+      Total += static_cast<size_t>(W);
+  }
+  EXPECT_TRUE(SawWouldBlock) << "sent " << Total
+                             << " bytes without ever filling the buffer";
+}
+
+//===----------------------------------------------------------------------===//
+// Reactor front-end: caps, fallback, admission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A server whose single worker stalls WorkMs per request — requests
+/// pile up in flight so the cap logic is deterministic.
+struct SlowServer {
+  SlowServer(const Compilation &C, WireOptions WO, unsigned WorkMs) {
+    ServerOptions SO;
+    SO.Pool.Workers = 1;
+    SO.Pool.BeforeRequest = [WorkMs](unsigned, Machine &, uint64_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(WorkMs));
+    };
+    Server = std::make_unique<SpecServer>(C, SO);
+    Wire = std::make_unique<WireServer>(*Server, WO);
+    std::string Err;
+    EXPECT_TRUE(Wire->start(&Err)) << Err;
+  }
+  ~SlowServer() {
+    Wire->stop();
+    Server->shutdown();
+  }
+  std::unique_ptr<SpecServer> Server;
+  std::unique_ptr<WireServer> Wire;
+};
+
+/// Pipelines \p Count distinct-key dotloop submits on \p Cl as fast as
+/// the socket accepts them, then collects every reply. Returns
+/// {oks, capRejects}; fails the test on any other outcome.
+std::pair<unsigned, unsigned> burstSubmits(FabClient &Cl, int Count) {
+  std::vector<uint64_t> Tags;
+  for (int I = 0; I < Count; ++I) {
+    // Distinct early keys so the pool coalescer cannot merge them.
+    uint64_t Tag = Cl.submit(
+        "dotloop",
+        {Value::ofVec({I + 1, I + 7, I + 13}), Value::ofInt(0),
+         Value::ofInt(3)},
+        {Value::ofVec({1, 1, 1}), Value::ofInt(0)});
+    EXPECT_NE(Tag, 0u);
+    Tags.push_back(Tag);
+  }
+  unsigned Oks = 0, Rejects = 0;
+  for (uint64_t Tag : Tags) {
+    WireReply R = Cl.wait(Tag);
+    if (R.Ok) {
+      ++Oks;
+    } else {
+      EXPECT_EQ(R.ErrCode, wireCode(FabErrc::Rejected))
+          << "cap refusal must be the typed Rejected, got " << R.Message;
+      EXPECT_GT(R.RetryAfterUs, 0u)
+          << "cap refusal must carry a retry-after hint";
+      ++Rejects;
+    }
+  }
+  return {Oks, Rejects};
+}
+
+} // namespace
+
+TEST(WireLoopback, GlobalInFlightCapRejectsWithTypedErrorAndHint) {
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  WireOptions WO;
+  WO.MaxInFlightGlobal = 4;
+  SlowServer S(C, WO, /*WorkMs=*/100);
+
+  FabClient Cl;
+  std::string Err;
+  ASSERT_TRUE(Cl.connect("127.0.0.1", S.Wire->port(), &Err)) << Err;
+
+  // 12 submits land at the reactor within a few ms; the single worker
+  // stalls 100ms per request, so exactly MaxInFlightGlobal are admitted
+  // before the first completion and the rest bounce off the cap.
+  auto Counts = burstSubmits(Cl, 12);
+  EXPECT_EQ(Counts.first, 4u);
+  EXPECT_EQ(Counts.second, 8u);
+
+  // The connection survives the refusals.
+  EXPECT_TRUE(Cl.ping());
+
+  // Exact accounting: the aggregate CapRejects equals what the client
+  // observed, and equals the sum over per-connection rows.
+  TelemetrySnapshot T = S.Wire->telemetry();
+  EXPECT_EQ(T.Net.CapRejects, 8u);
+  uint64_t RowSum = 0;
+  for (const ConnStatsRow &Row : S.Wire->connectionStats())
+    RowSum += Row.Net.CapRejects;
+  EXPECT_EQ(RowSum, T.Net.CapRejects);
+  EXPECT_LE(T.Net.PipelineHighWater, 4u)
+      << "the cap must bound in-flight depth";
+  EXPECT_EQ(T.Net.ErrorsOut, 8u);
+  EXPECT_EQ(T.Net.ProtocolErrors, 0u) << "cap refusals are not protocol "
+                                         "violations";
+}
+
+TEST(WireLoopback, PerConnCapAppliesPerConnection) {
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  WireOptions WO;
+  WO.MaxInFlightPerConn = 2;
+  SlowServer S(C, WO, /*WorkMs=*/100);
+
+  FabClient A, B;
+  std::string Err;
+  ASSERT_TRUE(A.connect("127.0.0.1", S.Wire->port(), &Err)) << Err;
+  ASSERT_TRUE(B.connect("127.0.0.1", S.Wire->port(), &Err)) << Err;
+
+  // Each connection gets its own budget of 2 — the second client's
+  // admissions are not eaten by the first one's.
+  auto CA = burstSubmits(A, 6);
+  auto CB = burstSubmits(B, 6);
+  EXPECT_EQ(CA.first, 2u);
+  EXPECT_EQ(CA.second, 4u);
+  EXPECT_EQ(CB.first, 2u);
+  EXPECT_EQ(CB.second, 4u);
+
+  TelemetrySnapshot T = S.Wire->telemetry();
+  EXPECT_EQ(T.Net.CapRejects, 8u);
+  EXPECT_LE(T.Net.PipelineHighWater, 2u);
+}
+
+TEST(WireLoopback, PollFallbackReactorServesCorrectly) {
+  // The poll(2) backend must be a drop-in for epoll: same protocol, same
+  // accounting, chosen via WireOptions (FAB_REACTOR=poll does the same).
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  WireOptions WO;
+  WO.ForcePollReactor = true;
+  LoopbackServer S(C, /*Workers=*/2, WO);
+  EXPECT_FALSE(S.Wire->reactorUsingEpoll());
+
+  FabClient Cl = S.client();
+  EXPECT_TRUE(Cl.ping());
+  WireReply R = Cl.call(
+      "dotloop", {Value::ofVec({1, 2, 3}), Value::ofInt(0), Value::ofInt(3)},
+      {Value::ofVec({4, 5, 6}), Value::ofInt(0)});
+  ASSERT_TRUE(R.Ok) << R.Message;
+  EXPECT_EQ(R.Value, 32);
+
+  // Pipelined traffic batches exactly as with epoll.
+  auto Counts = burstSubmits(Cl, 8);
+  EXPECT_EQ(Counts.first, 8u);
+  EXPECT_EQ(Counts.second, 0u);
+
+  TelemetrySnapshot T = S.Wire->telemetry();
+  EXPECT_EQ(T.Net.FramesIn, T.Net.FramesOut);
+  EXPECT_EQ(T.Net.ProtocolErrors, 0u);
+  EXPECT_GE(T.Reactor.Wakeups, 1u);
+}
+
+TEST(WireLoopback, MaxConnsRefusesExtraConnectionsWithTypedError) {
+  Compilation C = compileOrDie(mixedSrc(), mixedOptions());
+  WireOptions WO;
+  WO.MaxConns = 2;
+  LoopbackServer S(C, /*Workers=*/2, WO);
+
+  FabClient A = S.client();
+  FabClient B = S.client();
+  ASSERT_TRUE(A.ping());
+  ASSERT_TRUE(B.ping());
+
+  // The third connection gets the preamble, a typed Rejected with a
+  // retry hint on tag 0, then EOF — and never reaches the reactor.
+  Socket Extra = Socket::connectTcp("127.0.0.1", S.Wire->port());
+  ASSERT_TRUE(Extra.valid());
+  uint8_t Their[PreambleBytes];
+  ASSERT_TRUE(Extra.recvAll(Their, sizeof(Their)));
+  EXPECT_EQ(decodePreamble(Their, sizeof(Their)), PreambleStatus::Ok);
+
+  FrameReader FR;
+  Frame F;
+  uint8_t Buf[512];
+  bool GotError = false;
+  for (;;) {
+    if (FR.next(F) == FrameReader::Status::Ready) {
+      GotError = true;
+      break;
+    }
+    long N = Extra.recvSome(Buf, sizeof(Buf));
+    if (N <= 0)
+      break;
+    FR.feed(Buf, static_cast<size_t>(N));
+  }
+  ASSERT_TRUE(GotError) << "expected a typed refusal before the close";
+  EXPECT_EQ(F.H.Type, FrameType::Error);
+  EXPECT_EQ(F.H.Tag, 0u);
+  ErrorBody E;
+  ASSERT_TRUE(decodeError(F, E));
+  EXPECT_EQ(E.Code, wireCode(FabErrc::Rejected));
+  EXPECT_GT(E.RetryAfterUs, 0u);
+  uint8_t Extra1;
+  EXPECT_LE(Extra.recvSome(&Extra1, 1), 0) << "expected EOF after refusal";
+
+  // The two admitted connections are untouched, and the refusal shows
+  // up in the reactor gauges without fabricating a connection row.
+  EXPECT_TRUE(A.ping());
+  EXPECT_TRUE(B.ping());
+  TelemetrySnapshot T = S.Wire->telemetry();
+  EXPECT_EQ(T.Reactor.AcceptRejects, 1u);
+  EXPECT_EQ(T.Net.Connections, 2u);
+  EXPECT_EQ(S.Wire->liveConnections(), 2u);
 }

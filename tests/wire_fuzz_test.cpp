@@ -19,7 +19,13 @@
 
 #include <gtest/gtest.h>
 
+#include <poll.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <memory>
+#include <thread>
 
 using namespace fab;
 using namespace fab::net;
@@ -335,4 +341,93 @@ TEST(WireCodecFuzz, MutatedValidFramesNeverOverread) {
       (void)decodeSubmit(F, Out); // refuse or accept; never crash
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Slow loris vs. the idle-timeout reaper
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Waits up to \p TimeoutMs for \p S to turn readable, then expects the
+/// read to report EOF or reset — the server hung up on us.
+bool sawServerHangup(fab::net::Socket &S, int TimeoutMs) {
+  pollfd P{S.fd(), POLLIN, 0};
+  int Rc;
+  do {
+    Rc = ::poll(&P, 1, TimeoutMs);
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc <= 0)
+    return false; // still open after the deadline: not reaped
+  uint8_t Byte;
+  return S.recvSome(&Byte, 1) <= 0;
+}
+
+} // namespace
+
+TEST(WireIdleTimeout, SlowLorisIsReapedWhileHealthyClientsSurvive) {
+  // Its own server: the shared fixture runs without idle timeouts (its
+  // raw-socket cases hold connections open at leisure on purpose).
+  Compilation C =
+      compileOrDie(workloads::MatmulSrc, FabiusOptions::deferred());
+  ServerOptions SO;
+  SO.Pool.Workers = 2;
+  SpecServer Server(C, SO);
+  WireOptions WO;
+  WO.IdleTimeoutMs = 200;
+  WireServer Wire(Server, WO);
+  std::string Err;
+  ASSERT_TRUE(Wire.start(&Err)) << Err;
+
+  // Eight loris connections: a valid handshake, then one frame-header
+  // byte every 50ms. Dripped bytes never complete a frame, so they are
+  // not activity — each connection must be reaped ~IdleTimeoutMs after
+  // its preamble, long before the drip would finish a header.
+  const int NumLoris = 8;
+  std::atomic<int> Reaped{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < NumLoris; ++I)
+    Threads.emplace_back([&] {
+      Socket S = Socket::connectTcp("127.0.0.1", Wire.port());
+      ASSERT_TRUE(S.valid());
+      std::vector<uint8_t> Pre = encodePreamble();
+      ASSERT_TRUE(S.sendAll(Pre.data(), Pre.size()));
+      uint8_t Their[PreambleBytes];
+      ASSERT_TRUE(S.recvAll(Their, sizeof(Their)));
+      // Drip all but the final header byte — the frame must never
+      // complete, because a complete frame IS activity.
+      std::vector<uint8_t> F = encodePing(1);
+      for (size_t B = 0; B + 1 < F.size(); ++B) {
+        if (!S.sendAll(&F[B], 1))
+          break; // already reaped mid-drip
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (sawServerHangup(S, /*TimeoutMs=*/5000))
+        ++Reaped;
+      S.close();
+    });
+
+  // Meanwhile a healthy client completes a frame every ~60ms — well
+  // inside the idle window. The reaper must never touch it.
+  FabClient Cl;
+  ASSERT_TRUE(Cl.connect("127.0.0.1", Wire.port(), &Err)) << Err;
+  bool AllPingsOk = true;
+  for (int I = 0; I < 16; ++I) {
+    AllPingsOk = AllPingsOk && Cl.ping();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_TRUE(AllPingsOk) << "idle reaper touched a healthy connection";
+  EXPECT_EQ(Reaped.load(), NumLoris);
+  EXPECT_TRUE(Cl.ping());
+
+  TelemetrySnapshot T = Wire.telemetry();
+  EXPECT_GE(T.Reactor.IdleClosed, static_cast<uint64_t>(NumLoris));
+  EXPECT_EQ(Wire.liveConnections(), 1u) << "only the healthy client remains";
+
+  Cl.close();
+  Wire.stop();
+  Server.shutdown();
 }

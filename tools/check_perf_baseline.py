@@ -30,7 +30,25 @@ codegen-cost (over BENCH_table_codegen_cost.json)
     fails when the current average exceeds baseline * (1 + tolerance).
     Baseline: bench/baselines/table_codegen_cost.json.
 
-Refresh either baseline with --write-baseline after an intentional
+wire (over one or more BENCH_wire.json files)
+    Gates the wire front-end's host-normalized throughput ratio
+
+        pipelined_rps / inprocess_rps
+
+    i.e. what fraction of the in-process SpecServer rate survives the
+    trip through the reactor, framing, and loopback TCP, measured
+    within one run so host speed cancels out. Wall-clock throughput on
+    a shared runner is noisy in one direction only — interference can
+    slow a run down but never speed it up — so pass SEVERAL runs via
+    --current and the gate takes the best, the stable estimator of
+    what the stack can actually do. Fails when that best ratio drops
+    more than the tolerance below baseline (the committed baseline is
+    deliberately the low end of warm local runs, so the gate catches
+    structural regressions — a reintroduced per-reply syscall, a
+    wakeup storm — not scheduler luck). Baseline:
+    bench/baselines/wire.json.
+
+Refresh any baseline with --write-baseline after an intentional
 change. stdlib only — no pip installs in CI.
 """
 
@@ -63,7 +81,7 @@ def check_codegen_cost(args, metrics):
     try:
         avg = metrics[AVERAGE_KEY]
     except KeyError:
-        sys.exit(f"error: {args.current} is missing metric "
+        sys.exit(f"error: {args.current[0]} is missing metric "
                  f"'{AVERAGE_KEY}'")
 
     if args.write_baseline:
@@ -109,14 +127,74 @@ def check_codegen_cost(args, metrics):
     print("OK: codegen cost within tolerance of baseline")
 
 
+def wire_ratio(metrics, path):
+    try:
+        pipelined = metrics["pipelined_rps"]
+        inprocess = metrics["inprocess_rps"]
+    except KeyError as k:
+        sys.exit(f"error: {path} is missing metric {k}")
+    if inprocess <= 0:
+        sys.exit(f"error: {path} has non-positive inprocess_rps")
+    return pipelined / inprocess
+
+
+def check_wire(args):
+    best, best_path = None, None
+    for path in args.current:
+        metrics = load_metrics(path)
+        ratio = wire_ratio(metrics, path)
+        speedup = metrics.get("pipeline_speedup_vs_serial", 0.0)
+        print(f"  {path}: pipelined/in-process {ratio:.3f} "
+              f"(pipelined {metrics.get('pipelined_rps', 0):.0f} req/s, "
+              f"pipeline speedup {speedup:.2f}x serial)")
+        if best is None or ratio > best:
+            best, best_path = ratio, path
+
+    if args.write_baseline:
+        baseline = {
+            "comment": "Wire-throughput baseline for "
+                       "tools/check_perf_baseline.py --mode wire: the "
+                       "pipelined/in-process rate ratio, best of N runs. "
+                       "Keep this at the LOW end of warm local runs so "
+                       "the gate catches structural regressions, not "
+                       "scheduler noise. Refresh with --write-baseline "
+                       "after intentional wire-path changes.",
+            "pipelined_over_inprocess": best,
+            "metrics": dict(sorted(load_metrics(best_path).items())),
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"wrote baseline pipelined_over_inprocess={best:.3f} "
+              f"to {args.baseline}")
+        return
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    base_ratio = base["pipelined_over_inprocess"]
+    floor = base_ratio * (1.0 - args.tolerance)
+
+    print(f"wire ratio (pipelined/in-process): best of {len(args.current)} "
+          f"runs {best:.3f}, baseline {base_ratio:.3f}, floor {floor:.3f} "
+          f"(tolerance {args.tolerance:.0%})")
+
+    if best < floor:
+        sys.exit(f"FAIL: wire throughput ratio {best:.3f} is more than "
+                 f"{args.tolerance:.0%} below baseline {base_ratio:.3f} — "
+                 f"the reactor/framing path lost throughput relative to "
+                 f"the in-process server")
+    print("OK: wire throughput within tolerance of baseline")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--current", required=True,
-                    help="bench JSON from this run (BENCH_host_micro.json "
-                         "or BENCH_table_codegen_cost.json)")
+    ap.add_argument("--current", required=True, nargs="+",
+                    help="bench JSON from this run (BENCH_host_micro.json, "
+                         "BENCH_table_codegen_cost.json, or — several "
+                         "accepted in wire mode — BENCH_wire.json)")
     ap.add_argument("--baseline", required=True,
                     help="committed baseline JSON")
-    ap.add_argument("--mode", choices=["dispatch", "codegen-cost"],
+    ap.add_argument("--mode", choices=["dispatch", "codegen-cost", "wire"],
                     default="dispatch",
                     help="which gate to run (default: dispatch)")
     ap.add_argument("--tolerance", type=float, default=0.03,
@@ -126,13 +204,20 @@ def main():
                          "checking")
     args = ap.parse_args()
 
-    metrics = load_metrics(args.current)
+    if args.mode == "wire":
+        check_wire(args)
+        return
+    if len(args.current) != 1:
+        sys.exit(f"error: --mode {args.mode} takes exactly one --current "
+                 f"report")
+
+    metrics = load_metrics(args.current[0])
 
     if args.mode == "codegen-cost":
         check_codegen_cost(args, metrics)
         return
 
-    ratio = dispatch_ratio(metrics, args.current)
+    ratio = dispatch_ratio(metrics, args.current[0])
 
     if args.write_baseline:
         baseline = {

@@ -13,6 +13,7 @@
 //                 [--queue-depth N] [--deadline-ms N] [--retries N]
 //                 [--no-breaker] [--chaos]
 //                 [--listen PORT] [--bind ADDR]
+//                 [--max-conns N] [--idle-timeout-ms MS]
 //
 //   fabserve --workers 4 --requests 1000 --report-interval 200
 //   fabserve --chaos --seed 7 --workers 4
@@ -22,7 +23,10 @@
 // built-in workload: a WireServer accepts fabctl/FabClient connections
 // on PORT (0 = ephemeral; the bound port is printed either way) until
 // SIGINT/SIGTERM, then prints the unified telemetry snapshot. All pool
-// and overload options apply unchanged.
+// and overload options apply unchanged. --max-conns caps concurrent
+// connections (excess accepts get a typed Rejected and are closed) and
+// --idle-timeout-ms reaps connections that go that long without a
+// complete frame — see docs/WIRE.md "Connection lifecycle and limits".
 //
 // --report-interval starts the server's reporter thread: an aggregated
 // TelemetrySnapshot summary line every MS milliseconds (plus one final
@@ -79,7 +83,8 @@ namespace {
                "                [--report-interval MS] [--trace FILE]\n"
                "                [--queue-depth N] [--deadline-ms N]\n"
                "                [--retries N] [--no-breaker] [--chaos]\n"
-               "                [--listen PORT] [--bind ADDR]\n");
+               "                [--listen PORT] [--bind ADDR]\n"
+               "                [--max-conns N] [--idle-timeout-ms MS]\n");
   std::exit(2);
 }
 
@@ -120,6 +125,8 @@ int main(int argc, char **argv) {
   bool Chaos = false;
   long ListenPort = -1; ///< -1 = off, 0 = ephemeral
   std::string BindAddr = "127.0.0.1";
+  unsigned MaxConns = 0;
+  uint64_t IdleTimeoutMs = 0;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     auto next = [&]() -> const char * {
@@ -160,6 +167,10 @@ int main(int argc, char **argv) {
       ListenPort = static_cast<long>(parseNum(next()));
     else if (A == "--bind")
       BindAddr = next();
+    else if (A == "--max-conns")
+      MaxConns = static_cast<unsigned>(parseNum(next()));
+    else if (A == "--idle-timeout-ms")
+      IdleTimeoutMs = parseNum(next());
     else
       usage(("unknown option " + A).c_str());
   }
@@ -275,6 +286,8 @@ int main(int argc, char **argv) {
     net::WireOptions WO;
     WO.BindAddr = BindAddr;
     WO.Port = static_cast<uint16_t>(ListenPort);
+    WO.MaxConns = MaxConns;
+    WO.IdleTimeoutMs = IdleTimeoutMs;
     net::WireServer WS(S, WO);
     std::string Err;
     if (!WS.start(&Err)) {
