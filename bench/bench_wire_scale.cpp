@@ -1,22 +1,30 @@
-//===- bench_wire_scale.cpp - Reactor scalability under 1000 conns --------===//
+//===- bench_wire_scale.cpp - Sharded reactor scaling under 1000 conns ----===//
 //
-// The tentpole claim of the reactor front-end (docs/WIRE.md): one epoll
-// loop serves thousands of concurrent connections with a FIXED thread
-// count — acceptor + reactor + pool workers — where the old
-// thread-per-connection design would have needed two threads per
-// socket. This driver forks client processes BEFORE the server spawns
-// any threads (fork and threads do not mix), has each child hold a
-// slice of the connection load with blocking FabClients, and then:
+// The two tentpole claims of the wire front-end (docs/WIRE.md):
 //
-//   1. verifies the server really holds all 1000 connections live,
-//   2. reads /proc/self/status to prove the thread count did not move
-//      between zero connections and one thousand,
-//   3. lets every child drive a pipelined dotloop stream over all of
-//      its connections at once and aggregates the request rate.
+//   1. FIXED thread count — acceptor + N reactors + pool workers — no
+//      matter how many thousands of clients connect (the PR 8 claim,
+//      now per shard count: adding a shard adds exactly ONE thread).
+//   2. Near-linear aggregate req/s as shards multiply: the same 1000
+//      connections and pipelined workload swept over 1, 2, and 4
+//      reactor shards, reporting the 4-vs-1 scaling factor.
 //
-// Idle timeouts stay armed throughout (1000 entries in the timer
-// wheel) to show busy connections are never reaped at scale. Numbers
-// are host wall-clock; always writes BENCH_wire_scale.json.
+// This driver forks client processes BEFORE the server spawns any
+// threads (fork and threads do not mix); each child holds a slice of
+// the connection load with blocking FabClients and reruns the same
+// pipelined dotloop stream once per phase. The parent brings up a
+// FRESH SpecServer + WireServer per shard count, so phases are
+// independent measurements on one warmed host.
+//
+// Per phase it verifies all 1000 connections are live, the thread count
+// (read from /proc/self/status) does not move between zero and one
+// thousand connections, and no busy connection is ever idle-reaped.
+// The >= 2.5x four-shard scaling assertion only arms on hosts with at
+// least 4 cores — on smaller machines the curve is still measured and
+// written to BENCH_wire_scale.json, but one core cannot demonstrate
+// parallel speedup. Numbers are host wall-clock.
+//
+// Usage: bench_wire_scale [--shards N]   (N alone instead of the sweep)
 //
 //===----------------------------------------------------------------------===//
 
@@ -59,11 +67,23 @@ constexpr int Window = 2;
 constexpr int Rounds = 16;
 constexpr unsigned PoolWorkers = 4;
 
-/// What each child reports back up its pipe.
+/// What each child reports back up its pipe, once per phase.
 struct ChildResult {
   uint64_t Ok = 0;
   uint64_t Refused = 0; // typed Rejected/CircuitOpen replies
   double Secs = 0.0;
+};
+
+/// One shard count's measurement.
+struct PhaseResult {
+  unsigned Shards = 0;
+  double Rps = 0.0;
+  double WallSecs = 0.0;
+  uint64_t Ok = 0, Refused = 0;
+  unsigned Live = 0, LiveAfter = 0;
+  int ThreadsBase = 0, ThreadsLoaded = 0, ThreadsAfter = 0;
+  uint64_t IdleClosed = 0;
+  bool ReusePort = false;
 };
 
 bool readAll(int Fd, void *Buf, size_t Len) {
@@ -105,36 +125,12 @@ int threadCount() {
   return -1;
 }
 
-/// Child body: connect ConnsPerChild blocking clients, signal readiness,
-/// wait for go, then keep a Window-deep pipeline on every connection at
-/// once for Rounds rounds. Exits nonzero on any transport failure.
+/// Child body: loop over phases — read a port (0 = all done), connect
+/// ConnsPerChild blocking clients, signal readiness, wait for go, keep
+/// a Window-deep pipeline on every connection for Rounds rounds, report,
+/// hold until 'F', drop the connections, repeat. Exits nonzero on any
+/// transport failure.
 int childMain(int CtlRd, int ResWr, int Index) {
-  uint16_t Port = 0;
-  if (!readAll(CtlRd, &Port, sizeof(Port)))
-    return 10;
-
-  std::vector<FabClient> Clients(ConnsPerChild);
-  for (auto &Cl : Clients) {
-    bool Up = false;
-    // The accept queue takes a beating when eight processes dial 125
-    // sockets each at once; a few paced retries absorb transient
-    // refusals without hiding real failures.
-    for (int Try = 0; Try < 50 && !Up; ++Try) {
-      Up = Cl.connect("127.0.0.1", Port);
-      if (!Up)
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    }
-    if (!Up)
-      return 11;
-  }
-
-  char Ready = 'R';
-  if (!writeAll(ResWr, &Ready, 1))
-    return 12;
-  char Go = 0;
-  if (!readAll(CtlRd, &Go, 1) || Go != 'G')
-    return 13;
-
   // Per-child early rows give the pool 64 distinct cache keys across the
   // fleet, spreading the key-routed queues over every worker.
   Rng R(1000 + static_cast<uint64_t>(Index));
@@ -152,224 +148,335 @@ int childMain(int CtlRd, int ResWr, int Index) {
     Col[J] = static_cast<int32_t>(R.next() % 50) - 10;
   std::vector<Value> Late = {Value::ofVec(Col), Value::ofInt(0)};
 
-  ChildResult Res;
-  std::vector<std::vector<uint64_t>> Tags(Clients.size());
-  auto T0 = Clock::now();
-  for (int Round = 0; Round < Rounds; ++Round) {
-    for (size_t CI = 0; CI < Clients.size(); ++CI) {
-      Tags[CI].clear();
-      for (int W = 0; W < Window; ++W) {
-        uint64_t T = Clients[CI].submit(
-            "dotloop", Earlies[(CI + static_cast<size_t>(W)) % Earlies.size()],
-            Late);
-        if (!T)
-          return 14;
-        Tags[CI].push_back(T);
+  for (;;) {
+    uint16_t Port = 0;
+    if (!readAll(CtlRd, &Port, sizeof(Port)))
+      return 10;
+    if (Port == 0)
+      return 0; // sweep complete
+
+    std::vector<FabClient> Clients(ConnsPerChild);
+    for (auto &Cl : Clients) {
+      bool Up = false;
+      // The accept queue takes a beating when eight processes dial 125
+      // sockets each at once; a few paced retries absorb transient
+      // refusals without hiding real failures.
+      for (int Try = 0; Try < 50 && !Up; ++Try) {
+        Up = Cl.connect("127.0.0.1", Port);
+        if (!Up)
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      if (!Up)
+        return 11;
+    }
+
+    char Ready = 'R';
+    if (!writeAll(ResWr, &Ready, 1))
+      return 12;
+    char Go = 0;
+    if (!readAll(CtlRd, &Go, 1) || Go != 'G')
+      return 13;
+
+    ChildResult Res;
+    std::vector<std::vector<uint64_t>> Tags(Clients.size());
+    auto T0 = Clock::now();
+    for (int Round = 0; Round < Rounds; ++Round) {
+      for (size_t CI = 0; CI < Clients.size(); ++CI) {
+        Tags[CI].clear();
+        for (int W = 0; W < Window; ++W) {
+          uint64_t T = Clients[CI].submit(
+              "dotloop",
+              Earlies[(CI + static_cast<size_t>(W)) % Earlies.size()], Late);
+          if (!T)
+            return 14;
+          Tags[CI].push_back(T);
+        }
+      }
+      for (size_t CI = 0; CI < Clients.size(); ++CI) {
+        for (uint64_t T : Tags[CI]) {
+          WireReply Reply = Clients[CI].wait(T);
+          if (Reply.Ok)
+            ++Res.Ok;
+          else if (Reply.ErrCode == wireCode(FabErrc::Rejected) ||
+                   Reply.ErrCode == wireCode(FabErrc::CircuitOpen))
+            ++Res.Refused;
+          else
+            return 15;
+        }
       }
     }
-    for (size_t CI = 0; CI < Clients.size(); ++CI) {
-      for (uint64_t T : Tags[CI]) {
-        WireReply Reply = Clients[CI].wait(T);
-        if (Reply.Ok)
-          ++Res.Ok;
-        else if (Reply.ErrCode == wireCode(FabErrc::Rejected) ||
-                 Reply.ErrCode == wireCode(FabErrc::CircuitOpen))
-          ++Res.Refused;
-        else
-          return 15;
-      }
+    Res.Secs = std::chrono::duration<double>(Clock::now() - T0).count();
+
+    if (!writeAll(ResWr, &Res, sizeof(Res)))
+      return 16;
+    // Hold the connections until the parent has sampled liveConnections()
+    // one last time, then drop them for the next phase.
+    char Fin = 0;
+    if (!readAll(CtlRd, &Fin, 1) || Fin != 'F')
+      return 17;
+    for (auto &Cl : Clients)
+      Cl.close();
+  }
+}
+
+struct Pipes {
+  int Ctl[NumChildren][2], Resp[NumChildren][2];
+  pid_t Pids[NumChildren];
+};
+
+/// Runs one full phase against an already-started server. False on any
+/// child or pipe failure.
+bool runPhase(Pipes &P, WireServer &Wire, PhaseResult &Out) {
+  Out.ThreadsBase = threadCount();
+  Out.ReusePort = Wire.usingReusePort();
+  uint16_t Port = Wire.port();
+  for (int I = 0; I < NumChildren; ++I)
+    if (!writeAll(P.Ctl[I][1], &Port, sizeof(Port)))
+      return false;
+  for (int I = 0; I < NumChildren; ++I) {
+    char Ready = 0;
+    if (!readAll(P.Resp[I][0], &Ready, 1) || Ready != 'R') {
+      std::fprintf(stderr, "bench_wire_scale: child %d failed to connect\n", I);
+      return false;
     }
   }
-  Res.Secs = std::chrono::duration<double>(Clock::now() - T0).count();
 
-  if (!writeAll(ResWr, &Res, sizeof(Res)))
-    return 16;
-  // Hold the connections until the parent has sampled liveConnections()
-  // one last time, then exit cleanly.
-  char Fin = 0;
-  if (!readAll(CtlRd, &Fin, 1) || Fin != 'F')
-    return 17;
-  for (auto &Cl : Clients)
-    Cl.close();
-  return 0;
+  Out.Live = Wire.liveConnections();
+  Out.ThreadsLoaded = threadCount();
+
+  auto TRun0 = Clock::now();
+  for (int I = 0; I < NumChildren; ++I) {
+    char Go = 'G';
+    if (!writeAll(P.Ctl[I][1], &Go, 1))
+      return false;
+  }
+  ChildResult Results[NumChildren];
+  for (int I = 0; I < NumChildren; ++I)
+    if (!readAll(P.Resp[I][0], &Results[I], sizeof(Results[I]))) {
+      std::fprintf(stderr, "bench_wire_scale: child %d died mid-run\n", I);
+      return false;
+    }
+  Out.WallSecs = std::chrono::duration<double>(Clock::now() - TRun0).count();
+
+  // Children still hold every connection: sample once more after the
+  // full workload to show nothing was reaped or dropped under load.
+  Out.LiveAfter = Wire.liveConnections();
+  Out.ThreadsAfter = threadCount();
+  for (int I = 0; I < NumChildren; ++I) {
+    char Fin = 'F';
+    if (!writeAll(P.Ctl[I][1], &Fin, 1))
+      return false;
+  }
+  for (const ChildResult &R : Results) {
+    Out.Ok += R.Ok;
+    Out.Refused += R.Refused;
+  }
+  Out.Rps = Out.WallSecs > 0 ? static_cast<double>(Out.Ok) / Out.WallSecs : 0.0;
+  Out.IdleClosed = Wire.telemetry().Reactor.IdleClosed;
+  return true;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   // Pipe/socket teardown races are reported as read/write failures, not
   // process death (children inherit this across fork).
   ::signal(SIGPIPE, SIG_IGN);
 
+  std::vector<unsigned> Sweep = {1, 2, 4};
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--shards") == 0 && I + 1 < argc) {
+      Sweep = {static_cast<unsigned>(std::atoi(argv[++I]))};
+      if (!Sweep[0]) {
+        std::fprintf(stderr, "bench_wire_scale: bad --shards value\n");
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "usage: bench_wire_scale [--shards N]\n");
+      return 1;
+    }
+  }
+
   // Fork the whole client fleet before anything in this process starts a
-  // thread; each child gets a control pipe (port, go, finish) and a
-  // result pipe back.
-  int Ctl[NumChildren][2], Resp[NumChildren][2];
-  pid_t Pids[NumChildren];
+  // thread; each child gets a control pipe (port per phase, go, finish)
+  // and a result pipe back, and reruns the workload once per phase.
+  Pipes P;
   std::fflush(stdout);
   for (int I = 0; I < NumChildren; ++I) {
-    if (::pipe(Ctl[I]) != 0 || ::pipe(Resp[I]) != 0) {
+    if (::pipe(P.Ctl[I]) != 0 || ::pipe(P.Resp[I]) != 0) {
       std::fprintf(stderr, "bench_wire_scale: pipe failed\n");
       return 1;
     }
-    Pids[I] = ::fork();
-    if (Pids[I] < 0) {
+    P.Pids[I] = ::fork();
+    if (P.Pids[I] < 0) {
       std::fprintf(stderr, "bench_wire_scale: fork failed\n");
       return 1;
     }
-    if (Pids[I] == 0) {
+    if (P.Pids[I] == 0) {
       // Close the parent-side ends this child inherited. The child-side
       // ends of EARLIER children's pipes were closed by the parent
       // before this fork, so those fd numbers are stale (and by now
       // reused for this child's own pipes) — touching them would close
       // the wrong fd.
       for (int J = 0; J <= I; ++J) {
-        ::close(Ctl[J][1]);
-        ::close(Resp[J][0]);
+        ::close(P.Ctl[J][1]);
+        ::close(P.Resp[J][0]);
       }
-      ::_exit(childMain(Ctl[I][0], Resp[I][1], I));
+      ::_exit(childMain(P.Ctl[I][0], P.Resp[I][1], I));
     }
-    ::close(Ctl[I][0]);
-    ::close(Resp[I][1]);
+    ::close(P.Ctl[I][0]);
+    ::close(P.Resp[I][1]);
   }
 
-  // Only now is it safe to bring up the threaded server.
+  // Only now is it safe to bring up threaded servers. One fresh
+  // SpecServer + WireServer per shard count keeps phases independent.
   Compilation C = compileOrDie(workloads::MatmulSrc, FabiusOptions::deferred());
-  ServerOptions SO;
-  SO.Pool.Workers = PoolWorkers;
-  SpecServer Server(C, SO);
+  unsigned HostCores = std::thread::hardware_concurrency();
 
-  WireOptions WO;
-  WO.Backlog = 512;
-  WO.MaxConns = TotalConns + 100; // admission armed but never binding
-  WO.IdleTimeoutMs = 10000;       // 1000 armed timers, none may fire
-  WireServer Wire(Server, WO);
-  std::string Err;
-  if (!Wire.start(&Err)) {
-    std::fprintf(stderr, "bench_wire_scale: %s\n", Err.c_str());
-    return 1;
+  std::vector<PhaseResult> Phases;
+  bool PhasesOk = true;
+  for (unsigned Shards : Sweep) {
+    ServerOptions SO;
+    SO.Pool.Workers = PoolWorkers;
+    SpecServer Server(C, SO);
+
+    WireOptions WO;
+    WO.Backlog = 512;
+    WO.MaxConns = TotalConns + 100; // admission armed but never binding
+    WO.IdleTimeoutMs = 10000;       // 1000 armed timers, none may fire
+    WO.Shards = Shards;
+    WireServer Wire(Server, WO);
+    std::string Err;
+    if (!Wire.start(&Err)) {
+      std::fprintf(stderr, "bench_wire_scale: %s\n", Err.c_str());
+      PhasesOk = false;
+      break;
+    }
+
+    PhaseResult R;
+    R.Shards = Shards;
+    if (!runPhase(P, Wire, R)) {
+      PhasesOk = false;
+      Wire.stop();
+      Server.shutdown();
+      break;
+    }
+    Wire.stop();
+    Server.shutdown();
+    Phases.push_back(R);
   }
 
-  int ThreadsBase = threadCount();
-  uint16_t Port = Wire.port();
+  // Release the fleet: port 0 means the sweep is over.
+  uint16_t Done = 0;
   for (int I = 0; I < NumChildren; ++I)
-    if (!writeAll(Ctl[I][1], &Port, sizeof(Port))) {
-      std::fprintf(stderr, "bench_wire_scale: child %d control pipe died\n", I);
-      return 1;
-    }
-
-  for (int I = 0; I < NumChildren; ++I) {
-    char Ready = 0;
-    if (!readAll(Resp[I][0], &Ready, 1) || Ready != 'R') {
-      std::fprintf(stderr, "bench_wire_scale: child %d failed to connect\n", I);
-      return 1;
-    }
-  }
-
-  unsigned Live = Wire.liveConnections();
-  int ThreadsLoaded = threadCount();
-
-  auto TRun0 = Clock::now();
-  for (int I = 0; I < NumChildren; ++I) {
-    char Go = 'G';
-    if (!writeAll(Ctl[I][1], &Go, 1))
-      return 1;
-  }
-
-  ChildResult Results[NumChildren];
-  for (int I = 0; I < NumChildren; ++I)
-    if (!readAll(Resp[I][0], &Results[I], sizeof(Results[I]))) {
-      std::fprintf(stderr, "bench_wire_scale: child %d died mid-run\n", I);
-      return 1;
-    }
-  double WallSecs = std::chrono::duration<double>(Clock::now() - TRun0).count();
-
-  // Children still hold every connection: sample once more after the
-  // full workload to show nothing was reaped or dropped under load.
-  unsigned LiveAfter = Wire.liveConnections();
-  int ThreadsAfter = threadCount();
-
-  for (int I = 0; I < NumChildren; ++I) {
-    char Fin = 'F';
-    writeAll(Ctl[I][1], &Fin, 1);
-  }
+    writeAll(P.Ctl[I][1], &Done, sizeof(Done));
   bool ChildrenOk = true;
   for (int I = 0; I < NumChildren; ++I) {
     int St = 0;
-    ::waitpid(Pids[I], &St, 0);
+    ::waitpid(P.Pids[I], &St, 0);
     if (!WIFEXITED(St) || WEXITSTATUS(St) != 0) {
       std::fprintf(stderr, "bench_wire_scale: child %d exit status %d\n", I,
                    WIFEXITED(St) ? WEXITSTATUS(St) : -1);
       ChildrenOk = false;
     }
   }
-
-  uint64_t Ok = 0, Refused = 0;
-  double SlowestChild = 0.0;
-  for (const ChildResult &R : Results) {
-    Ok += R.Ok;
-    Refused += R.Refused;
-    SlowestChild = std::max(SlowestChild, R.Secs);
-  }
-  double Rps = WallSecs > 0 ? static_cast<double>(Ok) / WallSecs : 0.0;
-
-  TelemetrySnapshot T = Wire.telemetry();
-  Wire.stop();
-  Server.shutdown();
+  if (!PhasesOk || Phases.empty())
+    return 1;
 
   std::printf("bench_wire_scale: %d connections (%d children x %d), "
-              "window %d, %d rounds, %u workers\n\n",
+              "window %d, %d rounds, %u workers, %u host cores\n\n",
               TotalConns, NumChildren, ConnsPerChild, Window, Rounds,
-              PoolWorkers);
-  std::printf("  live connections         : %8u / %d  (after run: %u)\n", Live,
-              TotalConns, LiveAfter);
-  std::printf("  server threads           : %8d before conns, %d at %d conns, "
-              "%d after run\n",
-              ThreadsBase, ThreadsLoaded, TotalConns, ThreadsAfter);
-  std::printf("  requests served          : %8llu  (refused: %llu)\n",
-              static_cast<unsigned long long>(Ok),
-              static_cast<unsigned long long>(Refused));
-  std::printf("  aggregate throughput     : %8.0f req/s over %.2f s\n", Rps,
-              WallSecs);
-  std::printf("  reactor                  : %s, %llu wakeups, %llu events, "
-              "%llu idle-closed\n",
-              Wire.reactorUsingEpoll() ? "epoll" : "poll",
-              static_cast<unsigned long long>(T.Reactor.Wakeups),
-              static_cast<unsigned long long>(T.Reactor.EventsDispatched),
-              static_cast<unsigned long long>(T.Reactor.IdleClosed));
+              PoolWorkers, HostCores);
+  for (const PhaseResult &R : Phases) {
+    std::printf("  shards=%u (%s accept)\n", R.Shards,
+                R.ReusePort ? "SO_REUSEPORT" : "handoff");
+    std::printf("    live connections       : %8u / %d  (after run: %u)\n",
+                R.Live, TotalConns, R.LiveAfter);
+    std::printf("    server threads         : %8d before conns, %d at %d "
+                "conns, %d after run\n",
+                R.ThreadsBase, R.ThreadsLoaded, TotalConns, R.ThreadsAfter);
+    std::printf("    requests served        : %8llu  (refused: %llu)\n",
+                static_cast<unsigned long long>(R.Ok),
+                static_cast<unsigned long long>(R.Refused));
+    std::printf("    aggregate throughput   : %8.0f req/s over %.2f s\n\n",
+                R.Rps, R.WallSecs);
+  }
 
-  reportMetric("connections", Live, "conns");
-  reportMetric("threads_before_conns", ThreadsBase, "threads");
-  reportMetric("threads_at_full_load", ThreadsLoaded, "threads");
-  reportMetric("requests_ok", static_cast<double>(Ok), "reqs");
-  reportMetric("requests_refused", static_cast<double>(Refused), "reqs");
-  reportMetric("aggregate_rps", Rps, "req/s");
-  reportMetric("slowest_child_s", SlowestChild, "s");
-  reportMetric("idle_closed", static_cast<double>(T.Reactor.IdleClosed),
-               "conns");
+  const PhaseResult &Last = Phases.back();
+  reportMetric("connections", Last.Live, "conns");
+  reportMetric("host_cores", HostCores, "cores");
+  reportMetric("requests_ok", static_cast<double>(Last.Ok), "reqs");
+  reportMetric("requests_refused", static_cast<double>(Last.Refused), "reqs");
+  reportMetric("aggregate_rps", Last.Rps, "req/s");
+  reportMetric("threads_before_conns", Last.ThreadsBase, "threads");
+  reportMetric("threads_at_full_load", Last.ThreadsLoaded, "threads");
+  reportMetric("idle_closed", static_cast<double>(Last.IdleClosed), "conns");
+
+  // The per-shard scaling curve (the point of the sweep).
+  const PhaseResult *One = nullptr, *Four = nullptr;
+  for (const PhaseResult &R : Phases) {
+    std::string Key = "aggregate_rps_" + std::to_string(R.Shards) + "shard";
+    reportMetric(Key, R.Rps, "req/s");
+    if (R.Shards == 1)
+      One = &R;
+    if (R.Shards == 4)
+      Four = &R;
+  }
+  double Scaling4v1 = 0.0;
+  if (One && Four && One->Rps > 0) {
+    Scaling4v1 = Four->Rps / One->Rps;
+    reportMetric("scaling_factor_4v1", Scaling4v1, "x");
+    reportMetric("scaling_efficiency", Scaling4v1 / 4.0, "");
+    std::printf("  4-shard vs 1-shard       : %8.2fx  (efficiency %.0f%%)\n",
+                Scaling4v1, 100.0 * Scaling4v1 / 4.0);
+  }
   writeBenchJson("wire_scale");
 
-  // The tentpole acceptance: every connection live at once, and the
-  // thread count pinned at main + acceptor + reactor + workers no
-  // matter how many sockets are open.
+  // Acceptance, per phase: every connection live at once, the thread
+  // count pinned at main + acceptor + N reactors + workers no matter
+  // how many sockets are open, and no busy connection ever reaped.
   if (!ChildrenOk)
     return 1;
-  if (Live < static_cast<unsigned>(TotalConns) ||
-      LiveAfter < static_cast<unsigned>(TotalConns)) {
-    std::fprintf(stderr, "bench_wire_scale: expected %d live connections\n",
-                 TotalConns);
-    return 1;
+  for (const PhaseResult &R : Phases) {
+    if (R.Live < static_cast<unsigned>(TotalConns) ||
+        R.LiveAfter < static_cast<unsigned>(TotalConns)) {
+      std::fprintf(stderr,
+                   "bench_wire_scale: shards=%u expected %d live conns\n",
+                   R.Shards, TotalConns);
+      return 1;
+    }
+    if (R.ThreadsLoaded != R.ThreadsBase || R.ThreadsAfter != R.ThreadsBase) {
+      std::fprintf(stderr,
+                   "bench_wire_scale: shards=%u thread count moved with "
+                   "connection count (%d -> %d -> %d)\n",
+                   R.Shards, R.ThreadsBase, R.ThreadsLoaded, R.ThreadsAfter);
+      return 1;
+    }
+    if (R.IdleClosed != 0) {
+      std::fprintf(stderr,
+                   "bench_wire_scale: idle reaper closed busy connections\n");
+      return 1;
+    }
   }
-  if (ThreadsLoaded != ThreadsBase || ThreadsAfter != ThreadsBase) {
-    std::fprintf(stderr,
-                 "bench_wire_scale: thread count moved with connection "
-                 "count (%d -> %d -> %d)\n",
-                 ThreadsBase, ThreadsLoaded, ThreadsAfter);
-    return 1;
+  // Each extra shard costs exactly one extra pinned thread.
+  for (size_t I = 1; I < Phases.size(); ++I) {
+    int Delta = Phases[I].ThreadsBase - Phases[0].ThreadsBase;
+    int Want = static_cast<int>(Phases[I].Shards) -
+               static_cast<int>(Phases[0].Shards);
+    if (Delta != Want) {
+      std::fprintf(stderr,
+                   "bench_wire_scale: shards=%u should add %d threads over "
+                   "shards=%u, measured %d\n",
+                   Phases[I].Shards, Want, Phases[0].Shards, Delta);
+      return 1;
+    }
   }
-  if (T.Reactor.IdleClosed != 0) {
+  // The scaling proof itself — only meaningful with cores to scale onto.
+  if (One && Four && HostCores >= 4 && Scaling4v1 < 2.5) {
     std::fprintf(stderr,
-                 "bench_wire_scale: idle reaper closed busy connections\n");
+                 "bench_wire_scale: 4-shard aggregate only %.2fx the 1-shard "
+                 "rate on a %u-core host (want >= 2.5x)\n",
+                 Scaling4v1, HostCores);
     return 1;
   }
   return 0;

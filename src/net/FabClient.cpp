@@ -6,6 +6,8 @@
 
 #include "net/FabClient.h"
 
+#include <thread>
+
 using namespace fab;
 using namespace fab::net;
 
@@ -206,6 +208,141 @@ bool FabClient::ping() {
   if (!Tag)
     return false;
   return wait(Tag).Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// FabClientPool
+//===----------------------------------------------------------------------===//
+
+unsigned FabClientPool::autoConns() {
+  unsigned H = std::thread::hardware_concurrency();
+  if (H <= 2)
+    return 1;
+  return std::min(4u, H / 2);
+}
+
+FabClientPool::FabClientPool(unsigned Conns)
+    : Slots(Conns ? Conns : autoConns()) {}
+
+bool FabClientPool::connect(const std::string &H, uint16_t P,
+                            std::string *Err) {
+  Host = H;
+  Port = P;
+  bool AllUp = true;
+  for (FabClient &C : Slots) {
+    if (C.connected())
+      continue;
+    std::string E;
+    if (!C.connect(Host, Port, &E)) {
+      AllUp = false;
+      if (Err && Err->empty())
+        *Err = E;
+    }
+  }
+  return AllUp;
+}
+
+unsigned FabClientPool::connectedCount() const {
+  unsigned N = 0;
+  for (const FabClient &C : Slots)
+    if (C.connected())
+      ++N;
+  return N;
+}
+
+void FabClientPool::close() {
+  for (FabClient &C : Slots)
+    C.close();
+}
+
+unsigned FabClientPool::pick() {
+  const unsigned K = size();
+  for (unsigned Tried = 0; Tried < K; ++Tried) {
+    unsigned I = Next;
+    Next = (Next + 1) % K;
+    if (Slots[I].connected())
+      return I;
+    // Lazy redial: a slot that died (or was never dialed) comes back
+    // the next time the rotation lands on it and the server is there.
+    if (!Host.empty() && Slots[I].connect(Host, Port))
+      return I;
+  }
+  return K;
+}
+
+uint64_t FabClientPool::submit(const std::string &Fn,
+                               const std::vector<service::Value> &Early,
+                               const std::vector<service::Value> &Late,
+                               uint64_t DeadlineNs, uint32_t MaxRetries) {
+  unsigned I = pick();
+  if (I >= size())
+    return 0;
+  uint64_t Tag = Slots[I].submit(Fn, Early, Late, DeadlineNs, MaxRetries);
+  return Tag ? Tag * size() + I : 0;
+}
+
+uint64_t FabClientPool::submitCall(const std::string &Fn,
+                                   const std::vector<service::Value> &Early,
+                                   const std::vector<service::Value> &Late) {
+  unsigned I = pick();
+  if (I >= size())
+    return 0;
+  uint64_t Tag = Slots[I].submitCall(Fn, Early, Late);
+  return Tag ? Tag * size() + I : 0;
+}
+
+uint64_t FabClientPool::submitInvalidate(const std::string &Fn) {
+  unsigned I = pick();
+  if (I >= size())
+    return 0;
+  uint64_t Tag = Slots[I].submitInvalidate(Fn);
+  return Tag ? Tag * size() + I : 0;
+}
+
+WireReply FabClientPool::wait(uint64_t PoolTag) {
+  if (PoolTag == 0) {
+    WireReply R;
+    R.Message = "connection lost before the reply arrived";
+    return R;
+  }
+  return Slots[PoolTag % size()].wait(PoolTag / size());
+}
+
+WireReply FabClientPool::call(const std::string &Fn,
+                              const std::vector<service::Value> &Early,
+                              const std::vector<service::Value> &Late,
+                              uint64_t DeadlineNs, uint32_t MaxRetries) {
+  return wait(submit(Fn, Early, Late, DeadlineNs, MaxRetries));
+}
+
+WireReply FabClientPool::invalidate(const std::string &Fn) {
+  return wait(submitInvalidate(Fn));
+}
+
+bool FabClientPool::ping() {
+  bool Any = false;
+  for (FabClient &C : Slots) {
+    if (!C.connected())
+      continue;
+    Any = true;
+    if (!C.ping())
+      return false;
+  }
+  return Any;
+}
+
+bool FabClientPool::stats(StatsPairs &Out) {
+  for (FabClient &C : Slots)
+    if (C.connected())
+      return C.stats(Out);
+  return false;
+}
+
+uint64_t FabClientPool::repliesReceived() const {
+  uint64_t N = 0;
+  for (const FabClient &C : Slots)
+    N += C.repliesReceived();
+  return N;
 }
 
 bool FabClient::stats(StatsPairs &Out) {

@@ -103,6 +103,88 @@ private:
                                           ///< for a different tag
 };
 
+/// A fleet of K pipelined connections behind one blocking handle. On a
+/// sharded server (docs/WIRE.md "Sharding") each connection lands on
+/// its own shard — kernel-hashed under SO_REUSEPORT, round-robin in
+/// handoff mode — so one caller can exercise several event loops at
+/// once instead of serializing through a single connection.
+///
+/// Submissions round-robin across connected slots and return a *pool
+/// tag* that encodes the owning slot: PoolTag = ClientTag * K + Slot.
+/// Decode is exact (Slot = PoolTag % K, ClientTag = PoolTag / K) and
+/// the failure sentinel survives: per-connection tags start at 1, so
+/// every real pool tag is >= K > 0 and 0 still means "the write
+/// failed". wait() routes to the encoded slot, so the issue-many /
+/// wait-any-order pipelining contract is unchanged.
+///
+/// Dead slots are redialed lazily at the next submit that lands on
+/// them; connect() is idempotent and only dials slots that are down.
+/// Like FabClient, a pool is NOT thread-safe — share nothing, or give
+/// each thread its own pool.
+class FabClientPool {
+public:
+  /// \p Conns == 0 = auto: derived from hardware_concurrency (see
+  /// autoConns()).
+  explicit FabClientPool(unsigned Conns = 0);
+
+  /// The Conns == 0 policy: half the hardware threads, clamped to
+  /// [1, 4] — enough to spread across a sharded server without turning
+  /// one caller into a connection flood.
+  static unsigned autoConns();
+
+  /// Dials every slot that is not currently connected (idempotent).
+  /// True when ALL slots are up; \p Err carries the first failure.
+  bool connect(const std::string &Host, uint16_t Port,
+               std::string *Err = nullptr);
+
+  unsigned size() const { return static_cast<unsigned>(Slots.size()); }
+  unsigned connectedCount() const;
+  bool connected() const { return connectedCount() == size(); }
+  void close();
+
+  /// Pipelined submission on the next slot (round-robin, skipping —
+  /// and lazily redialing — dead slots). Returns the pool tag, 0 on
+  /// failure.
+  uint64_t submit(const std::string &Fn,
+                  const std::vector<service::Value> &Early,
+                  const std::vector<service::Value> &Late,
+                  uint64_t DeadlineNs = 0, uint32_t MaxRetries = 0);
+  uint64_t submitCall(const std::string &Fn,
+                      const std::vector<service::Value> &Early,
+                      const std::vector<service::Value> &Late);
+  uint64_t submitInvalidate(const std::string &Fn);
+
+  /// Blocks on the slot encoded in \p PoolTag until its reply arrives.
+  WireReply wait(uint64_t PoolTag);
+
+  WireReply call(const std::string &Fn,
+                 const std::vector<service::Value> &Early,
+                 const std::vector<service::Value> &Late,
+                 uint64_t DeadlineNs = 0, uint32_t MaxRetries = 0);
+  WireReply invalidate(const std::string &Fn);
+
+  /// Pings every connected slot; false when none is up or any ping
+  /// fails.
+  bool ping();
+
+  /// Fetches counters over one connected slot (the server's stats are
+  /// global, any slot sees the same totals).
+  bool stats(StatsPairs &Out);
+
+  /// Sum of frames received across all slots.
+  uint64_t repliesReceived() const;
+
+private:
+  /// Next usable slot index (round-robin with lazy redial); size() when
+  /// nothing is connectable.
+  unsigned pick();
+
+  std::vector<FabClient> Slots;
+  std::string Host;
+  uint16_t Port = 0;
+  unsigned Next = 0;
+};
+
 } // namespace net
 } // namespace fab
 

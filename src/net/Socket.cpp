@@ -198,7 +198,7 @@ void Socket::close() {
 }
 
 bool Listener::listen(const std::string &BindAddr, uint16_t Port, int Backlog,
-                      std::string *Err) {
+                      std::string *Err, bool ReusePort) {
   close();
   sockaddr_in SA;
   if (!parseAddr(BindAddr, Port, SA)) {
@@ -213,6 +213,22 @@ bool Listener::listen(const std::string &BindAddr, uint16_t Port, int Backlog,
   }
   int One = 1;
   ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (ReusePort) {
+    // Must be set before bind on EVERY listener sharing the address;
+    // the kernel then hashes incoming connections across them.
+#ifdef SO_REUSEPORT
+    if (::setsockopt(Fd, SOL_SOCKET, SO_REUSEPORT, &One, sizeof(One)) < 0) {
+      fillErr(Err, "setsockopt(SO_REUSEPORT)");
+      close();
+      return false;
+    }
+#else
+    if (Err)
+      *Err = "SO_REUSEPORT not supported on this platform";
+    close();
+    return false;
+#endif
+  }
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
     fillErr(Err, "bind");
     close();

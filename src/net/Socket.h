@@ -107,8 +107,12 @@ public:
 
   /// Binds and listens. \p Port 0 picks an ephemeral port; port()
   /// reports the one actually bound. False + \p Err on failure.
+  /// \p ReusePort sets SO_REUSEPORT before bind so several listeners
+  /// (one per reactor shard, docs/WIRE.md "Sharding") can share one
+  /// address and let the kernel hash connections across them; false +
+  /// \p Err when the platform lacks the option.
   bool listen(const std::string &BindAddr, uint16_t Port, int Backlog,
-              std::string *Err = nullptr);
+              std::string *Err = nullptr, bool ReusePort = false);
 
   /// Waits up to \p TimeoutMs for a connection. Returns an invalid
   /// socket on timeout or listener close; \p *TimedOut distinguishes
@@ -117,6 +121,9 @@ public:
 
   bool valid() const { return Fd >= 0; }
   uint16_t port() const { return BoundPort; }
+  /// The listening fd, for callers polling several listeners at once
+  /// (the sharded acceptor). Ownership stays with the Listener.
+  int fd() const { return Fd; }
   void close();
 
 private:

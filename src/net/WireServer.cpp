@@ -1,4 +1,4 @@
-//===- WireServer.cpp - reactor-driven TCP front-end over SpecServer ------===//
+//===- WireServer.cpp - sharded reactor TCP front-end over SpecServer -----===//
 //
 // Part of the FABIUS reproduction of Lee & Leone, PLDI 1996.
 //
@@ -10,7 +10,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <poll.h>
 
 using namespace fab;
 using namespace fab::net;
@@ -19,7 +21,7 @@ using fab::telemetry::EventKind;
 namespace {
 
 /// The per-read scratch size. One recv() of this many bytes can carry
-/// hundreds of pipelined small frames — exactly the batches the reactor
+/// hundreds of pipelined small frames — exactly the batches a reactor
 /// drains in one pass so they land together in the worker queues.
 constexpr size_t ReadChunk = 64 * 1024;
 
@@ -39,28 +41,88 @@ uint64_t steadyMs() {
           .count());
 }
 
+bool reusePortVetoed() {
+  const char *Env = std::getenv("FAB_REUSEPORT");
+  return Env && std::strcmp(Env, "0") == 0;
+}
+
 } // namespace
 
+unsigned fab::net::autoShards() {
+  unsigned H = std::thread::hardware_concurrency();
+  if (H <= 2)
+    return 1;
+  return std::min(8u, H / 2);
+}
+
 WireServer::WireServer(service::SpecServer &S, const WireOptions &O)
-    : Server(S), Opts(O), Rx(O.ForcePollReactor),
-      Trace(O.TraceCapacity, O.EnableTrace) {}
+    : Server(S), Opts(O), Trace(O.TraceCapacity, O.EnableTrace) {
+  unsigned N = Opts.Shards ? Opts.Shards : autoShards();
+  Sh.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    Sh.push_back(std::make_unique<Shard>(Opts.ForcePollReactor));
+    Sh.back()->Index = I;
+  }
+}
 
 WireServer::~WireServer() { stop(); }
+
+bool WireServer::reactorUsingEpoll() const {
+  return !Sh.empty() && Sh.front()->Rx.usingEpoll();
+}
 
 bool WireServer::start(std::string *Err) {
   if (Running.load(std::memory_order_acquire))
     return true;
-  if (!Rx.valid()) {
-    if (Err)
-      *Err = "reactor setup failed (self-pipe)";
-    return false;
+  for (const auto &S : Sh)
+    if (!S->Rx.valid()) {
+      if (Err)
+        *Err = "reactor setup failed (self-pipe)";
+      return false;
+    }
+
+  // Accept strategy: per-shard SO_REUSEPORT listeners when wanted and
+  // possible, else one listener + round-robin handoff. The first
+  // listener may bind an ephemeral port; the rest must join it.
+  Lst.clear();
+  ReusePortLive = false;
+  bool WantReuse = Opts.UseReusePort && Sh.size() > 1 && !reusePortVetoed();
+  if (WantReuse) {
+    auto L0 = std::make_unique<Listener>();
+    if (L0->listen(Opts.BindAddr, Opts.Port, Opts.Backlog, nullptr,
+                   /*ReusePort=*/true)) {
+      uint16_t P = L0->port();
+      Lst.push_back(std::move(L0));
+      bool AllUp = true;
+      for (size_t I = 1; I < Sh.size() && AllUp; ++I) {
+        auto L = std::make_unique<Listener>();
+        AllUp = L->listen(Opts.BindAddr, P, Opts.Backlog, nullptr,
+                          /*ReusePort=*/true);
+        if (AllUp)
+          Lst.push_back(std::move(L));
+      }
+      if (AllUp)
+        ReusePortLive = true;
+      else
+        Lst.clear(); // partial fleet: fall back to handoff cleanly
+    }
   }
-  if (!Lst.listen(Opts.BindAddr, Opts.Port, Opts.Backlog, Err))
-    return false;
+  if (!ReusePortLive) {
+    auto L = std::make_unique<Listener>();
+    if (!L->listen(Opts.BindAddr, Opts.Port, Opts.Backlog, Err))
+      return false;
+    Lst.push_back(std::move(L));
+  }
+  BoundPort = Lst.front()->port();
+
   StopFlag.store(false, std::memory_order_release);
   Running.store(true, std::memory_order_release);
+  NextShard = 0;
   Acceptor = std::thread([this] { runAccept(); });
-  Loop = std::thread([this] { runReactor(); });
+  for (auto &S : Sh) {
+    Shard *P = S.get();
+    S->Loop = std::thread([this, P] { runReactor(*P); });
+  }
   return true;
 }
 
@@ -70,15 +132,16 @@ void WireServer::stop() {
   StopFlag.store(true, std::memory_order_release);
   if (Acceptor.joinable())
     Acceptor.join();
-  Lst.close();
-  Rx.wakeup();
-  if (Loop.joinable())
-    Loop.join();
-  // Completions that raced past the reactor's exit hold ConnPtrs; the
-  // conns are already retired, so the payloads are undeliverable.
-  {
-    std::lock_guard<std::mutex> L(DoneMutex);
-    DoneQ.clear();
+  for (auto &L : Lst)
+    L->close();
+  for (auto &S : Sh) {
+    S->Rx.wakeup();
+    if (S->Loop.joinable())
+      S->Loop.join();
+    // Completions that raced past the reactor's exit hold ConnPtrs; the
+    // conns are already folded, so the payloads are undeliverable.
+    std::lock_guard<std::mutex> L(S->DoneMutex);
+    S->DoneQ.clear();
   }
 }
 
@@ -106,78 +169,114 @@ uint32_t WireServer::retryHint(FabErrc C) const {
 }
 
 //===----------------------------------------------------------------------===//
-// Accept loop: admission control, then handoff to the reactor
+// Accept loop: admission control, then handoff to the owning shard
 //===----------------------------------------------------------------------===//
 
+void WireServer::admit(Socket &&S, Shard &Home) {
+  if (Opts.MaxConns && liveConnections() >= Opts.MaxConns) {
+    // Refuse while the socket is still blocking and private to this
+    // thread: preamble + typed Rejected (tag 0 — no request to
+    // attribute it to), then hang up. No reactor ever sees it. The
+    // reject is charged to the shard that would have owned it so the
+    // per-shard rows still sum exactly.
+    std::vector<uint8_t> Bye = encodePreamble();
+    std::vector<uint8_t> Err =
+        encodeError(0, wireCode(FabErrc::Rejected), Opts.RetryAfterRejectedUs,
+                    "connection limit reached");
+    Bye.insert(Bye.end(), Err.begin(), Err.end());
+    S.sendAll(Bye.data(), Bye.size());
+    S.close();
+    std::lock_guard<std::mutex> L(Home.RStatsMutex);
+    Home.RStats.AcceptRejects++;
+    return;
+  }
+
+  auto C = std::make_shared<Conn>(Opts.MaxFrameBytes);
+  S.setNonBlocking(true);
+  C->Tr.reset(new TcpTransport(std::move(S)));
+  C->Home = &Home;
+  C->Id = NextConnId.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> L(Home.ConnsMutex);
+    Home.Conns.push_back(C);
+  }
+  {
+    std::lock_guard<std::mutex> L(C->StatsMutex);
+    C->Stats.Connections = 1;
+  }
+  trace(EventKind::ConnOpen, C->Id, 0);
+  {
+    std::lock_guard<std::mutex> L(Home.IntakeMutex);
+    Home.IntakeQ.push_back(std::move(C));
+  }
+  Home.Rx.wakeup();
+}
+
 void WireServer::runAccept() {
+  if (ReusePortLive) {
+    // One listener per shard, kernel-hashed: poll the whole fleet and
+    // drain whichever fds are ready. A connection's listener index IS
+    // its shard.
+    std::vector<pollfd> P(Lst.size());
+    for (size_t I = 0; I < Lst.size(); ++I)
+      P[I] = {Lst[I]->fd(), POLLIN, 0};
+    while (!StopFlag.load(std::memory_order_acquire)) {
+      int Rc;
+      do {
+        Rc = ::poll(P.data(), P.size(), AcceptPollMs);
+      } while (Rc < 0 && errno == EINTR);
+      if (Rc <= 0)
+        continue;
+      for (size_t I = 0; I < Lst.size(); ++I) {
+        if (!(P[I].revents & (POLLIN | POLLERR | POLLHUP)))
+          continue;
+        for (;;) {
+          Socket S = Lst[I]->accept(0);
+          if (!S.valid())
+            break;
+          admit(std::move(S), *Sh[I]);
+        }
+      }
+    }
+    return;
+  }
+  // Handoff mode: one listener, round-robin shard assignment.
   while (!StopFlag.load(std::memory_order_acquire)) {
     bool TimedOut = false;
-    Socket S = Lst.accept(AcceptPollMs, &TimedOut);
+    Socket S = Lst.front()->accept(AcceptPollMs, &TimedOut);
     if (!S.valid())
       continue;
-
-    if (Opts.MaxConns && liveConnections() >= Opts.MaxConns) {
-      // Refuse while the socket is still blocking and private to this
-      // thread: preamble + typed Rejected (tag 0 — no request to
-      // attribute it to), then hang up. The reactor never sees it.
-      std::vector<uint8_t> Bye = encodePreamble();
-      std::vector<uint8_t> Err =
-          encodeError(0, wireCode(FabErrc::Rejected), Opts.RetryAfterRejectedUs,
-                      "connection limit reached");
-      Bye.insert(Bye.end(), Err.begin(), Err.end());
-      S.sendAll(Bye.data(), Bye.size());
-      S.close();
-      std::lock_guard<std::mutex> L(RStatsMutex);
-      RStats.AcceptRejects++;
-      continue;
-    }
-
-    auto C = std::make_shared<Conn>(Opts.MaxFrameBytes);
-    S.setNonBlocking(true);
-    C->Tr.reset(new TcpTransport(std::move(S)));
-    {
-      std::lock_guard<std::mutex> L(ConnsMutex);
-      C->Id = NextConnId++;
-      Conns.push_back(C);
-    }
-    {
-      std::lock_guard<std::mutex> L(C->StatsMutex);
-      C->Stats.Connections = 1;
-    }
-    trace(EventKind::ConnOpen, C->Id, 0);
-    {
-      std::lock_guard<std::mutex> L(IntakeMutex);
-      IntakeQ.push_back(std::move(C));
-    }
-    Rx.wakeup();
+    Shard &Home = *Sh[NextShard];
+    NextShard = (NextShard + 1) % static_cast<unsigned>(Sh.size());
+    admit(std::move(S), Home);
   }
 }
 
 //===----------------------------------------------------------------------===//
-// Reactor loop
+// Reactor loop (one per shard)
 //===----------------------------------------------------------------------===//
 
-void WireServer::runReactor() {
+void WireServer::runReactor(Shard &Sd) {
   std::unordered_map<uint64_t, ConnPtr> ById;
   std::vector<ReactorEvent> Events;
   std::vector<uint8_t> Buf(ReadChunk);
 
   for (;;) {
     uint64_t NowMs = steadyMs();
-    int TimeoutMs = Wheel.msUntilNext(NowMs);
+    int TimeoutMs = Sd.Wheel.msUntilNext(NowMs);
     Events.clear();
-    size_t N = Rx.wait(Events, TimeoutMs);
+    size_t N = Sd.Rx.wait(Events, TimeoutMs);
 
     // Clear the coalescing flag before looking at the queues: a
     // completion arriving after this store re-arms the pipe, so nothing
     // pushed after the sweep below can be missed.
-    WakePending.store(false, std::memory_order_seq_cst);
+    Sd.WakePending.store(false, std::memory_order_seq_cst);
     NowMs = steadyMs();
 
     bool Stopping = StopFlag.load(std::memory_order_acquire);
 
-    intake(ById, NowMs);
-    drainDone(ById, NowMs);
+    intake(Sd, ById, NowMs);
+    drainDone(Sd, ById, NowMs);
 
     for (const ReactorEvent &Ev : Events) {
       auto It = ById.find(Ev.Cookie);
@@ -190,12 +289,12 @@ void WireServer::runReactor() {
         flushOut(C);
     }
 
-    onTimer(ById, NowMs);
+    onTimer(Sd, ById, NowMs);
 
     if (N || !Events.empty()) {
-      std::lock_guard<std::mutex> L(RStatsMutex);
-      RStats.Wakeups++;
-      RStats.EventsDispatched += Events.size();
+      std::lock_guard<std::mutex> L(Sd.RStatsMutex);
+      Sd.RStats.Wakeups++;
+      Sd.RStats.EventsDispatched += Events.size();
     }
 
     if (Stopping) {
@@ -213,8 +312,9 @@ void WireServer::runReactor() {
           closeConn(C);
       }
       ById.clear();
-      // Conns accepted but never drained from intake still need rows.
-      intake(ById, NowMs);
+      // Conns accepted but never drained from intake still need to be
+      // counted into the closed aggregate.
+      intake(Sd, ById, NowMs);
       for (auto &KV : ById)
         closeConn(KV.second);
       return;
@@ -231,19 +331,19 @@ void WireServer::runReactor() {
   }
 }
 
-void WireServer::intake(std::unordered_map<uint64_t, ConnPtr> &ById,
+void WireServer::intake(Shard &Sd, std::unordered_map<uint64_t, ConnPtr> &ById,
                         uint64_t NowMs) {
   std::vector<ConnPtr> Fresh;
   {
-    std::lock_guard<std::mutex> L(IntakeMutex);
-    Fresh.swap(IntakeQ);
+    std::lock_guard<std::mutex> L(Sd.IntakeMutex);
+    Fresh.swap(Sd.IntakeQ);
   }
   if (Fresh.empty())
     return;
   for (auto &C : Fresh) {
     C->LastActivityMs = NowMs;
     ById[C->Id] = C;
-    if (!Rx.add(C->Tr->fd(), EvRead, C->Id)) {
+    if (!Sd.Rx.add(C->Tr->fd(), EvRead, C->Id)) {
       closeConn(C);
       ById.erase(C->Id);
       continue;
@@ -252,24 +352,25 @@ void WireServer::intake(std::unordered_map<uint64_t, ConnPtr> &ById,
     if (!flushOut(C))
       continue;
     if (Opts.IdleTimeoutMs)
-      Wheel.schedule(C->Id, NowMs + Opts.IdleTimeoutMs);
+      Sd.Wheel.schedule(C->Id, NowMs + Opts.IdleTimeoutMs);
   }
-  std::lock_guard<std::mutex> L(RStatsMutex);
   uint64_t Open = 0;
   {
-    std::lock_guard<std::mutex> CL(ConnsMutex);
-    Open = Conns.size();
+    std::lock_guard<std::mutex> CL(Sd.ConnsMutex);
+    Open = Sd.Conns.size();
   }
-  if (Open > RStats.PeakConns)
-    RStats.PeakConns = Open;
+  std::lock_guard<std::mutex> L(Sd.RStatsMutex);
+  if (Open > Sd.RStats.PeakConns)
+    Sd.RStats.PeakConns = Open;
 }
 
-void WireServer::drainDone(std::unordered_map<uint64_t, ConnPtr> &ById,
+void WireServer::drainDone(Shard &Sd,
+                           std::unordered_map<uint64_t, ConnPtr> &ById,
                            uint64_t NowMs) {
   std::vector<DoneItem> Items;
   {
-    std::lock_guard<std::mutex> L(DoneMutex);
-    Items.swap(DoneQ);
+    std::lock_guard<std::mutex> L(Sd.DoneMutex);
+    Items.swap(Sd.DoneQ);
   }
   // Append every reply first, flush each connection once: a pipelined
   // window completing together leaves in one send(), not one per reply.
@@ -277,8 +378,9 @@ void WireServer::drainDone(std::unordered_map<uint64_t, ConnPtr> &ById,
   for (DoneItem &D : Items) {
     // Every item is one dispatched request coming home, whether or not
     // its connection survived to hear the answer.
-    if (GlobalInFlight)
-      GlobalInFlight--;
+    GlobalInFlight.fetch_sub(1, std::memory_order_relaxed);
+    if (Sd.InFlight)
+      Sd.InFlight--;
     if (D.C->Closed)
       continue;
     D.C->InFlight--;
@@ -419,9 +521,20 @@ void WireServer::readReady(const ConnPtr &C, std::vector<uint8_t> &Buf,
 bool WireServer::overCap(const ConnPtr &C) const {
   if (Opts.MaxInFlightPerConn && C->InFlight >= Opts.MaxInFlightPerConn)
     return true;
-  if (Opts.MaxInFlightGlobal && GlobalInFlight >= Opts.MaxInFlightGlobal)
+  if (Opts.MaxInFlightGlobal &&
+      GlobalInFlight.load(std::memory_order_relaxed) >= Opts.MaxInFlightGlobal)
     return true;
   return false;
+}
+
+void WireServer::completeToShard(const ConnPtr &C, DoneItem &&D) {
+  Shard &Home = *C->Home;
+  {
+    std::lock_guard<std::mutex> L(Home.DoneMutex);
+    Home.DoneQ.push_back(std::move(D));
+  }
+  if (!Home.WakePending.exchange(true, std::memory_order_seq_cst))
+    Home.Rx.wakeup();
 }
 
 void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
@@ -445,7 +558,8 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
       return;
     }
     C->InFlight++;
-    GlobalInFlight++;
+    C->Home->InFlight++;
+    GlobalInFlight.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> L(C->StatsMutex);
       C->Stats.Submits++;
@@ -457,7 +571,8 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
     O.MaxRetries = B.MaxRetries;
     // The completion runs on the serving worker's thread (or inline on
     // a refusal); C is kept alive by the capture until the reply lands
-    // in DoneQ. Encoding happens off the reactor thread on purpose.
+    // in its home shard's DoneQ. Encoding happens off the reactor
+    // thread on purpose.
     Server.submitAsync(
         B.Fn, std::move(B.Early), std::move(B.Late), O,
         [this, C, Tag](FabResult<int32_t> R) {
@@ -470,12 +585,7 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
             D.Bytes = encodeError(Tag, wireCode(R.error().Code),
                                   retryHint(R.error().Code),
                                   clip(R.error().message()));
-          {
-            std::lock_guard<std::mutex> L(DoneMutex);
-            DoneQ.push_back(std::move(D));
-          }
-          if (!WakePending.exchange(true, std::memory_order_seq_cst))
-            Rx.wakeup();
+          completeToShard(C, std::move(D));
         });
     return;
   }
@@ -496,7 +606,8 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
       return;
     }
     C->InFlight++;
-    GlobalInFlight++;
+    C->Home->InFlight++;
+    GlobalInFlight.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> L(C->StatsMutex);
       C->Stats.Invalidates++;
@@ -513,12 +624,7 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
         D.Bytes = encodeError(Tag, wireCode(R.error().Code),
                               retryHint(R.error().Code),
                               clip(R.error().message()));
-      {
-        std::lock_guard<std::mutex> L(DoneMutex);
-        DoneQ.push_back(std::move(D));
-      }
-      if (!WakePending.exchange(true, std::memory_order_seq_cst))
-        Rx.wakeup();
+      completeToShard(C, std::move(D));
     });
     return;
   }
@@ -529,7 +635,7 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
     }
     TelemetrySnapshot T = telemetry();
     StatsPairs P;
-    P.reserve(36);
+    P.reserve(38);
     P.emplace_back("workers", T.Workers);
     P.emplace_back("submitted", T.Submitted);
     P.emplace_back("served", T.Served);
@@ -560,6 +666,8 @@ void WireServer::handleFrame(const ConnPtr &C, Frame &&F) {
     P.emplace_back("net_protocol_errors", T.Net.ProtocolErrors);
     P.emplace_back("net_pipeline_high_water", T.Net.PipelineHighWater);
     P.emplace_back("net_cap_rejects", T.Net.CapRejects);
+    P.emplace_back("reactor_shards", shards());
+    P.emplace_back("reactor_reuseport", usingReusePort() ? 1 : 0);
     P.emplace_back("reactor_open_conns", T.Reactor.OpenConns);
     P.emplace_back("reactor_peak_conns", T.Reactor.PeakConns);
     P.emplace_back("reactor_idle_closed", T.Reactor.IdleClosed);
@@ -625,6 +733,7 @@ void WireServer::appendOut(const ConnPtr &C, const std::vector<uint8_t> &Bytes,
 bool WireServer::flushOut(const ConnPtr &C) {
   if (C->Closed)
     return false;
+  Shard &Home = *C->Home;
   while (C->OutPos < C->Out.size()) {
     size_t Put = 0;
     Transport::Io R = C->Tr->write(C->Out.data() + C->OutPos,
@@ -637,12 +746,12 @@ bool WireServer::flushOut(const ConnPtr &C) {
       uint64_t Backlog = C->Out.size() - C->OutPos;
       if (!C->WantWrite) {
         C->WantWrite = true;
-        Rx.modify(C->Tr->fd(), EvRead | EvWrite);
+        Home.Rx.modify(C->Tr->fd(), EvRead | EvWrite);
       }
-      std::lock_guard<std::mutex> L(RStatsMutex);
-      RStats.WriteStalls++;
-      if (Backlog > RStats.WriteStallPeakBytes)
-        RStats.WriteStallPeakBytes = Backlog;
+      std::lock_guard<std::mutex> L(Home.RStatsMutex);
+      Home.RStats.WriteStalls++;
+      if (Backlog > Home.RStats.WriteStallPeakBytes)
+        Home.RStats.WriteStallPeakBytes = Backlog;
       return true;
     }
     // The peer is gone; nothing more can be delivered.
@@ -651,7 +760,7 @@ bool WireServer::flushOut(const ConnPtr &C) {
   }
   if (C->WantWrite) {
     C->WantWrite = false;
-    Rx.modify(C->Tr->fd(), EvRead);
+    Home.Rx.modify(C->Tr->fd(), EvRead);
   }
   // Everything owed has been handed to the kernel. Tear down if this
   // connection is waiting only on the flush.
@@ -666,40 +775,44 @@ void WireServer::closeConn(const ConnPtr &C) {
   if (C->Closed)
     return;
   C->Closed = true;
-  Rx.remove(C->Tr->fd());
+  Shard &Home = *C->Home;
+  Home.Rx.remove(C->Tr->fd());
   C->Tr->shutdownBoth();
   C->Tr->close();
 
-  ConnStatsRow Row;
-  Row.ConnId = C->Id;
-  Row.Live = false;
+  // Fold the connection's counters into its shard's closed aggregate —
+  // O(shards) retained state no matter how many connections churn
+  // through, while the telemetry sums stay exact.
+  NetStats Final;
   {
     std::lock_guard<std::mutex> L(C->StatsMutex);
     C->Stats.Disconnects = 1;
-    Row.Net = C->Stats;
+    Final = C->Stats;
   }
-  trace(EventKind::ConnClose, C->Id, Row.Net.FramesIn);
-  if (Row.Net.FramesOut)
-    trace(EventKind::FrameSend, C->Id, Row.Net.FramesOut);
-  std::lock_guard<std::mutex> L(ConnsMutex);
-  Conns.erase(std::remove(Conns.begin(), Conns.end(), C), Conns.end());
-  Retired.push_back(std::move(Row));
+  trace(EventKind::ConnClose, C->Id, Final.FramesIn);
+  if (Final.FramesOut)
+    trace(EventKind::FrameSend, C->Id, Final.FramesOut);
+  std::lock_guard<std::mutex> L(Home.ConnsMutex);
+  Home.Conns.erase(std::remove(Home.Conns.begin(), Home.Conns.end(), C),
+                   Home.Conns.end());
+  Home.ClosedAgg += Final;
+  Home.ClosedConns++;
 }
 
 //===----------------------------------------------------------------------===//
 // Idle reaping
 //===----------------------------------------------------------------------===//
 
-void WireServer::onTimer(std::unordered_map<uint64_t, ConnPtr> &ById,
+void WireServer::onTimer(Shard &Sd, std::unordered_map<uint64_t, ConnPtr> &ById,
                          uint64_t NowMs) {
-  if (!Opts.IdleTimeoutMs || !Wheel.armed())
+  if (!Opts.IdleTimeoutMs || !Sd.Wheel.armed())
     return;
   std::vector<uint64_t> Fired;
-  if (!Wheel.advance(NowMs, Fired))
+  if (!Sd.Wheel.advance(NowMs, Fired))
     return;
   {
-    std::lock_guard<std::mutex> L(RStatsMutex);
-    RStats.TimerTicks++;
+    std::lock_guard<std::mutex> L(Sd.RStatsMutex);
+    Sd.RStats.TimerTicks++;
   }
   for (uint64_t Id : Fired) {
     auto It = ById.find(Id);
@@ -710,13 +823,13 @@ void WireServer::onTimer(std::unordered_map<uint64_t, ConnPtr> &ById,
     bool Flushed = C->OutPos == C->Out.size();
     if (NowMs >= IdleAt && C->InFlight == 0 && Flushed) {
       closeConn(C);
-      std::lock_guard<std::mutex> L(RStatsMutex);
-      RStats.IdleClosed++;
+      std::lock_guard<std::mutex> L(Sd.RStatsMutex);
+      Sd.RStats.IdleClosed++;
       continue;
     }
     // Activity moved the deadline (or the conn is busy): re-arm at the
     // earliest moment it could genuinely be idle.
-    Wheel.schedule(Id, IdleAt > NowMs ? IdleAt : NowMs + Opts.IdleTimeoutMs);
+    Sd.Wheel.schedule(Id, IdleAt > NowMs ? IdleAt : NowMs + Opts.IdleTimeoutMs);
   }
 }
 
@@ -725,21 +838,42 @@ void WireServer::onTimer(std::unordered_map<uint64_t, ConnPtr> &ById,
 //===----------------------------------------------------------------------===//
 
 unsigned WireServer::liveConnections() const {
-  std::lock_guard<std::mutex> L(ConnsMutex);
-  return static_cast<unsigned>(Conns.size());
+  unsigned N = 0;
+  for (const auto &S : Sh) {
+    std::lock_guard<std::mutex> L(S->ConnsMutex);
+    N += static_cast<unsigned>(S->Conns.size());
+  }
+  return N;
+}
+
+unsigned WireServer::liveConnections(unsigned Shard) const {
+  if (Shard >= Sh.size())
+    return 0;
+  std::lock_guard<std::mutex> L(Sh[Shard]->ConnsMutex);
+  return static_cast<unsigned>(Sh[Shard]->Conns.size());
 }
 
 std::vector<ConnStatsRow> WireServer::connectionStats() const {
   std::vector<ConnStatsRow> Out;
-  std::lock_guard<std::mutex> L(ConnsMutex);
-  Out = Retired;
-  for (const auto &C : Conns) {
-    ConnStatsRow Row;
-    Row.ConnId = C->Id;
-    Row.Live = true;
-    std::lock_guard<std::mutex> SL(C->StatsMutex);
-    Row.Net = C->Stats;
-    Out.push_back(std::move(Row));
+  for (const auto &S : Sh) {
+    std::lock_guard<std::mutex> L(S->ConnsMutex);
+    if (S->ClosedConns) {
+      ConnStatsRow Agg;
+      Agg.ConnId = 0; // aggregate row, not a single connection
+      Agg.Shard = S->Index;
+      Agg.Live = false;
+      Agg.Net = S->ClosedAgg;
+      Out.push_back(std::move(Agg));
+    }
+    for (const auto &C : S->Conns) {
+      ConnStatsRow Row;
+      Row.ConnId = C->Id;
+      Row.Shard = S->Index;
+      Row.Live = true;
+      std::lock_guard<std::mutex> SL(C->StatsMutex);
+      Row.Net = C->Stats;
+      Out.push_back(std::move(Row));
+    }
   }
   std::sort(Out.begin(), Out.end(),
             [](const ConnStatsRow &A, const ConnStatsRow &B) {
@@ -750,12 +884,27 @@ std::vector<ConnStatsRow> WireServer::connectionStats() const {
 
 TelemetrySnapshot WireServer::telemetry() const {
   TelemetrySnapshot T = Server.telemetry();
-  for (const ConnStatsRow &Row : connectionStats())
+  for (const auto &S : Sh) {
+    ShardLoadRow Row;
+    Row.Shard = S->Index;
+    unsigned Live = 0;
+    {
+      std::lock_guard<std::mutex> L(S->ConnsMutex);
+      Row.Net = S->ClosedAgg;
+      for (const auto &C : S->Conns) {
+        std::lock_guard<std::mutex> SL(C->StatsMutex);
+        Row.Net += C->Stats;
+      }
+      Live = static_cast<unsigned>(S->Conns.size());
+    }
+    {
+      std::lock_guard<std::mutex> L(S->RStatsMutex);
+      Row.Reactor = S->RStats;
+    }
+    Row.Reactor.OpenConns = Live;
     T.Net += Row.Net;
-  {
-    std::lock_guard<std::mutex> L(RStatsMutex);
-    T.Reactor = RStats;
+    T.Reactor += Row.Reactor;
+    T.ShardLoads.push_back(std::move(Row));
   }
-  T.Reactor.OpenConns = liveConnections();
   return T;
 }

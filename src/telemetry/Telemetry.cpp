@@ -147,6 +147,8 @@ TelemetrySnapshot &TelemetrySnapshot::operator+=(const TelemetrySnapshot &R) {
                      R.WorkerLoads.end());
   Net += R.Net;
   Reactor += R.Reactor;
+  ShardLoads.insert(ShardLoads.end(), R.ShardLoads.begin(),
+                    R.ShardLoads.end());
 
   // Merge profiles by function name, keeping Entries sorted.
   std::map<std::string, EntryPointProfile> ByFn;
@@ -275,6 +277,25 @@ void TelemetrySnapshot::writeText(std::ostream &OS,
     Line("reactor.write_stall_peak_bytes", Reactor.WriteStallPeakBytes);
     Line("reactor.open_conns", Reactor.OpenConns);
     Line("reactor.peak_conns", Reactor.PeakConns);
+  }
+  for (const ShardLoadRow &S : ShardLoads) {
+    auto SLine = [&](const char *Path, uint64_t V) {
+      OS << Prefix << ".shard." << S.Shard << '.' << Path << ' ' << V << '\n';
+    };
+    SLine("connections", S.Net.Connections);
+    SLine("disconnects", S.Net.Disconnects);
+    SLine("frames_in", S.Net.FramesIn);
+    SLine("frames_out", S.Net.FramesOut);
+    SLine("bytes_in", S.Net.BytesIn);
+    SLine("bytes_out", S.Net.BytesOut);
+    SLine("submits", S.Net.Submits);
+    SLine("cap_rejects", S.Net.CapRejects);
+    SLine("wakeups", S.Reactor.Wakeups);
+    SLine("events_dispatched", S.Reactor.EventsDispatched);
+    SLine("idle_closed", S.Reactor.IdleClosed);
+    SLine("accept_rejects", S.Reactor.AcceptRejects);
+    SLine("open_conns", S.Reactor.OpenConns);
+    SLine("peak_conns", S.Reactor.PeakConns);
   }
   for (const EntryPointProfile &P : Entries) {
     auto Entry = [&](const char *Path, uint64_t V) {

@@ -64,6 +64,18 @@ struct WorkerLoadRow {
   uint64_t Errors = 0;
 };
 
+/// One reactor shard's row in a sharded wire front-end (docs/WIRE.md
+/// "Sharding"): the shard's own connection counters and event-loop
+/// gauges, preserved through aggregation — like WorkerLoadRow — so a
+/// single hot or starved shard is visible where the pool-wide sum
+/// would hide it. WireServer::telemetry() guarantees the aggregate
+/// Net/Reactor blocks are exactly the sum over these rows.
+struct ShardLoadRow {
+  unsigned Shard = 0;
+  NetStats Net;
+  ReactorStats Reactor;
+};
+
 /// The unified stats snapshot. Machine-level fields are filled for a
 /// bare Machine; the service-level block stays zero outside a pool.
 /// operator+= aggregates across workers: counters add, high-water marks
@@ -104,8 +116,12 @@ struct TelemetrySnapshot {
   /// WireServer::telemetry() guarantees these are exactly the sum of the
   /// per-connection counters it also exposes.
   NetStats Net;
-  /// Event-loop gauges for the reactor carrying those connections.
+  /// Event-loop gauges summed across every reactor shard carrying
+  /// those connections.
   ReactorStats Reactor;
+  /// One row per reactor shard (operator+= concatenates). Aggregate
+  /// Net/Reactor above are exactly the sum of these rows.
+  std::vector<ShardLoadRow> ShardLoads;
 
   // -- Per entry point -------------------------------------------------------
   std::vector<EntryPointProfile> Entries; ///< sorted by Fn

@@ -48,6 +48,15 @@ wire (over one or more BENCH_wire.json files)
     wakeup storm — not scheduler luck). Baseline:
     bench/baselines/wire.json.
 
+    With --scale BENCH_wire_scale.json the mode additionally gates the
+    sharded reactor's 4-shard/1-shard aggregate throughput factor
+    (scaling_factor_4v1 from the bench's 1/2/4 shard sweep). The
+    factor is host-normalized by construction — both rates come from
+    the same run on the same machine — but it is only MEANINGFUL with
+    cores to scale onto, so the gate is skipped (loudly) when the
+    report's host_cores is below 4. Fails when the factor drops more
+    than the tolerance below the baseline's scaling_factor_4v1.
+
 Refresh any baseline with --write-baseline after an intentional
 change. stdlib only — no pip installs in CI.
 """
@@ -138,6 +147,42 @@ def wire_ratio(metrics, path):
     return pipelined / inprocess
 
 
+def check_wire_scaling(args, base):
+    """The sharded-reactor gate: 4-shard/1-shard aggregate throughput
+    from BENCH_wire_scale.json, skipped on hosts without enough cores
+    for the comparison to mean anything."""
+    metrics = load_metrics(args.scale)
+    host_cores = metrics.get("host_cores", 0)
+    factor = metrics.get("scaling_factor_4v1")
+    if factor is None:
+        sys.exit(f"error: {args.scale} is missing metric "
+                 f"scaling_factor_4v1 (run the full 1/2/4 sweep, not "
+                 f"--shards N)")
+
+    print(f"shard scaling (4-shard/1-shard aggregate rps): "
+          f"{factor:.2f}x on a {host_cores}-core host")
+    if host_cores < 4:
+        print(f"SKIP: shard-scaling gate needs >= 4 host cores to be "
+              f"meaningful, this runner has {host_cores} — factor "
+              f"recorded but not gated")
+        return
+
+    base_factor = base.get("scaling_factor_4v1")
+    if base_factor is None:
+        sys.exit(f"error: {args.baseline} has no scaling_factor_4v1 — "
+                 f"refresh it with --write-baseline --scale on a "
+                 f">=4-core host")
+    floor = base_factor * (1.0 - args.tolerance)
+    print(f"  baseline {base_factor:.2f}x, floor {floor:.2f}x "
+          f"(tolerance {args.tolerance:.0%})")
+    if factor < floor:
+        sys.exit(f"FAIL: 4-shard scaling factor {factor:.2f}x is more "
+                 f"than {args.tolerance:.0%} below baseline "
+                 f"{base_factor:.2f}x — the sharded reactor stopped "
+                 f"scaling across cores")
+    print("OK: shard scaling factor within tolerance of baseline")
+
+
 def check_wire(args):
     best, best_path = None, None
     for path in args.current:
@@ -162,6 +207,21 @@ def check_wire(args):
             "pipelined_over_inprocess": best,
             "metrics": dict(sorted(load_metrics(best_path).items())),
         }
+        # Preserve (or refresh, on a capable host) the shard-scaling
+        # floor so a ratio-only rewrite cannot silently drop the gate.
+        factor = None
+        if args.scale:
+            scale_metrics = load_metrics(args.scale)
+            if scale_metrics.get("host_cores", 0) >= 4:
+                factor = scale_metrics.get("scaling_factor_4v1")
+        if factor is None:
+            try:
+                with open(args.baseline) as f:
+                    factor = json.load(f).get("scaling_factor_4v1")
+            except (OSError, ValueError):
+                factor = None
+        if factor is not None:
+            baseline["scaling_factor_4v1"] = factor
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2)
             f.write("\n")
@@ -185,6 +245,9 @@ def check_wire(args):
                  f"the in-process server")
     print("OK: wire throughput within tolerance of baseline")
 
+    if args.scale:
+        check_wire_scaling(args, base)
+
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -197,6 +260,10 @@ def main():
     ap.add_argument("--mode", choices=["dispatch", "codegen-cost", "wire"],
                     default="dispatch",
                     help="which gate to run (default: dispatch)")
+    ap.add_argument("--scale", default=None,
+                    help="wire mode only: BENCH_wire_scale.json from this "
+                         "run; additionally gates scaling_factor_4v1 "
+                         "(skipped when the report's host_cores < 4)")
     ap.add_argument("--tolerance", type=float, default=0.03,
                     help="allowed fractional regression (default 0.03)")
     ap.add_argument("--write-baseline", action="store_true",

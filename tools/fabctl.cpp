@@ -2,11 +2,12 @@
 //
 // Command-line client for a fabserve --listen server (docs/WIRE.md):
 //
-//   fabctl [--host H] [--port P] ping
-//   fabctl [--host H] [--port P] call FN --early V,V,... --late V,V,...
-//                                [--deadline-ms N] [--retries N]
-//   fabctl [--host H] [--port P] invalidate [FN]
-//   fabctl [--host H] [--port P] stats
+//   fabctl [--host H] [--port P] [--conns K] ping
+//   fabctl [--host H] [--port P] [--conns K] call FN --early V,V,...
+//                                --late V,V,... [--deadline-ms N]
+//                                [--retries N]
+//   fabctl [--host H] [--port P] [--conns K] invalidate [FN]
+//   fabctl [--host H] [--port P] [--conns K] stats
 //
 // Argument values are either bare integers (42, -7) or bracketed
 // integer vectors ([1,2,3]); --early/--late take a semicolon-separated
@@ -14,6 +15,14 @@
 // successful reply, 1 on a typed Error reply (the code and the
 // server's retry-after hint are printed), 2 on usage or connection
 // failure.
+//
+// --conns K opens a FabClientPool of K pipelined connections instead
+// of a single FabClient — against a sharded server (fabserve --shards,
+// docs/WIRE.md "Sharding") this spreads the dialog across reactor
+// shards. K defaults to 1; --conns 0 picks the pool's auto size
+// (derived from hardware_concurrency). ping pings every slot; call and
+// invalidate round-robin; stats reads from one slot (the counters are
+// server-global, every slot sees the same totals).
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,14 +44,16 @@ namespace {
   if (Msg)
     std::fprintf(stderr, "fabctl: %s\n", Msg);
   std::fprintf(stderr,
-               "usage: fabctl [--host H] [--port P] COMMAND\n"
+               "usage: fabctl [--host H] [--port P] [--conns K] COMMAND\n"
                "  ping\n"
                "  call FN --early LIST --late LIST [--deadline-ms N] "
                "[--retries N]\n"
                "  invalidate [FN]     (no FN = every entry point)\n"
                "  stats\n"
                "LIST is ';'-separated values: integers or [v,v,...] "
-               "vectors, e.g. --early \"[1,2,3];0;3\"\n");
+               "vectors, e.g. --early \"[1,2,3];0;3\"\n"
+               "--conns K uses a pool of K pipelined connections "
+               "(0 = auto-sized)\n");
   std::exit(2);
 }
 
@@ -126,6 +137,7 @@ int main(int argc, char **argv) {
   std::string Cmd, Fn, EarlyStr, LateStr;
   uint64_t DeadlineMs = 0;
   uint32_t Retries = 0;
+  unsigned Conns = 1;
   bool HaveFn = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -147,6 +159,8 @@ int main(int argc, char **argv) {
       DeadlineMs = parseNum(next());
     else if (A == "--retries")
       Retries = static_cast<uint32_t>(parseNum(next()));
+    else if (A == "--conns")
+      Conns = static_cast<unsigned>(parseNum(next()));
     else if (!A.empty() && A[0] == '-')
       usage(("unknown option " + A).c_str());
     else if (Cmd.empty())
@@ -160,7 +174,9 @@ int main(int argc, char **argv) {
   if (Cmd.empty())
     usage("missing command");
 
-  FabClient Cl;
+  // A pool of one behaves exactly like the old single FabClient; more
+  // slots spread the dialog across a sharded server's reactors.
+  FabClientPool Cl(Conns);
   std::string Err;
   if (!Cl.connect(Host, Port, &Err)) {
     std::fprintf(stderr, "fabctl: cannot reach %s:%u: %s\n", Host.c_str(),

@@ -12,12 +12,13 @@
 //                 [--report-interval MS] [--trace FILE]
 //                 [--queue-depth N] [--deadline-ms N] [--retries N]
 //                 [--no-breaker] [--chaos]
-//                 [--listen PORT] [--bind ADDR]
+//                 [--listen PORT] [--bind ADDR] [--shards N]
 //                 [--max-conns N] [--idle-timeout-ms MS]
 //
 //   fabserve --workers 4 --requests 1000 --report-interval 200
 //   fabserve --chaos --seed 7 --workers 4
 //   fabserve --workers 4 --listen 7432        # wire server (docs/WIRE.md)
+//   fabserve --workers 4 --listen 7432 --shards 4   # sharded reactor
 //
 // --listen puts the service on the wire instead of replaying the
 // built-in workload: a WireServer accepts fabctl/FabClient connections
@@ -27,6 +28,11 @@
 // connections (excess accepts get a typed Rejected and are closed) and
 // --idle-timeout-ms reaps connections that go that long without a
 // complete frame — see docs/WIRE.md "Connection lifecycle and limits".
+// --shards N runs N independent reactor event loops (default: derived
+// from hardware_concurrency; the banner prints the count in effect and
+// whether accept distribution is SO_REUSEPORT kernel hashing or the
+// single-listener round-robin handoff fallback) — see docs/WIRE.md
+// "Sharding".
 //
 // --report-interval starts the server's reporter thread: an aggregated
 // TelemetrySnapshot summary line every MS milliseconds (plus one final
@@ -83,7 +89,7 @@ namespace {
                "                [--report-interval MS] [--trace FILE]\n"
                "                [--queue-depth N] [--deadline-ms N]\n"
                "                [--retries N] [--no-breaker] [--chaos]\n"
-               "                [--listen PORT] [--bind ADDR]\n"
+               "                [--listen PORT] [--bind ADDR] [--shards N]\n"
                "                [--max-conns N] [--idle-timeout-ms MS]\n");
   std::exit(2);
 }
@@ -127,6 +133,7 @@ int main(int argc, char **argv) {
   std::string BindAddr = "127.0.0.1";
   unsigned MaxConns = 0;
   uint64_t IdleTimeoutMs = 0;
+  unsigned Shards = 0; ///< 0 = auto (net::autoShards())
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     auto next = [&]() -> const char * {
@@ -171,6 +178,8 @@ int main(int argc, char **argv) {
       MaxConns = static_cast<unsigned>(parseNum(next()));
     else if (A == "--idle-timeout-ms")
       IdleTimeoutMs = parseNum(next());
+    else if (A == "--shards")
+      Shards = static_cast<unsigned>(parseNum(next()));
     else
       usage(("unknown option " + A).c_str());
   }
@@ -288,14 +297,19 @@ int main(int argc, char **argv) {
     WO.Port = static_cast<uint16_t>(ListenPort);
     WO.MaxConns = MaxConns;
     WO.IdleTimeoutMs = IdleTimeoutMs;
+    WO.Shards = Shards;
     net::WireServer WS(S, WO);
     std::string Err;
     if (!WS.start(&Err)) {
       std::fprintf(stderr, "fabserve: %s\n", Err.c_str());
       return 1;
     }
-    std::printf("fabserve: listening on %s:%u (%u workers, wire version %u)\n",
-                BindAddr.c_str(), WS.port(), Workers, net::WireVersion);
+    std::printf("fabserve: listening on %s:%u (%u workers, %u shard%s via "
+                "%s, wire version %u)\n",
+                BindAddr.c_str(), WS.port(), Workers, WS.shards(),
+                WS.shards() == 1 ? "" : "s",
+                WS.usingReusePort() ? "reuseport" : "handoff",
+                net::WireVersion);
     std::fflush(stdout);
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
