@@ -121,10 +121,10 @@ int main() {
     std::vector<int32_t> A = randomMatrixFlat(N, 0.0, R);
     uint32_t Ar = buildIntRows(M, A, N);
     VmStats Before = M.stats();
-    uint64_t ResetsBefore = M.recovery().FaultResets;
+    uint64_t ResetsBefore = M.telemetry().Recovery.FaultResets;
     uint32_t Rows = 0;
     // Specialize rows until at least one transparent reset has happened.
-    while (M.recovery().FaultResets == ResetsBefore && Rows < N) {
+    while (M.telemetry().Recovery.FaultResets == ResetsBefore && Rows < N) {
       uint32_t Row = M.vm().load32(Ar + 4 * (Rows + 1));
       M.specializeOrDie("dotloop", {Row, 0, N});
       ++Rows;
@@ -133,7 +133,7 @@ int main() {
     std::printf("\nRecovery drill: %u row specializations against a 256 KB "
                 "segment\n", Rows);
     std::printf("  transparent resets: %llu, total cycles: %llu\n",
-                static_cast<unsigned long long>(M.recovery().FaultResets -
+                static_cast<unsigned long long>(M.telemetry().Recovery.FaultResets -
                                                 ResetsBefore),
                 static_cast<unsigned long long>(Cycles));
     // Latency of the single recovered retry: re-specializing one row.

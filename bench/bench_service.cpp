@@ -74,16 +74,21 @@ std::vector<MixedRequest> makeWorkload(size_t Count, uint32_t N,
 
 struct RunResult {
   std::vector<int32_t> Values;
-  ServerStats Stats;
+  TelemetrySnapshot Stats;
 };
 
 /// Plays the whole stream through a server and collects every result.
+/// \p Tune lets a phase adjust the cache policy (capacity, admission,
+/// persistence files) before the server boots.
 RunResult runServer(const Compilation &C, const std::vector<MixedRequest> &Reqs,
-                    unsigned Workers, bool Cache) {
+                    unsigned Workers, bool Cache,
+                    const std::function<void(ServerOptions &)> &Tune = {}) {
   ServerOptions SO;
   SO.Pool.Workers = Workers;
   SO.Pool.EnableCache = Cache;
   SO.Pool.InternEarlyArgs = Cache;
+  if (Tune)
+    Tune(SO);
   SpecServer S(C, SO);
   std::vector<std::future<FabResult<int32_t>>> Futures;
   Futures.reserve(Reqs.size());
@@ -98,11 +103,11 @@ RunResult runServer(const Compilation &C, const std::vector<MixedRequest> &Reqs,
     }
     R.Values.push_back(*V);
   }
-  R.Stats = S.stats();
+  R.Stats = S.telemetry();
   return R;
 }
 
-double reqPerSimSecond(const ServerStats &St) {
+double reqPerSimSecond(const TelemetrySnapshot &St) {
   return St.BusyCyclesMax
              ? static_cast<double>(St.Served) /
                    (static_cast<double>(St.BusyCyclesMax) / (CyclesPerMs * 1e3))
@@ -193,12 +198,13 @@ int main() {
                 "%llu instr words generated\n",
                 static_cast<unsigned long long>(Warm.Stats.BusyCyclesMax),
                 static_cast<unsigned long long>(Warm.Stats.Memo.GeneratorRuns),
-                static_cast<unsigned long long>(Warm.Stats.GenInstrWords));
+                static_cast<unsigned long long>(Warm.Stats.Vm.DynWordsWritten));
     std::printf("Always-respec:   %12llu cycles, %llu generator runs, "
                 "%llu instr words generated\n",
                 static_cast<unsigned long long>(Respec.Stats.BusyCyclesMax),
                 static_cast<unsigned long long>(Respec.Stats.Memo.GeneratorRuns),
-                static_cast<unsigned long long>(Respec.Stats.GenInstrWords));
+                static_cast<unsigned long long>(
+                    Respec.Stats.Vm.DynWordsWritten));
     double Speedup = ratio(Respec.Stats.BusyCyclesMax,
                            Warm.Stats.BusyCyclesMax);
     std::printf("Cache-hit speedup: %.2fx\n", Speedup);
@@ -214,21 +220,132 @@ int main() {
         std::fprintf(stderr, "warm-up request failed\n");
         return 1;
       }
-    uint64_t GenAfterWarmup = S.stats().GenInstrWords;
+    uint64_t GenAfterWarmup = S.telemetry().Vm.DynWordsWritten;
     for (const MixedRequest &Q : Reqs)
       if (!S.call(Q.Fn, Q.Early, Q.Late).ok()) {
         std::fprintf(stderr, "warm request failed\n");
         return 1;
       }
-    uint64_t Delta = S.stats().GenInstrWords - GenAfterWarmup;
+    uint64_t Delta = S.telemetry().Vm.DynWordsWritten - GenAfterWarmup;
     std::printf("Warm-phase generator instruction words: %llu (must be 0); "
                 "warm-server cache hit rate %.1f%%\n",
                 static_cast<unsigned long long>(Delta),
-                100.0 * S.stats().Cache.hitRate());
+                100.0 * S.telemetry().Cache.hitRate());
     reportMetric("warm_phase_gen_instr_words", static_cast<double>(Delta));
-    reportMetric("warm_cache_hit_rate", S.stats().Cache.hitRate());
+    reportMetric("warm_cache_hit_rate", S.telemetry().Cache.hitRate());
     if (Delta != 0) {
       std::fprintf(stderr, "FAIL: warm path entered the generator\n");
+      return 1;
+    }
+  }
+
+  // Scan resistance: eight hot dot-product rows cycled against a stream
+  // of never-repeating scan rows, through a cache sized to exactly the
+  // hot set. The ghost-LRU doorkeeper refuses one-shot keys, so the hot
+  // set stays resident; plain LRU churns it on every scan.
+  {
+    const uint32_t N = 64;
+    Rng R(99);
+    auto randomRow = [&] {
+      std::vector<int32_t> Row(N);
+      for (uint32_t J = 0; J < N; ++J)
+        Row[J] = static_cast<int32_t>(R.next() % 200) - 50;
+      return Row;
+    };
+    std::vector<std::vector<int32_t>> Hot;
+    for (int I = 0; I < 8; ++I)
+      Hot.push_back(randomRow());
+    std::vector<MixedRequest> Churn;
+    for (int Round = 0; Round < 25; ++Round) {
+      for (int I = 0; I < 8; ++I)
+        Churn.push_back({"dotloop",
+                         {Value::ofVec(Hot[I]), Value::ofInt(0),
+                          Value::ofInt(static_cast<int32_t>(N))},
+                         {Value::ofVec(randomRow()), Value::ofInt(0)}});
+      for (int I = 0; I < 4; ++I)
+        Churn.push_back({"dotloop",
+                         {Value::ofVec(randomRow()), Value::ofInt(0),
+                          Value::ofInt(static_cast<int32_t>(N))},
+                         {Value::ofVec(randomRow()), Value::ofInt(0)}});
+    }
+    // Serve sequentially (one request per batch): submitted all at once
+    // the whole stream lands in one batch and repeated keys coalesce in
+    // the batch map without ever consulting the cache.
+    auto playChurn = [&](bool Admission) {
+      ServerOptions SO;
+      SO.Pool.Workers = 1;
+      SO.Pool.Cache.Capacity = 8;
+      SO.Pool.Cache.Admission = Admission;
+      SpecServer S(C, SO);
+      RunResult R;
+      for (const MixedRequest &Q : Churn) {
+        FabResult<int32_t> V = S.call(Q.Fn, Q.Early, Q.Late);
+        if (!V.ok()) {
+          std::fprintf(stderr, "churn request failed\n");
+          std::exit(1);
+        }
+        R.Values.push_back(*V);
+      }
+      R.Stats = S.telemetry();
+      return R;
+    };
+    RunResult Adm = playChurn(true);
+    RunResult Lru = playChurn(false);
+    if (Adm.Values != Lru.Values) {
+      std::fprintf(stderr, "MISMATCH between admission and LRU runs\n");
+      return 1;
+    }
+    double AdmRate = Adm.Stats.Cache.hitRate();
+    double LruRate = Lru.Stats.Cache.hitRate();
+    double Margin = AdmRate - LruRate;
+    std::printf("\nScan churn (capacity 8, 8 hot keys + one-shot scans):\n"
+                "  admission hit rate %.1f%% (%llu rejects), plain LRU "
+                "%.1f%% (%llu evictions), margin %.1f pts\n",
+                100.0 * AdmRate,
+                static_cast<unsigned long long>(
+                    Adm.Stats.Cache.AdmissionRejects),
+                100.0 * LruRate,
+                static_cast<unsigned long long>(Lru.Stats.Cache.Evictions),
+                100.0 * Margin);
+    reportMetric("hot_hit_rate_admission", AdmRate);
+    reportMetric("hot_hit_rate_lru", LruRate);
+    reportMetric("admission_hit_rate_margin", Margin);
+    if (Margin <= 0.0) {
+      std::fprintf(stderr, "FAIL: doorkeeper gave no hit-rate margin\n");
+      return 1;
+    }
+  }
+
+  // Warm-start persistence: a cold server saves its warm state at
+  // shutdown; a second server restores it and must serve the whole
+  // stream byte-identically without a single generated word.
+  {
+    const std::string Path = "BENCH_service_warm.fabc";
+    std::remove(Path.c_str());
+    RunResult Cold = runServer(C, Reqs, 1, true, [&](ServerOptions &SO) {
+      SO.Pool.Cache.SaveFile = Path;
+    });
+    RunResult Warm = runServer(C, Reqs, 1, true, [&](ServerOptions &SO) {
+      SO.Pool.Cache.LoadFile = Path;
+    });
+    std::remove(Path.c_str());
+    if (Cold.Values != Expected || Warm.Values != Expected) {
+      std::fprintf(stderr, "MISMATCH in warm-start runs\n");
+      return 1;
+    }
+    double Speedup = ratio(Cold.Stats.BusyCyclesMax, Warm.Stats.BusyCyclesMax);
+    std::printf("\nWarm start: %llu entries restored, %llu generator words "
+                "(must be 0), %.2fx over cold boot\n",
+                static_cast<unsigned long long>(Warm.Stats.Cache.WarmRestored),
+                static_cast<unsigned long long>(Warm.Stats.Vm.DynWordsWritten),
+                Speedup);
+    reportMetric("warm_start_restored_entries",
+                 static_cast<double>(Warm.Stats.Cache.WarmRestored));
+    reportMetric("warm_start_gen_words",
+                 static_cast<double>(Warm.Stats.Vm.DynWordsWritten));
+    reportMetric("warm_start_speedup", Speedup);
+    if (Warm.Stats.Vm.DynWordsWritten != 0) {
+      std::fprintf(stderr, "FAIL: warm start entered the generator\n");
       return 1;
     }
   }

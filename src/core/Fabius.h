@@ -276,13 +276,21 @@ public:
   const fab::telemetry::TraceRing &trace() const { return Sim.trace(); }
   void setTraceEnabled(bool On) { Sim.trace().setEnabled(On); }
 
-  // Legacy per-struct accessors. Retained as thin views for callers that
-  // want one counter block without materializing a snapshot — benchmarks
-  // use stats() for the before/after subtraction idiom — but new code
-  // should read through telemetry().
+  // DEPRECATED legacy per-struct accessors. Retained as thin views for
+  // ABI continuity — stats() also serves the hot-path before/after
+  // cycle-delta idiom in benchmarks — but all in-repo callers now read
+  // through telemetry(); new code should too.
   const VmStats &stats() const { return Sim.stats(); }
   const SpecializationStats &memo() const { return Memo; }
   const RecoveryStats &recovery() const { return Recovery; }
+
+  /// Per-entry-point profile for \p Fn, or nullptr before its first
+  /// call/specialization. The pool's profile-guided specialization gate
+  /// reads reuse (Calls per Specialization) from here.
+  const EntryPointProfile *profileFor(const std::string &Fn) const {
+    auto It = Profiles.find(Fn);
+    return It == Profiles.end() ? nullptr : &It->second;
+  }
 
   /// Dynamic-code words emitted so far (== instructions generated).
   uint64_t instructionsGenerated() const {

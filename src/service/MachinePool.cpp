@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iterator>
 
@@ -20,7 +21,29 @@ MachinePool::MachinePool(const Compilation &C, const PoolOptions &O)
     Opts.Breaker.Enabled = false;
   if (const char *E = std::getenv("FAB_RETRIES"); E && E[0] == '0' && !E[1])
     RetriesVetoed = true;
+  if (Opts.CacheCapacity) // deprecated knob: explicit values still win
+    Opts.Cache.Capacity = Opts.CacheCapacity;
+  if (const char *E = std::getenv("FAB_CACHE_CAPACITY"))
+    Opts.Cache.Capacity = static_cast<size_t>(std::strtoull(E, nullptr, 0));
+  Opts.Cache.Capacity = std::max<size_t>(1, Opts.Cache.Capacity);
+  if (const char *E = std::getenv("FAB_ADMISSION"); E && E[0] == '0' && !E[1])
+    Opts.Cache.Admission = false;
+  if (const char *E = std::getenv("FAB_CACHE_FILE")) {
+    // A set-but-empty value vetoes persistence entirely; a path enables
+    // the full warm cycle (load at boot, save at shutdown).
+    Opts.Cache.LoadFile = Opts.Cache.SaveFile = E;
+  }
   unsigned N = std::max(1u, Opts.Workers);
+  if (!Opts.Cache.LoadFile.empty()) {
+    Restore = loadCacheFile(Opts.Cache.LoadFile, compilationFingerprint(C));
+    if (Restore && Restore->Workers.size() != N) {
+      std::fprintf(stderr,
+                   "fab: cache file %s holds %zu worker images but the pool "
+                   "has %u workers; cold-starting\n",
+                   Opts.Cache.LoadFile.c_str(), Restore->Workers.size(), N);
+      Restore.reset();
+    }
+  }
   Ws.reserve(N);
   for (unsigned I = 0; I < N; ++I)
     Ws.push_back(std::make_unique<Worker>());
@@ -66,6 +89,20 @@ void MachinePool::shutdown() {
   for (auto &W : Ws)
     if (W->Thread.joinable())
       W->Thread.join();
+  if (!Opts.Cache.SaveFile.empty()) {
+    // Workers captured their images as they exited; the joins above
+    // ordered those writes before this read.
+    CacheFile F;
+    F.Fingerprint = compilationFingerprint(Comp);
+    bool All = true;
+    for (auto &W : Ws) {
+      All = All && W->SaveCaptured;
+      F.Workers.push_back(std::move(W->SaveImage));
+    }
+    if (All && !saveCacheFile(Opts.Cache.SaveFile, F))
+      std::fprintf(stderr, "fab: failed to write cache file %s\n",
+                   Opts.Cache.SaveFile.c_str());
+  }
 }
 
 WorkerStats MachinePool::workerStats(unsigned W) const {
@@ -158,16 +195,42 @@ MachinePool::serve(Machine &M, SpecCache &Cache,
     }
   }
   if (!Have) {
+    // Profile gate: a cold key of an entry point whose observed reuse is
+    // below the threshold is served through the Plain image (which
+    // collapses currying, so early+late go as one argument list) instead
+    // of paying ~9 instrs/instr generator cost that will never amortize.
+    // The sighting is recorded so the key's second occurrence — proof of
+    // reuse — specializes normally.
+    if (Opts.EnableCache && Opts.Cache.ProfileGate && M.hasPlainFallback() &&
+        !Cache.sighted(R.Key)) {
+      const EntryPointProfile *P = M.profileFor(R.Key.Fn);
+      double Reuse =
+          P ? static_cast<double>(P->Calls) /
+                  static_cast<double>(std::max<uint64_t>(1, P->Specializations))
+            : 0.0;
+      if (Reuse < Opts.Cache.ProfileMinReuse) {
+        Cache.recordSighting(R.Key);
+        Cache.noteProfileGated();
+        std::vector<uint32_t> Words =
+            materialize(M, Opts.InternEarlyArgs ? &Intern : nullptr, R.Early);
+        std::vector<uint32_t> LateW = materialize(M, nullptr, R.Late);
+        Words.insert(Words.end(), LateW.begin(), LateW.end());
+        return finish(M.callPlainInt(R.Key.Fn, Words));
+      }
+    }
     std::vector<uint32_t> EarlyWords =
         materialize(M, Opts.InternEarlyArgs ? &Intern : nullptr, R.Early);
+    uint64_t GenBefore = M.stats().DynWordsWritten;
     FabResult<uint32_t> S = M.specialize(R.Key.Fn, EarlyWords);
     if (!S)
       return finish(S.error());
     Addr = *S;
     if (Opts.EnableCache) {
       // specialize() may have reset the code space (watermark/retry), so
-      // tag with the epoch as of *now*.
-      Cache.insert(R.Key, Addr, M.codeEpoch());
+      // tag with the epoch as of *now*; the emitted-words delta funds the
+      // compaction planner's byte budget (0 on an in-VM memo hit).
+      uint64_t Bytes = (M.stats().DynWordsWritten - GenBefore) * 4;
+      Cache.insert(R.Key, Addr, M.codeEpoch(), Bytes);
       BatchSpecs[R.Key] = {Addr, M.codeEpoch()};
     }
   }
@@ -186,9 +249,43 @@ void MachinePool::runWorker(unsigned Idx) {
       Opts.ConfigureWorker(Idx, *M);
   };
   rebuild();
-  SpecCache Cache(Opts.CacheCapacity);
+  SpecCache Cache(Opts.Cache);
   std::map<std::vector<int32_t>, uint32_t> Intern;
   WorkerStats Local;
+
+  // Warm start: replay this worker's image from the validated cache file
+  // (fingerprint and worker count already checked in the ctor). Every
+  // write is host-side (writeBlock / loader-style flush), so the restore
+  // adds zero DynWordsWritten and zero generator runs — the first warm
+  // request is served straight from the restored code.
+  if (Restore && Idx < Restore->Workers.size()) {
+    const WorkerImage &WI = Restore->Workers[Idx];
+    Vm &V = M->vm();
+    auto restoreSegment = [&](uint32_t Base, const WorkerImage::Segment &S) {
+      if (!S.Words.empty())
+        V.writeBlock(Base, S.Words.data(), S.Words.size());
+      if (S.FullWords > S.Words.size()) {
+        // The file trims trailing zeros; the tail must still be zeroed,
+        // because the fresh machine may hold nonzero init data there.
+        std::vector<uint32_t> Zeros(S.FullWords - S.Words.size(), 0);
+        V.writeBlock(Base + static_cast<uint32_t>(S.Words.size() * 4),
+                     Zeros.data(), Zeros.size());
+      }
+    };
+    restoreSegment(layout::StaticDataBase, WI.StaticData);
+    restoreSegment(layout::HeapBase, WI.Heap);
+    restoreSegment(layout::DynCodeBase, WI.DynCode);
+    if (WI.CpReg > layout::DynCodeBase)
+      V.flushIcache(layout::DynCodeBase, WI.CpReg - layout::DynCodeBase);
+    V.setReg(Hp, WI.HpReg);
+    V.setReg(Cp, WI.CpReg);
+    M->heap().advanceTo(WI.HpReg);
+    for (const WorkerImage::InternRow &Row : WI.Intern)
+      Intern[Row.Vec] = Row.Addr;
+    for (const WorkerImage::EntryRow &E : WI.Entries)
+      Cache.importEntry(SpecKey::fromWords(E.Fn, E.Words), E.Addr,
+                        M->codeEpoch(), E.Bytes, E.Pinned);
+  }
 
   // Moves everything buffered in the machine's trace ring into the
   // worker's log (the cross-thread hand-off point: the ring is written
@@ -408,6 +505,49 @@ void MachinePool::runWorker(unsigned Idx) {
     return Res;
   };
 
+  // Code-space compaction: when the dynamic segment crosses the policy
+  // watermark (kept below the Machine's own all-or-nothing reset
+  // threshold), re-specialize only the pinned + hottest cached keys —
+  // within the byte budget the per-entry accounting funds — into a fresh
+  // segment, instead of letting the wipe dump the whole working set.
+  // Early arguments are decoded straight out of the self-delimiting keys.
+  auto maybeCompact = [&](BatchSpecMap &BatchSpecs) {
+    if (!Opts.EnableCache || !Opts.Cache.Compaction)
+      return;
+    const uint64_t Watermark = static_cast<uint64_t>(
+        Opts.Cache.CompactWatermark * layout::DynCodeBytes);
+    if (M->codeSpaceUsed() < Watermark)
+      return;
+    const uint64_t KeepBytes = static_cast<uint64_t>(
+        Opts.Cache.CompactKeepFraction * static_cast<double>(Watermark));
+    std::vector<SpecCache::PlanEntry> Plan =
+        Cache.compactionPlan(KeepBytes, M->codeEpoch());
+    const uint64_t Resident = Cache.size();
+    Cache.clear();
+    BatchSpecs.clear();
+    VmStats Before = M->stats();
+    M->resetCodeSpace();
+    uint64_t Kept = 0;
+    for (const SpecCache::PlanEntry &P : Plan) {
+      std::optional<std::vector<Value>> Early = P.Key.earlyValues();
+      if (!Early)
+        continue;
+      std::vector<uint32_t> Words =
+          materialize(*M, Opts.InternEarlyArgs ? &Intern : nullptr, *Early);
+      uint64_t GenBefore = M->stats().DynWordsWritten;
+      FabResult<uint32_t> S = M->specialize(P.Key.Fn, Words);
+      if (!S)
+        continue;
+      uint64_t Bytes = (M->stats().DynWordsWritten - GenBefore) * 4;
+      Cache.insert(P.Key, *S, M->codeEpoch(), Bytes);
+      if (P.Pinned)
+        Cache.pin(P.Key, true);
+      ++Kept;
+    }
+    Local.BusyCycles += (M->stats() - Before).Cycles;
+    Cache.noteCompaction(Kept, Resident - Kept);
+  };
+
   uint64_t Seq = 0;
   for (;;) {
     std::deque<Request> Batch;
@@ -435,6 +575,8 @@ void MachinePool::runWorker(unsigned Idx) {
         BatchSpecs.clear();
         ++Local.HeapRecycles;
       }
+      if (R.K == Request::Kind::Serve)
+        maybeCompact(BatchSpecs);
       if (Opts.BeforeRequest && R.K == Request::Kind::Serve)
         Opts.BeforeRequest(Idx, *M, Seq);
       const bool Tracing = M->trace().enabled();
@@ -485,4 +627,37 @@ void MachinePool::runWorker(unsigned Idx) {
   }
   drainRing();
   publish();
+
+  // Capture this worker's warm state for the shutdown save. The joins in
+  // shutdown() order these plain writes before the file is assembled.
+  if (!Opts.Cache.SaveFile.empty()) {
+    WorkerImage WI;
+    Vm &V = M->vm();
+    uint32_t HpTop = std::max(M->heap().heapTop(), V.reg(Hp));
+    WI.HpReg = HpTop;
+    WI.CpReg = V.reg(Cp);
+    auto captureSegment = [&](uint32_t Base, uint32_t End) {
+      WorkerImage::Segment S;
+      S.FullWords = (End - Base) / 4;
+      S.Words.resize(S.FullWords);
+      for (uint32_t I = 0; I < S.FullWords; ++I)
+        S.Words[I] = V.load32(Base + I * 4);
+      while (!S.Words.empty() && S.Words.back() == 0)
+        S.Words.pop_back();
+      return S;
+    };
+    WI.StaticData =
+        captureSegment(layout::StaticDataBase, layout::StaticDataEnd);
+    WI.Heap = captureSegment(layout::HeapBase, HpTop);
+    WI.DynCode = captureSegment(layout::DynCodeBase, WI.CpReg);
+    for (const auto &[Vec, Addr] : Intern)
+      WI.Intern.push_back({Vec, Addr});
+    for (const SpecCache::Exported &E : Cache.exportEntries()) {
+      if (E.Epoch != M->codeEpoch())
+        continue; // stale epoch: its address no longer exists
+      WI.Entries.push_back({E.Key.Fn, E.Key.Words, E.Addr, E.Bytes, E.Pinned});
+    }
+    W.SaveImage = std::move(WI);
+    W.SaveCaptured = true;
+  }
 }

@@ -27,6 +27,7 @@
 #define FAB_SERVICE_MACHINEPOOL_H
 
 #include "core/Fabius.h"
+#include "service/CachePersist.h"
 #include "service/SpecCache.h"
 
 #include <condition_variable>
@@ -95,7 +96,14 @@ struct BreakerPolicy {
 
 struct PoolOptions {
   unsigned Workers = 1;
-  size_t CacheCapacity = 1024;
+  /// Cache policy for every worker's SpecCache: capacity, the admission
+  /// doorkeeper, compaction thresholds, the profile gate, and warm-start
+  /// persistence files. FAB_CACHE_CAPACITY / FAB_ADMISSION=0 /
+  /// FAB_CACHE_FILE override at process level (see docs/INTERNALS.md).
+  CachePolicy Cache;
+  /// DEPRECATED: pre-policy capacity knob. Nonzero overrides
+  /// Cache.Capacity; new code should set Cache.Capacity directly.
+  size_t CacheCapacity = 0;
   /// Host-side value-keyed caching of specialization addresses. Off =
   /// every request goes through the generator path (the in-VM memo may
   /// still answer it when the early data is interned).
@@ -222,6 +230,12 @@ private:
     /// oldest dropped). Guarded by StatsMutex.
     std::vector<telemetry::TraceEvent> TraceLog;
 
+    /// Warm state captured by the worker thread as it exits (only when
+    /// CachePolicy::SaveFile is set); shutdown() assembles the images
+    /// into the cache file after the joins, so no lock is needed.
+    WorkerImage SaveImage;
+    bool SaveCaptured = false;
+
     std::thread Thread;
   };
 
@@ -239,6 +253,9 @@ private:
   const Compilation &Comp;
   PoolOptions Opts;
   bool RetriesVetoed = false; ///< FAB_RETRIES=0: clamp Request::Retries
+  /// Warm-start images loaded (and fingerprint-validated) in the ctor
+  /// before any worker thread starts; workers read their slot read-only.
+  std::optional<CacheFile> Restore;
   std::vector<std::unique_ptr<Worker>> Ws;
   std::mutex ShutdownMutex;
   bool ShutDown = false; // guarded by ShutdownMutex

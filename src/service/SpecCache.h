@@ -75,11 +75,27 @@ struct Value {
 /// HeapImage::hashVector so in-heap and host-side values produce the
 /// same key.
 struct SpecKey {
+  /// Per-argument tags: they keep [1] and 1 from colliding, and they make
+  /// Words self-delimiting, so earlyValues() can decode the original
+  /// argument list back out of a key (compaction re-specializes from
+  /// exactly this).
+  static constexpr uint32_t ScalarTag = 0x5Cu;
+  static constexpr uint32_t VectorTag = 0x5Du;
+
   uint64_t Hash = HeapImage::FnvOffset;
   std::string Fn;
   std::vector<uint32_t> Words; ///< canonical key material (for exact equality)
 
   static SpecKey make(const std::string &Fn, const std::vector<Value> &Early);
+
+  /// Decodes Words back into the early-argument values that produced the
+  /// key (the tag stream is self-delimiting). Returns std::nullopt on a
+  /// malformed stream — only possible for a hand-built key.
+  std::optional<std::vector<Value>> earlyValues() const;
+
+  /// Rebuilds a key (hash included) from its serialized Fn + Words —
+  /// the warm-start loader's inverse of writing those two fields out.
+  static SpecKey fromWords(std::string Fn, std::vector<uint32_t> W);
 
   /// Builds the key from arguments already materialized in a machine
   /// heap: \p IsVec flags which of \p ArgWords are heap vector pointers
@@ -103,21 +119,72 @@ struct SpecKeyHash {
 // telemetry layer can aggregate it; fab::SpecCacheStats is still found
 // here unqualified through the enclosing namespace.
 
+/// Everything policy-shaped about the cache layer, in one struct threaded
+/// SpecCache -> PoolOptions -> ServerOptions -> fabserve flags (see
+/// docs/SERVICE.md "Cache policy" and the docs/INTERNALS.md toggle
+/// table). The admission doorkeeper lives inside SpecCache; compaction,
+/// profile gating, and warm-start persistence are executed by the pool
+/// worker that owns the cache, against the fields here.
+struct CachePolicy {
+  size_t Capacity = 1024;
+  /// Ghost-LRU doorkeeper: a first-sighting insert that would force an
+  /// eviction is refused and only the key's hash is remembered; the
+  /// second sighting is admitted. A flood of one-shot keys therefore
+  /// cannot evict the hot working set (scan resistance). FAB_ADMISSION=0
+  /// vetoes process-wide; fabserve --no-admission.
+  bool Admission = true;
+  /// Hashes the ghost LRU remembers; 0 = auto (same as Capacity).
+  size_t GhostCapacity = 0;
+  /// Selective code-space rebuild: when a worker machine's dynamic
+  /// segment crosses CompactWatermark * DynCodeBytes, re-specialize only
+  /// pinned + hottest keys (up to CompactKeepFraction of the watermark
+  /// budget, by recorded per-entry bytes) into a fresh segment instead
+  /// of letting the all-or-nothing watermark reset wipe the cache.
+  bool Compaction = true;
+  double CompactWatermark = 0.75; ///< keep below Machine's HighWatermark
+  double CompactKeepFraction = 0.5;
+  /// Profile-guided specialization: on a cold miss, consult the machine's
+  /// EntryPointProfile for the function — when its observed reuse
+  /// (calls per specialization) is below ProfileMinReuse and the key has
+  /// never been sighted, serve through the Plain image instead of paying
+  /// generator cost; the second sighting specializes. Requires a
+  /// compiled Plain fall-back (no-op without one). Off by default.
+  bool ProfileGate = false;
+  double ProfileMinReuse = 1.5;
+  /// Warm-start persistence (docs/SERVICE.md "Cache policy" has the file
+  /// format): LoadFile is restored worker-by-worker at boot, SaveFile is
+  /// written at shutdown. FAB_CACHE_FILE=PATH sets both; FAB_CACHE_FILE=
+  /// (empty) vetoes both.
+  std::string LoadFile;
+  std::string SaveFile;
+};
+/// The constructor-facing alias (SpecCache(const CacheOptions &)).
+using CacheOptions = CachePolicy;
+
 /// The cache proper. Single-threaded by design: each pool worker owns
 /// one, alongside its Machine (the sharding model — see MachinePool.h).
 class SpecCache {
 public:
-  explicit SpecCache(size_t Capacity = 1024) : Cap(Capacity) {}
+  explicit SpecCache(const CacheOptions &Options);
+  /// Legacy shim: a plain LRU of \p Capacity with the policy machinery
+  /// (doorkeeper admission) off, preserving pre-policy behaviour for
+  /// existing callers. New code should pass a CachePolicy.
+  explicit SpecCache(size_t Capacity = 1024);
 
   /// Returns the cached specialization address when present and produced
   /// in \p Epoch; a stale-epoch entry is erased and counted as a
   /// rehydration (and a miss).
   std::optional<uint32_t> lookup(const SpecKey &K, uint64_t Epoch);
 
-  /// Records \p Addr for \p K under \p Epoch, evicting the least
-  /// recently used unpinned entry when over capacity. (If every entry is
-  /// pinned the cache grows past capacity rather than dropping one.)
-  void insert(const SpecKey &K, uint32_t Addr, uint64_t Epoch);
+  /// Records \p Addr for \p K under \p Epoch with \p Bytes of emitted
+  /// code attributed to it, evicting the least recently used unpinned
+  /// entry when over capacity. (If every entry is pinned the cache grows
+  /// past capacity rather than dropping one.) With admission enabled, a
+  /// full cache refuses a never-sighted key (returning false and
+  /// recording the sighting in the ghost LRU) rather than evicting for
+  /// it. Returns true when the entry is resident afterwards.
+  bool insert(const SpecKey &K, uint32_t Addr, uint64_t Epoch,
+              uint64_t Bytes = 0);
 
   /// Marks an entry as (un)evictable; returns false when absent.
   bool pin(const SpecKey &K, bool On);
@@ -131,26 +198,81 @@ public:
   size_t invalidate(const std::string &Fn);
 
   /// Drops every entry without touching the eviction counter (used when
-  /// the backing machine itself is replaced).
+  /// the backing machine itself is replaced). The ghost LRU survives: it
+  /// describes the request stream, not the machine.
   void clear();
 
+  /// Whether the doorkeeper has seen \p K before (ghost LRU only — a
+  /// resident entry is not a "sighting"). recordSighting() notes one;
+  /// both are also used by the pool's profile gate, so a key gated to
+  /// the Plain image once specializes on its second occurrence.
+  bool sighted(const SpecKey &K) const;
+  void recordSighting(const SpecKey &K);
+
+  /// The keys a compaction should carry into the fresh code space:
+  /// every pinned entry, then the hottest unpinned entries in LRU order,
+  /// stopping once their recorded bytes exceed \p MaxBytes. Entries from
+  /// epochs other than \p Epoch are stale and never planned.
+  struct PlanEntry {
+    SpecKey Key;
+    bool Pinned = false;
+  };
+  std::vector<PlanEntry> compactionPlan(uint64_t MaxBytes,
+                                        uint64_t Epoch) const;
+  /// Compaction accounting, called by the worker that executed one.
+  void noteCompaction(uint64_t Kept, uint64_t Dropped) {
+    ++Stats.Compactions;
+    Stats.CompactKept += Kept;
+    Stats.CompactDropped += Dropped;
+  }
+  void noteProfileGated() { ++Stats.ProfileGated; }
+
+  /// Warm-start persistence hooks. exportEntries() returns the resident
+  /// entries coldest-first, so replaying them through importEntry()
+  /// reproduces the LRU order; importEntry() bypasses the doorkeeper
+  /// (the entry earned residency in a previous life) and counts
+  /// WarmRestored.
+  struct Exported {
+    SpecKey Key;
+    uint32_t Addr = 0;
+    uint64_t Epoch = 0; ///< savers skip entries from stale epochs
+    uint64_t Bytes = 0;
+    bool Pinned = false;
+  };
+  std::vector<Exported> exportEntries() const;
+  void importEntry(const SpecKey &K, uint32_t Addr, uint64_t Epoch,
+                   uint64_t Bytes, bool Pinned);
+
   size_t size() const { return Map.size(); }
-  size_t capacity() const { return Cap; }
+  size_t capacity() const { return Policy.Capacity; }
+  const CachePolicy &policy() const { return Policy; }
+  /// Bytes of dynamic code attributed to resident entries.
+  uint64_t codeBytes() const { return CodeBytes; }
   const SpecCacheStats &stats() const { return Stats; }
 
 private:
   struct Entry {
     uint32_t Addr = 0;
     uint64_t Epoch = 0;
+    uint64_t Bytes = 0;
     bool Pinned = false;
     std::list<SpecKey>::iterator LruIt; ///< position in Lru (front = hottest)
   };
 
   void evictOne();
+  void eraseEntry(std::unordered_map<SpecKey, Entry, SpecKeyHash>::iterator It);
+  size_t ghostCapacity() const {
+    return Policy.GhostCapacity ? Policy.GhostCapacity : Policy.Capacity;
+  }
 
-  size_t Cap;
+  CachePolicy Policy;
   std::list<SpecKey> Lru;
   std::unordered_map<SpecKey, Entry, SpecKeyHash> Map;
+  /// Doorkeeper ghost LRU: hashes of refused/gated keys, most recent at
+  /// the front, bounded by ghostCapacity().
+  std::list<uint64_t> Ghost;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> GhostMap;
+  uint64_t CodeBytes = 0;
   SpecCacheStats Stats;
 };
 

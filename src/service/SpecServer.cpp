@@ -58,20 +58,10 @@ unsigned SpecServer::workerFor(const std::string &Fn,
   return static_cast<unsigned>(K.Hash % Pool.workers());
 }
 
-std::future<FabResult<int32_t>> SpecServer::submit(const std::string &Fn,
-                                                   std::vector<Value> Early,
-                                                   std::vector<Value> Late) {
-  // Legacy form: no deadline, no retries (unchanged pre-overload
-  // behaviour for existing callers).
-  SubmitOptions O;
-  O.MaxRetries = 0;
-  return submit(Fn, std::move(Early), std::move(Late), O);
-}
-
-std::future<FabResult<int32_t>> SpecServer::submit(const std::string &Fn,
-                                                   std::vector<Value> Early,
-                                                   std::vector<Value> Late,
-                                                   const SubmitOptions &O) {
+Request SpecServer::buildRequest(const std::string &Fn,
+                                 std::vector<Value> Early,
+                                 std::vector<Value> Late,
+                                 const SubmitOptions &O) {
   Request R;
   R.Key = SpecKey::make(Fn, Early);
   R.Early = std::move(Early);
@@ -79,20 +69,43 @@ std::future<FabResult<int32_t>> SpecServer::submit(const std::string &Fn,
   R.SubmitNs = telemetry::traceNowNs();
   R.DeadlineNs = O.DeadlineNs ? R.SubmitNs + O.DeadlineNs : 0;
   R.Retries = O.MaxRetries;
-  std::future<FabResult<int32_t>> F = R.Promise.get_future();
+  return R;
+}
+
+bool SpecServer::postRouted(Request R) {
   unsigned W = static_cast<unsigned>(R.Key.Hash % Pool.workers());
   Submitted.fetch_add(1, std::memory_order_relaxed);
   switch (Pool.post(W, std::move(R))) {
   case MachinePool::PostStatus::Ok:
-    return F;
+    return true;
   case MachinePool::PostStatus::Stopped:
     RejectedCount.fetch_add(1, std::memory_order_relaxed);
-    break;
+    return false;
   case MachinePool::PostStatus::Full:
     // Load shedding: the pool counted the shed under its queue lock; the
-    // caller just gets the immediate structured refusal.
-    break;
+    // caller just hands back the immediate structured refusal.
+    return false;
   }
+  return false;
+}
+
+std::future<FabResult<int32_t>> SpecServer::submit(const std::string &Fn,
+                                                   std::vector<Value> Early,
+                                                   std::vector<Value> Late) {
+  // Legacy shim: no deadline, no retries (unchanged pre-SubmitOptions
+  // behaviour for existing callers).
+  return submit(Fn, std::move(Early), std::move(Late),
+                SubmitOptions{/*DeadlineNs=*/0, /*MaxRetries=*/0});
+}
+
+std::future<FabResult<int32_t>> SpecServer::submit(const std::string &Fn,
+                                                   std::vector<Value> Early,
+                                                   std::vector<Value> Late,
+                                                   const SubmitOptions &O) {
+  Request R = buildRequest(Fn, std::move(Early), std::move(Late), O);
+  std::future<FabResult<int32_t>> F = R.Promise.get_future();
+  if (postRouted(std::move(R)))
+    return F;
   // The pool refused: hand back an already-resolved future.
   std::promise<FabResult<int32_t>> P;
   P.set_value(FabError{FabErrc::Rejected, Fn, {}});
@@ -102,28 +115,12 @@ std::future<FabResult<int32_t>> SpecServer::submit(const std::string &Fn,
 void SpecServer::submitAsync(const std::string &Fn, std::vector<Value> Early,
                              std::vector<Value> Late, const SubmitOptions &O,
                              std::function<void(FabResult<int32_t>)> Done) {
-  Request R;
-  R.Key = SpecKey::make(Fn, Early);
-  R.Early = std::move(Early);
-  R.Late = std::move(Late);
-  R.SubmitNs = telemetry::traceNowNs();
-  R.DeadlineNs = O.DeadlineNs ? R.SubmitNs + O.DeadlineNs : 0;
-  R.Retries = O.MaxRetries;
+  Request R = buildRequest(Fn, std::move(Early), std::move(Late), O);
   // post() consumes the request whether or not it admits it, so the
   // refusal path needs its own handle on the completion.
   R.Completion = Done;
-  unsigned W = static_cast<unsigned>(R.Key.Hash % Pool.workers());
-  Submitted.fetch_add(1, std::memory_order_relaxed);
-  switch (Pool.post(W, std::move(R))) {
-  case MachinePool::PostStatus::Ok:
-    return;
-  case MachinePool::PostStatus::Stopped:
-    RejectedCount.fetch_add(1, std::memory_order_relaxed);
-    break;
-  case MachinePool::PostStatus::Full:
-    break;
-  }
-  Done(FabError{FabErrc::Rejected, Fn, {}});
+  if (!postRouted(std::move(R)))
+    Done(FabError{FabErrc::Rejected, Fn, {}});
 }
 
 FabResult<int32_t> SpecServer::call(const std::string &Fn,

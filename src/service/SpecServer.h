@@ -60,8 +60,9 @@ struct ServerOptions {
   std::function<void(const TelemetrySnapshot &)> ReportSink;
 };
 
-/// Aggregate view across the pool. Legacy shape: stats() now derives it
-/// from telemetry(); new code should read the snapshot directly.
+/// DEPRECATED aggregate view across the pool, derived from telemetry().
+/// Kept (with stats()) for ABI continuity only; every in-repo caller
+/// reads the TelemetrySnapshot now, and new code should too.
 struct ServerStats {
   unsigned Workers = 0;
   uint64_t Submitted = 0;
@@ -155,11 +156,20 @@ public:
     return Pool.drainTrace(W);
   }
 
-  /// Legacy aggregate, derived from telemetry().
+  /// DEPRECATED legacy aggregate, derived from telemetry() (see
+  /// ServerStats).
   ServerStats stats() const;
 
 private:
   void runReporter();
+  /// The one submit core every public entry point funnels through:
+  /// stamps the key, submit time, absolute deadline, and retry budget.
+  Request buildRequest(const std::string &Fn, std::vector<Value> Early,
+                       std::vector<Value> Late, const SubmitOptions &O);
+  /// Routes by key hash and posts; false = refused (Rejected accounting
+  /// done; the caller resolves its future/callback itself, since post()
+  /// consumed the request).
+  bool postRouted(Request R);
 
   MachinePool Pool;
   std::atomic<uint64_t> Submitted{0};

@@ -131,7 +131,9 @@ struct RecoveryStats {
 };
 
 /// Hit/miss/eviction counters for the host-side specialization cache
-/// (service layer); hitRate() is hits over all lookups.
+/// (service layer); hitRate() is hits over all lookups. The policy-layer
+/// counters (admission, compaction, profile gating, warm-start restore)
+/// are described in docs/SERVICE.md "Cache policy".
 struct SpecCacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
@@ -143,6 +145,24 @@ struct SpecCacheStats {
   /// Entries dropped by an explicit invalidate() (wire Invalidate frames
   /// and SpecServer::invalidate); not counted as evictions.
   uint64_t Invalidated = 0;
+  /// First-sighting inserts the doorkeeper refused while the cache was
+  /// full (the key's hash is remembered in the ghost LRU instead — the
+  /// scan-resistance mechanism; see CachePolicy::Admission).
+  uint64_t AdmissionRejects = 0;
+  /// Inserts admitted on a second sighting via the ghost LRU, each
+  /// paying one eviction the first sighting did not.
+  uint64_t AdmissionAdmits = 0;
+  /// Selective code-space rebuilds: on pressure the worker re-specializes
+  /// only pinned/hot keys into a fresh segment instead of dropping the
+  /// whole cache with the all-or-nothing reset.
+  uint64_t Compactions = 0;
+  uint64_t CompactKept = 0;    ///< entries re-specialized across a compaction
+  uint64_t CompactDropped = 0; ///< entries abandoned by compactions
+  /// Cold requests the profile gate routed to the Plain image instead of
+  /// paying generator cost (CachePolicy::ProfileGate).
+  uint64_t ProfileGated = 0;
+  /// Entries restored from a warm-start file (CachePolicy::LoadFile).
+  uint64_t WarmRestored = 0;
 
   double hitRate() const {
     uint64_t Total = Hits + Misses;
@@ -155,6 +175,13 @@ struct SpecCacheStats {
     Evictions += R.Evictions;
     Rehydrations += R.Rehydrations;
     Invalidated += R.Invalidated;
+    AdmissionRejects += R.AdmissionRejects;
+    AdmissionAdmits += R.AdmissionAdmits;
+    Compactions += R.Compactions;
+    CompactKept += R.CompactKept;
+    CompactDropped += R.CompactDropped;
+    ProfileGated += R.ProfileGated;
+    WarmRestored += R.WarmRestored;
     return *this;
   }
 };

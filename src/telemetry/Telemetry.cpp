@@ -235,6 +235,13 @@ void TelemetrySnapshot::writeText(std::ostream &OS,
     Line("cache.evictions", Cache.Evictions);
     Line("cache.rehydrations", Cache.Rehydrations);
     Line("cache.invalidated", Cache.Invalidated);
+    Line("cache.admission_rejects", Cache.AdmissionRejects);
+    Line("cache.admission_admits", Cache.AdmissionAdmits);
+    Line("cache.compactions", Cache.Compactions);
+    Line("cache.compact_kept", Cache.CompactKept);
+    Line("cache.compact_dropped", Cache.CompactDropped);
+    Line("cache.profile_gated", Cache.ProfileGated);
+    Line("cache.warm_restored", Cache.WarmRestored);
     for (const WorkerLoadRow &W : WorkerLoads) {
       auto WLine = [&](const char *Path, uint64_t V) {
         OS << Prefix << ".worker." << W.Worker << '.' << Path << ' ' << V

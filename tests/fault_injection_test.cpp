@@ -133,9 +133,9 @@ TEST(FaultInjection, InjectedPressureIsTransparentlyRecovered) {
 
   uint32_t Spec = M.specializeOrDie("f", {9});
   EXPECT_EQ(M.callAtIntOrDie(Spec, {10}), 99);
-  EXPECT_EQ(M.recovery().FaultResets, 1u);
-  EXPECT_EQ(M.recovery().RecoveredRetries, 1u);
-  EXPECT_EQ(M.recovery().GeneratorFaults, 0u);
+  EXPECT_EQ(M.telemetry().Recovery.FaultResets, 1u);
+  EXPECT_EQ(M.telemetry().Recovery.RecoveredRetries, 1u);
+  EXPECT_EQ(M.telemetry().Recovery.GeneratorFaults, 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -166,7 +166,7 @@ TEST(StructuredErrors, GeneratedCodeTrapReportsWithoutManualRepair) {
   EXPECT_EQ(R.error().Code, FabErrc::Trapped);
   EXPECT_EQ(R.error().Exec.TrapValue, static_cast<uint32_t>(TrapCode::Bounds));
   EXPECT_EQ(M.vm().reg(Sp), layout::StackTop);
-  EXPECT_EQ(M.recovery().GeneratorFaults, 0u);
+  EXPECT_EQ(M.telemetry().Recovery.GeneratorFaults, 0u);
   EXPECT_EQ(M.callAtIntOrDie(Spec, {1}), 2);
 }
 
@@ -223,9 +223,9 @@ TEST(CodeSpaceRecovery, GuardPressureAutoResetsAndRetries) {
   }
   // ~4 KB per specialization against a 32 KB segment: several resets
   // happened, every one recovered transparently.
-  EXPECT_GT(M.recovery().FaultResets, 0u);
-  EXPECT_GT(M.recovery().RecoveredRetries, 0u);
-  EXPECT_EQ(M.recovery().GeneratorFaults, 0u);
+  EXPECT_GT(M.telemetry().Recovery.FaultResets, 0u);
+  EXPECT_GT(M.telemetry().Recovery.RecoveredRetries, 0u);
+  EXPECT_EQ(M.telemetry().Recovery.GeneratorFaults, 0u);
   EXPECT_FALSE(M.degraded());
 }
 
@@ -242,7 +242,7 @@ TEST(CodeSpaceRecovery, HighWatermarkResetsPreemptively) {
   // The watermark reset reclaimed the segment, so the second
   // specialization starts back at the base.
   EXPECT_EQ(S2, layout::DynCodeBase);
-  EXPECT_GT(M.recovery().WatermarkResets, 0u);
+  EXPECT_GT(M.telemetry().Recovery.WatermarkResets, 0u);
   EXPECT_EQ(M.callAtIntOrDie(S2, {10}), 33);
 }
 
@@ -278,14 +278,14 @@ TEST(Degradation, RepeatedGeneratorFaultsFallBackToPlain) {
   FabResult<int32_t> R2 = M.callInt("scan", Args);
   ASSERT_FALSE(R2.ok());
   EXPECT_TRUE(M.degraded());
-  EXPECT_EQ(M.recovery().GeneratorFaults, 2u);
+  EXPECT_EQ(M.telemetry().Recovery.GeneratorFaults, 2u);
 
   // Degraded: the same name now runs the Plain (non-RTCG) image and
   // produces the correct result.
   FabResult<int32_t> R3 = M.callInt("scan", Args);
   ASSERT_TRUE(R3.ok());
   EXPECT_EQ(*R3, 2);
-  EXPECT_GT(M.recovery().PlainFallbackCalls, 0u);
+  EXPECT_GT(M.telemetry().Recovery.PlainFallbackCalls, 0u);
 
   // Explicit staging is refused with a structured Degraded error.
   FabResult<uint32_t> S = M.specialize("scan", {Vv, 0, 64});
@@ -304,7 +304,7 @@ TEST(Degradation, FallbackImageMatchesStagedResultsBeforeDegrading) {
   ASSERT_TRUE(R.ok());
   EXPECT_EQ(*R, 3 * 2 + 1 * 7 + 4 * 1);
   EXPECT_FALSE(M.degraded());
-  EXPECT_EQ(M.recovery().PlainFallbackCalls, 0u);
+  EXPECT_EQ(M.telemetry().Recovery.PlainFallbackCalls, 0u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -217,15 +217,15 @@ TEST(MachineMemo, CountersAndLiveQuery) {
   for (uint32_t K = 1; K <= 3; ++K)
     M.specializeOrDie("f", {K});
   EXPECT_EQ(M.specializationsLive(), 3u);
-  EXPECT_EQ(M.memo().GeneratorRuns, 3u);
-  EXPECT_EQ(M.memo().MemoMisses, 3u);
-  EXPECT_EQ(M.memo().MemoHits, 0u);
+  EXPECT_EQ(M.telemetry().Memo.GeneratorRuns, 3u);
+  EXPECT_EQ(M.telemetry().Memo.MemoMisses, 3u);
+  EXPECT_EQ(M.telemetry().Memo.MemoHits, 0u);
 
   // A repeated key is answered from the memo table: counted as a hit,
   // no new code, no new live entry.
   uint64_t Gen = M.instructionsGenerated();
   M.specializeOrDie("f", {2});
-  EXPECT_EQ(M.memo().MemoHits, 1u);
+  EXPECT_EQ(M.telemetry().Memo.MemoHits, 1u);
   EXPECT_EQ(M.instructionsGenerated(), Gen);
   EXPECT_EQ(M.specializationsLive(), 3u);
 
@@ -245,17 +245,17 @@ TEST(SpecServer, CacheHitSkipsGeneratorEntirely) {
   FabResult<int32_t> R1 = S.call("f", Early, {Value::ofInt(10)});
   ASSERT_TRUE(R1.ok());
   EXPECT_EQ(*R1, 66);
-  uint64_t GenAfterCold = S.stats().GenInstrWords;
+  uint64_t GenAfterCold = S.telemetry().Vm.DynWordsWritten;
   EXPECT_GT(GenAfterCold, 0u);
-  EXPECT_EQ(S.stats().Cache.Misses, 1u);
+  EXPECT_EQ(S.telemetry().Cache.Misses, 1u);
 
   // Warm request: same early value, different late value. The host cache
   // answers it without even entering the generator.
   FabResult<int32_t> R2 = S.call("f", Early, {Value::ofInt(11)});
   ASSERT_TRUE(R2.ok());
   EXPECT_EQ(*R2, 72);
-  ServerStats St = S.stats();
-  EXPECT_EQ(St.GenInstrWords, GenAfterCold); // zero generator instructions
+  TelemetrySnapshot St = S.telemetry();
+  EXPECT_EQ(St.Vm.DynWordsWritten, GenAfterCold); // zero generator instructions
   EXPECT_EQ(St.Cache.Hits, 1u);
   EXPECT_EQ(St.Memo.GeneratorRuns, 1u); // generator entered exactly once
   EXPECT_EQ(St.Served, 2u);
@@ -266,6 +266,9 @@ TEST(SpecServer, EvictionUnderTinyCapacityStaysCorrect) {
   ServerOptions SO;
   SO.Pool.Workers = 1;
   SO.Pool.CacheCapacity = 2;
+  // This exercises plain-LRU eviction; the admission doorkeeper would
+  // (correctly) refuse the cycling keys and keep the first two resident.
+  SO.Pool.Cache.Admission = false;
   SpecServer S(C, SO);
   for (int Round = 0; Round < 3; ++Round)
     for (int32_t K = 1; K <= 5; ++K) {
@@ -274,7 +277,7 @@ TEST(SpecServer, EvictionUnderTinyCapacityStaysCorrect) {
       ASSERT_TRUE(R.ok());
       EXPECT_EQ(*R, 100 * K + K);
     }
-  ServerStats St = S.stats();
+  TelemetrySnapshot St = S.telemetry();
   EXPECT_GT(St.Cache.Evictions, 0u);
   EXPECT_LE(St.Cache.Hits, 14u); // capacity 2 of 5 keys: mostly misses
   // Evicted host entries fall back to the in-VM memo (pointer-keyed, but
@@ -322,7 +325,7 @@ TEST(SpecServer, HammerMatchesSingleThreadedMachine) {
     ASSERT_TRUE(R.ok()) << "request " << I << ": " << R.error().message();
     EXPECT_EQ(*R, Expected[I]) << "request " << I;
   }
-  ServerStats St = S.stats();
+  TelemetrySnapshot St = S.telemetry();
   EXPECT_EQ(St.Served, Reqs.size());
   EXPECT_EQ(St.Errors, 0u);
   // 9 distinct keys across 240 requests: the cache carries the load.
@@ -347,7 +350,7 @@ TEST(SpecServer, HeapRecyclingKeepsServing) {
     ASSERT_TRUE(Got.ok()) << Got.error().message();
     EXPECT_EQ(*Got, *Want);
   }
-  EXPECT_GT(S.stats().HeapRecycles, 0u);
+  EXPECT_GT(S.telemetry().HeapRecycles, 0u);
 }
 
 TEST(SpecServer, FaultInjectedWorkerDegradesWithoutStallingPool) {
@@ -682,6 +685,6 @@ TEST(SpecServer, GracefulShutdownDrainsThenRejects) {
   FabResult<int32_t> R = S.call("f", {Value::ofInt(1)}, {Value::ofInt(1)});
   ASSERT_FALSE(R.ok());
   EXPECT_EQ(R.error().Code, FabErrc::Rejected);
-  EXPECT_EQ(S.stats().Rejected, 1u);
-  EXPECT_EQ(S.stats().Served, 32u);
+  EXPECT_EQ(S.telemetry().Rejected, 1u);
+  EXPECT_EQ(S.telemetry().Served, 32u);
 }

@@ -240,7 +240,7 @@ TEST(TelemetryTrace, GuardTripAndResetRecordedOnInjectedPressure) {
 
   uint32_t Spec = M.specializeOrDie("f", {9}); // recovered transparently
   EXPECT_EQ(M.callAtIntOrDie(Spec, {10}), 99);
-  EXPECT_EQ(M.recovery().FaultResets, 1u);
+  EXPECT_EQ(M.telemetry().Recovery.FaultResets, 1u);
 
   std::vector<TraceEvent> Evs = M.trace().snapshot();
   EXPECT_EQ(countKind(Evs, EventKind::CodeGuardTrip), 1u);

@@ -57,6 +57,24 @@ wire (over one or more BENCH_wire.json files)
     report's host_cores is below 4. Fails when the factor drops more
     than the tolerance below the baseline's scaling_factor_4v1.
 
+service (over BENCH_service.json)
+    Gates the specialization service's cache economics, which are all
+    measured in *simulated* cycles at the modeled 25 MHz clock and are
+    therefore deterministic across hosts:
+
+        warm_cache_hit_rate        floor-gated vs baseline
+        throughput_scaling_1_to_4  floor-gated vs baseline
+        admission_hit_rate_margin  floor-gated vs baseline (the
+                                   doorkeeper's hit-rate points over
+                                   plain LRU under a one-shot scan)
+        warm_start_gen_words       must be exactly 0 (a restored cache
+                                   serves its first warm request without
+                                   entering the generator)
+        warm_phase_gen_instr_words must be exactly 0
+
+    cache_hit_speedup and warm_start_speedup are reported for the log
+    but not gated. Baseline: bench/baselines/service.json.
+
 Refresh any baseline with --write-baseline after an intentional
 change. stdlib only — no pip installs in CI.
 """
@@ -134,6 +152,69 @@ def check_codegen_cost(args, metrics):
                  f"the specializer got more expensive per generated "
                  f"instruction")
     print("OK: codegen cost within tolerance of baseline")
+
+
+SERVICE_FLOOR_KEYS = (
+    "warm_cache_hit_rate",
+    "throughput_scaling_1_to_4",
+    "admission_hit_rate_margin",
+)
+SERVICE_ZERO_KEYS = ("warm_start_gen_words", "warm_phase_gen_instr_words")
+
+
+def check_service(args, metrics):
+    path = args.current[0]
+    for key in SERVICE_FLOOR_KEYS + SERVICE_ZERO_KEYS:
+        if key not in metrics:
+            sys.exit(f"error: {path} is missing metric {key}")
+
+    # The zero gates are absolute — a single generated word on the warm
+    # path means the cache (or its persistence) stopped doing its job.
+    for key in SERVICE_ZERO_KEYS:
+        val = metrics[key]
+        print(f"  {key}: {val:g} (must be 0)")
+        if val != 0:
+            sys.exit(f"FAIL: {key} is {val:g}, expected exactly 0 — the "
+                     f"warm path entered the generator")
+
+    for key in ("cache_hit_speedup", "warm_start_speedup"):
+        if key in metrics:
+            print(f"  {key}: {metrics[key]:.2f}x (informational)")
+
+    if args.write_baseline:
+        baseline = {
+            "comment": "Service cache-economics baseline for "
+                       "tools/check_perf_baseline.py --mode service. All "
+                       "gated metrics are simulated-cycle derived and "
+                       "deterministic across hosts. Refresh with "
+                       "--write-baseline after intentional cache-policy "
+                       "or scheduler changes.",
+            "metrics": dict(sorted(metrics.items())),
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"wrote service baseline to {args.baseline}")
+        return
+
+    with open(args.baseline) as f:
+        base = json.load(f)["metrics"]
+    failed = []
+    for key in SERVICE_FLOOR_KEYS:
+        if key not in base:
+            sys.exit(f"error: {args.baseline} has no {key} — refresh it "
+                     f"with --write-baseline")
+        cur, base_val = metrics[key], base[key]
+        floor = base_val * (1.0 - args.tolerance)
+        ok = cur >= floor
+        print(f"  {key}: current {cur:.3f}, baseline {base_val:.3f}, "
+              f"floor {floor:.3f} ({'ok' if ok else 'FAIL'})")
+        if not ok:
+            failed.append(key)
+    if failed:
+        sys.exit(f"FAIL: service metrics below baseline floor "
+                 f"(tolerance {args.tolerance:.0%}): {', '.join(failed)}")
+    print("OK: service cache economics within tolerance of baseline")
 
 
 def wire_ratio(metrics, path):
@@ -257,7 +338,8 @@ def main():
                          "accepted in wire mode — BENCH_wire.json)")
     ap.add_argument("--baseline", required=True,
                     help="committed baseline JSON")
-    ap.add_argument("--mode", choices=["dispatch", "codegen-cost", "wire"],
+    ap.add_argument("--mode",
+                    choices=["dispatch", "codegen-cost", "wire", "service"],
                     default="dispatch",
                     help="which gate to run (default: dispatch)")
     ap.add_argument("--scale", default=None,
@@ -282,6 +364,10 @@ def main():
 
     if args.mode == "codegen-cost":
         check_codegen_cost(args, metrics)
+        return
+
+    if args.mode == "service":
+        check_service(args, metrics)
         return
 
     ratio = dispatch_ratio(metrics, args.current[0])

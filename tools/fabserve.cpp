@@ -9,6 +9,8 @@
 //
 // Usage: fabserve [--workers N] [--requests N] [--rows N] [--len N]
 //                 [--seed S] [--no-cache] [--cache-capacity N]
+//                 [--no-admission] [--no-compaction] [--profile-gate]
+//                 [--cache-load FILE] [--cache-save FILE]
 //                 [--report-interval MS] [--trace FILE]
 //                 [--queue-depth N] [--deadline-ms N] [--retries N]
 //                 [--no-breaker] [--chaos]
@@ -45,6 +47,16 @@
 // excess submissions shed with Rejected), --deadline-ms attaches a
 // per-request deadline, --retries sets the transient-failure retry
 // budget, --no-breaker disables the per-entry-point circuit breaker.
+//
+// Cache policy (see docs/SERVICE.md "Cache policy"): --cache-capacity
+// sizes each worker's SpecCache, --no-admission disables the ghost-LRU
+// doorkeeper (reverting to plain LRU), --no-compaction disables
+// selective code-space rebuilds, --profile-gate serves cold keys via
+// the Plain image when the entry point's observed reuse is too low
+// (requires a Plain fall-back, so it implies the fallback compile), and
+// --cache-load/--cache-save restore/persist warm cache state so a
+// restarted server skips the cold phase. FAB_CACHE_CAPACITY,
+// FAB_ADMISSION=0, and FAB_CACHE_FILE override at process level.
 //
 // --chaos turns the driver into a deterministic chaos harness seeded by
 // --seed: every worker randomly arms one-shot fault injectors and forces
@@ -85,7 +97,9 @@ namespace {
   std::fprintf(stderr,
                "usage: fabserve [--workers N] [--requests N] [--rows N]\n"
                "                [--len N] [--seed S] [--no-cache]\n"
-               "                [--cache-capacity N]\n"
+               "                [--cache-capacity N] [--no-admission]\n"
+               "                [--no-compaction] [--profile-gate]\n"
+               "                [--cache-load FILE] [--cache-save FILE]\n"
                "                [--report-interval MS] [--trace FILE]\n"
                "                [--queue-depth N] [--deadline-ms N]\n"
                "                [--retries N] [--no-breaker] [--chaos]\n"
@@ -121,6 +135,10 @@ int main(int argc, char **argv) {
   uint64_t Seed = 1;
   size_t CacheCapacity = 1024;
   bool Cache = true;
+  bool Admission = true;
+  bool Compaction = true;
+  bool ProfileGate = false;
+  std::string CacheLoad, CacheSave;
   unsigned ReportIntervalMs = 0;
   std::string TraceFile;
   size_t QueueDepth = 1024;
@@ -155,6 +173,16 @@ int main(int argc, char **argv) {
       CacheCapacity = parseNum(next());
     else if (A == "--no-cache")
       Cache = false;
+    else if (A == "--no-admission")
+      Admission = false;
+    else if (A == "--no-compaction")
+      Compaction = false;
+    else if (A == "--profile-gate")
+      ProfileGate = true;
+    else if (A == "--cache-load")
+      CacheLoad = next();
+    else if (A == "--cache-save")
+      CacheSave = next();
     else if (A == "--report-interval")
       ReportIntervalMs = static_cast<unsigned>(parseNum(next()));
     else if (A == "--trace")
@@ -187,10 +215,12 @@ int main(int argc, char **argv) {
     usage("counts must be nonzero");
 
   // The mixed program: matmul's dotloop plus the staged BPF interpreter.
-  // Chaos mode compiles the Plain fall-back image too, so circuit-broken
-  // entry points keep producing correct answers while cooling down.
-  FabiusOptions Opts = Chaos ? FabiusOptions::deferredWithFallback()
-                             : FabiusOptions::deferred();
+  // Chaos mode and the profile gate both need the Plain fall-back image:
+  // chaos so circuit-broken entry points keep producing correct answers
+  // while cooling down, the gate so cold keys have somewhere to run.
+  FabiusOptions Opts = (Chaos || ProfileGate)
+                           ? FabiusOptions::deferredWithFallback()
+                           : FabiusOptions::deferred();
   Opts.Backend.MemoizedSelfCalls.insert("eval");
   std::string Src =
       std::string(workloads::MatmulSrc) + "\n" + workloads::EvalSrc;
@@ -238,7 +268,12 @@ int main(int argc, char **argv) {
   SO.Pool.Workers = Workers;
   SO.Pool.EnableCache = Cache;
   SO.Pool.InternEarlyArgs = Cache;
-  SO.Pool.CacheCapacity = CacheCapacity;
+  SO.Pool.Cache.Capacity = CacheCapacity;
+  SO.Pool.Cache.Admission = Admission;
+  SO.Pool.Cache.Compaction = Compaction;
+  SO.Pool.Cache.ProfileGate = ProfileGate;
+  SO.Pool.Cache.LoadFile = CacheLoad;
+  SO.Pool.Cache.SaveFile = CacheSave;
   // Chaos defaults to a deliberately small queue so overload bursts
   // actually shed; an explicit --queue-depth always wins. The pool
   // applies the FAB_QUEUE_DEPTH veto itself; mirror it here so the
@@ -431,6 +466,18 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(T.Cache.Rehydrations),
               100.0 * T.Cache.hitRate(),
               static_cast<unsigned long long>(T.Coalesced));
+  if (T.Cache.AdmissionRejects || T.Cache.AdmissionAdmits ||
+      T.Cache.Compactions || T.Cache.ProfileGated || T.Cache.WarmRestored)
+    std::printf("  cache policy          : %llu admission rejects, %llu "
+                "second-sighting admits, %llu compactions (%llu kept / %llu "
+                "dropped), %llu profile-gated, %llu warm-restored\n",
+                static_cast<unsigned long long>(T.Cache.AdmissionRejects),
+                static_cast<unsigned long long>(T.Cache.AdmissionAdmits),
+                static_cast<unsigned long long>(T.Cache.Compactions),
+                static_cast<unsigned long long>(T.Cache.CompactKept),
+                static_cast<unsigned long long>(T.Cache.CompactDropped),
+                static_cast<unsigned long long>(T.Cache.ProfileGated),
+                static_cast<unsigned long long>(T.Cache.WarmRestored));
   std::printf("  generator             : %llu runs (in-VM memo %llu hits, "
               "%llu misses), %llu instr words\n",
               static_cast<unsigned long long>(T.Memo.GeneratorRuns),
